@@ -1,0 +1,204 @@
+"""Section 8.3 compile-time table: per-query, per-tier compilation times.
+
+Breaks compilation into the paper's phases for each TPC-H query:
+
+* mutable: QEP->Wasm translation, Liftoff, TurboFan,
+* HyPer:   QEP->HIR translation, bytecode generation, O0, O2.
+
+Within each system the paper's ordering holds: bytecode generation is
+nearly free, the baseline tier (Liftoff / O0) is cheap, the optimizing
+tier costs more.  The *cross-system* ratio (paper: TurboFan 6.6x faster
+than LLVM O2) does not transfer to this substrate because our O2
+stand-in is orders of magnitude cheaper than real LLVM — the table
+reports per-IR-instruction costs to make that comparison explicit.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.tpch import QUERIES, tpch_database
+from repro.engines.base import Timings
+from repro.engines.hyper import HyperEngine
+from repro.engines.hyper.compile import compile_o0, compile_o2
+from repro.engines.hyper.hir import flatten_to_bytecode
+from repro.engines.hyper.irgen import generate_hir
+from repro.engines.wasm_engine import WasmEngine
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+from repro.wasm.runtime.liftoff import LiftoffCompiler
+from repro.wasm.runtime.turbofan import TurboFanCompiler
+
+
+def _plan(db, sql):
+    stmt = parse(sql)
+    analyze(stmt, db.catalog)
+    return db.plan(stmt)
+
+
+def measure_query(db, sql, repeats: int = 3) -> dict[str, float]:
+    """Compile-phase times in milliseconds (median of repeats)."""
+    plan = _plan(db, sql)
+
+    def median(samples):
+        samples = sorted(samples)
+        return samples[len(samples) // 2] * 1000
+
+    out = {}
+    # mutable: translation + both tiers over all functions
+    translations, liftoffs, turbofans = [], [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        compiled, _space = WasmEngine().compile_query(
+            plan, db.catalog, Timings()
+        )
+        translations.append(time.perf_counter() - t0)
+        module = compiled.module
+        t0 = time.perf_counter()
+        for i, fn in enumerate(module.functions):
+            LiftoffCompiler(module).compile(fn, len(module.imports) + i)
+        liftoffs.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for i, fn in enumerate(module.functions):
+            TurboFanCompiler(module).compile(fn, len(module.imports) + i)
+        turbofans.append(time.perf_counter() - t0)
+    out["wasm_translate"] = median(translations)
+    out["liftoff"] = median(liftoffs)
+    out["turbofan"] = median(turbofans)
+
+    # hyper: HIR generation + bytecode + O0 + O2
+    hirgens, bytecodes, o0s, o2s = [], [], [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        program = generate_hir(plan)
+        hirgens.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for p in program.pipelines:
+            flatten_to_bytecode(p.function)
+        bytecodes.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for p in program.pipelines:
+            compile_o0(p.function)
+        o0s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for p in program.pipelines:
+            compile_o2(p.function)
+        o2s.append(time.perf_counter() - t0)
+    out["hir_translate"] = median(hirgens)
+    out["bytecode"] = median(bytecodes)
+    out["o0"] = median(o0s)
+    out["o2"] = median(o2s)
+    return out
+
+
+def _module_sizes(db, sql) -> tuple[int, int]:
+    """(Wasm instructions incl. generated library, HIR instructions)."""
+    plan = _plan(db, sql)
+    compiled, _ = WasmEngine().compile_query(plan, db.catalog, Timings())
+
+    def count_wasm(body):
+        total = 0
+        for instr in body:
+            total += 1
+            if instr[0] in ("block", "loop"):
+                total += count_wasm(instr[2])
+            elif instr[0] == "if":
+                total += count_wasm(instr[2]) + count_wasm(instr[3])
+        return total
+
+    wasm_instrs = sum(count_wasm(f.body) for f in compiled.module.functions)
+    program = generate_hir(plan)
+    hir_instrs = sum(p.function.instruction_count()
+                     for p in program.pipelines)
+    return wasm_instrs, hir_instrs
+
+
+def compile_table(scale_factor=0.002) -> str:
+    db = tpch_database(scale_factor=scale_factor)
+    lines = [
+        "== compile times per TPC-H query (ms, median of 3) ==",
+        "NOTE: mutable compiles the whole module INCLUDING the ad-hoc",
+        "generated library (hash tables, quicksort); HyPer's HIR is tiny",
+        "because its library is pre-compiled.  Our O2 stand-in is far",
+        "cheaper than real LLVM, so absolute tf/o2 ratios invert here;",
+        "the per-IR-instruction costs (last two columns) are comparable,",
+        "and real LLVM costs 10-50x more per instruction than TurboFan.",
+        f"{'query':<6} {'translate':>10} {'liftoff':>8} {'turbofan':>9}"
+        f" | {'hir':>7} {'bytecode':>9} {'o0':>7} {'o2':>7}"
+        f" | {'tf us/in':>9} {'o2 us/in':>9}",
+    ]
+    for name, sql in QUERIES.items():
+        m = measure_query(db, sql)
+        wasm_instrs, hir_instrs = _module_sizes(db, sql)
+        tf_per = m["turbofan"] * 1000 / max(wasm_instrs, 1)
+        o2_per = m["o2"] * 1000 / max(hir_instrs, 1)
+        lines.append(
+            f"{name:<6} {m['wasm_translate']:10.2f} {m['liftoff']:8.2f}"
+            f" {m['turbofan']:9.2f} | {m['hir_translate']:7.2f}"
+            f" {m['bytecode']:9.2f} {m['o0']:7.2f} {m['o2']:7.2f}"
+            f" | {tf_per:9.2f} {o2_per:9.2f}"
+        )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark targets ----------------------------------------------------
+
+@pytest.fixture(scope="module")
+def db():
+    return tpch_database(scale_factor=0.002)
+
+
+def test_compile_q1_liftoff(benchmark, db):
+    plan = _plan(db, QUERIES["q1"])
+    compiled, _ = WasmEngine().compile_query(plan, db.catalog, Timings())
+    module = compiled.module
+
+    def compile_all():
+        for i, fn in enumerate(module.functions):
+            LiftoffCompiler(module).compile(fn, len(module.imports) + i)
+
+    benchmark(compile_all)
+
+
+def test_compile_q1_turbofan(benchmark, db):
+    plan = _plan(db, QUERIES["q1"])
+    compiled, _ = WasmEngine().compile_query(plan, db.catalog, Timings())
+    module = compiled.module
+
+    def compile_all():
+        for i, fn in enumerate(module.functions):
+            TurboFanCompiler(module).compile(fn, len(module.imports) + i)
+
+    benchmark(compile_all)
+
+
+def test_compile_q1_hyper_o2(benchmark, db):
+    plan = _plan(db, QUERIES["q1"])
+    program = generate_hir(plan)
+
+    def compile_all():
+        for p in program.pipelines:
+            compile_o2(p.function)
+
+    benchmark(compile_all)
+
+
+def test_within_system_tier_orderings(db):
+    """The architecture-relevant orderings that transfer to our substrate:
+    each system's cheap path is cheaper than its optimizing path, and the
+    bytecode path is nearly free (that is why HyPer interprets first)."""
+    for name, sql in QUERIES.items():
+        m = measure_query(db, sql, repeats=3)
+        assert m["liftoff"] < m["turbofan"], name
+        assert m["bytecode"] < m["o0"] < m["o2"], name
+        # HyPer can start interpreting orders of magnitude sooner than
+        # its optimized code is ready — the premise of adaptive execution
+        assert m["bytecode"] * 10 < m["o2"], name
+
+
+def main() -> str:
+    return compile_table()
+
+
+if __name__ == "__main__":
+    print(main())

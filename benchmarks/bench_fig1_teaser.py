@@ -1,0 +1,46 @@
+"""Figure 1 (teaser): compilation vs execution time on TPC-H Q1.
+
+The paper's opening figure: mutable drastically reduces compilation time
+while keeping execution competitive.  We print the compile/execute split
+per engine for Q1 (wall clock).
+"""
+
+from repro.bench.harness import run_query
+from repro.bench.tpch import QUERIES, tpch_database
+
+from benchmarks.conftest import ENGINE_ORDER
+
+
+def fig1(scale_factor=0.01):
+    db = tpch_database(scale_factor=scale_factor)
+    lines = [
+        f"== Fig 1 (teaser): TPC-H Q1 compile vs execute (SF {scale_factor},"
+        f" wall-clock ms) ==",
+        f"{'engine':<12} {'compile':>10} {'execute':>10}",
+    ]
+    for engine in ENGINE_ORDER:
+        cell = run_query(db, QUERIES["q1"], engine)
+        lines.append(
+            f"{engine:<12} {cell.wall_compilation_ms:10.2f}"
+            f" {cell.wall_execution_ms:10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_q1_compile_under_execute(benchmark):
+    """mutable's whole compile pipeline is cheap relative to execution."""
+    db = tpch_database(scale_factor=0.005)
+
+    def run():
+        return run_query(db, QUERIES["q1"], "wasm")
+
+    cell = benchmark(run)
+    assert cell.wall_compilation_ms < cell.wall_execution_ms
+
+
+def main() -> str:
+    return fig1()
+
+
+if __name__ == "__main__":
+    print(main())

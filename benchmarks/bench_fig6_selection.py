@@ -1,0 +1,127 @@
+"""Figure 6: selection performance vs selectivity (a-d).
+
+(a) ``COUNT(*) WHERE x < c`` on INT32, selectivity 0..100 %
+(b) the same on DOUBLE
+(c) conjunction of two conditions, both varied with equal selectivity
+(d) conjunction with one side fixed at 1 %
+
+Expected shapes (paper Section 8.2): mutable and DuckDB show the branch-
+misprediction tent peaking at 50 % with mutable below DuckDB on all
+selectivities; HyPer's branch-free code rises monotonically without a
+tent; in (c) mutable evaluates the whole conjunction at once (worst case
+at sqrt(50%) ~ 71 % per condition) while DuckDB refines selection vectors
+one condition at a time; in (d) both are flat.  PostgreSQL sits above
+200 ms throughout and is omitted from the paper's plot (we print it).
+"""
+
+import math
+
+from repro.bench.harness import run_query, sweep
+from repro.bench.workloads import selection_table, selectivity_threshold
+
+from benchmarks.conftest import ENGINE_ORDER, MICRO_ROWS, SCALE, db_with
+
+SELECTIVITIES = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+
+
+def _db(_value=None, rows=MICRO_ROWS):
+    return db_with(selection_table(rows))
+
+
+def fig6a(rows=MICRO_ROWS):
+    return sweep(
+        "Fig 6a: selection on INT32", "selectivity",
+        SELECTIVITIES, ENGINE_ORDER,
+        make_db=lambda v: _db(rows=rows),
+        make_sql=lambda v: (
+            f"SELECT COUNT(*) FROM t WHERE x < {selectivity_threshold(v)}"
+        ),
+        scale_factor=SCALE,
+    )
+
+
+def fig6b(rows=MICRO_ROWS):
+    return sweep(
+        "Fig 6b: selection on DOUBLE", "selectivity",
+        SELECTIVITIES, ENGINE_ORDER,
+        make_db=lambda v: _db(rows=rows),
+        make_sql=lambda v: f"SELECT COUNT(*) FROM t WHERE y < {v!r}",
+        scale_factor=SCALE,
+    )
+
+
+def fig6c(rows=MICRO_ROWS):
+    # both conditions varied with equal selectivity: per-condition
+    # selectivity sqrt(v)
+    def sql(v):
+        per_condition = math.sqrt(v)
+        return (
+            f"SELECT COUNT(*) FROM t WHERE"
+            f" x < {selectivity_threshold(per_condition)}"
+            f" AND x2 < {selectivity_threshold(per_condition)}"
+        )
+
+    return sweep(
+        "Fig 6c: conjunction, equal selectivities", "selectivity",
+        SELECTIVITIES, ENGINE_ORDER,
+        make_db=lambda v: _db(rows=rows),
+        make_sql=sql,
+        scale_factor=SCALE,
+    )
+
+
+def fig6d(rows=MICRO_ROWS):
+    # one condition fixed at 1 %
+    return sweep(
+        "Fig 6d: conjunction, one side fixed at 1%", "selectivity",
+        SELECTIVITIES, ENGINE_ORDER,
+        make_db=lambda v: _db(rows=rows),
+        make_sql=lambda v: (
+            f"SELECT COUNT(*) FROM t WHERE"
+            f" x2 < {selectivity_threshold(0.01)}"
+            f" AND x < {selectivity_threshold(v)}"
+        ),
+        scale_factor=SCALE,
+    )
+
+
+# -- pytest-benchmark targets (wall clock, reduced size) ---------------------
+
+def test_selection_wasm_50pct(benchmark, benchmark_rows):
+    db = _db(rows=benchmark_rows)
+    sql = f"SELECT COUNT(*) FROM t WHERE x < {selectivity_threshold(0.5)}"
+    benchmark(lambda: db.execute(sql, engine="wasm"))
+
+
+def test_selection_vectorized_50pct(benchmark, benchmark_rows):
+    db = _db(rows=benchmark_rows)
+    sql = f"SELECT COUNT(*) FROM t WHERE x < {selectivity_threshold(0.5)}"
+    benchmark(lambda: db.execute(sql, engine="vectorized"))
+
+
+def test_selection_hyper_50pct(benchmark, benchmark_rows):
+    db = _db(rows=benchmark_rows)
+    sql = f"SELECT COUNT(*) FROM t WHERE x < {selectivity_threshold(0.5)}"
+    benchmark(lambda: db.execute(sql, engine="hyper"))
+
+
+def test_selection_modeled_tent_shape(benchmark_rows):
+    """The modeled curve must peak at 50 % for the branching engines."""
+    db = _db(rows=benchmark_rows)
+    times = {}
+    for sel in (0.0, 0.5, 1.0):
+        sql = f"SELECT COUNT(*) FROM t WHERE x < {selectivity_threshold(sel)}"
+        times[sel] = run_query(db, sql, "wasm").modeled_ms
+    assert times[0.5] > times[0.0]
+    assert times[0.5] > times[1.0]
+
+
+def main() -> str:
+    out = []
+    for fig in (fig6a, fig6b, fig6c, fig6d):
+        out.append(fig().format())
+    return "\n\n".join(out)
+
+
+if __name__ == "__main__":
+    print(main())

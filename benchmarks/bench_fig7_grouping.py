@@ -1,0 +1,122 @@
+"""Figure 7: grouping & aggregation (a-d).
+
+(a) vary the number of rows (fixed 1000 distinct groups)
+(b) vary the number of distinct values (10 .. 1M), fixed rows
+(c) vary the number of grouping attributes (1 .. 4)
+(d) vary the number of aggregates MIN(x1) .. MIN(xn) (1 .. 4)
+
+Expected shapes: the lion's share of time is hash-table operations;
+mutable's per-query generated hash table with fully inlined operations
+beats the library-call engines; costs grow with distinct count once the
+table leaves cache; in (d) mutable's branch-free MIN cannot exploit the
+ever-better-predicted new-minimum branch, so DuckDB closes the gap as
+aggregate count grows (paper: "mutable generates branch-free code and
+cannot benefit from branch prediction").
+"""
+
+from repro.bench.harness import run_query, sweep
+from repro.bench.workloads import grouping_table
+
+from benchmarks.conftest import ENGINE_ORDER, MICRO_ROWS, db_with
+
+# Fig 7 reports at the instrumented row count: hash-table footprints are
+# bounded by the distinct count, which does not extrapolate with rows.
+SCALE = 1.0
+
+_ENGINES = ENGINE_ORDER
+
+
+def fig7a(rows=MICRO_ROWS):
+    values = [rows // 20, rows // 4, rows]
+    return sweep(
+        "Fig 7a: group-by, varying row count", "rows",
+        values, _ENGINES,
+        make_db=lambda v: db_with(grouping_table(v, distinct=1000)),
+        make_sql=lambda v: "SELECT g1, COUNT(*) FROM g GROUP BY g1",
+        scale_factor=SCALE,  # reported as-if rows were 100x
+    )
+
+
+def fig7b(rows=MICRO_ROWS):
+    values = [10, 1000, 10_000, rows]
+    return sweep(
+        "Fig 7b: group-by, varying distinct values", "distinct",
+        values, _ENGINES,
+        make_db=lambda v: db_with(grouping_table(rows, distinct=v)),
+        make_sql=lambda v: "SELECT g1, COUNT(*) FROM g GROUP BY g1",
+        scale_factor=SCALE,
+    )
+
+
+def fig7c(rows=MICRO_ROWS):
+    values = [1, 2, 3, 4]
+
+    def sql(v):
+        keys = ", ".join(f"g{i + 1}" for i in range(v))
+        return f"SELECT {keys}, COUNT(*) FROM g GROUP BY {keys}"
+
+    return sweep(
+        "Fig 7c: group-by, varying #attributes", "attributes",
+        values, _ENGINES,
+        make_db=lambda v: db_with(grouping_table(rows, distinct=10)),
+        make_sql=sql,
+        scale_factor=SCALE,
+    )
+
+
+def fig7d(rows=MICRO_ROWS):
+    values = [1, 2, 3, 4]
+
+    def sql(v):
+        aggs = ", ".join(f"MIN(x{i + 1})" for i in range(v))
+        return f"SELECT {aggs} FROM g"
+
+    return sweep(
+        "Fig 7d: scalar aggregation, varying #aggregates", "aggregates",
+        values, _ENGINES,
+        make_db=lambda v: db_with(grouping_table(rows, distinct=10)),
+        make_sql=sql,
+        scale_factor=SCALE,
+    )
+
+
+# -- pytest-benchmark targets -------------------------------------------------
+
+def test_grouping_wasm(benchmark, benchmark_rows):
+    db = db_with(grouping_table(benchmark_rows, distinct=100))
+    benchmark(lambda: db.execute(
+        "SELECT g1, COUNT(*), SUM(x1) FROM g GROUP BY g1", engine="wasm"
+    ))
+
+
+def test_grouping_vectorized(benchmark, benchmark_rows):
+    db = db_with(grouping_table(benchmark_rows, distinct=100))
+    benchmark(lambda: db.execute(
+        "SELECT g1, COUNT(*), SUM(x1) FROM g GROUP BY g1",
+        engine="vectorized",
+    ))
+
+
+def test_grouping_hyper(benchmark, benchmark_rows):
+    db = db_with(grouping_table(benchmark_rows, distinct=100))
+    benchmark(lambda: db.execute(
+        "SELECT g1, COUNT(*), SUM(x1) FROM g GROUP BY g1", engine="hyper"
+    ))
+
+
+def test_grouping_cost_grows_with_distincts(benchmark_rows):
+    """More groups -> bigger hash table -> more cache misses (7b)."""
+    few = db_with(grouping_table(benchmark_rows, distinct=10))
+    many = db_with(grouping_table(benchmark_rows, distinct=benchmark_rows))
+    sql = "SELECT g1, COUNT(*) FROM g GROUP BY g1"
+    cheap = run_query(few, sql, "wasm", scale_factor=SCALE).modeled_ms
+    pricey = run_query(many, sql, "wasm", scale_factor=SCALE).modeled_ms
+    assert pricey > cheap
+
+
+def main() -> str:
+    return "\n\n".join(fig().format() for fig in (fig7a, fig7b, fig7c, fig7d))
+
+
+if __name__ == "__main__":
+    print(main())

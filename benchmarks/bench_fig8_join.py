@@ -1,0 +1,97 @@
+"""Figure 8: equi-joins.
+
+(a) foreign-key join, varying input size — expected linear in rows for
+    all engines, PostgreSQL far above,
+(b) n:m join on non-key columns with join selectivity 1e-6, varying
+    input size — expected quadratic output growth; engines whose hash
+    tables degrade on duplicate-heavy chains fall behind (the paper's
+    educated guess for HyPer's curvature).
+"""
+
+from repro.bench.harness import run_query, sweep
+from repro.bench.workloads import join_tables
+
+from benchmarks.conftest import ENGINE_ORDER, SCALE, db_with
+
+_SIZES_FK = [10_000, 30_000, 100_000]
+_SIZES_NM = [3_000, 10_000, 30_000]
+
+
+def _fk_db(rows):
+    build, probe = join_tables(rows // 10, rows, foreign_key=True)
+    return db_with(build, probe)
+
+
+def _nm_db(rows):
+    # paper: selectivity fixed at 1e-6; scaled so expected output stays
+    # proportional at reduced row counts
+    build, probe = join_tables(
+        rows, rows, foreign_key=False, n_to_m_matches=1e-6 * (10**7 / rows)
+    )
+    return db_with(build, probe)
+
+
+def fig8a():
+    return sweep(
+        "Fig 8a: foreign-key equi-join", "rows",
+        _SIZES_FK, ENGINE_ORDER,
+        make_db=_fk_db,
+        make_sql=lambda v: (
+            "SELECT COUNT(*) FROM build, probe WHERE id = fk"
+        ),
+        scale_factor=SCALE,
+    )
+
+
+def fig8b():
+    return sweep(
+        "Fig 8b: n:m equi-join (selectivity ~1e-6 at paper scale)", "rows",
+        _SIZES_NM, ENGINE_ORDER,
+        make_db=_nm_db,
+        make_sql=lambda v: (
+            "SELECT COUNT(*) FROM build, probe WHERE a = b"
+        ),
+        scale_factor=SCALE,
+    )
+
+
+# -- pytest-benchmark targets ---------------------------------------------------
+
+def test_fk_join_wasm(benchmark, benchmark_rows):
+    db = _fk_db(benchmark_rows)
+    benchmark(lambda: db.execute(
+        "SELECT COUNT(*) FROM build, probe WHERE id = fk", engine="wasm"
+    ))
+
+
+def test_fk_join_vectorized(benchmark, benchmark_rows):
+    db = _fk_db(benchmark_rows)
+    benchmark(lambda: db.execute(
+        "SELECT COUNT(*) FROM build, probe WHERE id = fk",
+        engine="vectorized",
+    ))
+
+
+def test_fk_join_hyper(benchmark, benchmark_rows):
+    db = _fk_db(benchmark_rows)
+    benchmark(lambda: db.execute(
+        "SELECT COUNT(*) FROM build, probe WHERE id = fk", engine="hyper"
+    ))
+
+
+def test_join_cost_linear_in_rows():
+    """Fig 8a: doubling the input roughly doubles the modeled cost."""
+    small = _fk_db(10_000)
+    large = _fk_db(40_000)
+    sql = "SELECT COUNT(*) FROM build, probe WHERE id = fk"
+    cheap = run_query(small, sql, "wasm").modeled_ms
+    pricey = run_query(large, sql, "wasm").modeled_ms
+    assert 2.0 < pricey / cheap < 8.0
+
+
+def main() -> str:
+    return "\n\n".join(fig().format() for fig in (fig8a, fig8b))
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,94 @@
+"""Figure 9: sorting (ORDER BY).
+
+(a) vary the number of rows,
+(b) vary the number of distinct values (duplicate-heavy inputs),
+(c) vary the number of sort attributes.
+
+The contrast under test (Sections 4.3 / 5): mutable *generates* a
+quicksort whose comparator is inlined into partitioning, while library-
+based engines pay a comparison callback per comparison — Theta(n log n)
+calls (HyPer) or per-pass interpretation (the others).
+"""
+
+from repro.bench.harness import run_query, sweep
+from repro.bench.workloads import sorting_table
+
+from benchmarks.conftest import ENGINE_ORDER, SCALE, db_with
+
+_ROWS = 50_000
+
+
+def fig9a():
+    values = [_ROWS // 10, _ROWS // 3, _ROWS]
+    return sweep(
+        "Fig 9a: sort, varying row count", "rows",
+        values, ENGINE_ORDER,
+        make_db=lambda v: db_with(sorting_table(v)),
+        make_sql=lambda v: "SELECT s1 FROM s ORDER BY s1",
+        scale_factor=SCALE,
+    )
+
+
+def fig9b():
+    values = [10, 1000, _ROWS]
+    return sweep(
+        "Fig 9b: sort, varying distinct values", "distinct",
+        values, ENGINE_ORDER,
+        make_db=lambda v: db_with(sorting_table(_ROWS, distinct=v)),
+        make_sql=lambda v: "SELECT s1 FROM s ORDER BY s1",
+        scale_factor=SCALE,
+    )
+
+
+def fig9c():
+    values = [1, 2, 3, 4]
+
+    def sql(v):
+        keys = ", ".join(f"s{i + 1}" for i in range(v))
+        return f"SELECT {keys} FROM s ORDER BY {keys}"
+
+    return sweep(
+        "Fig 9c: sort, varying #attributes", "attributes",
+        values, ENGINE_ORDER,
+        make_db=lambda v: db_with(sorting_table(_ROWS, distinct=100)),
+        make_sql=sql,
+        scale_factor=SCALE,
+    )
+
+
+# -- pytest-benchmark targets ---------------------------------------------------
+
+def test_sort_wasm(benchmark, benchmark_rows):
+    db = db_with(sorting_table(benchmark_rows))
+    benchmark(lambda: db.execute("SELECT s1 FROM s ORDER BY s1",
+                                 engine="wasm"))
+
+
+def test_sort_vectorized(benchmark, benchmark_rows):
+    db = db_with(sorting_table(benchmark_rows))
+    benchmark(lambda: db.execute("SELECT s1 FROM s ORDER BY s1",
+                                 engine="vectorized"))
+
+
+def test_sort_hyper(benchmark, benchmark_rows):
+    db = db_with(sorting_table(benchmark_rows))
+    benchmark(lambda: db.execute("SELECT s1 FROM s ORDER BY s1",
+                                 engine="hyper"))
+
+
+def test_inlined_comparator_beats_callbacks(benchmark_rows):
+    """The Section 4.3 claim: callback-based sorting pays Theta(n log n)
+    call overhead that the generated inlined comparator does not."""
+    db = db_with(sorting_table(benchmark_rows))
+    sql = "SELECT s1 FROM s ORDER BY s1"
+    generated = run_query(db, sql, "wasm").breakdown
+    library = run_query(db, sql, "hyper").breakdown
+    assert generated["calls"] < library["calls"]
+
+
+def main() -> str:
+    return "\n\n".join(fig().format() for fig in (fig9a, fig9b, fig9c))
+
+
+if __name__ == "__main__":
+    print(main())

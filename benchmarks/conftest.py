@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_fig*.py`` file reproduces one figure/table of the paper:
+
+* the ``test_*`` functions are **pytest-benchmark** targets — they
+  measure wall-clock time of representative cells on reduced data so
+  ``pytest benchmarks/ --benchmark-only`` stays fast,
+* each file's ``main()`` (also ``python benchmarks/bench_figX.py``)
+  regenerates the *full* figure as a paper-style table of cost-model
+  milliseconds, scaled to the paper's row counts.
+
+``benchmarks/run_all.py`` runs every ``main()`` and writes the combined
+report (the source of EXPERIMENTS.md's measured numbers).
+"""
+
+import pytest
+
+from repro.db import Database
+
+ENGINE_ORDER = ["wasm", "hyper", "vectorized", "volcano"]
+
+# paper row count / instrumented row count for the microbenchmarks
+PAPER_ROWS = 10_000_000
+MICRO_ROWS = 100_000
+SCALE = PAPER_ROWS / MICRO_ROWS
+
+
+def db_with(*tables, engine="wasm") -> Database:
+    db = Database(default_engine=engine)
+    for table in tables:
+        db.register_table(table)
+    return db
+
+
+@pytest.fixture(scope="module")
+def benchmark_rows():
+    return 20_000  # wall-clock benchmark size (pytest-benchmark targets)

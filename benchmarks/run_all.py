@@ -1,0 +1,52 @@
+"""Regenerate every figure/table of the paper's evaluation.
+
+Run:  python benchmarks/run_all.py
+
+Writes the combined report to stdout (~4 minutes; EXPERIMENTS.md records
+a run's output, and bench_report.txt holds the raw text).
+"""
+
+import sys
+import time
+
+sys.path.insert(0, ".")  # allow `python benchmarks/run_all.py` from repo root
+
+from benchmarks import (  # noqa: E402
+    bench_fig1_teaser,
+    bench_fig2b_features,
+    bench_fig6_selection,
+    bench_fig7_grouping,
+    bench_fig8_join,
+    bench_fig9_sorting,
+    bench_fig10_tpch,
+    bench_compile_times,
+    bench_ablation_adhoc,
+    bench_ablation_tiering,
+)
+
+SECTIONS = [
+    ("Figure 1", bench_fig1_teaser.main),
+    ("Figure 2b", bench_fig2b_features.main),
+    ("Figure 6", bench_fig6_selection.main),
+    ("Figure 7", bench_fig7_grouping.main),
+    ("Figure 8", bench_fig8_join.main),
+    ("Figure 9", bench_fig9_sorting.main),
+    ("Figure 10", bench_fig10_tpch.main),
+    ("Compile times", bench_compile_times.main),
+    ("Ablation: ad-hoc generation", bench_ablation_adhoc.main),
+    ("Ablation: tiering & short-circuit", bench_ablation_tiering.main),
+]
+
+
+def main() -> None:
+    total_start = time.perf_counter()
+    for title, fn in SECTIONS:
+        start = time.perf_counter()
+        print(f"\n{'#' * 70}\n# {title}\n{'#' * 70}")
+        print(fn())
+        print(f"[{title}: {time.perf_counter() - start:.1f}s]")
+    print(f"\ntotal: {time.perf_counter() - total_start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

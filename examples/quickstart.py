@@ -1,0 +1,65 @@
+"""Quickstart: create tables, load rows, run SQL on the Wasm engine.
+
+The default engine is the paper's architecture: the query plan is
+compiled to WebAssembly and executed by the adaptive two-tier engine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.db import Database
+
+
+def main() -> None:
+    db = Database()  # default engine: "wasm" (the paper's architecture)
+
+    db.execute("""
+        CREATE TABLE employees (
+            id        INT PRIMARY KEY,
+            name      CHAR(12),
+            dept      CHAR(12),
+            salary    DECIMAL(10, 2),
+            hired     DATE
+        )
+    """)
+    db.execute("""
+        INSERT INTO employees VALUES
+            (1, 'ada',     'engineering', 9500.00, '1993-04-01'),
+            (2, 'grace',   'engineering', 9900.50, '1992-07-15'),
+            (3, 'edsger',  'research',    8800.00, '1994-01-20'),
+            (4, 'barbara', 'research',    9100.25, '1995-03-08'),
+            (5, 'alan',    'engineering', 8700.75, '1993-11-30'),
+            (6, 'john',    'management',  9999.99, '1992-02-02')
+    """)
+
+    print("== all employees ==")
+    result = db.execute("SELECT name, dept, salary FROM employees"
+                        " ORDER BY salary DESC")
+    print(result.format_table())
+
+    print("\n== aggregation ==")
+    result = db.execute("""
+        SELECT dept,
+               COUNT(*)    AS headcount,
+               AVG(salary) AS avg_salary,
+               MIN(hired)  AS earliest_hire
+        FROM employees
+        GROUP BY dept
+        ORDER BY avg_salary DESC
+    """)
+    print(result.format_table())
+
+    print("\n== the same query on every engine ==")
+    sql = "SELECT dept, SUM(salary) FROM employees GROUP BY dept ORDER BY dept"
+    for engine in ("wasm", "hyper", "vectorized", "volcano"):
+        rows = db.execute(sql, engine=engine).rows
+        print(f"  {engine:<11} -> {rows}")
+
+    print("\n== what the planner does ==")
+    print(db.explain(
+        "SELECT dept, COUNT(*) FROM employees"
+        " WHERE salary > 9000 GROUP BY dept"
+    ))
+
+
+if __name__ == "__main__":
+    main()

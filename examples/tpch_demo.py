@@ -1,0 +1,62 @@
+"""TPC-H demo: generate data, run the paper's queries on all engines.
+
+Reproduces the setting of the paper's Section 8.3 in miniature: the five
+TPC-H queries of Figure 10 (Q1, Q3, Q6, Q12, Q14) run on four engines —
+mutable's Wasm architecture, the HyPer-like adaptive compiler, the
+vectorized (DuckDB-like) engine, and the Volcano (PostgreSQL-like)
+interpreter — with per-phase timings.
+
+Run:  python examples/tpch_demo.py [scale_factor]
+"""
+
+import sys
+import time
+
+from repro.bench.tpch import QUERIES, tpch_database
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.005
+
+    print(f"generating TPC-H data at scale factor {scale} ...")
+    start = time.perf_counter()
+    db = tpch_database(scale_factor=scale)
+    rows = db.table("lineitem").row_count
+    print(f"  done in {time.perf_counter() - start:.2f}s "
+          f"({rows:,} lineitem rows)\n")
+
+    engines = ["wasm", "hyper", "vectorized", "volcano"]
+    for name, sql in QUERIES.items():
+        print(f"== {name.upper()} ==")
+        reference = None
+        for engine in engines:
+            result = db.execute(sql, engine=engine)
+            total = sum(result.timings.phases.values()) * 1000
+            phases = ", ".join(
+                f"{k}={v * 1000:.1f}ms"
+                for k, v in result.timings.phases.items()
+            )
+            print(f"  {engine:<11} {total:8.1f} ms   ({phases})")
+            if reference is None:
+                reference = result.rows
+            else:
+                assert _close(result.rows, reference), \
+                    f"{engine} produced different results!"
+        print(f"  -> {len(reference)} row(s); first: {reference[0]}\n")
+
+
+def _close(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        for va, vb in zip(ra, rb):
+            if isinstance(va, float):
+                if abs(va - vb) > 1e-6 * max(1.0, abs(vb)):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+if __name__ == "__main__":
+    main()

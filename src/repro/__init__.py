@@ -1,0 +1,15 @@
+"""repro: a reproduction of "A Simplified Architecture for Fast,
+Adaptive Compilation and Execution of SQL Queries" (EDBT 2023).
+
+Public entry points:
+
+* :class:`repro.db.Database` — create tables, run SQL on any engine,
+* :mod:`repro.bench.tpch` — TPC-H data and the paper's queries,
+* :mod:`repro.wasm` — the standalone WebAssembly substrate.
+"""
+
+__version__ = "1.0.0"
+
+from repro.db import Database
+
+__all__ = ["Database", "__version__"]

@@ -1,0 +1,15 @@
+"""The mutable-style backend: QEP -> WebAssembly.
+
+This package is the paper's primary contribution: data-centric,
+pipeline-wise compilation of physical plans to WebAssembly (Section 4),
+with **ad-hoc generation of specialized library code** — hash tables with
+fully inlined, monomorphic key hashing/comparison, and quicksort with the
+comparator inlined into the partitioning loop (Section 5).
+
+Entry point: :class:`repro.backend.codegen.QueryCompiler`, used by
+:class:`repro.engines.wasm_engine.WasmEngine`.
+"""
+
+from repro.backend.codegen import CompiledQuery, QueryCompiler
+
+__all__ = ["CompiledQuery", "QueryCompiler"]

@@ -1,0 +1,959 @@
+"""Data-centric compilation of physical plans to WebAssembly (Section 4).
+
+Every pipeline of the dissected plan becomes one exported Wasm function
+``pipeline_i(begin, end)`` that processes the source rows ``[begin,
+end)`` — the *morsel* the host hands it.  Tuples are pushed through the
+whole pipeline in registers (Wasm locals); pipeline breakers
+materialize into ad-hoc generated hash tables
+(:mod:`repro.backend.hashtable`) or sort arrays
+(:mod:`repro.backend.sort`).
+
+The result protocol mirrors Figure 5: the final pipeline writes packed
+rows into the rewired result window and bumps the exported
+``result_count`` global; when the window fills, the generated code calls
+the imported ``env.flush_results`` so the host can drain and reset it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.context import (
+    CompilerContext,
+    MemoryPlan,
+    RESULT_REGION_SIZE,
+)
+from repro.backend.expr import ExprCompiler, SlotValue
+from repro.backend.hashtable import GeneratedHashTable, sentinel_for
+from repro.backend.layout import TupleLayout
+from repro.backend.sort import GeneratedSort
+from repro.errors import PlanError
+from repro.plan import physical as P
+from repro.plan.exprs import Aggregate, Slot
+from repro.plan.pipeline import Pipeline, dissect_into_pipelines
+from repro.sql import types as T
+from repro.wasm.builder import FunctionBuilder
+
+__all__ = ["QueryCompiler", "CompiledQuery", "PipelineInfo"]
+
+
+@dataclass
+class PipelineInfo:
+    """What the host driver needs to run one pipeline."""
+
+    index: int
+    function: str                 # exported function name
+    source_kind: str              # scan | indexseek | hashtable | sort | scalar
+    source_name: str              # binding / ht name / sort name
+    sort_before: str | None = None  # exported sort driver to call first
+    is_final: bool = False
+    limit_global: str | None = None   # exported row counter for early stop
+    limit_total: int | None = None    # offset + limit
+    # index-seek bounds for the host's position lookup:
+    # (key_column, low, high, low_strict, high_strict)
+    seek: tuple | None = None
+
+
+@dataclass
+class CompiledQuery:
+    """The output of query compilation, consumed by the Wasm engine."""
+
+    module: object
+    pipelines: list[PipelineInfo]
+    result_layout: TupleLayout
+    result_capacity: int
+    output_types: list[T.DataType]
+    generic_patterns: list[str]
+    memory: MemoryPlan
+
+
+class QueryCompiler:
+    """Compiles one physical plan into one Wasm module."""
+
+    def __init__(self, memory: MemoryPlan, short_circuit: bool = False,
+                 inline_adhoc: bool = True, predication: bool = False):
+        """``inline_adhoc=False`` is the ablation of Section 4.3/5: hash
+        table and comparison code stays specialized but is invoked through
+        per-access function calls (the pre-compiled-library discipline)
+        instead of being inlined at the call site.
+
+        ``predication=True`` compiles selections feeding a scalar
+        aggregation *branch-free*: the predicate becomes a 0/1 mask
+        multiplied into the aggregate updates (Section 4.2 discusses this
+        if-conversion; the paper's mutable does not implement it, and
+        HyPer's flat Figure-6 curves are attributed to exactly this)."""
+        self.memory = memory
+        self.inline_adhoc = inline_adhoc
+        self.predication = predication
+        self.ctx = CompilerContext("query", memory,
+                                   short_circuit=short_circuit)
+        # per-breaker generated structures
+        self._hash_tables: dict[int, GeneratedHashTable] = {}
+        self._ht_functions: dict[int, dict[str, int]] = {}
+        self._sorts: dict[int, GeneratedSort] = {}
+        self._materialized: dict[int, GeneratedSort] = {}
+        self._scalar_states: dict[int, tuple] = {}
+        self._limit_globals: dict[int, tuple[int, str]] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------ api --
+
+    def compile(self, plan: P.PhysicalOperator) -> CompiledQuery:
+        pipelines = dissect_into_pipelines(plan)
+        for pipe in pipelines:
+            self._declare_breakers(pipe)
+
+        result_layout = TupleLayout([
+            (f"o{i}", col.ty) for i, col in enumerate(plan.output)
+        ])
+        result_capacity = max(1, RESULT_REGION_SIZE // result_layout.stride)
+
+        infos = []
+        for pipe in pipelines:
+            infos.append(
+                self._compile_pipeline(pipe, result_layout, result_capacity)
+            )
+        module = self.ctx.finish()
+        return CompiledQuery(
+            module=module,
+            pipelines=infos,
+            result_layout=result_layout,
+            result_capacity=result_capacity,
+            output_types=plan.output_types,
+            generic_patterns=self.ctx.generic_patterns,
+            memory=self.memory,
+        )
+
+    # -------------------------------------------------- breaker declarations --
+
+    def _declare_breakers(self, pipe: Pipeline) -> None:
+        """Create the generated structures for the pipeline's sink and any
+        joins it probes, before function bodies reference them."""
+        candidates = [pipe.sink] if pipe.sink is not None else []
+        candidates += [op for op in pipe.operators
+                       if isinstance(op, (P.HashJoin, P.NestedLoopJoin))]
+        candidates.append(pipe.source)
+        for op in candidates:
+            if op is None or id(op) in self._hash_tables \
+                    or id(op) in self._sorts or id(op) in self._scalar_states \
+                    or id(op) in self._materialized:
+                continue
+            if isinstance(op, P.HashJoin):
+                self._declare_join_table(op)
+            elif isinstance(op, P.HashGroupBy):
+                self._declare_group_table(op)
+            elif isinstance(op, P.ScalarAggregate):
+                self._declare_scalar_state(op)
+            elif isinstance(op, P.Sort):
+                self._declare_sort(op)
+            elif isinstance(op, P.NestedLoopJoin):
+                self._declare_materialized(op)
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _declare_join_table(self, op: P.HashJoin) -> None:
+        key_types = [k.ty for k in op.build_keys]
+        payload = [
+            (f"c{i}", col.ty, None) for i, col in enumerate(op.build.output)
+        ]
+        ht = GeneratedHashTable(
+            self.ctx, self._fresh_name("jht"), key_types, payload,
+            estimate=int(op.build.estimated_rows),
+        )
+        self._hash_tables[id(op)] = ht
+
+    def _declare_group_table(self, op: P.HashGroupBy) -> None:
+        key_types = [k.ty for k in op.keys]
+        payload = []
+        for i, agg in enumerate(op.aggregates):
+            payload += _aggregate_payload(i, agg)
+        ht = GeneratedHashTable(
+            self.ctx, self._fresh_name("ght"), key_types, payload,
+            estimate=int(op.estimated_rows),
+        )
+        self._hash_tables[id(op)] = ht
+
+    def _declare_scalar_state(self, op: P.ScalarAggregate) -> None:
+        payload = []
+        for i, agg in enumerate(op.aggregates):
+            payload += _aggregate_payload(i, agg)
+        layout = TupleLayout(
+            [(name, ty) for name, ty, _ in payload]
+        )
+        g_state = self.ctx.mb.add_global(
+            "i32", 0, name=self._fresh_name("aggstate")
+        )
+
+        def init(fb: FunctionBuilder, layout=layout, g_state=g_state,
+                 payload=payload):
+            fb.i32(layout.stride).call(self.ctx.alloc_function())
+            fb.emit("global.set", g_state)
+            state = fb.local("i32", "state")
+            fb.emit("global.get", g_state).set(state)
+            for name, ty, init_value in payload:
+                fld = layout.field(name)
+                fb.get(state)
+                fb.const(ty.wasm_type, init_value)
+                fb.emit(fld.store_op, 0, fld.offset)
+
+        self.ctx.add_init(init)
+        self._scalar_states[id(op)] = (g_state, layout, payload)
+
+    def _declare_sort(self, op: P.Sort) -> None:
+        row_fields = [
+            (f"c{i}", col.ty) for i, col in enumerate(op.child.output)
+        ]
+        # a sort key that is a plain column reuses the row's field
+        key_fields = [
+            (f"c{key.index}" if isinstance(key, Slot) else f"s{j}",
+             key.ty, descending)
+            for j, (key, descending) in enumerate(op.order)
+        ]
+        sorter = GeneratedSort(
+            self.ctx, self._fresh_name("sort"), row_fields, key_fields,
+            estimate=int(op.child.estimated_rows),
+        )
+        self._sorts[id(op)] = sorter
+
+    def _declare_materialized(self, op: P.NestedLoopJoin) -> None:
+        row_fields = [
+            (f"c{i}", col.ty) for i, col in enumerate(op.left.output)
+        ]
+        array = GeneratedSort(
+            self.ctx, self._fresh_name("mat"), row_fields, [],
+            estimate=int(op.left.estimated_rows),
+        )
+        self._materialized[id(op)] = array
+
+    # ------------------------------------------------------ pipeline bodies --
+
+    def _compile_pipeline(self, pipe: Pipeline, result_layout: TupleLayout,
+                          result_capacity: int) -> PipelineInfo:
+        fb = self.ctx.mb.function(
+            f"pipeline_{pipe.index}",
+            params=[("i32", "begin"), ("i32", "end")],
+            export=True,
+        )
+        expr_compiler = ExprCompiler(self.ctx, fb, [])
+        info = PipelineInfo(
+            index=pipe.index,
+            function=f"pipeline_{pipe.index}",
+            source_kind="scan",
+            source_name="",
+            is_final=pipe.sink is None,
+        )
+
+        def body(slots: list[SlotValue]) -> None:
+            expr_compiler.slots = slots
+            self._emit_operators(
+                fb, expr_compiler, pipe.operators, slots, pipe, info,
+                result_layout, result_capacity,
+            )
+
+        self._emit_source(fb, expr_compiler, pipe.source, info, body)
+        return info
+
+    # -- sources ----------------------------------------------------------------
+
+    def _emit_source(self, fb: FunctionBuilder, expr_compiler,
+                     source: P.PhysicalOperator, info: PipelineInfo,
+                     body) -> None:
+        if isinstance(source, P.SeqScan):
+            info.source_kind = "scan"
+            info.source_name = source.binding
+            self._emit_scan_loop(fb, source, body)
+            return
+        if isinstance(source, P.IndexSeek):
+            info.source_kind = "indexseek"
+            info.source_name = source.binding
+            info.seek = (source.key_column, source.low, source.high,
+                         source.low_strict, source.high_strict)
+            self._emit_index_seek_loop(fb, source, body)
+            return
+        if isinstance(source, P.HashGroupBy):
+            ht = self._hash_tables[id(source)]
+            info.source_kind = "hashtable"
+            info.source_name = ht.name
+            self._emit_group_iteration(fb, source, ht, body)
+            return
+        if isinstance(source, P.ScalarAggregate):
+            info.source_kind = "scalar"
+            info.source_name = "state"
+            self._emit_scalar_read(fb, source, body)
+            return
+        if isinstance(source, P.Sort):
+            sorter = self._sorts[id(source)]
+            info.source_kind = "sort"
+            info.source_name = sorter.name
+            info.sort_before = f"{sorter.name}_sort"
+            self._emit_array_iteration(fb, source.child.output, sorter, body)
+            # ensure the sort driver exists
+            sorter.sort_driver(expr_compiler)
+            return
+        raise PlanError(
+            f"cannot use {type(source).__name__} as a pipeline source"
+        )
+
+    def _emit_scan_loop(self, fb: FunctionBuilder, scan: P.SeqScan,
+                        body) -> None:
+        """The tight per-morsel scan loop: row in [begin, end)."""
+        row = fb.local("i32", "row")
+        fb.get(0).set(row)
+        with fb.block() as done:
+            with fb.loop() as top:
+                fb.get(row).get(1).emit("i32.ge_s")
+                fb.br_if(done)
+                slots = []
+                for col in scan.output:
+                    binding, column = col.ref
+                    base = self.memory.column_address(binding, column)
+                    local = fb.local(
+                        col.ty.wasm_type if not col.ty.is_string else "i32",
+                        f"v_{column}",
+                    )
+                    if col.ty.is_string:
+                        fb.get(row).i32(col.ty.size).emit("i32.mul")
+                        fb.i32(base).emit("i32.add").set(local)
+                    else:
+                        size = col.ty.size
+                        fb.get(row).i32(size).emit("i32.mul")
+                        load_op = {
+                            ("i32", 1): "i32.load8_s",
+                            ("i32", 4): "i32.load",
+                            ("i64", 8): "i64.load",
+                            ("f64", 8): "f64.load",
+                        }[(col.ty.wasm_type, size)]
+                        fb.emit(load_op, 0, base)
+                        fb.set(local)
+                    slots.append(SlotValue(local, col.ty))
+                body(slots)
+                fb.get(row).i32(1).emit("i32.add").set(row)
+                fb.br(top)
+
+    def _emit_index_seek_loop(self, fb: FunctionBuilder,
+                              seek: P.IndexSeek, body) -> None:
+        """Positions [begin, end) walk the rewired index permutation; the
+        row id indirection makes every column access a random load — the
+        'non-consecutive data structure mapped into the VM' the paper
+        left as future work, solved here because the index is two
+        contiguous arrays the rewiring layer can alias."""
+        rowid_base = self.memory.column_address(
+            seek.binding, f"__index_rowids__{seek.key_column}"
+        )
+        pos = fb.local("i32", "pos")
+        rowid = fb.local("i32", "rowid")
+        fb.get(0).set(pos)
+        with fb.block() as done:
+            with fb.loop() as top:
+                fb.get(pos).get(1).emit("i32.ge_s")
+                fb.br_if(done)
+                fb.get(pos).i32(4).emit("i32.mul")
+                fb.emit("i32.load", 0, rowid_base).set(rowid)
+                slots = []
+                for col in seek.output:
+                    binding, column = col.ref
+                    base = self.memory.column_address(binding, column)
+                    local = fb.local(
+                        col.ty.wasm_type if not col.ty.is_string else "i32",
+                        f"v_{column}",
+                    )
+                    if col.ty.is_string:
+                        fb.get(rowid).i32(col.ty.size).emit("i32.mul")
+                        fb.i32(base).emit("i32.add").set(local)
+                    else:
+                        size = col.ty.size
+                        fb.get(rowid).i32(size).emit("i32.mul")
+                        load_op = {
+                            ("i32", 1): "i32.load8_s",
+                            ("i32", 4): "i32.load",
+                            ("i64", 8): "i64.load",
+                            ("f64", 8): "f64.load",
+                        }[(col.ty.wasm_type, size)]
+                        fb.emit(load_op, 0, base)
+                        fb.set(local)
+                    slots.append(SlotValue(local, col.ty))
+                body(slots)
+                fb.get(pos).i32(1).emit("i32.add").set(pos)
+                fb.br(top)
+
+    def _emit_group_iteration(self, fb: FunctionBuilder, op: P.HashGroupBy,
+                              ht: GeneratedHashTable, body) -> None:
+        """Iterate the materialized groups: entries [begin, end)."""
+        stride = ht.layout.stride
+        index = fb.local("i32", "i")
+        entry = fb.local("i32", "entry")
+        fb.get(0).set(index)
+        with fb.block() as done:
+            with fb.loop() as top:
+                fb.get(index).get(1).emit("i32.ge_s")
+                fb.br_if(done)
+                fb.emit("global.get", ht.g_entries)
+                fb.get(index).i32(stride).emit("i32.mul")
+                fb.emit("i32.add").set(entry)
+                slots = self._load_group_outputs(fb, op, ht, entry)
+                body(slots)
+                fb.get(index).i32(1).emit("i32.add").set(index)
+                fb.br(top)
+
+    def _load_group_outputs(self, fb: FunctionBuilder, op: P.HashGroupBy,
+                            ht: GeneratedHashTable,
+                            entry: int) -> list[SlotValue]:
+        slots = []
+        for i, key in enumerate(op.keys):
+            fld = ht.layout.field(f"k{i}")
+            if key.ty.is_string:
+                local = fb.local("i32", f"gk{i}")
+                fb.get(entry).i32(fld.offset).emit("i32.add").set(local)
+            else:
+                local = fb.local(key.ty.wasm_type, f"gk{i}")
+                fb.get(entry).emit(fld.load_op, 0, fld.offset).set(local)
+            slots.append(SlotValue(local, key.ty))
+        for i, agg in enumerate(op.aggregates):
+            slots.append(
+                self._load_aggregate_output(fb, ht.layout, entry, i, agg)
+            )
+        return slots
+
+    def _load_aggregate_output(self, fb: FunctionBuilder,
+                               layout: TupleLayout, entry: int, i: int,
+                               agg: Aggregate) -> SlotValue:
+        if agg.kind == "AVG":
+            local = fb.local("f64", f"agg{i}")
+            sum_field = layout.field(f"a{i}_sum")
+            cnt_field = layout.field(f"a{i}_cnt")
+            fb.get(entry).emit(sum_field.load_op, 0, sum_field.offset)
+            fb.get(entry).emit(cnt_field.load_op, 0, cnt_field.offset)
+            fb.emit("f64.convert_i64_s")
+            fb.emit("f64.div")
+            # empty input (count 0) yields 0.0 in every engine, not NaN
+            fb.f64(0.0)
+            fb.get(entry).emit(cnt_field.load_op, 0, cnt_field.offset)
+            fb.emit("i64.eqz").emit("i32.eqz")
+            fb.emit("select")
+            fb.set(local)
+            return SlotValue(local, T.DOUBLE)
+        fld = layout.field(f"a{i}")
+        local = fb.local(agg.ty.wasm_type, f"agg{i}")
+        fb.get(entry).emit(fld.load_op, 0, fld.offset).set(local)
+        return SlotValue(local, agg.ty)
+
+    def _emit_scalar_read(self, fb: FunctionBuilder, op: P.ScalarAggregate,
+                          body) -> None:
+        g_state, layout, _ = self._scalar_states[id(op)]
+        # the host calls pipeline(0, 1): emit the single row unconditionally
+        fb.get(0).get(1).emit("i32.lt_s")
+        with fb.if_():
+            state = fb.local("i32", "state")
+            fb.emit("global.get", g_state).set(state)
+            slots = [
+                self._load_aggregate_output(fb, layout, state, i, agg)
+                for i, agg in enumerate(op.aggregates)
+            ]
+            body(slots)
+
+    def _emit_array_iteration(self, fb: FunctionBuilder, columns,
+                              array: GeneratedSort, body) -> None:
+        stride = array.layout.stride
+        index = fb.local("i32", "i")
+        tup = fb.local("i32", "tup")
+        fb.get(0).set(index)
+        with fb.block() as done:
+            with fb.loop() as top:
+                fb.get(index).get(1).emit("i32.ge_s")
+                fb.br_if(done)
+                fb.emit("global.get", array.g_base)
+                fb.get(index).i32(stride).emit("i32.mul")
+                fb.emit("i32.add").set(tup)
+                slots = self._load_array_row(fb, columns, array, tup)
+                body(slots)
+                fb.get(index).i32(1).emit("i32.add").set(index)
+                fb.br(top)
+
+    def _load_array_row(self, fb: FunctionBuilder, columns,
+                        array: GeneratedSort, tup: int) -> list[SlotValue]:
+        slots = []
+        for i, col in enumerate(columns):
+            fld = array.layout.field(f"c{i}")
+            if col.ty.is_string:
+                local = fb.local("i32", f"m{i}")
+                fb.get(tup).i32(fld.offset).emit("i32.add").set(local)
+            else:
+                local = fb.local(col.ty.wasm_type, f"m{i}")
+                fb.get(tup).emit(fld.load_op, 0, fld.offset).set(local)
+            slots.append(SlotValue(local, col.ty))
+        return slots
+
+    # -- streaming operators --------------------------------------------------------
+
+    def _emit_operators(self, fb, expr_compiler, ops, slots, pipe, info,
+                        result_layout, result_capacity) -> None:
+        if not ops:
+            self._emit_sink(fb, expr_compiler, pipe, info, slots,
+                            result_layout, result_capacity)
+            return
+        op, rest = ops[0], ops[1:]
+        expr_compiler.slots = slots
+
+        def continue_with(next_slots):
+            self._emit_operators(fb, expr_compiler, rest, next_slots, pipe,
+                                 info, result_layout, result_capacity)
+
+        if isinstance(op, P.Filter):
+            if (self.predication and not rest
+                    and isinstance(pipe.sink, P.ScalarAggregate)):
+                # branch-free: evaluate the predicate into a 0/1 mask and
+                # fold it into the aggregate updates (no control flow)
+                mask = fb.local("i32", "mask")
+                expr_compiler.emit_boolean(op.predicate)
+                fb.set(mask)
+                self._emit_predicated_scalar_sink(
+                    fb, expr_compiler, pipe.sink, slots, mask
+                )
+                return
+            expr_compiler.emit_boolean(op.predicate)
+            with fb.if_():
+                continue_with(slots)
+            return
+        if isinstance(op, P.Project):
+            new_slots = [
+                self._materialize(fb, expr_compiler, expr, slots)
+                for expr in op.exprs
+            ]
+            continue_with(new_slots)
+            return
+        if isinstance(op, P.HashJoin):
+            self._emit_probe(fb, expr_compiler, op, slots, continue_with)
+            return
+        if isinstance(op, P.NestedLoopJoin):
+            self._emit_nlj_probe(fb, expr_compiler, op, slots, continue_with)
+            return
+        if isinstance(op, P.Limit):
+            self._emit_limit(fb, op, info, slots, continue_with)
+            return
+        raise PlanError(
+            f"cannot stream {type(op).__name__} through a pipeline"
+        )
+
+    def _materialize(self, fb, expr_compiler, expr, slots) -> SlotValue:
+        expr_compiler.slots = slots
+        if isinstance(expr, Slot):
+            return slots[expr.index]  # pass-through needs no code
+        wasm = expr.ty.wasm_type if not expr.ty.is_string else "i32"
+        local = fb.local(wasm, "e")
+        expr_compiler.emit(expr)
+        fb.set(local)
+        return SlotValue(local, expr.ty)
+
+    def _emit_probe(self, fb, expr_compiler, op: P.HashJoin, slots,
+                    continue_with) -> None:
+        """Inline hash-join probe: hashing, chain walk, and key equality
+        are emitted at the call site (Section 4.3 — no function call per
+        hash-table access)."""
+        ht = self._hash_tables[id(op)]
+        key_slots = [
+            self._materialize(fb, expr_compiler, key, slots)
+            for key in op.probe_keys
+        ]
+
+        if not self.inline_adhoc:
+            self._emit_probe_via_calls(fb, expr_compiler, op, ht,
+                                       key_slots, slots, continue_with)
+            return
+
+        def on_match(entry: int) -> None:
+            build_slots = self._load_build_columns(fb, op, ht, entry)
+            combined = build_slots + slots
+            expr_compiler.slots = combined
+            if op.residual is not None:
+                expr_compiler.emit_boolean(op.residual)
+                with fb.if_():
+                    continue_with(combined)
+            else:
+                continue_with(combined)
+            expr_compiler.slots = slots
+
+        ht.emit_probe_loop(fb, expr_compiler,
+                           [s.local for s in key_slots], on_match)
+
+    def _emit_probe_via_calls(self, fb, expr_compiler, op, ht, key_slots,
+                              slots, continue_with) -> None:
+        """Ablation path: one call per lookup and per chain continuation
+        (the pre-compiled-library interface of Listing 3)."""
+        functions = self._ht_functions.get(id(op))
+        if functions is None:
+            functions = self._ht_functions[id(op)] = {
+                "lookup": ht.lookup_function(expr_compiler),
+                "next": ht.next_match_function(expr_compiler),
+            }
+        entry = fb.local("i32", "match")
+        for slot in key_slots:
+            fb.get(slot.local)
+        fb.call(functions["lookup"]).set(entry)
+        with fb.block() as done:
+            with fb.loop() as top:
+                fb.get(entry).emit("i32.eqz")
+                fb.br_if(done)
+                build_slots = self._load_build_columns(fb, op, ht, entry)
+                combined = build_slots + slots
+                expr_compiler.slots = combined
+                if op.residual is not None:
+                    expr_compiler.emit_boolean(op.residual)
+                    with fb.if_():
+                        continue_with(combined)
+                else:
+                    continue_with(combined)
+                expr_compiler.slots = slots
+                fb.get(entry)
+                for slot in key_slots:
+                    fb.get(slot.local)
+                fb.call(functions["next"]).set(entry)
+                fb.br(top)
+
+    def _load_build_columns(self, fb, op: P.HashJoin, ht, entry) -> list:
+        slots = []
+        for i, col in enumerate(op.build.output):
+            fld = ht.layout.field(f"c{i}")
+            if col.ty.is_string:
+                local = fb.local("i32", f"b{i}")
+                fb.get(entry).i32(fld.offset).emit("i32.add").set(local)
+            else:
+                local = fb.local(col.ty.wasm_type, f"b{i}")
+                fb.get(entry).emit(fld.load_op, 0, fld.offset).set(local)
+            slots.append(SlotValue(local, col.ty))
+        return slots
+
+    def _emit_nlj_probe(self, fb, expr_compiler, op: P.NestedLoopJoin,
+                        slots, continue_with) -> None:
+        array = self._materialized[id(op)]
+        stride = array.layout.stride
+        cursor = fb.local("i32", "cursor")
+        end = fb.local("i32", "mat_end")
+        fb.emit("global.get", array.g_base).set(cursor)
+        fb.get(cursor)
+        fb.emit("global.get", array.g_count).i32(stride).emit("i32.mul")
+        fb.emit("i32.add").set(end)
+        with fb.block() as done:
+            with fb.loop() as top:
+                fb.get(cursor).get(end).emit("i32.ge_u")
+                fb.br_if(done)
+                left_slots = self._load_array_row(
+                    fb, op.left.output, array, cursor
+                )
+                combined = left_slots + slots
+                expr_compiler.slots = combined
+                if op.predicate is not None:
+                    expr_compiler.emit_boolean(op.predicate)
+                    with fb.if_():
+                        continue_with(combined)
+                else:
+                    continue_with(combined)
+                expr_compiler.slots = slots
+                fb.get(cursor).i32(stride).emit("i32.add").set(cursor)
+                fb.br(top)
+
+    def _emit_limit(self, fb, op: P.Limit, info: PipelineInfo, slots,
+                    continue_with) -> None:
+        record = self._limit_globals.get(id(op))
+        if record is None:
+            name = self._fresh_name("limit")
+            g = self.ctx.mb.add_global("i32", 0, name=name)
+            self.ctx.mb.export(name, "global", g)
+            record = (g, name)
+            self._limit_globals[id(op)] = record
+        g, name = record
+        info.limit_global = name
+        info.limit_total = (op.limit or 0) + op.offset if op.limit is not None \
+            else None
+        seen = fb.local("i32", "seen")
+        fb.emit("global.get", g).set(seen)
+        fb.get(seen).i32(1).emit("i32.add")
+        fb.emit("global.set", g)
+        # offset <= seen < offset + limit
+        fb.get(seen).i32(op.offset).emit("i32.ge_s")
+        if op.limit is not None:
+            fb.get(seen).i32(op.offset + op.limit).emit("i32.lt_s")
+            fb.emit("i32.and")
+        with fb.if_():
+            continue_with(slots)
+
+    # -- sinks -------------------------------------------------------------------------
+
+    def _emit_predicated_scalar_sink(self, fb, expr_compiler,
+                                     sink: P.ScalarAggregate, slots,
+                                     mask: int) -> None:
+        """Aggregate updates with the selection folded in as data flow:
+        COUNT += mask; SUM += value * mask; MIN/MAX via select on mask.
+        No conditional branch exists in the generated code."""
+        g_state, layout, _ = self._scalar_states[id(sink)]
+        state = fb.local("i32", "state")
+        fb.emit("global.get", g_state).set(state)
+        expr_compiler.slots = slots
+        for i, agg in enumerate(sink.aggregates):
+            if agg.kind == "COUNT":
+                fld = layout.field(f"a{i}")
+                fb.get(state)
+                fb.get(state).emit(fld.load_op, 0, fld.offset)
+                fb.get(mask).emit("i64.extend_i32_u").emit("i64.add")
+                fb.emit(fld.store_op, 0, fld.offset)
+                continue
+            if agg.kind == "SUM":
+                fld = layout.field(f"a{i}")
+                wasm = agg.ty.wasm_type
+                fb.get(state)
+                fb.get(state).emit(fld.load_op, 0, fld.offset)
+                expr_compiler.emit(agg.arg)
+                if wasm == "f64":
+                    fb.get(mask).emit("f64.convert_i32_u")
+                    fb.emit("f64.mul")
+                    fb.emit("f64.add")
+                else:
+                    fb.get(mask)
+                    if wasm == "i64":
+                        fb.emit("i64.extend_i32_u")
+                    fb.emit(f"{wasm}.mul")
+                    fb.emit(f"{wasm}.add")
+                fb.emit(fld.store_op, 0, fld.offset)
+                continue
+            if agg.kind == "AVG":
+                sum_field = layout.field(f"a{i}_sum")
+                cnt_field = layout.field(f"a{i}_cnt")
+                fb.get(state)
+                fb.get(state).emit(sum_field.load_op, 0, sum_field.offset)
+                expr_compiler.emit(agg.arg)
+                fb.get(mask).emit("f64.convert_i32_u").emit("f64.mul")
+                fb.emit("f64.add")
+                fb.emit(sum_field.store_op, 0, sum_field.offset)
+                fb.get(state)
+                fb.get(state).emit(cnt_field.load_op, 0, cnt_field.offset)
+                fb.get(mask).emit("i64.extend_i32_u").emit("i64.add")
+                fb.emit(cnt_field.store_op, 0, cnt_field.offset)
+                continue
+            # MIN / MAX: candidate = mask ? value : current, then the
+            # usual branch-free min/max select
+            fld = layout.field(f"a{i}")
+            wasm = agg.ty.wasm_type
+            value = fb.local(wasm, f"pv{i}")
+            expr_compiler.emit(agg.arg)
+            fb.get(state).emit(fld.load_op, 0, fld.offset)
+            fb.get(mask)
+            fb.emit("select")
+            fb.set(value)
+            fb.get(state)
+            fb.get(value)
+            fb.get(state).emit(fld.load_op, 0, fld.offset)
+            fb.get(value)
+            fb.get(state).emit(fld.load_op, 0, fld.offset)
+            cmp = "lt" if agg.kind == "MIN" else "gt"
+            if wasm != "f64":
+                cmp += "_s"
+            fb.emit(f"{wasm}.{cmp}")
+            fb.emit("select")
+            fb.emit(fld.store_op, 0, fld.offset)
+
+    def _emit_sink(self, fb, expr_compiler, pipe: Pipeline,
+                   info: PipelineInfo, slots, result_layout,
+                   result_capacity) -> None:
+        sink = pipe.sink
+        expr_compiler.slots = slots
+        if sink is None:
+            self._emit_result_write(fb, expr_compiler, slots, result_layout,
+                                    result_capacity)
+            return
+        if isinstance(sink, P.HashJoin):
+            self._emit_build_insert(fb, expr_compiler, sink, slots)
+            return
+        if isinstance(sink, P.HashGroupBy):
+            self._emit_group_update(fb, expr_compiler, sink, slots)
+            return
+        if isinstance(sink, P.ScalarAggregate):
+            g_state, layout, _ = self._scalar_states[id(sink)]
+            state = fb.local("i32", "state")
+            fb.emit("global.get", g_state).set(state)
+            self._emit_aggregate_updates(fb, expr_compiler, sink.aggregates,
+                                         layout, state, slots)
+            return
+        if isinstance(sink, P.Sort):
+            self._emit_sort_append(fb, expr_compiler, sink, slots)
+            return
+        if isinstance(sink, P.NestedLoopJoin):
+            self._emit_materialize_append(fb, expr_compiler, sink, slots)
+            return
+        raise PlanError(f"cannot sink into {type(sink).__name__}")
+
+    def _emit_build_insert(self, fb, expr_compiler, op: P.HashJoin,
+                           slots) -> None:
+        ht = self._hash_tables[id(op)]
+        key_slots = [
+            self._materialize(fb, expr_compiler, key, slots)
+            for key in op.build_keys
+        ]
+        if self.inline_adhoc:
+            entry = ht.emit_insert_inline(fb, [s.local for s in key_slots])
+        else:
+            functions = self._ht_functions.setdefault(id(op), {})
+            if "insert" not in functions:
+                functions["insert"] = ht.insert_function()
+            entry = fb.local("i32", "entry")
+            for slot in key_slots:
+                fb.get(slot.local)
+            fb.call(functions["insert"]).set(entry)
+        self._store_fields(fb, ht.layout, entry, "c", slots)
+
+    def _store_fields(self, fb, layout: TupleLayout, base_local: int,
+                      prefix: str, slots: list[SlotValue]) -> None:
+        memcpy = self.ctx.memcpy_function()
+        for i, slot in enumerate(slots):
+            fld = layout.field(f"{prefix}{i}")
+            if slot.ty.is_string:
+                fb.get(base_local).i32(fld.offset).emit("i32.add")
+                fb.get(slot.local)
+                fb.i32(slot.ty.size)
+                fb.call(memcpy)
+            else:
+                fb.get(base_local)
+                fb.get(slot.local)
+                fb.emit(fld.store_op, 0, fld.offset)
+
+    def _emit_group_update(self, fb, expr_compiler, op: P.HashGroupBy,
+                           slots) -> None:
+        ht = self._hash_tables[id(op)]
+        key_slots = [
+            self._materialize(fb, expr_compiler, key, slots)
+            for key in op.keys
+        ]
+        if self.inline_adhoc:
+            entry = ht.emit_upsert_inline(fb, expr_compiler,
+                                          [s.local for s in key_slots])
+        else:
+            upsert = self.ctx.helper(
+                (id(op), "upsert"),
+                lambda ctx: _FunctionIndexWrapper(
+                    ht.upsert_function(expr_compiler)
+                ),
+            )
+            entry = fb.local("i32", "entry")
+            for slot in key_slots:
+                fb.get(slot.local)
+            fb.call(upsert).set(entry)
+        self._emit_aggregate_updates(fb, expr_compiler, op.aggregates,
+                                     ht.layout, entry, slots)
+
+    def _emit_aggregate_updates(self, fb, expr_compiler,
+                                aggregates: list[Aggregate],
+                                layout: TupleLayout, entry: int,
+                                slots) -> None:
+        """Fully inlined aggregate maintenance on a materialized entry."""
+        expr_compiler.slots = slots
+        for i, agg in enumerate(aggregates):
+            if agg.kind == "COUNT":
+                fld = layout.field(f"a{i}")
+                fb.get(entry)
+                fb.get(entry).emit(fld.load_op, 0, fld.offset)
+                fb.i64(1).emit("i64.add")
+                fb.emit(fld.store_op, 0, fld.offset)
+                continue
+            if agg.kind == "AVG":
+                sum_field = layout.field(f"a{i}_sum")
+                cnt_field = layout.field(f"a{i}_cnt")
+                fb.get(entry)
+                fb.get(entry).emit(sum_field.load_op, 0, sum_field.offset)
+                expr_compiler.emit(agg.arg)
+                fb.emit("f64.add")
+                fb.emit(sum_field.store_op, 0, sum_field.offset)
+                fb.get(entry)
+                fb.get(entry).emit(cnt_field.load_op, 0, cnt_field.offset)
+                fb.i64(1).emit("i64.add")
+                fb.emit(cnt_field.store_op, 0, cnt_field.offset)
+                continue
+            fld = layout.field(f"a{i}")
+            wasm = agg.ty.wasm_type
+            if agg.kind == "SUM":
+                fb.get(entry)
+                fb.get(entry).emit(fld.load_op, 0, fld.offset)
+                expr_compiler.emit(agg.arg)
+                fb.emit(f"{wasm}.add")
+                fb.emit(fld.store_op, 0, fld.offset)
+                continue
+            # MIN / MAX: branch-free via select (cf. Fig. 7d discussion)
+            value = fb.local(wasm, f"v{i}")
+            expr_compiler.emit(agg.arg)
+            fb.set(value)
+            fb.get(entry)
+            fb.get(value)
+            fb.get(entry).emit(fld.load_op, 0, fld.offset)
+            fb.get(value)
+            fb.get(entry).emit(fld.load_op, 0, fld.offset)
+            cmp = "lt" if agg.kind == "MIN" else "gt"
+            if wasm != "f64":
+                cmp += "_s"
+            fb.emit(f"{wasm}.{cmp}")
+            fb.emit("select")
+            fb.emit(fld.store_op, 0, fld.offset)
+
+    def _emit_sort_append(self, fb, expr_compiler, op: P.Sort,
+                          slots) -> None:
+        sorter = self._sorts[id(op)]
+        dst = sorter.emit_append_slot(fb)
+        self._store_fields(fb, sorter.layout, dst, "c", slots)
+        # materialize computed sort keys next to the row (plain-column
+        # keys already live in the row fields)
+        memcpy = self.ctx.memcpy_function()
+        for j, (key, _descending) in enumerate(op.order):
+            if isinstance(key, Slot):
+                continue
+            fld = sorter.layout.field(f"s{j}")
+            if key.ty.is_string:
+                fb.get(dst).i32(fld.offset).emit("i32.add")
+                expr_compiler.emit(key)
+                fb.i32(key.ty.size)
+                fb.call(memcpy)
+            else:
+                fb.get(dst)
+                expr_compiler.emit(key)
+                fb.emit(fld.store_op, 0, fld.offset)
+
+    def _emit_materialize_append(self, fb, expr_compiler,
+                                 op: P.NestedLoopJoin, slots) -> None:
+        array = self._materialized[id(op)]
+        dst = array.emit_append_slot(fb)
+        self._store_fields(fb, array.layout, dst, "c", slots)
+
+    def _emit_result_write(self, fb, expr_compiler, slots,
+                           result_layout: TupleLayout,
+                           result_capacity: int) -> None:
+        ctx = self.ctx
+        # flush when the rewired result window is full (Figure 5)
+        fb.emit("global.get", ctx.result_count)
+        fb.i32(result_capacity).emit("i32.ge_s")
+        with fb.if_():
+            fb.call(ctx.flush_results)
+        dst = fb.local("i32", "dst")
+        fb.emit("global.get", ctx.result_count)
+        fb.i32(result_layout.stride).emit("i32.mul")
+        fb.i32(self.memory.result_base).emit("i32.add").set(dst)
+        self._store_fields(fb, result_layout, dst, "o", slots)
+        fb.emit("global.get", ctx.result_count)
+        fb.i32(1).emit("i32.add")
+        fb.emit("global.set", ctx.result_count)
+
+
+class _FunctionIndexWrapper:
+    """Adapter so ``CompilerContext.helper`` can memoize a function that
+    was generated through another component's API."""
+
+    def __init__(self, func_index: int):
+        self.func_index = func_index
+
+
+def _aggregate_payload(i: int, agg: Aggregate) -> list[tuple]:
+    """Payload fields (name, type, initial value) for one aggregate."""
+    if agg.kind == "COUNT":
+        return [(f"a{i}", T.INT64, 0)]
+    if agg.kind == "AVG":
+        return [(f"a{i}_sum", T.DOUBLE, 0.0), (f"a{i}_cnt", T.INT64, 0)]
+    if agg.kind == "SUM":
+        zero = 0.0 if agg.ty.is_floating else 0
+        return [(f"a{i}", agg.ty, zero)]
+    return [(f"a{i}", agg.ty, sentinel_for(agg.kind, agg.ty))]

@@ -1,0 +1,95 @@
+"""Tuple layouts in linear memory.
+
+Materialized tuples (hash-table entries, sort arrays, result rows) are
+packed structs.  Fields are laid out largest-alignment-first so every
+field is naturally aligned, and the stride is rounded up to 8 bytes so
+consecutive tuples stay aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.types import DataType
+
+__all__ = ["Field", "TupleLayout"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One field of a packed tuple."""
+
+    name: str
+    ty: DataType
+    offset: int
+
+    @property
+    def size(self) -> int:
+        return self.ty.size
+
+    @property
+    def load_op(self) -> str:
+        """The Wasm load instruction for this field (strings load their
+        address, so they have no single load op)."""
+        if self.ty.is_string:
+            raise ValueError("string fields are accessed by address")
+        return {
+            ("i32", 1): "i32.load8_s",
+            ("i32", 4): "i32.load",
+            ("i64", 8): "i64.load",
+            ("f64", 8): "f64.load",
+        }[(self.ty.wasm_type, self.size)]
+
+    @property
+    def store_op(self) -> str:
+        if self.ty.is_string:
+            raise ValueError("string fields are stored byte-wise")
+        return {
+            ("i32", 1): "i32.store8",
+            ("i32", 4): "i32.store",
+            ("i64", 8): "i64.store",
+            ("f64", 8): "f64.store",
+        }[(self.ty.wasm_type, self.size)]
+
+
+def _alignment(ty: DataType) -> int:
+    if ty.is_string:
+        return 1
+    return min(ty.size, 8)
+
+
+class TupleLayout:
+    """Packed layout for a list of named, typed fields.
+
+    ``header`` bytes are reserved at offset 0 (e.g. a hash-table entry's
+    chain pointer + hash); fields follow, sorted by descending alignment
+    to avoid padding, with declaration order as tie-breaker.
+    """
+
+    def __init__(self, fields: list[tuple[str, DataType]], header: int = 0):
+        self.header = header
+        ordered = sorted(
+            enumerate(fields),
+            key=lambda pair: (-_alignment(pair[1][1]), pair[0]),
+        )
+        offset = header
+        placed: dict[str, Field] = {}
+        for _, (name, ty) in ordered:
+            align = _alignment(ty)
+            offset = (offset + align - 1) & ~(align - 1)
+            placed[name] = Field(name, ty, offset)
+            offset += ty.size
+        self.stride = (offset + 7) & ~7  # keep tuples 8-aligned
+        if self.stride == 0:
+            self.stride = 8
+        self._fields = placed
+        self.field_names = [name for name, _ in fields]
+
+    def field(self, name: str) -> Field:
+        return self._fields[name]
+
+    def __iter__(self):
+        return (self._fields[name] for name in self.field_names)
+
+    def __len__(self) -> int:
+        return len(self.field_names)

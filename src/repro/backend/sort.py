@@ -1,0 +1,431 @@
+"""Ad-hoc generation of specialized quicksort (paper Section 5.3).
+
+For every ORDER BY the compiler generates, at query compile time:
+
+* a packed **sort array** (tuples appended by the feeding pipeline; the
+  sort keys are materialized alongside the row so the comparator reads
+  plain fields),
+* a monomorphic **comparator** with the multi-key ASC/DESC comparison
+  fully inlined — no per-comparison callback, the paper's core complaint
+  about ``qsort``-style libraries,
+* **swap** code emitted field-wise through locals (the paper's
+  ``EmitSwap``),
+* **Hoare partitioning** exactly as Listing 4 (swap-first loop; the
+  pivot lives in a scratch slot *outside* the partitioned range), and
+* a recursive **quicksort** as Listing 5 (median-of-three pivot,
+  recurse right / loop left), callable per Listing 6.
+
+Per ORDER BY the module gets the functions ``{name}_grow``,
+``{name}_partition_lt``/``_le``, ``{name}_qsort`` and the exported
+driver ``{name}_sort``; appends, comparisons, and swaps are *emitted
+inline* at their use sites (``emit_append_slot`` / ``emit_less`` /
+``emit_swap_inline``) — no per-element call anywhere on the hot path.
+``{name}_cmp`` exists only for the cold median-of-three selection.
+"""
+
+from __future__ import annotations
+
+from repro.backend.layout import TupleLayout
+from repro.sql.types import DataType
+from repro.wasm.builder import FunctionBuilder
+
+__all__ = ["GeneratedSort"]
+
+
+class GeneratedSort:
+    """One specialized sort array + quicksort inside a query module.
+
+    Args:
+        ctx: compiler context.
+        name: unique name, e.g. ``"sort0"``.
+        row_fields: ``(name, type)`` of the materialized row columns.
+        key_fields: ``(name, type, descending)`` of the sort keys (also
+            stored in the tuple, evaluated by the feeding pipeline).
+        estimate: expected row count.
+    """
+
+    def __init__(self, ctx, name: str,
+                 row_fields: list[tuple[str, DataType]],
+                 key_fields: list[tuple[str, DataType, bool]],
+                 estimate: int):
+        self.ctx = ctx
+        self.name = name
+        self.row_fields = row_fields
+        self.key_fields = key_fields
+        # keys that reference an existing row field (plain-column sort
+        # keys) are not materialized twice — the comparator reads the row
+        # field directly, halving swap traffic for the common case
+        row_names = {n for n, _ in row_fields}
+        extra = [(n, ty) for n, ty, _ in key_fields if n not in row_names]
+        self.layout = TupleLayout(list(row_fields) + extra)
+        self.initial_capacity = max(64, int(estimate) + 1)
+
+        mb = ctx.mb
+        self.g_base = mb.add_global("i32", 0, name=f"{name}_base")
+        self.g_count = mb.add_global("i32", 0, name=f"{name}_count")
+        self.g_capacity = mb.add_global("i32", 0, name=f"{name}_capacity")
+        self.g_pivot = mb.add_global("i32", 0, name=f"{name}_pivot")
+        self.g_scratch = mb.add_global("i32", 0, name=f"{name}_scratch")
+        mb.export(f"{name}_count", "global", self.g_count)
+        mb.export(f"{name}_base", "global", self.g_base)
+        ctx.add_init(self._emit_init)
+
+        self._cmp_index: int | None = None
+        self._swap_index: int | None = None
+
+    def _emit_init(self, fb: FunctionBuilder) -> None:
+        alloc = self.ctx.alloc_function()
+        stride = self.layout.stride
+        fb.i32(self.initial_capacity * stride).call(alloc)
+        fb.emit("global.set", self.g_base)
+        fb.i32(self.initial_capacity).emit("global.set", self.g_capacity)
+        fb.i32(0).emit("global.set", self.g_count)
+        fb.i32(stride).call(alloc).emit("global.set", self.g_pivot)
+        fb.i32(stride).call(alloc).emit("global.set", self.g_scratch)
+
+    # -- grow + append -----------------------------------------------------
+
+    def grow_function(self) -> int:
+        def generate(ctx):
+            stride = self.layout.stride
+            fb = ctx.mb.function(f"{self.name}_grow")
+            new_base = fb.local("i32", "new_base")
+            fb.emit("global.get", self.g_capacity).i32(1).emit("i32.shl")
+            fb.emit("global.set", self.g_capacity)
+            fb.emit("global.get", self.g_capacity).i32(stride).emit("i32.mul")
+            fb.call(ctx.alloc_function()).set(new_base)
+            fb.get(new_base)
+            fb.emit("global.get", self.g_base)
+            fb.emit("global.get", self.g_count).i32(stride).emit("i32.mul")
+            fb.call(ctx.memcpy_function())
+            fb.get(new_base).emit("global.set", self.g_base)
+            return fb
+
+        return self.ctx.helper((self.name, "grow"), generate)
+
+    def emit_append_slot(self, fb: FunctionBuilder) -> int:
+        """Emit inline code reserving the next tuple; leaves its address
+        in the returned local (the caller stores the fields)."""
+        out = fb.local("i32", f"{self.name}_dst")
+        fb.emit("global.get", self.g_count)
+        fb.emit("global.get", self.g_capacity).emit("i32.ge_u")
+        with fb.if_():
+            fb.call(self.grow_function())
+        fb.emit("global.get", self.g_base)
+        fb.emit("global.get", self.g_count)
+        fb.i32(self.layout.stride).emit("i32.mul").emit("i32.add")
+        fb.set(out)
+        fb.emit("global.get", self.g_count).i32(1).emit("i32.add")
+        fb.emit("global.set", self.g_count)
+        return out
+
+    # -- comparator (fully inlined multi-key comparison) ----------------------
+
+    def cmp_function(self, expr_compiler) -> int:
+        """Generated ``cmp(a, b) -> i32`` over the sort keys; negative
+        when the tuple at ``a`` orders before the tuple at ``b``."""
+        if self._cmp_index is not None:
+            return self._cmp_index
+        fb = self.ctx.mb.function(f"{self.name}_cmp",
+                                  params=[("i32", "a"), ("i32", "b")],
+                                  results=["i32"])
+        for kname, ty, descending in self.key_fields:
+            field = self.layout.field(kname)
+            first, second = (1, 0) if descending else (0, 1)
+            if ty.is_string:
+                fb.get(first).i32(field.offset).emit("i32.add")
+                fb.get(second).i32(field.offset).emit("i32.add")
+                fb.call(expr_compiler._strcmp_helper(ty.size, ty.size))
+                outcome = fb.local("i32", "sc")
+                fb.set(outcome)
+                fb.get(outcome)
+                with fb.if_():
+                    fb.get(outcome).ret()
+                continue
+            wasm = ty.wasm_type
+            a_val = fb.local(wasm, "av")
+            b_val = fb.local(wasm, "bv")
+            fb.get(first).emit(field.load_op, 0, field.offset).set(a_val)
+            fb.get(second).emit(field.load_op, 0, field.offset).set(b_val)
+            lt = "lt_s" if wasm != "f64" else "lt"
+            gt = "gt_s" if wasm != "f64" else "gt"
+            fb.get(a_val).get(b_val).emit(f"{wasm}.{lt}")
+            with fb.if_():
+                fb.i32(-1).ret()
+            fb.get(a_val).get(b_val).emit(f"{wasm}.{gt}")
+            with fb.if_():
+                fb.i32(1).ret()
+        fb.i32(0)
+        self._cmp_index = fb.func_index
+        return self._cmp_index
+
+    def emit_less(self, fb: FunctionBuilder, expr_compiler, a: int,
+                  b: int) -> None:
+        """Emit inline code leaving i32 0/1: does the tuple at ``a`` order
+        strictly before the tuple at ``b``?  The multi-key ASC/DESC
+        comparison is fully inlined — the paper's core contrast with
+        callback-based library sorts (Section 5.3)."""
+        if len(self.key_fields) == 1 and not self.key_fields[0][1].is_string:
+            # single numeric key: a bare load-load-compare, no temporaries
+            kname, ty, descending = self.key_fields[0]
+            field = self.layout.field(kname)
+            first, second = (b, a) if descending else (a, b)
+            wasm = ty.wasm_type
+            lt = "lt_s" if wasm != "f64" else "lt"
+            fb.get(first).emit(field.load_op, 0, field.offset)
+            fb.get(second).emit(field.load_op, 0, field.offset)
+            fb.emit(f"{wasm}.{lt}")
+            return
+        result = fb.local("i32", "lt")
+        fb.i32(0).set(result)
+        with fb.block() as decided:
+            for kname, ty, descending in self.key_fields:
+                field = self.layout.field(kname)
+                first, second = (b, a) if descending else (a, b)
+                if ty.is_string:
+                    fb.get(first).i32(field.offset).emit("i32.add")
+                    fb.get(second).i32(field.offset).emit("i32.add")
+                    fb.call(expr_compiler._strcmp_helper(ty.size, ty.size))
+                    outcome = fb.local("i32", "sc")
+                    fb.set(outcome)
+                    fb.get(outcome).i32(0).emit("i32.lt_s")
+                    with fb.if_():
+                        fb.i32(1).set(result)
+                        fb.br(decided)
+                    fb.get(outcome).i32(0).emit("i32.gt_s")
+                    fb.br_if(decided)
+                    continue
+                wasm = ty.wasm_type
+                lt = "lt_s" if wasm != "f64" else "lt"
+                gt = "gt_s" if wasm != "f64" else "gt"
+                a_val = fb.local(wasm, "av")
+                b_val = fb.local(wasm, "bv")
+                fb.get(first).emit(field.load_op, 0, field.offset).set(a_val)
+                fb.get(second).emit(field.load_op, 0, field.offset).set(b_val)
+                fb.get(a_val).get(b_val).emit(f"{wasm}.{lt}")
+                with fb.if_():
+                    fb.i32(1).set(result)
+                    fb.br(decided)
+                fb.get(a_val).get(b_val).emit(f"{wasm}.{gt}")
+                fb.br_if(decided)
+        fb.get(result)
+
+    # -- swap (EmitSwap: field-wise through locals, emitted inline) -----------
+
+    def emit_swap_inline(self, fb: FunctionBuilder, a: int, b: int) -> None:
+        """Inline tuple swap: every field travels through a fresh local
+        (the paper's EmitSwap) — no memcpy, no call on the hot path."""
+        memcpy = self.ctx.memcpy_function()
+        for field in self.layout:
+            if field.ty.is_string:
+                # strings swap through the scratch tuple, byte-wise
+                fb.emit("global.get", self.g_scratch)
+                fb.get(a).i32(field.offset).emit("i32.add")
+                fb.i32(field.size).call(memcpy)
+                fb.get(a).i32(field.offset).emit("i32.add")
+                fb.get(b).i32(field.offset).emit("i32.add")
+                fb.i32(field.size).call(memcpy)
+                fb.get(b).i32(field.offset).emit("i32.add")
+                fb.emit("global.get", self.g_scratch)
+                fb.i32(field.size).call(memcpy)
+                continue
+            tmp = fb.local(field.ty.wasm_type, f"t_{field.name}")
+            fb.get(a).emit(field.load_op, 0, field.offset).set(tmp)
+            fb.get(a)
+            fb.get(b).emit(field.load_op, 0, field.offset)
+            fb.emit(field.store_op, 0, field.offset)
+            fb.get(b).get(tmp).emit(field.store_op, 0, field.offset)
+
+    def swap_function(self) -> int:
+        """An out-of-line swap (used by cold paths like median selection);
+        the hot partition loop inlines :meth:`emit_swap_inline`."""
+        if self._swap_index is not None:
+            return self._swap_index
+        fb = self.ctx.mb.function(f"{self.name}_swap",
+                                  params=[("i32", "a"), ("i32", "b")])
+        self.emit_swap_inline(fb, 0, 1)
+        self._swap_index = fb.func_index
+        return self._swap_index
+
+    def copy_tuple(self, fb: FunctionBuilder, dst_local_expr, src: int) -> None:
+        """Emit a whole-tuple copy (parks the pivot), field-wise through
+        locals — no generic memcpy (the paper's Section 4.3 point)."""
+        memcpy = self.ctx.memcpy_function()
+        dst = fb.local("i32", "cp_dst")
+        dst_local_expr()
+        fb.set(dst)
+        for field in self.layout:
+            if field.ty.is_string:
+                fb.get(dst).i32(field.offset).emit("i32.add")
+                fb.get(src).i32(field.offset).emit("i32.add")
+                fb.i32(field.size).call(memcpy)
+                continue
+            fb.get(dst)
+            fb.get(src).emit(field.load_op, 0, field.offset)
+            fb.emit(field.store_op, 0, field.offset)
+
+    # -- Hoare partition (Listing 4) --------------------------------------------------
+
+    def partition_function(self, expr_compiler, strict: bool = True) -> int:
+        """``partition(begin, end, pivot) -> l``.
+
+        With ``strict`` (the Listing-4 form): [begin,l) < pivot,
+        [l,end) >= pivot.  The non-strict variant partitions by
+        ``<= pivot`` and is used to peel off the run of pivot-equal
+        tuples (three-way quicksort).  The pivot address lies outside
+        [begin,end), as the paper requires.
+        """
+        stride = self.layout.stride
+        suffix = "lt" if strict else "le"
+        fb = self.ctx.mb.function(
+            f"{self.name}_partition_{suffix}",
+            params=[("i32", "begin"), ("i32", "end"), ("i32", "pivot")],
+            results=["i32"],
+        )
+        pivot = 2
+        l = fb.local("i32", "l")
+        r = fb.local("i32", "r")
+        last = fb.local("i32", "rm")  # r - stride, the right cursor
+        fb.get(0).set(l)
+        fb.get(1).set(r)
+        with fb.block() as done:
+            with fb.loop() as top:
+                fb.get(l).get(r).emit("i32.ge_u")
+                fb.br_if(done)
+                fb.get(r).i32(stride).emit("i32.sub").set(last)
+                # swap(l, r - stride) — EmitSwap, fully inline (Listing 4)
+                self.emit_swap_inline(fb, l, last)
+                if strict:
+                    # if cmp(l, pivot) < 0: l += stride
+                    self.emit_less(fb, expr_compiler, l, pivot)
+                    with fb.if_():
+                        fb.get(l).i32(stride).emit("i32.add").set(l)
+                    # if cmp(r - stride, pivot) >= 0: r -= stride
+                    self.emit_less(fb, expr_compiler, last, pivot)
+                    fb.emit("i32.eqz")
+                    with fb.if_():
+                        fb.get(last).set(r)
+                else:
+                    # if cmp(l, pivot) <= 0: l += stride
+                    self.emit_less(fb, expr_compiler, pivot, l)
+                    fb.emit("i32.eqz")
+                    with fb.if_():
+                        fb.get(l).i32(stride).emit("i32.add").set(l)
+                    # if cmp(r - stride, pivot) > 0: r -= stride
+                    self.emit_less(fb, expr_compiler, pivot, last)
+                    with fb.if_():
+                        fb.get(last).set(r)
+                fb.br(top)
+        fb.get(l)
+        return fb.func_index
+
+    # -- quicksort (Listing 5) + exported driver (Listing 6) ------------------------------
+
+    def qsort_function(self, expr_compiler) -> int:
+        """Three-way quicksort: partition ``< pivot`` then ``<= pivot``
+        (pivot-equal run drops out), recurse into the smaller side and
+        loop on the larger — O(log n) call depth, robust on duplicates.
+        """
+        stride = self.layout.stride
+        cmp_fn = self.cmp_function(expr_compiler)  # cold: median-of-3 only
+        part_lt = self.partition_function(expr_compiler, strict=True)
+        part_le = self.partition_function(expr_compiler, strict=False)
+        fb = self.ctx.mb.function(
+            f"{self.name}_qsort",
+            params=[("i32", "begin"), ("i32", "end")],
+        )
+        qsort_index = fb.func_index
+        mid = fb.local("i32", "mid")
+        med = fb.local("i32", "med")
+        m1 = fb.local("i32", "m1")
+        m2 = fb.local("i32", "m2")
+        with fb.block() as out:
+            with fb.loop() as top:
+                # while end - begin > 2 * stride
+                fb.get(1).get(0).emit("i32.sub")
+                fb.i32(2 * stride).emit("i32.le_u")
+                fb.br_if(out)
+                # mid = begin + ((end - begin) / stride / 2) * stride
+                fb.get(0)
+                fb.get(1).get(0).emit("i32.sub")
+                fb.i32(stride).emit("i32.div_u")
+                fb.i32(1).emit("i32.shr_u")
+                fb.i32(stride).emit("i32.mul")
+                fb.emit("i32.add").set(mid)
+                # med = median address of {begin, mid, last}
+                last = fb.local("i32", "last")
+                fb.get(1).i32(stride).emit("i32.sub").set(last)
+                fb.get(0).get(mid).call(cmp_fn).i32(0).emit("i32.lt_s")
+                with fb.if_(results=["i32"]) as outer:
+                    # begin < mid
+                    fb.get(mid).get(last).call(cmp_fn)
+                    fb.i32(0).emit("i32.lt_s")
+                    with fb.if_(results=["i32"]) as inner:
+                        fb.get(mid)                    # begin < mid < last
+                        inner.else_()
+                        fb.get(0).get(last).call(cmp_fn)
+                        fb.i32(0).emit("i32.lt_s")
+                        with fb.if_(results=["i32"]) as deepest:
+                            fb.get(last)               # begin < last <= mid
+                            deepest.else_()
+                            fb.get(0)                  # last <= begin < mid
+                    outer.else_()
+                    # mid <= begin
+                    fb.get(0).get(last).call(cmp_fn)
+                    fb.i32(0).emit("i32.lt_s")
+                    with fb.if_(results=["i32"]) as inner:
+                        fb.get(0)                      # mid <= begin < last
+                        inner.else_()
+                        fb.get(mid).get(last).call(cmp_fn)
+                        fb.i32(0).emit("i32.lt_s")
+                        with fb.if_(results=["i32"]) as deepest:
+                            fb.get(last)               # mid < last <= begin
+                            deepest.else_()
+                            fb.get(mid)                # last <= mid <= begin
+                fb.set(med)
+                # park the pivot value outside [begin, end)
+                self.copy_tuple(
+                    fb,
+                    lambda: fb.emit("global.get", self.g_pivot),
+                    med,
+                )
+                # three-way split
+                fb.get(0).get(1)
+                fb.emit("global.get", self.g_pivot)
+                fb.call(part_lt).set(m1)
+                fb.get(m1).get(1)
+                fb.emit("global.get", self.g_pivot)
+                fb.call(part_le).set(m2)
+                # recurse into the smaller side, loop on the larger
+                fb.get(m1).get(0).emit("i32.sub")       # left size
+                fb.get(1).get(m2).emit("i32.sub")       # right size
+                fb.emit("i32.le_u")
+                with fb.if_() as branch:
+                    fb.get(0).get(m1).call(qsort_index)
+                    fb.get(m2).set(0)
+                    branch.else_()
+                    fb.get(m2).get(1).call(qsort_index)
+                    fb.get(m1).set(1)
+                fb.br(top)
+        # ranges of two: one inline compare-and-swap
+        fb.get(1).get(0).emit("i32.sub")
+        fb.i32(2 * stride).emit("i32.eq")
+        with fb.if_():
+            second = fb.local("i32", "second")
+            fb.get(0).i32(stride).emit("i32.add").set(second)
+            self.emit_less(fb, expr_compiler, second, 0)
+            with fb.if_():
+                self.emit_swap_inline(fb, 0, second)
+        return qsort_index
+
+    def sort_driver(self, expr_compiler) -> int:
+        """The exported entry point: sorts the whole array (Listing 6)."""
+        qsort_fn = self.qsort_function(expr_compiler)
+        fb = self.ctx.mb.function(f"{self.name}_sort", export=True)
+        stride = self.layout.stride
+        fb.emit("global.get", self.g_base)
+        fb.emit("global.get", self.g_base)
+        fb.emit("global.get", self.g_count).i32(stride).emit("i32.mul")
+        fb.emit("i32.add")
+        fb.call(qsort_fn)
+        return fb.func_index

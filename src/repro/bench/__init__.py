@@ -1,0 +1,19 @@
+"""Benchmark support: workload generators, TPC-H, and the sweep harness."""
+
+from repro.bench.workloads import (
+    grouping_table,
+    join_tables,
+    selection_table,
+    sorting_table,
+)
+from repro.bench.harness import SweepResult, run_query, sweep
+
+__all__ = [
+    "SweepResult",
+    "grouping_table",
+    "join_tables",
+    "run_query",
+    "selection_table",
+    "sorting_table",
+    "sweep",
+]

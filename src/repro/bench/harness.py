@@ -1,0 +1,127 @@
+"""The sweep harness: run one query across engines, collect timings and
+modeled costs, and print paper-style series.
+
+Benchmarks call :func:`sweep` with a parameter grid; each cell runs the
+query on each engine with cost-model instrumentation and records:
+
+* wall-clock phase timings (translation / per-tier compilation /
+  execution),
+* the modeled milliseconds from the microarchitectural cost model,
+  optionally scaled from the instrumented row count to the paper's row
+  count (valid for these scan-dominated workloads — event counts are
+  linear in rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel import Profile, cost_report
+from repro.db.database import Database
+
+__all__ = ["CellResult", "SweepResult", "run_query", "sweep"]
+
+
+@dataclass
+class CellResult:
+    """One (parameter, engine) measurement."""
+
+    engine: str
+    rows_returned: int
+    wall_execution_ms: float
+    wall_compilation_ms: float
+    modeled_ms: float
+    phases: dict[str, float] = field(default_factory=dict)
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+def run_query(db: Database, sql: str, engine: str,
+              scale_factor: float = 1.0) -> CellResult:
+    """Execute ``sql`` instrumented on ``engine``; return the cell."""
+    profile = Profile()
+    result = db.execute(sql, engine=engine, profile=profile)
+    report = cost_report(
+        profile.scaled(scale_factor) if scale_factor != 1.0 else profile
+    )
+    return CellResult(
+        engine=engine,
+        rows_returned=len(result),
+        wall_execution_ms=result.timings.execution * 1000,
+        wall_compilation_ms=result.timings.total_compilation * 1000,
+        modeled_ms=report.milliseconds,
+        phases={k: v * 1000 for k, v in result.timings.phases.items()},
+        breakdown=dict(report.breakdown),
+    )
+
+
+@dataclass
+class SweepResult:
+    """A parameter sweep: parameter values x engines."""
+
+    title: str
+    parameter: str
+    values: list
+    engines: list[str]
+    cells: dict[tuple, CellResult] = field(default_factory=dict)
+
+    def cell(self, value, engine: str) -> CellResult:
+        return self.cells[(value, engine)]
+
+    def series(self, engine: str, metric: str = "modeled_ms") -> list[float]:
+        return [getattr(self.cells[(v, engine)], metric)
+                for v in self.values]
+
+    def format(self, metric: str = "modeled_ms") -> str:
+        """A paper-style table: one row per parameter value."""
+        header = [self.parameter] + list(self.engines)
+        rows = []
+        for value in self.values:
+            row = [str(value)]
+            for engine in self.engines:
+                cell = self.cells.get((value, engine))
+                row.append(f"{getattr(cell, metric):.2f}"
+                           if cell else "-")
+            rows.append(row)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows))
+            for i in range(len(header))
+        ]
+        lines = [
+            f"== {self.title} ({metric}) ==",
+            "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        ]
+        for row in rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def sweep(title: str, parameter: str, values: list, engines: list[str],
+          make_db, make_sql, scale_factor: float = 1.0,
+          verify: bool = True) -> SweepResult:
+    """Run a full parameter sweep.
+
+    Args:
+        make_db: ``value -> Database`` (fresh data per parameter value).
+        make_sql: ``value -> str`` (the query for that value).
+        scale_factor: multiply modeled event counts (e.g. to extrapolate
+            from 1M instrumented rows to the paper's 10M).
+        verify: cross-check that all engines return identical results.
+    """
+    out = SweepResult(title, parameter, list(values), list(engines))
+    for value in values:
+        db = make_db(value)
+        sql = make_sql(value)
+        reference = None
+        for engine in engines:
+            cell = run_query(db, sql, engine, scale_factor)
+            out.cells[(value, engine)] = cell
+            if verify:
+                rows = sorted(map(repr, db.execute(sql, engine=engine).rows))
+                if reference is None:
+                    reference = rows
+                elif rows != reference:
+                    raise AssertionError(
+                        f"{title}: engine {engine} disagrees at "
+                        f"{parameter}={value}"
+                    )
+    return out

@@ -1,0 +1,6 @@
+"""TPC-H: schema, deterministic data generator, benchmark queries."""
+
+from repro.bench.tpch.dbgen import generate_tpch, tpch_database
+from repro.bench.tpch.queries import QUERIES, query_sql
+
+__all__ = ["QUERIES", "generate_tpch", "query_sql", "tpch_database"]

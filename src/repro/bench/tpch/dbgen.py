@@ -1,0 +1,224 @@
+"""A deterministic TPC-H data generator (dbgen).
+
+Follows the TPC-H specification's cardinalities and value distributions
+(section 4.2 of the spec) vectorized with NumPy:
+
+* cardinalities: 150k customers, 1.5M orders, ~6M lineitems, 200k parts,
+  10k suppliers per scale factor,
+* ``o_orderdate`` uniform in [1992-01-01, 1998-08-02]; ``l_shipdate`` =
+  orderdate + [1, 121] days, receipt = ship + [1, 30],
+* ``l_returnflag`` R/A for receipts before the current date (1995-06-17),
+  N after; ``l_linestatus`` O/F around ``l_shipdate``,
+* prices from the part's retail price formula; discounts in [0.00,
+  0.10]; taxes in [0.00, 0.08],
+* ``p_type`` from the spec's syllable grammar (including the ``PROMO``
+  prefix Q14 needs); ``c_mktsegment`` from the five segments Q3 needs.
+
+Comment-style filler columns are omitted or shortened — they never
+appear in the reproduced queries and only inflate memory.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+
+from repro.bench.tpch.schema import TPCH_SCHEMAS
+from repro.db.database import Database
+from repro.sql.types import date_to_days
+from repro.storage.table import Table
+
+__all__ = ["generate_tpch", "tpch_database"]
+
+_TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                    "PROMO"]
+_TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                    "BRUSHED"]
+_TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+             "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI",
+               "5-LOW"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                 "TAKE BACK RETURN"]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE",
+               "LG BOX", "WRAP CASE", "JUMBO BOX"]
+_NAME_WORDS = ["almond", "antique", "aquamarine", "azure", "beige",
+               "bisque", "black", "blanched", "blue", "blush"]
+_NATIONS = ["ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+            "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+            "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
+            "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+            "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"]
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+START_DATE = date_to_days(dt.date(1992, 1, 1))
+END_DATE = date_to_days(dt.date(1998, 8, 2))
+CURRENT_DATE = date_to_days(dt.date(1995, 6, 17))
+
+
+def _pick(rng, choices: list[str], size: int, dtype: str) -> np.ndarray:
+    values = np.array([c.encode() for c in choices], dtype=dtype)
+    return values[rng.integers(0, len(choices), size=size)]
+
+
+def generate_tpch(scale_factor: float = 0.01,
+                  seed: int = 7) -> dict[str, Table]:
+    """Generate all eight tables at the given scale factor."""
+    rng = np.random.default_rng(seed)
+    n_part = max(int(200_000 * scale_factor), 20)
+    n_supp = max(int(10_000 * scale_factor), 5)
+    n_cust = max(int(150_000 * scale_factor), 15)
+    n_orders = max(int(1_500_000 * scale_factor), 50)
+
+    tables: dict[str, Table] = {}
+
+    tables["region"] = Table.from_arrays(TPCH_SCHEMAS["region"], {
+        "r_regionkey": np.arange(5, dtype=np.int32),
+        "r_name": np.array([r.encode() for r in _REGIONS], dtype="S12"),
+        "r_comment": np.array([b"spec region"] * 5, dtype="S40"),
+    })
+    tables["nation"] = Table.from_arrays(TPCH_SCHEMAS["nation"], {
+        "n_nationkey": np.arange(25, dtype=np.int32),
+        "n_name": np.array([n.encode() for n in _NATIONS], dtype="S16"),
+        "n_regionkey": np.array(
+            [i % 5 for i in range(25)], dtype=np.int32
+        ),
+        "n_comment": np.array([b"spec nation"] * 25, dtype="S40"),
+    })
+
+    tables["supplier"] = Table.from_arrays(TPCH_SCHEMAS["supplier"], {
+        "s_suppkey": np.arange(n_supp, dtype=np.int32),
+        "s_name": np.array(
+            [f"Supplier#{i:09d}".encode() for i in range(n_supp)],
+            dtype="S18",
+        ),
+        "s_nationkey": rng.integers(0, 25, size=n_supp, dtype=np.int32),
+        "s_acctbal": rng.integers(-99999, 999999, size=n_supp,
+                                  dtype=np.int64),
+    })
+
+    # part: retail price formula from the spec:
+    # (90000 + (partkey/10 % 20001) + 100*(partkey % 1000)) / 100
+    partkeys = np.arange(n_part, dtype=np.int64)
+    retail = (90000 + (partkeys // 10) % 20001 + 100 * (partkeys % 1000))
+    name_a = rng.integers(0, len(_NAME_WORDS), size=n_part)
+    name_b = rng.integers(0, len(_NAME_WORDS), size=n_part)
+    t1 = rng.integers(0, len(_TYPE_SYLLABLE_1), size=n_part)
+    t2 = rng.integers(0, len(_TYPE_SYLLABLE_2), size=n_part)
+    t3 = rng.integers(0, len(_TYPE_SYLLABLE_3), size=n_part)
+    tables["part"] = Table.from_arrays(TPCH_SCHEMAS["part"], {
+        "p_partkey": partkeys.astype(np.int32),
+        "p_name": np.array([
+            f"{_NAME_WORDS[a]} {_NAME_WORDS[b]}".encode()
+            for a, b in zip(name_a, name_b)
+        ], dtype="S32"),
+        "p_mfgr": np.array([
+            f"Manufacturer#{1 + int(k) % 5}".encode() for k in partkeys
+        ], dtype="S16"),
+        "p_brand": np.array([
+            f"Brand#{1 + int(k) % 5}{1 + int(k) % 5}".encode()
+            for k in partkeys
+        ], dtype="S10"),
+        "p_type": np.array([
+            f"{_TYPE_SYLLABLE_1[a]} {_TYPE_SYLLABLE_2[b]} "
+            f"{_TYPE_SYLLABLE_3[c]}".encode()
+            for a, b, c in zip(t1, t2, t3)
+        ], dtype="S25"),
+        "p_size": rng.integers(1, 51, size=n_part, dtype=np.int32),
+        "p_container": _pick(rng, _CONTAINERS, n_part, "S10"),
+        "p_retailprice": retail,
+    })
+
+    tables["customer"] = Table.from_arrays(TPCH_SCHEMAS["customer"], {
+        "c_custkey": np.arange(n_cust, dtype=np.int32),
+        "c_name": np.array(
+            [f"Customer#{i:09d}".encode() for i in range(n_cust)],
+            dtype="S18",
+        ),
+        "c_nationkey": rng.integers(0, 25, size=n_cust, dtype=np.int32),
+        "c_acctbal": rng.integers(-99999, 999999, size=n_cust,
+                                  dtype=np.int64),
+        "c_mktsegment": _pick(rng, _SEGMENTS, n_cust, "S10"),
+    })
+
+    # orders
+    orderdate = rng.integers(START_DATE, END_DATE - 151, size=n_orders,
+                             dtype=np.int32)
+    tables["orders"] = Table.from_arrays(TPCH_SCHEMAS["orders"], {
+        "o_orderkey": np.arange(n_orders, dtype=np.int32),
+        "o_custkey": rng.integers(0, max(n_cust, 1), size=n_orders,
+                                  dtype=np.int32),
+        "o_orderstatus": _pick(rng, ["O", "F", "P"], n_orders, "S1"),
+        "o_totalprice": rng.integers(90000, 50000000, size=n_orders,
+                                     dtype=np.int64),
+        "o_orderdate": orderdate,
+        "o_orderpriority": _pick(rng, _PRIORITIES, n_orders, "S15"),
+        "o_shippriority": np.zeros(n_orders, dtype=np.int32),
+    })
+
+    # lineitem: 1..7 lines per order (avg 4 -> ~6M per SF=1)
+    lines_per_order = rng.integers(1, 8, size=n_orders)
+    n_line = int(lines_per_order.sum())
+    l_orderkey = np.repeat(
+        np.arange(n_orders, dtype=np.int32), lines_per_order
+    )
+    l_orderdate = np.repeat(orderdate, lines_per_order)
+    l_linenumber = (
+        np.arange(n_line, dtype=np.int64)
+        - np.repeat(np.cumsum(lines_per_order) - lines_per_order,
+                    lines_per_order)
+        + 1
+    ).astype(np.int32)
+    l_partkey = rng.integers(0, n_part, size=n_line, dtype=np.int32)
+    quantity = rng.integers(1, 51, size=n_line, dtype=np.int64)
+    extended = quantity * retail[l_partkey]  # scaled cents * qty
+    shipdate = l_orderdate + rng.integers(1, 122, size=n_line).astype(
+        np.int32
+    )
+    commitdate = l_orderdate + rng.integers(30, 91, size=n_line).astype(
+        np.int32
+    )
+    receiptdate = shipdate + rng.integers(1, 31, size=n_line).astype(
+        np.int32
+    )
+    returnflag = np.where(
+        receiptdate <= CURRENT_DATE,
+        _pick(rng, ["R", "A"], n_line, "S1"),
+        np.array(b"N", dtype="S1"),
+    )
+    linestatus = np.where(
+        shipdate > CURRENT_DATE,
+        np.array(b"O", dtype="S1"),
+        np.array(b"F", dtype="S1"),
+    )
+    tables["lineitem"] = Table.from_arrays(TPCH_SCHEMAS["lineitem"], {
+        "l_orderkey": l_orderkey,
+        "l_partkey": l_partkey,
+        "l_suppkey": rng.integers(0, max(n_supp, 1), size=n_line,
+                                  dtype=np.int32),
+        "l_linenumber": l_linenumber,
+        "l_quantity": quantity * 100,  # DECIMAL(12,2): scaled by 100
+        "l_extendedprice": extended,
+        "l_discount": rng.integers(0, 11, size=n_line, dtype=np.int64),
+        "l_tax": rng.integers(0, 9, size=n_line, dtype=np.int64),
+        "l_returnflag": returnflag,
+        "l_linestatus": linestatus,
+        "l_shipdate": shipdate,
+        "l_commitdate": commitdate,
+        "l_receiptdate": receiptdate,
+        "l_shipinstruct": _pick(rng, _INSTRUCTIONS, n_line, "S25"),
+        "l_shipmode": _pick(rng, _SHIPMODES, n_line, "S10"),
+    })
+    return tables
+
+
+def tpch_database(scale_factor: float = 0.01, seed: int = 7,
+                  default_engine: str = "wasm") -> Database:
+    """A ready-to-query database with all TPC-H tables loaded."""
+    db = Database(default_engine=default_engine)
+    for table in generate_tpch(scale_factor, seed).values():
+        db.register_table(table)
+    return db

@@ -1,0 +1,94 @@
+"""The TPC-H queries of the paper's Figure 10: Q1, Q3, Q6, Q12, Q14.
+
+Texts follow the TPC-H specification with the validation-run parameter
+substitutions, restricted to the SQL subset all four engines support
+(inner joins, one query block).
+"""
+
+from __future__ import annotations
+
+__all__ = ["QUERIES", "query_sql"]
+
+QUERIES: dict[str, str] = {
+    # Q1: pricing summary report
+    "q1": """
+        SELECT
+            l_returnflag,
+            l_linestatus,
+            SUM(l_quantity) AS sum_qty,
+            SUM(l_extendedprice) AS sum_base_price,
+            SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+            SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+            AVG(l_quantity) AS avg_qty,
+            AVG(l_extendedprice) AS avg_price,
+            AVG(l_discount) AS avg_disc,
+            COUNT(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """,
+    # Q3: shipping priority
+    "q3": """
+        SELECT
+            l_orderkey,
+            SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+            o_orderdate,
+            o_shippriority
+        FROM customer, orders, lineitem
+        WHERE c_mktsegment = 'BUILDING'
+          AND c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND o_orderdate < DATE '1995-03-15'
+          AND l_shipdate > DATE '1995-03-15'
+        GROUP BY l_orderkey, o_orderdate, o_shippriority
+        ORDER BY revenue DESC, o_orderdate
+        LIMIT 10
+    """,
+    # Q6: forecasting revenue change
+    "q6": """
+        SELECT SUM(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= DATE '1994-01-01'
+          AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+          AND l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+    """,
+    # Q12: shipping modes and order priority
+    "q12": """
+        SELECT
+            l_shipmode,
+            SUM(CASE WHEN o_orderpriority = '1-URGENT'
+                       OR o_orderpriority = '2-HIGH'
+                     THEN 1 ELSE 0 END) AS high_line_count,
+            SUM(CASE WHEN o_orderpriority <> '1-URGENT'
+                      AND o_orderpriority <> '2-HIGH'
+                     THEN 1 ELSE 0 END) AS low_line_count
+        FROM orders, lineitem
+        WHERE o_orderkey = l_orderkey
+          AND l_shipmode IN ('MAIL', 'SHIP')
+          AND l_commitdate < l_receiptdate
+          AND l_shipdate < l_commitdate
+          AND l_receiptdate >= DATE '1994-01-01'
+          AND l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+        GROUP BY l_shipmode
+        ORDER BY l_shipmode
+    """,
+    # Q14: promotion effect
+    "q14": """
+        SELECT 100.00 *
+               SUM(CASE WHEN p_type LIKE 'PROMO%'
+                        THEN l_extendedprice * (1 - l_discount)
+                        ELSE 0 END)
+               / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+        FROM lineitem, part
+        WHERE l_partkey = p_partkey
+          AND l_shipdate >= DATE '1995-09-01'
+          AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH
+    """,
+}
+
+
+def query_sql(name: str) -> str:
+    """Query text by name (``"q1"``, ``"q3"``, ``"q6"``, ``"q12"``, ``"q14"``)."""
+    return QUERIES[name.lower()]

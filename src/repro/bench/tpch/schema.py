@@ -1,0 +1,71 @@
+"""The TPC-H schema (decimal prices, date columns, fixed-width strings)."""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Column, TableSchema
+from repro.sql import types as T
+
+__all__ = ["TPCH_SCHEMAS"]
+
+TPCH_SCHEMAS: dict[str, TableSchema] = {
+    "region": TableSchema("region", [
+        Column("r_regionkey", T.INT32, primary_key=True),
+        Column("r_name", T.char(12)),
+        Column("r_comment", T.varchar(40)),
+    ]),
+    "nation": TableSchema("nation", [
+        Column("n_nationkey", T.INT32, primary_key=True),
+        Column("n_name", T.char(16)),
+        Column("n_regionkey", T.INT32),
+        Column("n_comment", T.varchar(40)),
+    ]),
+    "supplier": TableSchema("supplier", [
+        Column("s_suppkey", T.INT32, primary_key=True),
+        Column("s_name", T.char(18)),
+        Column("s_nationkey", T.INT32),
+        Column("s_acctbal", T.decimal(12, 2)),
+    ]),
+    "part": TableSchema("part", [
+        Column("p_partkey", T.INT32, primary_key=True),
+        Column("p_name", T.varchar(32)),
+        Column("p_mfgr", T.char(16)),
+        Column("p_brand", T.char(10)),
+        Column("p_type", T.varchar(25)),
+        Column("p_size", T.INT32),
+        Column("p_container", T.char(10)),
+        Column("p_retailprice", T.decimal(12, 2)),
+    ]),
+    "customer": TableSchema("customer", [
+        Column("c_custkey", T.INT32, primary_key=True),
+        Column("c_name", T.char(18)),
+        Column("c_nationkey", T.INT32),
+        Column("c_acctbal", T.decimal(12, 2)),
+        Column("c_mktsegment", T.char(10)),
+    ]),
+    "orders": TableSchema("orders", [
+        Column("o_orderkey", T.INT32, primary_key=True),
+        Column("o_custkey", T.INT32),
+        Column("o_orderstatus", T.char(1)),
+        Column("o_totalprice", T.decimal(12, 2)),
+        Column("o_orderdate", T.DATE),
+        Column("o_orderpriority", T.char(15)),
+        Column("o_shippriority", T.INT32),
+    ]),
+    "lineitem": TableSchema("lineitem", [
+        Column("l_orderkey", T.INT32),
+        Column("l_partkey", T.INT32),
+        Column("l_suppkey", T.INT32),
+        Column("l_linenumber", T.INT32),
+        Column("l_quantity", T.decimal(12, 2)),
+        Column("l_extendedprice", T.decimal(12, 2)),
+        Column("l_discount", T.decimal(12, 2)),
+        Column("l_tax", T.decimal(12, 2)),
+        Column("l_returnflag", T.char(1)),
+        Column("l_linestatus", T.char(1)),
+        Column("l_shipdate", T.DATE),
+        Column("l_commitdate", T.DATE),
+        Column("l_receiptdate", T.DATE),
+        Column("l_shipinstruct", T.char(25)),
+        Column("l_shipmode", T.char(10)),
+    ]),
+}

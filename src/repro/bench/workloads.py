@@ -1,0 +1,154 @@
+"""Synthetic workloads of the paper's Section 8.2 microbenchmarks.
+
+"We use a generated data set with multiple tables and 10 million rows
+per table.  Tables contain only integer and floating-point columns,
+where integer values are chosen uniformly at random from the entire
+integer domain and floating-point values are chosen uniformly at random
+from the range [0; 1].  All data is shuffled and all columns are
+pairwise independent."
+
+Row counts are parameters here (the reproduction runs scaled down); all
+generators are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.schema import Column, TableSchema
+from repro.sql import types as T
+from repro.storage.table import Table
+
+__all__ = [
+    "selection_table",
+    "grouping_table",
+    "join_tables",
+    "sorting_table",
+    "selectivity_threshold",
+]
+
+INT_MIN = -(2**31)
+INT_MAX = 2**31 - 1
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def selection_table(rows: int, seed: int = 42) -> Table:
+    """Table T(x INT32, x2 INT32, y DOUBLE, y2 DOUBLE) — uniform, shuffled,
+    pairwise independent (Fig. 6 workload)."""
+    rng = _rng(seed)
+    schema = TableSchema("t", [
+        Column("x", T.INT32),
+        Column("x2", T.INT32),
+        Column("y", T.DOUBLE),
+        Column("y2", T.DOUBLE),
+    ])
+    return Table.from_arrays(schema, {
+        "x": rng.integers(INT_MIN, INT_MAX, size=rows, dtype=np.int32,
+                          endpoint=True),
+        "x2": rng.integers(INT_MIN, INT_MAX, size=rows, dtype=np.int32,
+                           endpoint=True),
+        "y": rng.random(rows),
+        "y2": rng.random(rows),
+    })
+
+
+def selectivity_threshold(selectivity: float) -> int:
+    """The INT32 constant c with P(x < c) == selectivity under the
+    uniform full-domain distribution of :func:`selection_table`."""
+    span = float(INT_MAX) - float(INT_MIN)
+    return int(INT_MIN + selectivity * span)
+
+
+def grouping_table(rows: int, distinct: int, attributes: int = 4,
+                   seed: int = 43) -> Table:
+    """Table G(g1..gN INT32, x1..x4 INT32) for the Fig. 7 grouping and
+    aggregation experiments: each gi has ``distinct`` distinct values."""
+    rng = _rng(seed)
+    columns = [Column(f"g{i + 1}", T.INT32) for i in range(attributes)]
+    columns += [Column(f"x{i + 1}", T.INT32) for i in range(4)]
+    arrays = {}
+    for i in range(attributes):
+        arrays[f"g{i + 1}"] = rng.integers(
+            0, max(distinct, 1), size=rows, dtype=np.int32
+        )
+    for i in range(4):
+        arrays[f"x{i + 1}"] = rng.integers(
+            INT_MIN, INT_MAX, size=rows, dtype=np.int32, endpoint=True
+        )
+    return Table.from_arrays(TableSchema("g", columns), arrays)
+
+
+def join_tables(build_rows: int, probe_rows: int,
+                foreign_key: bool = True, n_to_m_matches: float = 1e-6,
+                seed: int = 44) -> tuple[Table, Table]:
+    """Tables (build, probe) for the Fig. 8 equi-join experiments.
+
+    ``foreign_key=True``: probe.fk references build.id (every probe row
+    has exactly one partner).  Otherwise both join columns are non-key
+    integers drawn so that the join selectivity is approximately
+    ``n_to_m_matches`` (the paper fixes 1e-6).
+    """
+    rng = _rng(seed)
+    if foreign_key:
+        build = Table.from_arrays(
+            TableSchema("build", [Column("id", T.INT32, primary_key=True),
+                                  Column("bx", T.INT32)]),
+            {
+                "id": np.arange(build_rows, dtype=np.int32),
+                "bx": rng.integers(INT_MIN, INT_MAX, size=build_rows,
+                                   dtype=np.int32, endpoint=True),
+            },
+        )
+        probe = Table.from_arrays(
+            TableSchema("probe", [Column("fk", T.INT32),
+                                  Column("px", T.INT32)]),
+            {
+                "fk": rng.integers(0, max(build_rows, 1), size=probe_rows,
+                                   dtype=np.int32),
+                "px": rng.integers(INT_MIN, INT_MAX, size=probe_rows,
+                                   dtype=np.int32, endpoint=True),
+            },
+        )
+        return build, probe
+    # n:m join on non-key columns with selectivity ~= n_to_m_matches:
+    # P(a = b) = 1/domain  =>  domain = 1/selectivity
+    domain = max(int(1.0 / n_to_m_matches), 1)
+    build = Table.from_arrays(
+        TableSchema("build", [Column("a", T.INT32), Column("bx", T.INT32)]),
+        {
+            "a": rng.integers(0, domain, size=build_rows, dtype=np.int32),
+            "bx": rng.integers(INT_MIN, INT_MAX, size=build_rows,
+                               dtype=np.int32, endpoint=True),
+        },
+    )
+    probe = Table.from_arrays(
+        TableSchema("probe", [Column("b", T.INT32), Column("px", T.INT32)]),
+        {
+            "b": rng.integers(0, domain, size=probe_rows, dtype=np.int32),
+            "px": rng.integers(INT_MIN, INT_MAX, size=probe_rows,
+                               dtype=np.int32, endpoint=True),
+        },
+    )
+    return build, probe
+
+
+def sorting_table(rows: int, distinct: int | None = None,
+                  attributes: int = 4, seed: int = 45) -> Table:
+    """Table S(s1..sN INT32) for the Fig. 9 sorting experiments; each
+    column has ``distinct`` distinct values (full domain if None)."""
+    rng = _rng(seed)
+    columns = [Column(f"s{i + 1}", T.INT32) for i in range(attributes)]
+    arrays = {}
+    for i in range(attributes):
+        if distinct is None:
+            arrays[f"s{i + 1}"] = rng.integers(
+                INT_MIN, INT_MAX, size=rows, dtype=np.int32, endpoint=True
+            )
+        else:
+            arrays[f"s{i + 1}"] = rng.integers(
+                0, max(distinct, 1), size=rows, dtype=np.int32
+            )
+    return Table.from_arrays(TableSchema("s", columns), arrays)

@@ -1,0 +1,13 @@
+"""Catalog: table schemas, the catalog itself, and optimizer statistics."""
+
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStatistics",
+    "TableSchema",
+    "TableStatistics",
+]

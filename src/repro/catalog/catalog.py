@@ -1,0 +1,50 @@
+"""The catalog maps table names to stored tables."""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A flat namespace of tables.
+
+    The catalog stores :class:`repro.storage.table.Table` objects but only
+    relies on them exposing ``.schema`` and ``.statistics`` — the planner
+    and analyzer never touch the data through the catalog.
+    """
+
+    def __init__(self):
+        self._tables: dict[str, object] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self):
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def add(self, table) -> None:
+        name = table.schema.name.lower()
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[name] = table
+
+    def get(self, name: str):
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        try:
+            del self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None

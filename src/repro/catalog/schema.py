@@ -1,0 +1,75 @@
+"""Table schemas: ordered, typed columns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+from repro.sql.types import DataType
+
+__all__ = ["Column", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name and a SQL type."""
+
+    name: str
+    ty: DataType
+    primary_key: bool = False
+
+
+@dataclass
+class TableSchema:
+    """An ordered list of columns with unique names."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self):
+        seen: set[str] = set()
+        for col in self.columns:
+            if col.name in seen:
+                raise CatalogError(
+                    f"duplicate column {col.name!r} in table {self.name!r}"
+                )
+            seen.add(col.name)
+        self._index = {col.name: i for i, col in enumerate(self.columns)}
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    @property
+    def column_names(self) -> list[str]:
+        return [col.name for col in self.columns]
+
+    @property
+    def row_size(self) -> int:
+        """Bytes per row when materialized as a packed tuple."""
+        return sum(col.ty.size for col in self.columns)
+
+    @property
+    def primary_key_columns(self) -> list[Column]:
+        return [col for col in self.columns if col.primary_key]

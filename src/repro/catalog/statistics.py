@@ -1,0 +1,62 @@
+"""Optimizer statistics: row counts, distinct counts, min/max per column.
+
+Statistics are computed eagerly and cheaply from the stored NumPy columns;
+the cardinality estimator (:mod:`repro.plan.cardinality`) consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ColumnStatistics", "TableStatistics"]
+
+
+@dataclass
+class ColumnStatistics:
+    """Summary statistics of one stored column."""
+
+    distinct: int = 0
+    minimum: object = None
+    maximum: object = None
+
+    @classmethod
+    def from_array(cls, values: np.ndarray, sample_cap: int = 200_000) -> "ColumnStatistics":
+        """Compute statistics, sampling very large columns for NDV.
+
+        For columns longer than ``sample_cap`` the number of distinct values
+        is estimated from a prefix sample and scaled with a
+        birthday-paradox-style correction; min/max are always exact.
+        """
+        if values.size == 0:
+            return cls()
+        if values.dtype.kind == "S":
+            sample = values[:sample_cap]
+            distinct = int(len(np.unique(sample)))
+            ordered = np.sort(sample)
+            return cls(distinct, ordered[0], ordered[-1])
+        minimum = values.min()
+        maximum = values.max()
+        if values.size <= sample_cap:
+            distinct = int(np.unique(values).size)
+        else:
+            sample = values[:sample_cap]
+            d_sample = int(np.unique(sample).size)
+            if d_sample >= 0.9 * sample.size:
+                # Nearly all-distinct sample: assume proportionality.
+                distinct = int(d_sample * (values.size / sample.size))
+            else:
+                distinct = d_sample
+        return cls(distinct, minimum.item(), maximum.item())
+
+
+@dataclass
+class TableStatistics:
+    """Row count plus per-column statistics."""
+
+    row_count: int = 0
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self.columns.get(name, ColumnStatistics())

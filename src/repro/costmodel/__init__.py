@@ -1,0 +1,27 @@
+"""Microarchitectural cost model shared by all execution engines.
+
+Pure-Python wall-clock time cannot exhibit the microarchitectural effects
+the paper's evaluation hinges on — branch misprediction at 50 %
+selectivity (Fig. 6), SIMD-ified vectorized primitives, cache misses of
+hash tables (Fig. 7/8), per-tuple virtual-call overhead of Volcano
+engines.  This package makes those effects first-class:
+
+* :mod:`repro.costmodel.events` — an engine-agnostic event profile
+  (instructions, per-site branch outcomes, per-site memory access
+  patterns, calls),
+* :mod:`repro.costmodel.branch` — the exact steady-state misprediction
+  rate of a 2-bit saturating counter under Bernoulli(p) outcomes,
+* :mod:`repro.costmodel.cache` — an analytic locality/cache-miss model,
+* :mod:`repro.costmodel.weights` — documented cycle weights and the
+  conversion of a profile into modeled milliseconds at a nominal clock.
+
+Every engine (Volcano, vectorized, HyPer-like, and the Wasm tiers)
+produces the same :class:`~repro.costmodel.events.Profile`, so modeled
+times are comparable across engines — the property the paper's figures
+rely on.
+"""
+
+from repro.costmodel.events import Profile
+from repro.costmodel.weights import CostReport, cost_report
+
+__all__ = ["CostReport", "Profile", "cost_report"]

@@ -1,0 +1,47 @@
+"""Branch prediction model: 2-bit saturating counter, solved exactly.
+
+Hardware branch predictors assign each branch site a small finite-state
+machine; the classic baseline is the 2-bit saturating counter with states
+
+    0 (strongly not-taken), 1 (weakly not-taken),
+    2 (weakly taken),       3 (strongly taken),
+
+predicting "taken" in states 2 and 3.  Under the modeling assumption that
+a site's outcomes are i.i.d. Bernoulli(p) — which holds for the uniform
+random data of the paper's microbenchmarks — the counter is a birth-death
+Markov chain with up-probability p, and its stationary distribution is
+geometric: pi_i proportional to r**i with r = p/(1-p).
+
+The steady-state misprediction rate is then
+
+    m(p) = p * (pi_0 + pi_1) + (1 - p) * (pi_2 + pi_3)
+
+which is exactly the tent shape of Figure 6: m(0) = m(1) = 0 and
+m(0.5) = 0.5, with smooth shoulders.  :func:`mispredict_rate` evaluates
+this closed form; :func:`mispredicts` prices a whole
+:class:`~repro.costmodel.events.BranchSite`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mispredict_rate", "mispredicts"]
+
+
+def mispredict_rate(p: float) -> float:
+    """Steady-state misprediction probability for taken-fraction ``p``."""
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    r = p / (1.0 - p)
+    r2 = r * r
+    r3 = r2 * r
+    z = 1.0 + r + r2 + r3
+    pi01 = (1.0 + r) / z          # predict not-taken
+    pi23 = (r2 + r3) / z          # predict taken
+    return p * pi01 + (1.0 - p) * pi23
+
+
+def mispredicts(taken: int, total: int) -> float:
+    """Expected number of mispredictions for a site's outcome counts."""
+    if total <= 0:
+        return 0.0
+    return total * mispredict_rate(taken / total)

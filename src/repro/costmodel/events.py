@@ -1,0 +1,196 @@
+"""Event profiles: what an engine did, microarchitecturally.
+
+A :class:`Profile` is filled during instrumented execution and later
+priced by :func:`repro.costmodel.weights.cost_report`.  All engines share
+this one vocabulary of events:
+
+* ``instructions`` — scalar ALU-ish work (one Wasm instruction, one
+  interpreter bytecode, one scalar step of a vectorized primitive),
+* per-site **branch outcomes** — every conditional branch site records
+  (taken, total); the pricing step derives a misprediction rate per site
+  from its taken-fraction,
+* per-site **memory accesses** — each load/store site records its access
+  count, how many were (near-)sequential, and its address footprint; the
+  pricing step derives cache-miss costs,
+* ``calls`` / ``indirect_calls`` / ``virtual_calls`` — function-call
+  overheads (compiled-code calls, callback/function-pointer calls, and
+  Volcano-style virtual iterator calls respectively),
+* ``vector_ops`` / ``vector_elements`` — invocations of pre-compiled
+  vectorized primitives and the elements they processed (priced with a
+  SIMD discount),
+* ``interp_dispatch`` — interpreter dispatch steps (priced with the
+  classic dispatch-overhead surcharge).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Profile", "BranchSite", "MemorySite"]
+
+_SEQ_WINDOW = 256  # bytes: |delta| below this counts as a sequential access
+
+
+class BranchSite:
+    """Outcome counts of one static branch site."""
+
+    __slots__ = ("taken", "total")
+
+    def __init__(self):
+        self.taken = 0
+        self.total = 0
+
+    @property
+    def taken_fraction(self) -> float:
+        return self.taken / self.total if self.total else 0.0
+
+
+class MemorySite:
+    """Access-pattern summary of one static load/store site."""
+
+    __slots__ = ("accesses", "sequential", "last_addr", "min_addr", "max_addr")
+
+    def __init__(self):
+        self.accesses = 0
+        self.sequential = 0
+        self.last_addr = -(1 << 40)
+        self.min_addr = 1 << 62
+        self.max_addr = -1
+
+    @property
+    def sequential_fraction(self) -> float:
+        return self.sequential / self.accesses if self.accesses else 0.0
+
+    @property
+    def footprint(self) -> int:
+        """The byte range this site touched (working-set estimate)."""
+        if self.max_addr < self.min_addr:
+            return 0
+        return self.max_addr - self.min_addr + 1
+
+
+class Profile:
+    """One engine run's event counts."""
+
+    def __init__(self):
+        self.instructions = 0
+        self.calls = 0
+        self.indirect_calls = 0
+        self.virtual_calls = 0
+        self.interp_dispatch = 0
+        self.vector_ops = 0
+        self.vector_elements = 0
+        self.branch_sites: dict[object, BranchSite] = {}
+        self.memory_sites: dict[object, MemorySite] = {}
+        # free-form counters engines may add (reported verbatim)
+        self.extra: dict[str, float] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def branch(self, site, taken: bool) -> None:
+        record = self.branch_sites.get(site)
+        if record is None:
+            record = self.branch_sites[site] = BranchSite()
+        record.total += 1
+        if taken:
+            record.taken += 1
+
+    def branch_bulk(self, site, taken: int, total: int) -> None:
+        """Record many outcomes of one site at once (vectorized engines)."""
+        record = self.branch_sites.get(site)
+        if record is None:
+            record = self.branch_sites[site] = BranchSite()
+        record.total += total
+        record.taken += taken
+
+    def memory_access(self, site, addr: int) -> None:
+        record = self.memory_sites.get(site)
+        if record is None:
+            record = self.memory_sites[site] = MemorySite()
+        record.accesses += 1
+        delta = addr - record.last_addr
+        if -_SEQ_WINDOW < delta < _SEQ_WINDOW:
+            record.sequential += 1
+        record.last_addr = addr
+        if addr < record.min_addr:
+            record.min_addr = addr
+        if addr > record.max_addr:
+            record.max_addr = addr
+
+    def memory_bulk(self, site, accesses: int, sequential: int,
+                    footprint: int) -> None:
+        """Record many accesses of one site at once (vectorized engines)."""
+        record = self.memory_sites.get(site)
+        if record is None:
+            record = self.memory_sites[site] = MemorySite()
+        record.accesses += accesses
+        record.sequential += sequential
+        record.min_addr = 0
+        record.max_addr = max(record.max_addr, footprint - 1)
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        self.extra[counter] = self.extra.get(counter, 0.0) + amount
+
+    # -- combination -----------------------------------------------------------
+
+    def merge(self, other: "Profile") -> None:
+        """Fold ``other``'s events into this profile (site-wise)."""
+        self.instructions += other.instructions
+        self.calls += other.calls
+        self.indirect_calls += other.indirect_calls
+        self.virtual_calls += other.virtual_calls
+        self.interp_dispatch += other.interp_dispatch
+        self.vector_ops += other.vector_ops
+        self.vector_elements += other.vector_elements
+        for site, record in other.branch_sites.items():
+            self.branch_bulk(site, record.taken, record.total)
+        for site, record in other.memory_sites.items():
+            mine = self.memory_sites.get(site)
+            if mine is None:
+                mine = self.memory_sites[site] = MemorySite()
+            mine.accesses += record.accesses
+            mine.sequential += record.sequential
+            mine.min_addr = min(mine.min_addr, record.min_addr)
+            mine.max_addr = max(mine.max_addr, record.max_addr)
+        for key, value in other.extra.items():
+            self.add(key, value)
+
+    def scaled(self, factor: float) -> "Profile":
+        """A copy with all event counts scaled by ``factor``.
+
+        Used to extrapolate an instrumented run at reduced row count to
+        the paper's row count (valid for the scan-dominated workloads of
+        the evaluation, where event counts are linear in rows).
+        """
+        out = Profile()
+        out.instructions = int(self.instructions * factor)
+        out.calls = int(self.calls * factor)
+        out.indirect_calls = int(self.indirect_calls * factor)
+        out.virtual_calls = int(self.virtual_calls * factor)
+        out.interp_dispatch = int(self.interp_dispatch * factor)
+        out.vector_ops = int(self.vector_ops * factor)
+        out.vector_elements = int(self.vector_elements * factor)
+        for site, record in self.branch_sites.items():
+            out.branch_bulk(site, int(record.taken * factor),
+                            int(record.total * factor))
+        for site, record in self.memory_sites.items():
+            new = MemorySite()
+            new.accesses = int(record.accesses * factor)
+            new.sequential = int(record.sequential * factor)
+            new.min_addr = record.min_addr
+            # Footprint scaling heuristic: sequential streams (column
+            # scans) cover data proportional to the row count — scale.
+            # Random-access structures scale only when their size tracks
+            # the number of accesses (join builds: one entry per insert);
+            # saturated structures (group tables bounded by NDV, where
+            # accesses far exceed the footprint) keep their size.
+            seq_fraction = record.sequential_fraction
+            grows_with_rows = (
+                seq_fraction > 0.5
+                or record.footprint > 0.5 * record.accesses * 8
+            )
+            footprint = record.footprint
+            if grows_with_rows:
+                footprint = int(footprint * factor)
+            new.max_addr = record.min_addr + max(footprint - 1, 0)
+            out.memory_sites[site] = new
+        out.extra = {k: v * factor for k, v in self.extra.items()}
+        return out

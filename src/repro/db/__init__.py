@@ -1,0 +1,5 @@
+"""The public database API."""
+
+from repro.db.database import Database
+
+__all__ = ["Database"]

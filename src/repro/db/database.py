@@ -1,0 +1,132 @@
+"""The top-level database: catalog + SQL frontend + pluggable engines.
+
+Example::
+
+    from repro.db import Database
+
+    db = Database()
+    db.execute("CREATE TABLE r (id INT PRIMARY KEY, x INT, y DOUBLE)")
+    db.execute("INSERT INTO r VALUES (1, 10, 0.5), (2, 20, 1.5)")
+    result = db.execute("SELECT x, y FROM r WHERE x < 15", engine="wasm")
+    print(result.format_table())
+
+Engines: ``"wasm"`` (the paper's architecture — default), ``"volcano"``
+(PostgreSQL-like), ``"vectorized"`` (DuckDB-like), ``"hyper"``
+(adaptive-compilation HyPer-like).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, TableSchema
+from repro.costmodel import Profile
+from repro.errors import EngineError
+from repro.plan.builder import build_logical_plan
+from repro.plan.logical import explain as explain_logical
+from repro.plan.optimizer import optimize
+from repro.plan.physical import create_physical_plan, explain_physical
+from repro.plan.pipeline import dissect_into_pipelines
+from repro.sql import ast
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+from repro.storage.table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A single-user, main-memory database with pluggable engines."""
+
+    def __init__(self, default_engine: str = "wasm"):
+        from repro.engines import ENGINES
+
+        self.catalog = Catalog()
+        self._engines = {name: cls() for name, cls in ENGINES.items()}
+        self.default_engine = default_engine
+
+    # -- schema & data ------------------------------------------------------
+
+    def register_table(self, table: Table) -> None:
+        """Add a pre-built table (e.g. from the TPC-H generator)."""
+        self.catalog.add(table)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.get(name)
+
+    def engine(self, name: str):
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise EngineError(
+                f"unknown engine {name!r}; have {sorted(self._engines)}"
+            ) from None
+
+    # -- SQL ---------------------------------------------------------------------
+
+    def execute(self, sql: str, engine: str | None = None,
+                profile: Profile | None = None):
+        """Parse, plan, and run one SQL statement.
+
+        SELECT returns an :class:`~repro.engines.base.ExecutionResult`;
+        DDL/DML return None.
+        """
+        stmt = parse(sql)
+        analyze(stmt, self.catalog)
+
+        if isinstance(stmt, ast.CreateTable):
+            schema = TableSchema(stmt.name, [
+                Column(col.name, col.ty, col.primary_key)
+                for col in stmt.columns
+            ])
+            self.catalog.add(Table.empty(schema))
+            return None
+        if isinstance(stmt, ast.CreateIndex):
+            table = self.catalog.get(stmt.table)
+            table.create_index(stmt.column, stmt.name)
+            return None
+        if isinstance(stmt, ast.Insert):
+            table = self.catalog.get(stmt.table)
+            rows = [
+                tuple(self._literal_value(v) for v in row)
+                for row in stmt.rows
+            ]
+            if stmt.columns is not None:
+                order = [stmt.columns.index(c.name) for c in table.schema]
+                rows = [tuple(row[i] for i in order) for row in rows]
+            table.append_rows(rows)
+            return None
+
+        plan = self.plan(stmt)
+        chosen = self.engine(engine or self.default_engine)
+        return chosen.execute(plan, self.catalog, profile=profile)
+
+    def plan(self, stmt: ast.Select):
+        """Analyzed SELECT -> optimized physical plan."""
+        logical = build_logical_plan(stmt, self.catalog)
+        optimized = optimize(logical, self.catalog)
+        return create_physical_plan(optimized, self.catalog)
+
+    def explain(self, sql: str) -> str:
+        """Logical plan, physical plan, and pipeline dissection as text."""
+        stmt = parse(sql)
+        analyze(stmt, self.catalog)
+        logical = optimize(build_logical_plan(stmt, self.catalog), self.catalog)
+        physical = create_physical_plan(logical, self.catalog)
+        pipelines = dissect_into_pipelines(physical)
+        parts = [
+            "== logical ==",
+            explain_logical(logical),
+            "== physical ==",
+            explain_physical(physical),
+            "== pipelines ==",
+            *(p.describe() for p in pipelines),
+        ]
+        return "\n".join(parts)
+
+    @staticmethod
+    def _literal_value(expr: ast.Expr):
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -Database._literal_value(expr.operand)
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        raise EngineError("INSERT values must be literals")

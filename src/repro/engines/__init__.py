@@ -1,0 +1,38 @@
+"""Execution engines.
+
+Four engines execute the same physical plans, mirroring the systems of
+the paper's evaluation (Section 8.1):
+
+* :mod:`repro.engines.volcano` — tuple-at-a-time iterators
+  (PostgreSQL's execution model),
+* :mod:`repro.engines.vectorized` — selection vectors over pre-compiled
+  type-specialized primitives (DuckDB / MonetDB-X100's model),
+* :mod:`repro.engines.hyper` — data-centric compilation to an LLVM-like
+  register IR with bytecode interpretation, O0 and O2 compilation, and
+  adaptive switching (HyPer with Kohn et al.'s adaptive execution),
+* :mod:`repro.engines.wasm_engine` — the paper's system (mutable):
+  compilation to WebAssembly, executed by the adaptive two-tier engine.
+"""
+
+from repro.engines.base import ExecutionResult, QueryEngine, Timings
+from repro.engines.volcano import VolcanoEngine
+from repro.engines.vectorized import VectorizedEngine
+from repro.engines.hyper import HyperEngine
+from repro.engines.wasm_engine import WasmEngine
+
+__all__ = [
+    "ExecutionResult",
+    "HyperEngine",
+    "QueryEngine",
+    "Timings",
+    "VectorizedEngine",
+    "VolcanoEngine",
+    "WasmEngine",
+]
+
+ENGINES = {
+    "volcano": VolcanoEngine,
+    "vectorized": VectorizedEngine,
+    "hyper": HyperEngine,
+    "wasm": WasmEngine,
+}

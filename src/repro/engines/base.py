@@ -1,0 +1,142 @@
+"""Engine interface, result sets, and phase timings."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.costmodel import Profile, cost_report
+from repro.plan.physical import PhysicalOperator
+from repro.sql.types import DataType
+
+__all__ = ["Timings", "ExecutionResult", "QueryEngine", "Stopwatch"]
+
+
+@dataclass
+class Timings:
+    """Per-phase wall-clock times of one query, in seconds.
+
+    Phase names follow the paper's Figure 10: translation of the QEP to
+    the engine's format, per-tier compilation, and execution.  Engines
+    fill only the phases they have.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    def get(self, phase: str) -> float:
+        return self.phases.get(phase, 0.0)
+
+    @property
+    def total_compilation(self) -> float:
+        return sum(
+            v for k, v in self.phases.items() if k != "execution"
+        )
+
+    @property
+    def execution(self) -> float:
+        return self.get("execution")
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return ", ".join(
+            f"{k}={v * 1000:.2f}ms" for k, v in self.phases.items()
+        )
+
+
+class Stopwatch:
+    """Context manager recording one phase into a :class:`Timings`."""
+
+    def __init__(self, timings: Timings, phase: str):
+        self.timings = timings
+        self.phase = phase
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.timings.add(self.phase, time.perf_counter() - self._start)
+
+
+@dataclass
+class ExecutionResult:
+    """Rows plus metadata from one query execution.
+
+    ``rows`` hold Python-level values (dates as :class:`datetime.date`,
+    decimals as floats, strings as ``str``).
+    """
+
+    column_names: list[str]
+    column_types: list[DataType]
+    rows: list[tuple]
+    engine: str = ""
+    timings: Timings = field(default_factory=Timings)
+    profile: Profile | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> list[dict]:
+        return [dict(zip(self.column_names, row)) for row in self.rows]
+
+    def column(self, name: str) -> list:
+        index = self.column_names.index(name)
+        return [row[index] for row in self.rows]
+
+    @property
+    def modeled(self):
+        """The cost-model report, if the run was instrumented."""
+        if self.profile is None:
+            return None
+        return cost_report(self.profile)
+
+    def format_table(self, max_rows: int = 20) -> str:
+        """A small aligned text table (for examples and debugging)."""
+        header = self.column_names
+        shown = [
+            tuple(str(v) for v in row) for row in self.rows[:max_rows]
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in shown)) if shown
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in shown:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows)} rows total)")
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """Interface all engines implement."""
+
+    name = "abstract"
+
+    def execute(self, plan: PhysicalOperator, catalog: Catalog,
+                profile: Profile | None = None) -> ExecutionResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def finalize_rows(plan: PhysicalOperator, storage_rows) -> ExecutionResult:
+        """Convert storage-representation rows to Python-level values."""
+        types = plan.output_types
+        rows = [
+            tuple(ty.from_storage(v) for ty, v in zip(types, row))
+            for row in storage_rows
+        ]
+        return ExecutionResult(
+            column_names=[c.name for c in plan.output],
+            column_types=types,
+            rows=rows,
+        )

@@ -1,0 +1,39 @@
+"""Calendar arithmetic on day numbers (days since 1970-01-01).
+
+Implements the *civil-from-days* algorithm (Howard Hinnant's
+``days_from_civil`` inverse) with pure integer arithmetic, so the same
+computation can be evaluated in Python **and** generated as Wasm/HIR
+instructions by the compiling engines — EXTRACT() compiles to a handful
+of integer operations instead of a library call, in the spirit of the
+paper's ad-hoc code generation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["civil_from_days", "year_of", "month_of", "day_of"]
+
+
+def civil_from_days(days: int) -> tuple[int, int, int]:
+    """Day number -> (year, month, day), proleptic Gregorian calendar."""
+    z = days + 719468
+    era = (z if z >= 0 else z - 146096) // 146097
+    doe = z - era * 146097                                  # [0, 146096]
+    yoe = (doe - doe // 1460 + doe // 36524 - doe // 146096) // 365
+    year = yoe + era * 400
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)         # [0, 365]
+    mp = (5 * doy + 2) // 153                               # [0, 11]
+    day = doy - (153 * mp + 2) // 5 + 1                     # [1, 31]
+    month = mp + 3 if mp < 10 else mp - 9                   # [1, 12]
+    return year + (1 if month <= 2 else 0), month, day
+
+
+def year_of(days: int) -> int:
+    return civil_from_days(days)[0]
+
+
+def month_of(days: int) -> int:
+    return civil_from_days(days)[1]
+
+
+def day_of(days: int) -> int:
+    return civil_from_days(days)[2]

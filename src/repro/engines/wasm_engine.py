@@ -1,0 +1,346 @@
+"""The paper's architecture: QEP -> WebAssembly -> adaptive engine.
+
+This is mutable's execution path (Figure 4):
+
+1. the physical plan is dissected into pipelines and **translated to
+   WebAssembly** with ad-hoc generated library code
+   (:mod:`repro.backend`),
+2. the host builds a **rewired address space** (Section 6.1): table
+   columns are aliased zero-copy into the module's 32-bit memory, plus a
+   constants region, the result window, and a growable heap,
+3. the module is handed to the **two-tier engine** (Liftoff + TurboFan
+   with adaptive tier-up — our V8), and
+4. execution is **morsel-wise**: the host repeatedly invokes
+   ``pipeline_i(begin, end)``, giving the engine call boundaries at
+   which it transparently swaps in optimized code.
+
+Results come back through the rewired result window: the generated code
+packs rows and bumps ``result_count``; the host drains after each morsel
+and inside the ``flush_results`` callback (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.backend.codegen import CompiledQuery, QueryCompiler
+from repro.backend.context import (
+    CONST_REGION_SIZE,
+    MORSEL_SIZE,
+    RESULT_REGION_SIZE,
+    MemoryPlan,
+)
+from repro.catalog.catalog import Catalog
+from repro.costmodel import Profile
+from repro.engines.base import ExecutionResult, QueryEngine, Stopwatch, Timings
+from repro.engines.eval import sql_like_regex
+from repro.plan import physical as P
+from repro.plan.pipeline import dissect_into_pipelines
+from repro.storage.rewiring import WASM_PAGE_SIZE, AddressSpace
+from repro.wasm.runtime import Engine, EngineConfig, LinearMemory
+
+__all__ = ["WasmEngine"]
+
+_HEAP_SLACK = 8 * 1024 * 1024
+
+
+def _scans_of(plan: P.PhysicalOperator):
+    if isinstance(plan, (P.SeqScan, P.IndexSeek)):
+        yield plan
+    for child in plan.children:
+        yield from _scans_of(child)
+
+
+def _breakers_of(plan: P.PhysicalOperator):
+    if isinstance(plan, (P.HashJoin, P.HashGroupBy, P.Sort,
+                         P.NestedLoopJoin)):
+        yield plan
+    for child in plan.children:
+        yield from _breakers_of(child)
+
+
+class WasmEngine(QueryEngine):
+    """mutable: compile to Wasm, execute adaptively (the paper's system).
+
+    Args:
+        mode: engine tiering mode — ``"adaptive"`` (default, the paper's
+            architecture), ``"liftoff"``, ``"turbofan"`` (the enforced-
+            optimization setting of Section 8.2), or ``"interpreter"``.
+        tier_up_threshold: morsel calls before a pipeline is re-optimized.
+        short_circuit: compile conjunctions with short-circuit branches
+            (mutable's default is off; used by the ablation benchmark).
+        morsel_size: rows per pipeline invocation.
+    """
+
+    name = "wasm"
+
+    def __init__(self, mode: str = "adaptive", tier_up_threshold: int = 2,
+                 short_circuit: bool = False, morsel_size: int = MORSEL_SIZE,
+                 inline_adhoc: bool = True, predication: bool = False,
+                 table_window_rows: int | None = None):
+        self.mode = mode
+        self.tier_up_threshold = tier_up_threshold
+        self.short_circuit = short_circuit
+        self.morsel_size = morsel_size
+        self.inline_adhoc = inline_adhoc
+        self.predication = predication
+        # Figure 5: tables larger than this window (in rows) are not
+        # mapped whole; the host re-wires chunk after chunk into a fixed
+        # window while the pipeline runs (rewire_next_chunk).  None maps
+        # every table completely (possible whenever it fits in 4 GiB).
+        self.table_window_rows = table_window_rows
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile_query(self, plan: P.PhysicalOperator, catalog: Catalog,
+                      timings: Timings) -> tuple[CompiledQuery, AddressSpace]:
+        with Stopwatch(timings, "translation"):
+            space, memory_plan = self._build_address_space(plan, catalog)
+            compiler = QueryCompiler(memory_plan,
+                                     short_circuit=self.short_circuit,
+                                     inline_adhoc=self.inline_adhoc,
+                                     predication=self.predication)
+            compiled = compiler.compile(plan)
+        return compiled, space
+
+    def _build_address_space(self, plan: P.PhysicalOperator,
+                             catalog: Catalog):
+        """Rewire everything the query needs into one 32-bit space."""
+        space = AddressSpace()
+        consts_base = space.alloc("consts", CONST_REGION_SIZE)
+
+        column_addresses: dict[tuple[str, str], int] = {}
+        row_counts: dict[str, int] = {}
+        self._chunked: dict[str, int] = {}  # binding -> window rows
+        for scan in _scans_of(plan):
+            table = catalog.get(scan.table_name)
+            row_counts[scan.binding] = table.row_count
+            window = self.table_window_rows
+            chunked = (window is not None and table.row_count > window
+                       and isinstance(scan, P.SeqScan))
+            if chunked:
+                self._chunked[scan.binding] = window
+            for name in scan.columns:
+                column = table.column(name)
+                if chunked:
+                    # map only the window; later chunks are re-wired in
+                    buffer = memoryview(column.values[:window]).cast("B")
+                elif len(column):
+                    buffer = column.buffer()
+                else:
+                    buffer = bytearray(8)
+                addr = space.map_buffer(
+                    f"col:{scan.binding}.{name}", buffer
+                )
+                column_addresses[(scan.binding, name)] = addr
+            if isinstance(scan, P.IndexSeek):
+                # rewire the index permutation into the module as well —
+                # the "non-consecutive structure" the paper deferred
+                index = table.index_on(scan.key_column)
+                buffer = index.row_id_buffer() if len(index) \
+                    else bytearray(8)
+                addr = space.map_buffer(
+                    f"idx:{scan.binding}.{scan.key_column}", buffer
+                )
+                pseudo = f"__index_rowids__{scan.key_column}"
+                column_addresses[(scan.binding, pseudo)] = addr
+
+        result_base = space.alloc("result", RESULT_REGION_SIZE)
+
+        heap_bytes = _HEAP_SLACK
+        for breaker in _breakers_of(plan):
+            rows = int(breaker.estimated_rows) + 64
+            width = sum(c.ty.size for c in breaker.output) + 32
+            heap_bytes += rows * width * 2
+        heap_base = space.alloc("heap", heap_bytes)
+        heap_end = heap_base + (
+            -(-heap_bytes // WASM_PAGE_SIZE) * WASM_PAGE_SIZE
+        )
+
+        memory_plan = MemoryPlan(
+            consts_base=consts_base,
+            result_base=result_base,
+            heap_base=heap_base,
+            heap_end=heap_end,
+            column_addresses=column_addresses,
+            row_counts=row_counts,
+        )
+        return space, memory_plan
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
+                profile: Profile | None = None) -> ExecutionResult:
+        timings = Timings()
+        compiled, space = self.compile_query(plan, catalog, timings)
+
+        engine = Engine(EngineConfig(
+            mode=self.mode, tier_up_threshold=self.tier_up_threshold
+        ))
+        rows: list[tuple] = []
+        memory = LinearMemory(space)
+
+        instance_box = {}
+
+        def flush_results():
+            self._drain(instance_box["instance"], compiled, rows)
+
+        def like_generic(addr: int, width: int, pattern_id: int) -> int:
+            raw = instance_box["instance"].memory.read_bytes(addr, width)
+            text = raw.rstrip(b"\x00").decode("utf-8", "replace")
+            regex = sql_like_regex(compiled.generic_patterns[pattern_id])
+            return 1 if regex.match(text) else 0
+
+        imports = {
+            ("env", "flush_results"): flush_results,
+            ("env", "like_generic"): like_generic,
+        }
+        instance = engine.instantiate(
+            compiled.module, imports=imports, memory=memory, profile=profile
+        )
+        instance_box["instance"] = instance
+        # instantiation time counts as compilation (Liftoff/TurboFan)
+        timings.add("compile_liftoff", instance.stats.liftoff_seconds)
+        timings.add("compile_turbofan", instance.stats.turbofan_seconds)
+
+        self._rewire_count = 0
+        compile_before = instance.stats.total_compile_seconds
+        with Stopwatch(timings, "execution"):
+            instance.invoke("init")
+            for info in compiled.pipelines:
+                self._run_pipeline(instance, compiled, info, rows,
+                                   plan, catalog)
+            self._drain(instance, compiled, rows)
+        # tier-up compilation that happened during execution is reported
+        # as compile time, not execution time (in V8 it runs concurrently)
+        tier_up = instance.stats.total_compile_seconds - compile_before
+        if tier_up > 0:
+            timings.phases["execution"] -= tier_up
+            timings.add("compile_turbofan", tier_up)
+
+        result = self.finalize_rows(plan, rows)
+        result.engine = self.name
+        result.timings = timings
+        result.profile = profile
+        return result
+
+    def _run_pipeline(self, instance, compiled: CompiledQuery, info,
+                      rows: list, plan, catalog) -> None:
+        if info.sort_before is not None:
+            instance.invoke(info.sort_before)
+        if info.source_kind == "indexseek":
+            table = next(
+                catalog.get(s.table_name) for s in _scans_of(plan)
+                if s.binding == info.source_name
+            )
+            key, low, high, lstrict, hstrict = info.seek
+            begin, total = table.index_on(key).positions(
+                low, high, lstrict, hstrict
+            )
+        else:
+            total = self._source_rows(instance, compiled, info)
+            begin = 0
+
+        window = self._chunked.get(info.source_name) \
+            if info.source_kind == "scan" else None
+        if window is not None:
+            # Figure 5: the pipeline sees [0, chunk_rows) of a fixed
+            # window; the host re-wires the next chunk between runs
+            table = next(
+                catalog.get(s.table_name) for s in _scans_of(plan)
+                if s.binding == info.source_name
+            )
+            scan = next(s for s in _scans_of(plan)
+                        if s.binding == info.source_name)
+            offset = 0
+            while offset < total:
+                chunk_rows = min(window, total - offset)
+                for name in scan.columns:
+                    values = table.column(name).values
+                    chunk = values[offset:offset + chunk_rows]
+                    instance.memory.space.remap(
+                        f"col:{info.source_name}.{name}",
+                        memoryview(chunk).cast("B"),
+                    )
+                self._rewire_count += 1
+                self._drive_morsels(instance, compiled, info, rows,
+                                    0, chunk_rows)
+                offset += chunk_rows
+            return
+
+        self._drive_morsels(instance, compiled, info, rows, begin, total)
+
+    def _drive_morsels(self, instance, compiled, info, rows,
+                       begin: int, total: int) -> None:
+        while begin < total:
+            end = min(begin + self.morsel_size, total)
+            instance.invoke(info.function, begin, end)
+            if info.is_final:
+                self._drain(instance, compiled, rows)
+                if info.limit_total is not None and self._read_global(
+                    instance, info.limit_global
+                ) >= info.limit_total:
+                    break
+            begin = end
+
+    def _source_rows(self, instance, compiled: CompiledQuery, info) -> int:
+        if info.source_kind == "scan":
+            return compiled.memory.row_counts[info.source_name]
+        if info.source_kind == "scalar":
+            return 1
+        # hash-table entries or sort-array rows: read the exported count
+        return self._read_global(instance, f"{info.source_name}_count")
+
+    @staticmethod
+    def _read_global(instance, export_name: str) -> int:
+        export = instance.module.export_by_name(export_name)
+        return instance.globals[export.index]
+
+    @staticmethod
+    def _write_global(instance, export_name: str, value: int) -> None:
+        export = instance.module.export_by_name(export_name)
+        instance.globals[export.index] = value
+
+    def _drain(self, instance, compiled: CompiledQuery, rows: list) -> None:
+        """Read packed rows out of the rewired result window."""
+        count = self._read_global(instance, "result_count")
+        if count == 0:
+            return
+        layout = compiled.result_layout
+        base = compiled.memory.result_base
+        raw = instance.memory.read_bytes(base, count * layout.stride)
+        fields = [layout.field(f"o{i}")
+                  for i in range(len(compiled.output_types))]
+        formats = []
+        for f in fields:
+            if f.ty.is_string:
+                formats.append(None)
+            else:
+                formats.append({
+                    ("i32", 1): "<b", ("i32", 4): "<i",
+                    ("i64", 8): "<q", ("f64", 8): "<d",
+                }[(f.ty.wasm_type, f.ty.size)])
+        for r in range(count):
+            offset = r * layout.stride
+            row = []
+            for f, fmt in zip(fields, formats):
+                if fmt is None:
+                    row.append(raw[offset + f.offset:
+                                   offset + f.offset + f.ty.size])
+                else:
+                    row.append(
+                        struct.unpack_from(fmt, raw, offset + f.offset)[0]
+                    )
+            rows.append(tuple(row))
+        self._write_global(instance, "result_count", 0)
+
+    # -- introspection helpers (examples, tests) -----------------------------------
+
+    def explain_wasm(self, plan: P.PhysicalOperator, catalog: Catalog) -> str:
+        """The generated module as WAT text plus the pipeline summary."""
+        from repro.wasm.wat import module_to_wat
+
+        timings = Timings()
+        compiled, _ = self.compile_query(plan, catalog, timings)
+        lines = [p.describe() for p in dissect_into_pipelines(plan)]
+        return "\n".join(lines) + "\n\n" + module_to_wat(compiled.module)

@@ -1,0 +1,120 @@
+"""Exception hierarchy of the repro database system.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch a single base class.  The hierarchy mirrors the layered
+architecture: SQL frontend errors, catalog errors, planning errors, Wasm
+(compilation/validation/trap) errors, and engine errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# SQL frontend
+# --------------------------------------------------------------------------
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL frontend."""
+
+
+class LexError(SqlError):
+    """Raised when the tokenizer encounters malformed input.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character.
+    """
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (at line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser encounters a syntax error."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class AnalysisError(SqlError):
+    """Raised by semantic analysis: unknown names, type mismatches, ..."""
+
+
+# --------------------------------------------------------------------------
+# Catalog / storage
+# --------------------------------------------------------------------------
+
+class CatalogError(ReproError):
+    """Unknown or duplicate tables/columns, schema violations."""
+
+
+class StorageError(ReproError):
+    """Errors in the storage layer (layout, capacity, type mismatch)."""
+
+
+class RewiringError(StorageError):
+    """Errors in the rewired address space (overlap, out of window, ...)."""
+
+
+# --------------------------------------------------------------------------
+# Planning
+# --------------------------------------------------------------------------
+
+class PlanError(ReproError):
+    """Errors while building or optimizing query plans."""
+
+
+class UnsupportedFeatureError(PlanError):
+    """A SQL feature that is recognized but not implemented by a backend."""
+
+
+# --------------------------------------------------------------------------
+# WebAssembly substrate
+# --------------------------------------------------------------------------
+
+class WasmError(ReproError):
+    """Base class for errors in the WebAssembly substrate."""
+
+
+class EncodeError(WasmError):
+    """Raised when a module cannot be encoded to the binary format."""
+
+
+class DecodeError(WasmError):
+    """Raised when a binary module is malformed."""
+
+
+class ValidationError(WasmError):
+    """Raised when a module fails validation (type checking)."""
+
+
+class Trap(WasmError):
+    """A WebAssembly trap: execution aborted with a runtime error.
+
+    Mirrors the traps of the Wasm spec: out-of-bounds memory access,
+    integer divide by zero, unreachable, call-stack exhaustion, ...
+    """
+
+    def __init__(self, kind: str, message: str = ""):
+        super().__init__(f"wasm trap: {kind}" + (f": {message}" if message else ""))
+        self.kind = kind
+
+
+class CompilationError(WasmError):
+    """Raised when a tier compiler cannot compile a function."""
+
+
+# --------------------------------------------------------------------------
+# Engines
+# --------------------------------------------------------------------------
+
+class EngineError(ReproError):
+    """Errors during query execution in any engine."""

@@ -1,0 +1,54 @@
+"""Query planning: logical plans, optimization, physical plans, pipelines."""
+
+from repro.plan.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOperator,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.plan.builder import build_logical_plan
+from repro.plan.optimizer import optimize
+from repro.plan.physical import (
+    Filter,
+    HashGroupBy,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    PhysicalOperator,
+    Project,
+    ScalarAggregate,
+    SeqScan,
+    Sort,
+    create_physical_plan,
+)
+from repro.plan.pipeline import Pipeline, dissect_into_pipelines
+
+__all__ = [
+    "Filter",
+    "HashGroupBy",
+    "HashJoin",
+    "Limit",
+    "LogicalAggregate",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalLimit",
+    "LogicalOperator",
+    "LogicalProject",
+    "LogicalScan",
+    "LogicalSort",
+    "NestedLoopJoin",
+    "PhysicalOperator",
+    "Pipeline",
+    "Project",
+    "ScalarAggregate",
+    "SeqScan",
+    "Sort",
+    "build_logical_plan",
+    "create_physical_plan",
+    "dissect_into_pipelines",
+    "optimize",
+]

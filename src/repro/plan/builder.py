@@ -1,0 +1,148 @@
+"""Building the canonical logical plan from an analyzed SELECT.
+
+The builder produces the *canonical* shape — cross joins in FROM order,
+one filter holding the whole WHERE, aggregation, having-filter,
+projection, sort, limit — which the optimizer then rewrites (predicate
+pushdown, join ordering).  Keeping the builder dumb makes both it and
+the optimizer easy to test in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PlanError, UnsupportedFeatureError
+from repro.plan.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalOperator,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.sql import ast
+from repro.sql.analyzer import _contains_aggregate, _expr_key
+
+__all__ = ["build_logical_plan", "collect_aggregates", "split_conjuncts"]
+
+
+def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def collect_aggregates(select: ast.Select) -> list[ast.FuncCall]:
+    """All distinct aggregate calls in SELECT, HAVING, and ORDER BY."""
+    seen: dict[str, ast.FuncCall] = {}
+
+    def collect(expr: ast.Expr) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.FuncCall) and node.is_aggregate:
+                seen.setdefault(_expr_key(node), node)
+
+    for item in select.items:
+        collect(item.expr)
+    if select.having is not None:
+        collect(select.having)
+    for order in select.order_by:
+        collect(order.expr)
+    return list(seen.values())
+
+
+def _output_name(item: ast.SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.column
+    if isinstance(item.expr, ast.FuncCall):
+        return item.expr.name.lower()
+    return f"col{position}"
+
+
+def build_logical_plan(select: ast.Select, catalog: Catalog) -> LogicalOperator:
+    """Analyzed SELECT -> canonical logical plan."""
+    # FROM: scans cross-joined in syntactic order
+    plan: LogicalOperator | None = None
+    for ref in select.tables:
+        scan = LogicalScan(ref.name, ref.binding, catalog.get(ref.name).schema)
+        plan = scan if plan is None else LogicalJoin(plan, scan, None)
+    if plan is None:  # pragma: no cover - parser requires FROM
+        raise PlanError("SELECT without FROM")
+
+    if select.where is not None:
+        plan = LogicalFilter(plan, select.where)
+
+    aggregates = collect_aggregates(select)
+    grouped = bool(aggregates) or bool(select.group_by)
+    if grouped:
+        plan = LogicalAggregate(plan, list(select.group_by), aggregates)
+        if select.having is not None:
+            plan = LogicalFilter(plan, select.having)
+
+    # ORDER BY sits *below* the projection: its expressions reference the
+    # pre-projection columns (select aliases were substituted away by the
+    # analyzer), so sort keys may use columns the projection drops.
+    # Row-wise projection preserves the order.  DISTINCT queries instead
+    # sort above the deduplicating aggregate (handled below).
+    if select.order_by and not select.distinct:
+        plan = LogicalSort(
+            plan, [(o.expr, o.descending) for o in select.order_by]
+        )
+
+    items = [
+        (item.expr, _output_name(item, i))
+        for i, item in enumerate(select.items)
+    ]
+    names = [name for _, name in items]
+    if len(set(names)) != len(names):
+        # disambiguate duplicate output names positionally
+        seen: dict[str, int] = {}
+        fixed = []
+        for expr, name in items:
+            if name in seen:
+                seen[name] += 1
+                name = f"{name}_{seen[name]}"
+            else:
+                seen[name] = 0
+            fixed.append((expr, name))
+        items = fixed
+    plan = LogicalProject(plan, items)
+    project = plan
+
+    if select.distinct:
+        if grouped:
+            raise UnsupportedFeatureError(
+                "DISTINCT combined with aggregation is not supported"
+            )
+        keys = []
+        for column in plan.output_columns:
+            ref = ast.ColumnRef("$proj", column.name)
+            ref.resolved = column.ref
+            ref.ty = column.ty
+            keys.append(ref)
+        plan = LogicalAggregate(plan, keys, [])
+
+    if select.order_by and select.distinct:
+        # distinct output columns are pseudo-references to the projection;
+        # rewrite order keys that structurally match a select item so they
+        # resolve against the deduplicating aggregate's output
+        item_map = {}
+        for (expr, name), column in zip(items, project.output_columns):
+            ref = ast.ColumnRef(column.ref[0], column.ref[1])
+            ref.resolved = column.ref
+            ref.ty = column.ty
+            item_map[_expr_key(expr)] = ref
+        order = []
+        for o in select.order_by:
+            rewritten = item_map.get(_expr_key(o.expr), o.expr)
+            order.append((rewritten, o.descending))
+        plan = LogicalSort(plan, order)
+
+    if select.limit is not None or select.offset:
+        plan = LogicalLimit(plan, select.limit, select.offset)
+    return plan

@@ -1,0 +1,160 @@
+"""Cardinality and selectivity estimation.
+
+Textbook System-R-style estimates over the catalog statistics:
+
+* equality with a constant: ``1 / NDV``,
+* range predicates: the covered fraction of ``[min, max]``,
+* equi-joins: ``1 / max(NDV_left, NDV_right)``,
+* LIKE / fallback: fixed magic constants.
+
+The estimator powers join ordering and build-side selection; it only has
+to rank alternatives sensibly, not be precise.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.catalog.statistics import ColumnStatistics
+from repro.sql import ast
+from repro.sql import types as T
+
+__all__ = ["CardinalityEstimator", "DEFAULT_SELECTIVITY"]
+
+DEFAULT_SELECTIVITY = 0.25
+EQ_FALLBACK = 0.05
+LIKE_SELECTIVITY = 0.1
+
+
+def _as_number(value) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, _dt.date):
+        return float(T.date_to_days(value))
+    return None
+
+
+class CardinalityEstimator:
+    """Estimates selectivities against per-binding table statistics.
+
+    ``stats_by_binding`` maps a FROM binding to its table's
+    :class:`~repro.catalog.statistics.TableStatistics`.
+    """
+
+    def __init__(self, stats_by_binding: dict[str, object]):
+        self.stats = stats_by_binding
+
+    # -- column helpers ---------------------------------------------------
+
+    def _column_stats(self, ref: ast.ColumnRef) -> ColumnStatistics | None:
+        if ref.resolved is None:
+            return None
+        binding, column = ref.resolved
+        table_stats = self.stats.get(binding)
+        if table_stats is None:
+            return None
+        return table_stats.column(column)
+
+    def _range_fraction(self, ref: ast.ColumnRef, low: float | None,
+                        high: float | None) -> float:
+        stats = self._column_stats(ref)
+        if stats is None:
+            return DEFAULT_SELECTIVITY
+        lo = _as_number(stats.minimum)
+        hi = _as_number(stats.maximum)
+        if lo is None or hi is None or hi <= lo:
+            return DEFAULT_SELECTIVITY
+        lo_q = lo if low is None else max(lo, low)
+        hi_q = hi if high is None else min(hi, high)
+        if hi_q <= lo_q:
+            return 0.0
+        return min(1.0, (hi_q - lo_q) / (hi - lo))
+
+    # -- predicate selectivity ------------------------------------------------
+
+    def selectivity(self, predicate: ast.Expr | None) -> float:
+        if predicate is None:
+            return 1.0
+        if isinstance(predicate, ast.Binary):
+            if predicate.op == "AND":
+                return (self.selectivity(predicate.left)
+                        * self.selectivity(predicate.right))
+            if predicate.op == "OR":
+                a = self.selectivity(predicate.left)
+                b = self.selectivity(predicate.right)
+                return min(1.0, a + b - a * b)
+            return self._comparison_selectivity(predicate)
+        if isinstance(predicate, ast.Unary) and predicate.op == "NOT":
+            return max(0.0, 1.0 - self.selectivity(predicate.operand))
+        if isinstance(predicate, ast.Between):
+            if isinstance(predicate.expr, ast.ColumnRef):
+                low = (_as_number(predicate.low.value)
+                       if isinstance(predicate.low, ast.Literal) else None)
+                high = (_as_number(predicate.high.value)
+                        if isinstance(predicate.high, ast.Literal) else None)
+                fraction = self._range_fraction(predicate.expr, low, high)
+                return 1.0 - fraction if predicate.negated else fraction
+            return DEFAULT_SELECTIVITY
+        if isinstance(predicate, ast.InList):
+            if isinstance(predicate.expr, ast.ColumnRef):
+                stats = self._column_stats(predicate.expr)
+                if stats is not None and stats.distinct:
+                    fraction = min(1.0, len(predicate.items) / stats.distinct)
+                    return 1.0 - fraction if predicate.negated else fraction
+            return DEFAULT_SELECTIVITY
+        if isinstance(predicate, ast.Like):
+            return LIKE_SELECTIVITY
+        if isinstance(predicate, ast.Literal):
+            return 1.0 if predicate.value else 0.0
+        return DEFAULT_SELECTIVITY
+
+    def _comparison_selectivity(self, cmp: ast.Binary) -> float:
+        left, right = cmp.left, cmp.right
+        op = cmp.op
+        # normalize constant to the right
+        if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+            flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            left, right = right, left
+            op = flip.get(op, op)
+        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+            if op == "=":
+                stats = self._column_stats(left)
+                if stats is not None and stats.distinct:
+                    return 1.0 / stats.distinct
+                return EQ_FALLBACK
+            if op == "<>":
+                return 1.0 - self._comparison_selectivity(
+                    ast.Binary("=", left, right)
+                )
+            value = _as_number(right.value)
+            if op in ("<", "<="):
+                return self._range_fraction(left, None, value)
+            if op in (">", ">="):
+                return self._range_fraction(left, value, None)
+        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef):
+            if op == "=":
+                return self.join_selectivity(left, right)
+            return DEFAULT_SELECTIVITY
+        return DEFAULT_SELECTIVITY
+
+    def join_selectivity(self, left: ast.ColumnRef,
+                         right: ast.ColumnRef) -> float:
+        """1 / max(NDV) for an equi-join predicate."""
+        a = self._column_stats(left)
+        b = self._column_stats(right)
+        ndv = max(
+            a.distinct if a else 0,
+            b.distinct if b else 0,
+        )
+        return 1.0 / ndv if ndv else EQ_FALLBACK
+
+    # -- group cardinality ------------------------------------------------------
+
+    def distinct_of(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.ColumnRef):
+            stats = self._column_stats(expr)
+            if stats is not None and stats.distinct:
+                return stats.distinct
+        return 100  # magic default group count

@@ -1,0 +1,455 @@
+"""The lowered expression IR every engine executes.
+
+Semantic analysis leaves expressions as an AST over named columns;
+*lowering* rewrites them into a small, fully explicit IR over **slots**
+(positions in the current operator's input tuple) with all type coercion
+spelled out:
+
+* literals are converted to their storage representation (dates to day
+  numbers, decimals to scaled integers, strings to padded bytes),
+* numeric widening becomes explicit :class:`Promote` nodes,
+* DECIMAL arithmetic is desugared into scaled i64 arithmetic
+  (``a*b/10**min(s1,s2)`` for multiplication, scale alignment for
+  addition/comparison, conversion to DOUBLE for division),
+* ``BETWEEN`` and ``IN`` become comparisons and disjunctions,
+* ``LIKE`` patterns are classified into prefix/suffix/contains/exact
+  matchers (a generic fallback handles the rest).
+
+All four engines — Volcano, vectorized, HyPer-like, and the Wasm
+backend — consume exactly this IR, which keeps their results comparable
+and their expression semantics identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.sql import types as T
+from repro.sql.types import DataType
+
+__all__ = [
+    "LExpr", "Slot", "Const", "Neg", "Arith", "Compare", "Logic", "Not",
+    "Case", "Like", "Extract", "Promote", "Aggregate",
+    "walk_lexpr", "slots_used",
+]
+
+
+@dataclass
+class LExpr:
+    """Base class: a lowered expression with its SQL result type."""
+
+    ty: DataType = field(init=False, repr=False)
+
+
+@dataclass
+class Slot(LExpr):
+    """Reads position ``index`` of the operator's input tuple."""
+
+    index: int
+
+    def __init__(self, index: int, ty: DataType):
+        self.index = index
+        self.ty = ty
+
+
+@dataclass
+class Const(LExpr):
+    """A literal in storage representation (scaled int, day number, bytes)."""
+
+    value: object
+
+    def __init__(self, value, ty: DataType):
+        self.value = value
+        self.ty = ty
+
+
+@dataclass
+class Neg(LExpr):
+    operand: LExpr
+
+    def __init__(self, operand: LExpr):
+        self.operand = operand
+        self.ty = operand.ty
+
+
+@dataclass
+class Arith(LExpr):
+    """Arithmetic on operands of the *same* Wasm category.
+
+    ``op`` is one of ``+ - * / %``.  For DECIMAL-typed nodes the values
+    are scaled i64 integers; scale corrections were inserted by lowering.
+    """
+
+    op: str
+    left: LExpr
+    right: LExpr
+
+    def __init__(self, op: str, left: LExpr, right: LExpr, ty: DataType):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.ty = ty
+
+
+@dataclass
+class Compare(LExpr):
+    """Comparison of same-typed operands; yields BOOLEAN.
+
+    String operands compare byte-wise (NUL padding sorts first, matching
+    fixed-width CHAR semantics).
+    """
+
+    op: str  # = <> < <= > >=
+    left: LExpr
+    right: LExpr
+
+    def __init__(self, op: str, left: LExpr, right: LExpr):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.ty = T.BOOLEAN
+
+
+@dataclass
+class Logic(LExpr):
+    """``AND`` / ``OR``; engines may short-circuit."""
+
+    op: str
+    left: LExpr
+    right: LExpr
+
+    def __init__(self, op: str, left: LExpr, right: LExpr):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.ty = T.BOOLEAN
+
+
+@dataclass
+class Not(LExpr):
+    operand: LExpr
+
+    def __init__(self, operand: LExpr):
+        self.operand = operand
+        self.ty = T.BOOLEAN
+
+
+@dataclass
+class Case(LExpr):
+    """Searched CASE; all results share one type, ELSE always present."""
+
+    whens: list[tuple[LExpr, LExpr]]
+    else_: LExpr
+
+    def __init__(self, whens, else_: LExpr, ty: DataType):
+        self.whens = list(whens)
+        self.else_ = else_
+        self.ty = ty
+
+
+@dataclass
+class Like(LExpr):
+    """A classified LIKE match against a string slot/expression.
+
+    ``kind``: ``exact`` | ``prefix`` | ``suffix`` | ``contains`` |
+    ``generic``; ``pattern`` holds raw bytes for the first four kinds and
+    the original SQL pattern string for ``generic``.
+    """
+
+    kind: str
+    operand: LExpr
+    pattern: object
+    negated: bool = False
+
+    def __init__(self, kind: str, operand: LExpr, pattern, negated=False):
+        self.kind = kind
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self.ty = T.BOOLEAN
+
+
+@dataclass
+class Extract(LExpr):
+    """EXTRACT(YEAR|MONTH|DAY) from a DATE value (day number)."""
+
+    part: str
+    operand: LExpr
+
+    def __init__(self, part: str, operand: LExpr):
+        self.part = part
+        self.operand = operand
+        self.ty = T.INT32
+
+
+@dataclass
+class Promote(LExpr):
+    """Numeric conversion without scaling: i32->i64, int->f64, f64->i64.
+
+    Decimal rescaling is expressed separately as multiplication by a
+    constant, so engines implement Promote as a plain category cast.
+    """
+
+    operand: LExpr
+
+    def __init__(self, operand: LExpr, ty: DataType):
+        self.operand = operand
+        self.ty = ty
+
+
+@dataclass
+class Aggregate:
+    """One aggregate computed by an aggregation operator (not an LExpr).
+
+    ``kind``: COUNT (arg None means ``COUNT(*)``), SUM, AVG, MIN, MAX.
+    ``arg`` is a lowered expression over the aggregation input.
+    """
+
+    kind: str
+    arg: LExpr | None
+    ty: DataType
+
+    @property
+    def needs_sum_and_count(self) -> bool:
+        return self.kind == "AVG"
+
+
+def walk_lexpr(expr: LExpr):
+    """Yield ``expr`` and all sub-expressions, pre-order."""
+    yield expr
+    if isinstance(expr, (Neg, Not, Promote, Extract, Like)):
+        yield from walk_lexpr(expr.operand)
+    elif isinstance(expr, (Arith, Compare, Logic)):
+        yield from walk_lexpr(expr.left)
+        yield from walk_lexpr(expr.right)
+    elif isinstance(expr, Case):
+        for cond, result in expr.whens:
+            yield from walk_lexpr(cond)
+            yield from walk_lexpr(result)
+        yield from walk_lexpr(expr.else_)
+
+
+def slots_used(expr: LExpr) -> set[int]:
+    """The input-tuple slots an expression reads."""
+    return {
+        node.index for node in walk_lexpr(expr) if isinstance(node, Slot)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Lowering from the analyzed AST
+# ---------------------------------------------------------------------------
+
+def classify_like_pattern(pattern: str) -> tuple[str, object]:
+    """Classify a LIKE pattern into a matcher kind (see :class:`Like`)."""
+    body = pattern
+    if "_" in body:
+        return "generic", pattern
+    parts = body.split("%")
+    stripped = [p for p in parts if p]
+    if len(stripped) > 1:
+        return "generic", pattern
+    literal = (stripped[0] if stripped else "").encode("utf-8")
+    starts = body.startswith("%")
+    ends = body.endswith("%")
+    if "%" not in body:
+        return "exact", literal
+    if not starts and ends and len(parts) == 2:
+        return "prefix", literal
+    if starts and not ends and len(parts) == 2:
+        return "suffix", literal
+    return "contains", literal
+
+
+class Lowerer:
+    """Rewrites analyzed AST expressions into the lowered IR.
+
+    ``resolver`` maps a resolved column reference ``(binding, column)``
+    to its ``(slot index, type)`` in the current operator input.
+    """
+
+    def __init__(self, resolver):
+        self.resolve = resolver
+
+    # -- coercion helpers ------------------------------------------------------
+
+    def coerce(self, expr: LExpr, target: DataType) -> LExpr:
+        """Convert ``expr`` to ``target`` (numeric widening + rescaling).
+
+        Constants fold: the conversion happens at plan time, so engines
+        see a single literal in storage representation.
+        """
+        src = expr.ty
+        if src == target:
+            return expr
+        if isinstance(expr, Const) and src.is_numeric and target.is_numeric:
+            python_value = src.from_storage(expr.value)
+            return Const(target.to_storage(python_value), target)
+        if src.is_string and target.is_string:
+            return expr  # padded-bytes comparison handles length mismatch
+        if not (src.is_numeric and target.is_numeric):
+            if src.is_date and target.is_date:
+                return expr
+            raise PlanError(f"cannot coerce {src} to {target}")
+
+        if isinstance(target, T.DecimalType):
+            scale = target.scale
+            if isinstance(src, T.DecimalType):
+                delta = scale - src.scale
+                if delta == 0:
+                    return expr
+                if delta > 0:
+                    return Arith("*", expr, Const(10**delta, target), target)
+                return Arith("/", expr, Const(10**-delta, target), target)
+            if src.is_integer:
+                promoted = Promote(expr, target)
+                if scale == 0:
+                    return promoted
+                return Arith(
+                    "*", promoted, Const(10**scale, target), target
+                )
+            raise PlanError(f"cannot coerce {src} to {target}")
+
+        if target.is_floating:
+            if isinstance(src, T.DecimalType):
+                as_double = Promote(expr, target)
+                if src.scale == 0:
+                    return as_double
+                return Arith(
+                    "/", as_double, Const(float(src.factor), target), target
+                )
+            return Promote(expr, target)
+
+        if target == T.INT64 and src.is_integer:
+            return Promote(expr, target)
+        if target == T.INT32 and src.is_integer:
+            return Promote(expr, target)
+        if target.is_integer and src.is_floating:
+            return Promote(expr, target)  # truncating cast
+        raise PlanError(f"cannot coerce {src} to {target}")
+
+    def _binary_coerced(self, left: LExpr, right: LExpr) -> tuple:
+        common = T.common_type(left.ty, right.ty)
+        return self.coerce(left, common), self.coerce(right, common), common
+
+    # -- dispatch -------------------------------------------------------------
+
+    def lower(self, expr) -> LExpr:
+        from repro.sql import ast
+
+        if isinstance(expr, ast.Literal):
+            return Const(expr.ty.to_storage(expr.value), expr.ty)
+        if isinstance(expr, ast.ColumnRef):
+            index, ty = self.resolve(expr.resolved)
+            return Slot(index, ty)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "NOT":
+                return Not(self.lower(expr.operand))
+            return Neg(self.lower(expr.operand))
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Between):
+            value = self.lower(expr.expr)
+            low = self.lower(expr.low)
+            high = self.lower(expr.high)
+            lo_l, lo_r, _ = self._binary_coerced(value, low)
+            hi_l, hi_r, _ = self._binary_coerced(value, high)
+            test = Logic(
+                "AND",
+                Compare(">=", lo_l, lo_r),
+                Compare("<=", hi_l, hi_r),
+            )
+            return Not(test) if expr.negated else test
+        if isinstance(expr, ast.InList):
+            value = self.lower(expr.expr)
+            test = None
+            for item in expr.items:
+                left, right, _ = self._binary_coerced(
+                    value, self.lower(item)
+                )
+                eq = Compare("=", left, right)
+                test = eq if test is None else Logic("OR", test, eq)
+            return Not(test) if expr.negated else test
+        if isinstance(expr, ast.Like):
+            kind, pattern = classify_like_pattern(expr.pattern.value)
+            return Like(kind, self.lower(expr.expr), pattern, expr.negated)
+        if isinstance(expr, ast.CaseWhen):
+            ty = expr.ty
+            whens = [
+                (self.lower(cond), self.coerce(self.lower(result), ty))
+                for cond, result in expr.whens
+            ]
+            return Case(whens, self.coerce(self.lower(expr.else_), ty), ty)
+        if isinstance(expr, ast.FuncCall):
+            if expr.name.startswith("EXTRACT_"):
+                part = expr.name.split("_")[1]
+                return Extract(part, self.lower(expr.args[0]))
+            raise PlanError(
+                f"aggregate {expr.name} must be lowered by the aggregation "
+                f"operator, not as a scalar expression"
+            )
+        if isinstance(expr, ast.Cast):
+            return self.coerce(self.lower(expr.expr), expr.target)
+        raise PlanError(f"cannot lower {type(expr).__name__}")
+
+    def _lower_binary(self, expr) -> LExpr:
+        op = expr.op
+        if op in ("AND", "OR"):
+            return Logic(op, self.lower(expr.left), self.lower(expr.right))
+
+        left = self.lower(expr.left)
+        right = self.lower(expr.right)
+
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            left, right, _ = self._binary_coerced(left, right)
+            return Compare(op, left, right)
+
+        # arithmetic — expr.ty was computed by the analyzer
+        result_ty = expr.ty
+        if op == "/" and isinstance(
+            T.common_type(left.ty, right.ty), T.DecimalType
+        ):
+            # decimal division widens to DOUBLE
+            return Arith(
+                "/", self.coerce(left, T.DOUBLE),
+                self.coerce(right, T.DOUBLE), T.DOUBLE
+            )
+        if isinstance(result_ty, T.DecimalType) and op == "*":
+            lhs = self.coerce(left, _as_decimal(left.ty))
+            rhs = self.coerce(right, _as_decimal(right.ty))
+            s1 = lhs.ty.scale
+            s2 = rhs.ty.scale
+            product = Arith("*", lhs, rhs, result_ty)
+            drop = min(s1, s2)
+            if drop == 0:
+                return product
+            return Arith("/", product, Const(10**drop, result_ty), result_ty)
+        left = self.coerce(left, result_ty)
+        right = self.coerce(right, result_ty)
+        return Arith(op, left, right, result_ty)
+
+    def lower_aggregate(self, call) -> Aggregate:
+        """Lower one aggregate FuncCall (args lowered over the child)."""
+        from repro.sql import ast
+
+        if call.name == "COUNT":
+            arg = None
+            if not isinstance(call.args[0], ast.Star):
+                arg = self.lower(call.args[0])
+            return Aggregate("COUNT", arg, T.INT64)
+        arg = self.lower(call.args[0])
+        if call.name == "SUM":
+            result_ty = call.ty
+            return Aggregate("SUM", self.coerce(arg, result_ty), result_ty)
+        if call.name == "AVG":
+            return Aggregate("AVG", self.coerce(arg, T.DOUBLE), T.DOUBLE)
+        return Aggregate(call.name, arg, call.ty)  # MIN / MAX
+
+
+def _as_decimal(ty: DataType) -> T.DecimalType:
+    if isinstance(ty, T.DecimalType):
+        return ty
+    if ty.is_integer:
+        return T.DecimalType(18, 0)
+    raise PlanError(f"cannot treat {ty} as decimal")

@@ -1,0 +1,243 @@
+"""Logical query plans.
+
+Logical operators carry *analyzed AST* expressions; lowering to the slot
+IR happens during physical planning, once operator input layouts are
+fixed.  Every operator exposes ``output_columns`` — the named, typed
+columns it produces — which both the optimizer and the physical planner
+use to resolve column references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import TableSchema
+from repro.sql import ast
+from repro.sql.types import DataType
+
+__all__ = [
+    "OutputColumn",
+    "LogicalOperator",
+    "LogicalScan",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalAggregate",
+    "LogicalProject",
+    "LogicalSort",
+    "LogicalLimit",
+    "explain",
+]
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One output column of an operator.
+
+    ``ref`` identifies base-table columns as ``(binding, column)``;
+    synthesized columns (projections, aggregates) set ``ref`` to a
+    pseudo-binding and carry a structural ``key`` for matching.
+    """
+
+    ref: tuple[str, str]
+    name: str
+    ty: DataType
+    key: str | None = None
+
+
+@dataclass
+class LogicalOperator:
+    """Base class; subclasses define ``children`` and ``output_columns``."""
+
+    @property
+    def children(self) -> list["LogicalOperator"]:
+        return []
+
+    @property
+    def output_columns(self) -> list[OutputColumn]:
+        raise NotImplementedError
+
+
+@dataclass
+class LogicalScan(LogicalOperator):
+    table_name: str
+    binding: str
+    schema: TableSchema
+
+    @property
+    def output_columns(self) -> list[OutputColumn]:
+        return [
+            OutputColumn((self.binding, col.name), col.name, col.ty)
+            for col in self.schema
+        ]
+
+
+@dataclass
+class LogicalFilter(LogicalOperator):
+    child: LogicalOperator
+    predicate: ast.Expr
+
+    @property
+    def children(self):
+        return [self.child]
+
+    @property
+    def output_columns(self):
+        return self.child.output_columns
+
+
+@dataclass
+class LogicalJoin(LogicalOperator):
+    """Inner join; ``predicate`` may be None (cross product)."""
+
+    left: LogicalOperator
+    right: LogicalOperator
+    predicate: ast.Expr | None = None
+
+    @property
+    def children(self):
+        return [self.left, self.right]
+
+    @property
+    def output_columns(self):
+        return self.left.output_columns + self.right.output_columns
+
+
+@dataclass
+class LogicalAggregate(LogicalOperator):
+    """Grouping and aggregation (``keys`` empty = scalar aggregation).
+
+    Output: the grouping keys, then one column per aggregate.  Each
+    output carries the structural key of its defining expression so
+    parents can match ``SUM(x)`` in SELECT to the produced column.
+    """
+
+    child: LogicalOperator
+    keys: list[ast.Expr]
+    aggregates: list[ast.FuncCall]
+
+    @property
+    def children(self):
+        return [self.child]
+
+    @property
+    def output_columns(self):
+        from repro.sql.analyzer import _expr_key
+
+        columns = []
+        for i, key in enumerate(self.keys):
+            name = key.column if isinstance(key, ast.ColumnRef) else f"key{i}"
+            columns.append(OutputColumn(
+                ("$agg", f"k{i}"), name, key.ty, key=_expr_key(key)
+            ))
+        for i, agg in enumerate(self.aggregates):
+            columns.append(OutputColumn(
+                ("$agg", f"a{i}"), f"agg{i}", agg.ty, key=_expr_key(agg)
+            ))
+        return columns
+
+
+@dataclass
+class LogicalProject(LogicalOperator):
+    child: LogicalOperator
+    items: list[tuple[ast.Expr, str]]  # (expression, output name)
+
+    @property
+    def children(self):
+        return [self.child]
+
+    @property
+    def output_columns(self):
+        from repro.sql.analyzer import _expr_key
+
+        return [
+            OutputColumn(("$proj", name), name, expr.ty, key=_expr_key(expr))
+            for expr, name in self.items
+        ]
+
+
+@dataclass
+class LogicalSort(LogicalOperator):
+    child: LogicalOperator
+    order: list[tuple[ast.Expr, bool]]  # (expression, descending)
+
+    @property
+    def children(self):
+        return [self.child]
+
+    @property
+    def output_columns(self):
+        return self.child.output_columns
+
+
+@dataclass
+class LogicalLimit(LogicalOperator):
+    child: LogicalOperator
+    limit: int | None
+    offset: int = 0
+
+    @property
+    def children(self):
+        return [self.child]
+
+    @property
+    def output_columns(self):
+        return self.child.output_columns
+
+
+def explain(op: LogicalOperator, indent: int = 0) -> str:
+    """A readable plan rendering (used by Database.explain and tests)."""
+    pad = "  " * indent
+    name = type(op).__name__.removeprefix("Logical")
+    detail = ""
+    if isinstance(op, LogicalScan):
+        detail = f" {op.table_name}" + (
+            f" AS {op.binding}" if op.binding != op.table_name else ""
+        )
+    elif isinstance(op, LogicalFilter):
+        detail = f" [{_render(op.predicate)}]"
+    elif isinstance(op, LogicalJoin) and op.predicate is not None:
+        detail = f" [{_render(op.predicate)}]"
+    elif isinstance(op, LogicalAggregate):
+        keys = ", ".join(_render(k) for k in op.keys)
+        aggs = ", ".join(_render(a) for a in op.aggregates)
+        detail = f" keys=[{keys}] aggs=[{aggs}]"
+    elif isinstance(op, LogicalProject):
+        detail = " " + ", ".join(name for _, name in op.items)
+    elif isinstance(op, LogicalSort):
+        detail = " " + ", ".join(
+            _render(e) + (" DESC" if desc else "") for e, desc in op.order
+        )
+    elif isinstance(op, LogicalLimit):
+        detail = f" limit={op.limit} offset={op.offset}"
+    lines = [f"{pad}{name}{detail}"]
+    for child in op.children:
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _render(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.display
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.Binary):
+        return f"({_render(expr.left)} {expr.op} {_render(expr.right)})"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}({_render(expr.operand)})"
+    if isinstance(expr, ast.FuncCall):
+        args = ", ".join(
+            "*" if isinstance(a, ast.Star) else _render(a) for a in expr.args
+        )
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.Between):
+        return (f"({_render(expr.expr)} BETWEEN {_render(expr.low)} "
+                f"AND {_render(expr.high)})")
+    if isinstance(expr, ast.Like):
+        return f"({_render(expr.expr)} LIKE {_render(expr.pattern)})"
+    if isinstance(expr, ast.CaseWhen):
+        return "CASE..END"
+    if isinstance(expr, ast.InList):
+        return f"({_render(expr.expr)} IN (...))"
+    if isinstance(expr, ast.Cast):
+        return f"CAST({_render(expr.expr)} AS {expr.target})"
+    return type(expr).__name__

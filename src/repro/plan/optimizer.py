@@ -1,0 +1,252 @@
+"""The logical optimizer: pushdown and dynamic-programming join ordering.
+
+Rewrites the builder's canonical plan:
+
+1. **Conjunct classification** — the WHERE predicate is split into
+   conjuncts; each is classified by the set of FROM bindings it touches.
+2. **Predicate pushdown** — single-binding conjuncts become filters
+   directly above their scan.
+3. **Join ordering** — a DP over binding subsets (DPsub) enumerates
+   bushy join trees connected by join conjuncts, costed as the sum of
+   estimated intermediate cardinalities; disconnected subsets are only
+   combined when nothing else remains (cross products as a last resort).
+4. Multi-binding non-join conjuncts become a residual filter on top.
+
+Everything above the join tree (aggregation, projection, sort, limit) is
+preserved structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plan import logical as L
+from repro.plan.cardinality import CardinalityEstimator
+from repro.plan.builder import split_conjuncts
+from repro.sql import ast
+
+__all__ = ["optimize", "bindings_of"]
+
+
+def bindings_of(expr: ast.Expr) -> frozenset[str]:
+    """The FROM bindings an expression reads."""
+    return frozenset(
+        node.resolved[0]
+        for node in ast.walk(expr)
+        if isinstance(node, ast.ColumnRef) and node.resolved is not None
+    )
+
+
+def _and_all(conjuncts: list[ast.Expr]) -> ast.Expr | None:
+    pred = None
+    for conj in conjuncts:
+        pred = conj if pred is None else _make_and(pred, conj)
+    return pred
+
+
+def _make_and(left: ast.Expr, right: ast.Expr) -> ast.Expr:
+    node = ast.Binary("AND", left, right)
+    from repro.sql.types import BOOLEAN
+
+    node.ty = BOOLEAN
+    return node
+
+
+@dataclass
+class _Candidate:
+    plan: L.LogicalOperator
+    rows: float
+    cost: float
+
+
+def optimize(plan: L.LogicalOperator, catalog) -> L.LogicalOperator:
+    """Optimize a canonical logical plan (idempotent on optimized plans)."""
+    return _Optimizer(catalog).rewrite(plan)
+
+
+class _Optimizer:
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    def rewrite(self, op: L.LogicalOperator) -> L.LogicalOperator:
+        if isinstance(op, L.LogicalFilter):
+            child = op.child
+            if isinstance(child, (L.LogicalJoin, L.LogicalScan)):
+                return self._rewrite_join_block(op.predicate, child)
+            return L.LogicalFilter(self.rewrite(child), op.predicate)
+        if isinstance(op, L.LogicalJoin) and self._is_join_block(op):
+            return self._rewrite_join_block(None, op)
+        if isinstance(op, L.LogicalScan):
+            return op
+        if isinstance(op, L.LogicalAggregate):
+            return L.LogicalAggregate(
+                self.rewrite(op.child), op.keys, op.aggregates
+            )
+        if isinstance(op, L.LogicalProject):
+            return L.LogicalProject(self.rewrite(op.child), op.items)
+        if isinstance(op, L.LogicalSort):
+            return L.LogicalSort(self.rewrite(op.child), op.order)
+        if isinstance(op, L.LogicalLimit):
+            return L.LogicalLimit(self.rewrite(op.child), op.limit, op.offset)
+        return op
+
+    @staticmethod
+    def _is_join_block(op: L.LogicalOperator) -> bool:
+        if isinstance(op, L.LogicalScan):
+            return True
+        if isinstance(op, L.LogicalJoin):
+            return (_Optimizer._is_join_block(op.left)
+                    and _Optimizer._is_join_block(op.right))
+        return False
+
+    @staticmethod
+    def _collect_scans(op: L.LogicalOperator, out: list[L.LogicalScan]):
+        if isinstance(op, L.LogicalScan):
+            out.append(op)
+        elif isinstance(op, L.LogicalJoin):
+            _Optimizer._collect_scans(op.left, out)
+            _Optimizer._collect_scans(op.right, out)
+            if op.predicate is not None:  # pragma: no cover - canonical plans
+                raise AssertionError("canonical join block carries no predicate")
+
+    def _rewrite_join_block(self, predicate: ast.Expr | None,
+                            join_root: L.LogicalOperator) -> L.LogicalOperator:
+        scans: list[L.LogicalScan] = []
+        self._collect_scans(join_root, scans)
+
+        stats = {
+            scan.binding: self.catalog.get(scan.table_name).statistics
+            for scan in scans
+        }
+        estimator = CardinalityEstimator(stats)
+
+        conjuncts = split_conjuncts(predicate)
+        single: dict[str, list[ast.Expr]] = {s.binding: [] for s in scans}
+        multi: list[tuple[frozenset[str], ast.Expr]] = []
+        residual: list[ast.Expr] = []
+        for conj in conjuncts:
+            touched = bindings_of(conj)
+            if len(touched) == 1:
+                single[next(iter(touched))].append(conj)
+            elif len(touched) >= 2:
+                multi.append((touched, conj))
+            else:
+                residual.append(conj)  # constant predicate
+
+        # base candidates: scan (+ pushed-down filter)
+        base: dict[frozenset[str], _Candidate] = {}
+        for scan in scans:
+            pred = _and_all(single[scan.binding])
+            plan: L.LogicalOperator = scan
+            rows = float(stats[scan.binding].row_count)
+            if pred is not None:
+                plan = L.LogicalFilter(plan, pred)
+                rows *= estimator.selectivity(pred)
+            base[frozenset((scan.binding,))] = _Candidate(plan, max(rows, 1.0), 0.0)
+
+        if len(base) == 1:
+            plan = next(iter(base.values())).plan
+            return self._with_residual(plan, residual)
+
+        best, unapplied = self._order_joins(base, multi, estimator)
+        return self._with_residual(best.plan, residual + unapplied)
+
+    def _with_residual(self, plan, residual: list[ast.Expr]):
+        pred = _and_all(residual)
+        if pred is not None:
+            plan = L.LogicalFilter(plan, pred)
+        return plan
+
+    def _order_joins(self, base, multi, estimator) -> _Candidate:
+        """DPsub over binding subsets."""
+        bindings = sorted(b for s in base for b in s)
+        index = {b: i for i, b in enumerate(bindings)}
+        n = len(bindings)
+        full = (1 << n) - 1
+
+        def mask_of(subset: frozenset[str]) -> int:
+            m = 0
+            for b in subset:
+                m |= 1 << index[b]
+            return m
+
+        table: dict[int, _Candidate] = {
+            mask_of(s): c for s, c in base.items()
+        }
+        applied: set[int] = set()
+        conj_masks = [
+            (mask_of(touched), touched, conj) for touched, conj in multi
+        ]
+
+        def join_candidates(left: _Candidate, right: _Candidate,
+                            mask: int) -> _Candidate | None:
+            # predicates fully covered by `mask` but spanning both sides
+            usable = []
+            sel = 1.0
+            for cmask, _touched, conj in conj_masks:
+                if cmask & mask == cmask and cmask & left_mask and cmask & right_mask:
+                    usable.append(conj)
+                    sel *= estimator.selectivity(conj)
+            if not usable:
+                return None
+            rows = max(left.rows * right.rows * sel, 1.0)
+            # smaller side becomes the build (left) input
+            lo, hi = (left, right) if left.rows <= right.rows else (right, left)
+            plan = L.LogicalJoin(lo.plan, hi.plan, _and_all(usable))
+            return _Candidate(plan, rows, left.cost + right.cost + rows)
+
+        for size in range(2, n + 1):
+            for mask in range(1, full + 1):
+                if mask.bit_count() != size:
+                    continue
+                best: _Candidate | None = None
+                sub = (mask - 1) & mask
+                while sub:
+                    other = mask ^ sub
+                    if sub < other:  # each split once
+                        left_mask, right_mask = sub, other
+                        left = table.get(left_mask)
+                        right = table.get(right_mask)
+                        if left is not None and right is not None:
+                            cand = join_candidates(left, right, mask)
+                            if cand is not None and (
+                                best is None or cand.cost < best.cost
+                            ):
+                                best = cand
+                    sub = (sub - 1) & mask
+                if best is not None:
+                    existing = table.get(mask)
+                    if existing is None or best.cost < existing.cost:
+                        table[mask] = best
+
+        if full in table:
+            # every spanning conjunct is applied exactly once inside the tree
+            return table[full], []
+
+        # disconnected join graph: fall back to a left-deep tree in FROM
+        # order (cross products), applying each conjunct at the first
+        # point where it is covered
+        singles = sorted(base.items(), key=lambda kv: mask_of(kv[0]))
+        pending = list(conj_masks)
+        current_mask, current = mask_of(singles[0][0]), singles[0][1]
+        for subset, cand in singles[1:]:
+            new_mask = mask_of(subset)
+            combined = current_mask | new_mask
+            usable, rest = [], []
+            for cmask, touched, conj in pending:
+                if (cmask & combined == cmask and cmask & current_mask
+                        and cmask & new_mask):
+                    usable.append(conj)
+                else:
+                    rest.append((cmask, touched, conj))
+            pending = rest
+            sel = 1.0
+            for conj in usable:
+                sel *= estimator.selectivity(conj)
+            rows = max(current.rows * cand.rows * sel, 1.0)
+            current = _Candidate(
+                L.LogicalJoin(current.plan, cand.plan, _and_all(usable)),
+                rows, current.cost + cand.cost + rows,
+            )
+            current_mask = combined
+        return current, [conj for _, _, conj in pending]

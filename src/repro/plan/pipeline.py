@@ -1,0 +1,111 @@
+"""Pipeline dissection (paper Section 4.1, Figure 3).
+
+A *pipeline* is a linear sequence of operators that processes tuples
+without intermediate materialization.  *Pipeline breakers* — grouping,
+sorting, the build side of a join — end a pipeline by materializing.
+The compiling engines (Wasm backend, HyPer-like) generate one tight loop
+per pipeline; this module computes the pipelines and their topological
+order (data dependencies satisfied).
+
+For the paper's Listing-1 query the dissection yields exactly the three
+pipelines of Figure 3:
+
+1. scan R -> filter -> [build join hash table]
+2. scan S -> probe join -> [build group hash table]
+3. iterate groups -> project -> result
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.plan.physical import (
+    Filter,
+    HashGroupBy,
+    HashJoin,
+    IndexSeek,
+    Limit,
+    NestedLoopJoin,
+    PhysicalOperator,
+    Project,
+    ScalarAggregate,
+    SeqScan,
+    Sort,
+)
+
+__all__ = ["Pipeline", "dissect_into_pipelines", "is_pipeline_breaker"]
+
+_BREAKERS = (HashGroupBy, ScalarAggregate, Sort)
+
+
+def is_pipeline_breaker(op: PhysicalOperator) -> bool:
+    """Operators that must materialize their input before producing."""
+    return isinstance(op, _BREAKERS + (HashJoin, NestedLoopJoin))
+
+
+@dataclass
+class Pipeline:
+    """One pipeline of the dissected plan.
+
+    Attributes:
+        index: position in topological order.
+        source: where tuples come from — a :class:`SeqScan`, or a
+            breaker whose materialized output this pipeline iterates.
+        operators: the streaming operators, in data-flow order.  A
+            :class:`HashJoin`/:class:`NestedLoopJoin` appearing here is
+            being *probed* (its build input was filled by an earlier
+            pipeline whose ``sink`` is that join).
+        sink: the breaker this pipeline feeds (tuples are materialized
+            into it), or ``None`` — the pipeline produces the result.
+    """
+
+    index: int
+    source: PhysicalOperator
+    operators: list[PhysicalOperator]
+    sink: PhysicalOperator | None
+
+    def describe(self) -> str:
+        def short(op):
+            name = type(op).__name__
+            if isinstance(op, SeqScan):
+                return f"Scan({op.table_name})"
+            if isinstance(op, IndexSeek):
+                return f"IndexSeek({op.table_name}.{op.key_column})"
+            return name
+
+        stages = [short(self.source)] + [short(op) for op in self.operators]
+        target = short(self.sink) if self.sink is not None else "Result"
+        return f"P{self.index}: " + " -> ".join(stages) + f" => {target}"
+
+
+def dissect_into_pipelines(root: PhysicalOperator) -> list[Pipeline]:
+    """Dissect a physical plan; pipelines come out topologically sorted."""
+    pipelines: list[Pipeline] = []
+
+    def stream(op: PhysicalOperator, downstream: list[PhysicalOperator],
+               sink: PhysicalOperator | None) -> None:
+        if isinstance(op, (SeqScan, IndexSeek)):
+            pipelines.append(Pipeline(0, op, downstream, sink))
+            return
+        if isinstance(op, (Filter, Project, Limit)):
+            stream(op.child, [op] + downstream, sink)
+            return
+        if isinstance(op, HashJoin):
+            stream(op.build, [], op)          # fills the join hash table
+            stream(op.probe, [op] + downstream, sink)
+            return
+        if isinstance(op, NestedLoopJoin):
+            stream(op.left, [], op)           # materializes the left side
+            stream(op.right, [op] + downstream, sink)
+            return
+        if isinstance(op, _BREAKERS):
+            stream(op.child, [], op)          # pipeline(s) feeding the breaker
+            pipelines.append(Pipeline(0, op, downstream, sink))
+            return
+        raise PlanError(f"cannot dissect {type(op).__name__}")
+
+    stream(root, [], None)
+    for i, pipeline in enumerate(pipelines):
+        pipeline.index = i
+    return pipelines

@@ -1,0 +1,59 @@
+"""SQL frontend: tokenizer, parser, AST, type system, semantic analysis.
+
+The type system is imported eagerly (everything depends on it); the
+parser and analyzer are loaded lazily to avoid an import cycle with the
+catalog (the analyzer resolves names against catalog schemas).
+"""
+
+from repro.sql.types import (
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INT32,
+    INT64,
+    CharType,
+    DataType,
+    DecimalType,
+    VarcharType,
+    char,
+    common_type,
+    decimal,
+    varchar,
+)
+
+__all__ = [
+    "BOOLEAN",
+    "DATE",
+    "DOUBLE",
+    "INT32",
+    "INT64",
+    "CharType",
+    "DataType",
+    "DecimalType",
+    "VarcharType",
+    "analyze",
+    "char",
+    "common_type",
+    "decimal",
+    "parse",
+    "parse_expression",
+    "tokenize",
+    "varchar",
+]
+
+_LAZY = {
+    "tokenize": ("repro.sql.lexer", "tokenize"),
+    "parse": ("repro.sql.parser", "parse"),
+    "parse_expression": ("repro.sql.parser", "parse_expression"),
+    "analyze": ("repro.sql.analyzer", "analyze"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,185 @@
+"""Hand-written SQL tokenizer.
+
+Produces a list of :class:`Token` with position information for error
+messages.  Keywords are case-insensitive and normalized to upper case;
+identifiers are normalized to lower case (SQL folding).  String literals
+use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS ASC DESC
+    AND OR NOT IN BETWEEN LIKE IS NULL TRUE FALSE
+    JOIN INNER LEFT RIGHT OUTER CROSS ON USING
+    DISTINCT ALL CASE WHEN THEN ELSE END CAST
+    DATE INTERVAL DAY MONTH YEAR EXTRACT
+    CREATE TABLE INDEX INSERT INTO VALUES PRIMARY KEY FOREIGN REFERENCES
+    INT INTEGER INT32 INT64 BIGINT SMALLINT DOUBLE FLOAT REAL PRECISION
+    DECIMAL NUMERIC CHAR CHARACTER VARCHAR VARYING BOOLEAN BOOL
+    COUNT SUM AVG MIN MAX
+    SUBSTRING EXISTS UNION EXCEPT INTERSECT
+    """.split()
+)
+
+# Multi-character operators, longest first so matching is greedy.
+_OPERATORS = ["<>", "<=", ">=", "!=", "||", "=", "<", ">", "+", "-", "*", "/",
+              "%", "(", ")", ",", ".", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: ``KEYWORD``, ``IDENT``, ``INT``, ``FLOAT``, ``STRING``,
+            ``OP``, or ``EOF``.
+        value: normalized token text (keywords upper-cased, identifiers
+            lower-cased) or the literal value for constants.
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def matches(self, kind: str, value=None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list of tokens ending with an ``EOF`` token.
+
+    Raises:
+        LexError: on malformed input (unterminated string, stray byte, ...).
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column(pos: int) -> int:
+        return pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            line_start = i
+            continue
+
+        # comments: -- to end of line, /* ... */
+        if text.startswith("--", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            if j < 0:
+                raise LexError("unterminated block comment", line, column(i))
+            line += text.count("\n", i, j)
+            i = j + 2
+            continue
+
+        # string literal
+        if ch == "'":
+            start = i
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise LexError("unterminated string literal", line, column(start))
+                c = text[i]
+                if c == "'":
+                    if i + 1 < n and text[i + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                if c == "\n":
+                    raise LexError("newline in string literal", line, column(start))
+                parts.append(c)
+                i += 1
+            tokens.append(Token("STRING", "".join(parts), line, column(start)))
+            continue
+
+        # number literal
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            is_float = False
+            if i < n and text[i] == "." and not text.startswith("..", i):
+                is_float = True
+                i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    is_float = True
+                    i = j
+                    while i < n and text[i].isdigit():
+                        i += 1
+            lexeme = text[start:i]
+            if is_float:
+                tokens.append(Token("FLOAT", float(lexeme), line, column(start)))
+            else:
+                tokens.append(Token("INT", int(lexeme), line, column(start)))
+            continue
+
+        # identifier or keyword
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line, column(start)))
+            else:
+                tokens.append(Token("IDENT", word.lower(), line, column(start)))
+            continue
+
+        # quoted identifier
+        if ch == '"':
+            start = i
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise LexError("unterminated quoted identifier", line, column(start))
+            tokens.append(Token("IDENT", text[i + 1 : j], line, column(start)))
+            i = j + 1
+            continue
+
+        # operators and punctuation
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, line, column(i)))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, column(i))
+
+    tokens.append(Token("EOF", None, line, column(i)))
+    return tokens

@@ -1,0 +1,565 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Grammar (roughly)::
+
+    statement   := select | create_table | insert
+    select      := SELECT [DISTINCT] items FROM tables [WHERE expr]
+                   [GROUP BY exprs [HAVING expr]] [ORDER BY keys]
+                   [LIMIT n [OFFSET m]]
+    tables      := table_ref ((',' | [INNER] JOIN) table_ref [ON expr])*
+    expr        := precedence-climbing over OR, AND, NOT, comparisons,
+                   BETWEEN / IN / LIKE / IS NULL, + -, * / %, unary -,
+                   primaries (literals, DATE/INTERVAL literals, CAST,
+                   CASE, EXTRACT, function calls, column refs, '(' expr ')')
+
+Explicit ``JOIN ... ON`` clauses are normalized into the table list plus
+AND-ed ``WHERE`` conjuncts (inner joins only); the optimizer re-derives
+join predicates from the conjunctive normal form, exactly as it does for
+implicit joins.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql import types as T
+from repro.sql.lexer import Token, tokenize
+
+__all__ = ["parse", "parse_expression", "Parser"]
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing ``;`` is allowed)."""
+    return Parser(tokenize(sql)).parse_statement()
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone expression (useful in tests)."""
+    parser = Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class Parser:
+    """Token-stream parser; one instance parses one statement."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token-stream helpers ----------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, value=None) -> bool:
+        return self._cur.matches(kind, value)
+
+    def _accept(self, kind: str, value=None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value=None) -> Token:
+        if not self._check(kind, value):
+            want = value or kind
+            raise ParseError(
+                f"expected {want}, found {self._cur.value!r}",
+                self._cur.line,
+                self._cur.column,
+            )
+        return self._advance()
+
+    def _keyword(self, word: str) -> bool:
+        return self._accept("KEYWORD", word) is not None
+
+    def expect_eof(self) -> None:
+        self._accept("OP", ";")
+        if self._cur.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input: {self._cur.value!r}",
+                self._cur.line,
+                self._cur.column,
+            )
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        if self._check("KEYWORD", "SELECT"):
+            stmt = self.parse_select()
+        elif self._check("KEYWORD", "CREATE"):
+            stmt = self.parse_create_table()
+        elif self._check("KEYWORD", "INSERT"):
+            stmt = self.parse_insert()
+        else:
+            raise ParseError(
+                f"expected a statement, found {self._cur.value!r}",
+                self._cur.line,
+                self._cur.column,
+            )
+        self.expect_eof()
+        return stmt
+
+    def parse_select(self) -> ast.Select:
+        self._expect("KEYWORD", "SELECT")
+        distinct = False
+        if self._keyword("DISTINCT"):
+            distinct = True
+        elif self._keyword("ALL"):
+            pass
+
+        items = [self._parse_select_item()]
+        while self._accept("OP", ","):
+            items.append(self._parse_select_item())
+
+        self._expect("KEYWORD", "FROM")
+        tables, join_conds = self._parse_from()
+
+        where = self.parse_expr() if self._keyword("WHERE") else None
+        for cond in join_conds:
+            where = cond if where is None else ast.Binary("AND", where, cond)
+
+        group_by: list[ast.Expr] = []
+        having = None
+        if self._keyword("GROUP"):
+            self._expect("KEYWORD", "BY")
+            group_by.append(self.parse_expr())
+            while self._accept("OP", ","):
+                group_by.append(self.parse_expr())
+        if self._keyword("HAVING"):
+            having = self.parse_expr()
+
+        order_by: list[ast.OrderItem] = []
+        if self._keyword("ORDER"):
+            self._expect("KEYWORD", "BY")
+            order_by.append(self._parse_order_item())
+            while self._accept("OP", ","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        offset = 0
+        if self._keyword("LIMIT"):
+            limit = int(self._expect("INT").value)
+            if self._keyword("OFFSET"):
+                offset = int(self._expect("INT").value)
+
+        return ast.Select(
+            items=items,
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self._accept("OP", "*"):
+            return ast.SelectItem(ast.Star())
+        expr = self.parse_expr()
+        alias = None
+        if self._keyword("AS"):
+            alias = self._parse_name()
+        elif self._cur.kind == "IDENT":
+            alias = self._parse_name()
+        return ast.SelectItem(expr, alias)
+
+    def _parse_from(self) -> tuple[list[ast.TableRef], list[ast.Expr]]:
+        tables = [self._parse_table_ref()]
+        join_conds: list[ast.Expr] = []
+        while True:
+            if self._accept("OP", ","):
+                tables.append(self._parse_table_ref())
+                continue
+            if self._check("KEYWORD", "JOIN") or self._check("KEYWORD", "INNER") \
+                    or self._check("KEYWORD", "CROSS"):
+                self._keyword("INNER")
+                self._keyword("CROSS")
+                self._expect("KEYWORD", "JOIN")
+                tables.append(self._parse_table_ref())
+                if self._keyword("ON"):
+                    join_conds.append(self.parse_expr())
+                continue
+            if self._check("KEYWORD", "LEFT") or self._check("KEYWORD", "RIGHT") \
+                    or self._check("KEYWORD", "OUTER"):
+                raise ParseError(
+                    "outer joins are not supported",
+                    self._cur.line,
+                    self._cur.column,
+                )
+            break
+        return tables, join_conds
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        name = self._parse_name()
+        alias = None
+        if self._keyword("AS"):
+            alias = self._parse_name()
+        elif self._cur.kind == "IDENT":
+            alias = self._parse_name()
+        return ast.TableRef(name, alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self._keyword("DESC"):
+            descending = True
+        else:
+            self._keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    def _parse_name(self) -> str:
+        tok = self._cur
+        if tok.kind == "IDENT":
+            self._advance()
+            return str(tok.value)
+        # Allow non-reserved-ish keywords as names where unambiguous.
+        if tok.kind == "KEYWORD" and tok.value in {
+            "DATE", "YEAR", "MONTH", "DAY", "KEY", "VALUES", "COUNT",
+            "MIN", "MAX", "SUM", "AVG",
+        }:
+            self._advance()
+            return str(tok.value).lower()
+        raise ParseError(
+            f"expected a name, found {tok.value!r}", tok.line, tok.column
+        )
+
+    # -- DDL / DML -----------------------------------------------------------
+
+    def parse_create_table(self) -> ast.CreateTable | ast.CreateIndex:
+        self._expect("KEYWORD", "CREATE")
+        if self._keyword("INDEX"):
+            name = self._parse_name()
+            self._expect("KEYWORD", "ON")
+            table = self._parse_name()
+            self._expect("OP", "(")
+            column = self._parse_name()
+            self._expect("OP", ")")
+            return ast.CreateIndex(name, table, column)
+        self._expect("KEYWORD", "TABLE")
+        name = self._parse_name()
+        self._expect("OP", "(")
+        columns: list[ast.ColumnDef] = []
+        while True:
+            if self._keyword("PRIMARY"):
+                self._expect("KEYWORD", "KEY")
+                self._expect("OP", "(")
+                key_cols = [self._parse_name()]
+                while self._accept("OP", ","):
+                    key_cols.append(self._parse_name())
+                self._expect("OP", ")")
+                for col in columns:
+                    if col.name in key_cols:
+                        col.primary_key = True
+            else:
+                col_name = self._parse_name()
+                col_type = self._parse_type()
+                primary = False
+                if self._keyword("PRIMARY"):
+                    self._expect("KEYWORD", "KEY")
+                    primary = True
+                self._keyword("NOT") and self._expect("KEYWORD", "NULL")
+                columns.append(ast.ColumnDef(col_name, col_type, primary))
+            if not self._accept("OP", ","):
+                break
+        self._expect("OP", ")")
+        return ast.CreateTable(name, columns)
+
+    def parse_insert(self) -> ast.Insert:
+        self._expect("KEYWORD", "INSERT")
+        self._expect("KEYWORD", "INTO")
+        table = self._parse_name()
+        columns = None
+        if self._accept("OP", "("):
+            columns = [self._parse_name()]
+            while self._accept("OP", ","):
+                columns.append(self._parse_name())
+            self._expect("OP", ")")
+        self._expect("KEYWORD", "VALUES")
+        rows: list[list[ast.Expr]] = []
+        while True:
+            self._expect("OP", "(")
+            row = [self.parse_expr()]
+            while self._accept("OP", ","):
+                row.append(self.parse_expr())
+            self._expect("OP", ")")
+            rows.append(row)
+            if not self._accept("OP", ","):
+                break
+        return ast.Insert(table, columns, rows)
+
+    def _parse_type(self) -> T.DataType:
+        tok = self._expect("KEYWORD")
+        word = tok.value
+        if word in ("INT", "INTEGER", "INT32", "SMALLINT"):
+            return T.INT32
+        if word in ("BIGINT", "INT64"):
+            return T.INT64
+        if word in ("DOUBLE", "FLOAT", "REAL"):
+            self._keyword("PRECISION")
+            return T.DOUBLE
+        if word in ("BOOLEAN", "BOOL"):
+            return T.BOOLEAN
+        if word == "DATE":
+            return T.DATE
+        if word in ("DECIMAL", "NUMERIC"):
+            precision, scale = 18, 2
+            if self._accept("OP", "("):
+                precision = int(self._expect("INT").value)
+                if self._accept("OP", ","):
+                    scale = int(self._expect("INT").value)
+                else:
+                    scale = 0
+                self._expect("OP", ")")
+            return T.decimal(precision, scale)
+        if word in ("CHAR", "CHARACTER"):
+            if self._keyword("VARYING"):
+                return T.varchar(self._parenthesized_length())
+            if self._check("OP", "("):
+                return T.char(self._parenthesized_length())
+            return T.char(1)
+        if word == "VARCHAR":
+            return T.varchar(self._parenthesized_length())
+        raise ParseError(f"unknown type {word!r}", tok.line, tok.column)
+
+    def _parenthesized_length(self) -> int:
+        self._expect("OP", "(")
+        length = int(self._expect("INT").value)
+        self._expect("OP", ")")
+        return length
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._keyword("OR"):
+            left = ast.Binary("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._keyword("AND"):
+            left = ast.Binary("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._keyword("NOT"):
+            return ast.Unary("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        left = self._parse_comparison()
+        while True:
+            negated = False
+            if self._check("KEYWORD", "NOT"):
+                nxt = self._tokens[self._pos + 1]
+                if nxt.kind == "KEYWORD" and nxt.value in ("BETWEEN", "IN", "LIKE"):
+                    self._advance()
+                    negated = True
+                else:
+                    break
+            if self._keyword("BETWEEN"):
+                low = self._parse_comparison()
+                self._expect("KEYWORD", "AND")
+                high = self._parse_comparison()
+                left = ast.Between(left, low, high, negated)
+            elif self._keyword("IN"):
+                self._expect("OP", "(")
+                items = [self.parse_expr()]
+                while self._accept("OP", ","):
+                    items.append(self.parse_expr())
+                self._expect("OP", ")")
+                left = ast.InList(left, items, negated)
+            elif self._keyword("LIKE"):
+                left = ast.Like(left, self._parse_comparison(), negated)
+            elif self._keyword("IS"):
+                is_negated = self._keyword("NOT")
+                self._expect("KEYWORD", "NULL")
+                left = ast.IsNull(left, is_negated)
+            else:
+                break
+        return left
+
+    _COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        if self._cur.kind == "OP" and self._cur.value in self._COMPARISONS:
+            op = str(self._advance().value)
+            if op == "!=":
+                op = "<>"
+            right = self._parse_additive()
+            return ast.Binary(op, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._cur.kind == "OP" and self._cur.value in ("+", "-"):
+            op = str(self._advance().value)
+            left = ast.Binary(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._cur.kind == "OP" and self._cur.value in ("*", "/", "%"):
+            op = str(self._advance().value)
+            left = ast.Binary(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._accept("OP", "-"):
+            return ast.Unary("-", self._parse_unary())
+        if self._accept("OP", "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._cur
+
+        if tok.kind == "INT" or tok.kind == "FLOAT" or tok.kind == "STRING":
+            self._advance()
+            return ast.Literal(tok.value)
+
+        if tok.kind == "OP" and tok.value == "(":
+            self._advance()
+            expr = self.parse_expr()
+            self._expect("OP", ")")
+            return expr
+
+        if tok.kind == "KEYWORD":
+            return self._parse_keyword_primary(tok)
+
+        if tok.kind == "IDENT":
+            return self._parse_name_primary()
+
+        raise ParseError(
+            f"unexpected token {tok.value!r} in expression", tok.line, tok.column
+        )
+
+    def _parse_keyword_primary(self, tok: Token) -> ast.Expr:
+        word = tok.value
+
+        if word == "TRUE":
+            self._advance()
+            return ast.Literal(True)
+        if word == "FALSE":
+            self._advance()
+            return ast.Literal(False)
+        if word == "NULL":
+            self._advance()
+            return ast.Literal(None)
+
+        if word == "DATE":
+            nxt = self._tokens[self._pos + 1]
+            if nxt.kind == "STRING":
+                self._advance()
+                lit = self._advance()
+                try:
+                    value = _dt.date.fromisoformat(str(lit.value))
+                except ValueError as exc:
+                    raise ParseError(str(exc), lit.line, lit.column) from exc
+                return ast.Literal(value)
+            # ``date`` used as a column name
+            return self._parse_name_primary()
+
+        if word == "INTERVAL":
+            self._advance()
+            amount_tok = self._cur
+            if amount_tok.kind == "STRING":
+                self._advance()
+                amount = int(str(amount_tok.value))
+            else:
+                amount = int(self._expect("INT").value)
+            unit_tok = self._expect("KEYWORD")
+            if unit_tok.value not in ("DAY", "MONTH", "YEAR"):
+                raise ParseError(
+                    f"unknown interval unit {unit_tok.value!r}",
+                    unit_tok.line,
+                    unit_tok.column,
+                )
+            return ast.Interval(amount, str(unit_tok.value))
+
+        if word == "CAST":
+            self._advance()
+            self._expect("OP", "(")
+            expr = self.parse_expr()
+            self._expect("KEYWORD", "AS")
+            target = self._parse_type()
+            self._expect("OP", ")")
+            return ast.Cast(expr, target)
+
+        if word == "CASE":
+            self._advance()
+            operand = None
+            if not self._check("KEYWORD", "WHEN"):
+                operand = self.parse_expr()
+            whens: list[tuple[ast.Expr, ast.Expr]] = []
+            while self._keyword("WHEN"):
+                cond = self.parse_expr()
+                self._expect("KEYWORD", "THEN")
+                whens.append((cond, self.parse_expr()))
+            else_ = self.parse_expr() if self._keyword("ELSE") else None
+            self._expect("KEYWORD", "END")
+            return ast.CaseWhen(operand, whens, else_)
+
+        if word == "EXTRACT":
+            self._advance()
+            self._expect("OP", "(")
+            part = self._expect("KEYWORD")
+            if part.value not in ("YEAR", "MONTH", "DAY"):
+                raise ParseError(
+                    f"cannot EXTRACT {part.value!r}", part.line, part.column
+                )
+            self._expect("KEYWORD", "FROM")
+            expr = self.parse_expr()
+            self._expect("OP", ")")
+            return ast.FuncCall(f"EXTRACT_{part.value}", [expr])
+
+        if word in ast.AGGREGATE_FUNCTIONS or word == "SUBSTRING":
+            return self._parse_name_primary()
+
+        raise ParseError(
+            f"unexpected keyword {word!r} in expression", tok.line, tok.column
+        )
+
+    def _parse_name_primary(self) -> ast.Expr:
+        tok = self._cur
+        name = self._parse_name()
+        # function call?
+        if self._check("OP", "("):
+            self._advance()
+            func = name.upper()
+            distinct = False
+            args: list[ast.Expr] = []
+            if self._accept("OP", "*"):
+                args.append(ast.Star())
+            elif not self._check("OP", ")"):
+                if self._keyword("DISTINCT"):
+                    distinct = True
+                args.append(self.parse_expr())
+                while self._accept("OP", ","):
+                    args.append(self.parse_expr())
+            self._expect("OP", ")")
+            return ast.FuncCall(func, args, distinct)
+        # qualified column?
+        if self._accept("OP", "."):
+            if self._accept("OP", "*"):
+                return ast.Star(table=name)
+            column = self._parse_name()
+            return ast.ColumnRef(name, column)
+        return ast.ColumnRef(None, name)

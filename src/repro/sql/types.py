@@ -1,0 +1,329 @@
+"""The SQL type system.
+
+Types know three representations:
+
+* their **SQL** face (name, literal syntax),
+* their **storage** face (byte width and NumPy dtype used by the columnar
+  storage layer and by tuples materialized in Wasm linear memory), and
+* their **Wasm** face (the Wasm value type the compiled code computes with).
+
+Scalar types are singletons (:data:`INT32`, :data:`DOUBLE`, ...); the
+parameterized types ``DECIMAL(p, s)``, ``CHAR(n)`` and ``VARCHAR(n)`` are
+created through :func:`decimal`, :func:`char` and :func:`varchar`.
+
+Design notes (mirroring the paper's mutable system):
+
+* ``DATE`` is stored as an ``i32`` holding days since 1970-01-01, so date
+  comparisons compile to plain integer comparisons.
+* ``DECIMAL(p, s)`` is stored as an ``i64`` scaled by ``10**s`` — exact
+  fixed-point arithmetic, as in TPC-H-grade systems.
+* ``CHAR(n)``/``VARCHAR(n)`` are stored fixed-width, NUL-padded.  String
+  predicates (equality, ``LIKE 'prefix%'``) compile to generated
+  byte-comparison code (see ``repro.backend.library``).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "DataType",
+    "BooleanType",
+    "Int32Type",
+    "Int64Type",
+    "DoubleType",
+    "DateType",
+    "DecimalType",
+    "CharType",
+    "VarcharType",
+    "BOOLEAN",
+    "INT32",
+    "INT64",
+    "DOUBLE",
+    "DATE",
+    "decimal",
+    "char",
+    "varchar",
+    "common_type",
+    "is_numeric",
+    "date_to_days",
+    "days_to_date",
+    "EPOCH",
+]
+
+EPOCH = _dt.date(1970, 1, 1)
+
+
+def date_to_days(value: _dt.date) -> int:
+    """Convert a :class:`datetime.date` to days since the Unix epoch."""
+    return (value - EPOCH).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Convert days since the Unix epoch back to a :class:`datetime.date`."""
+    return EPOCH + _dt.timedelta(days=int(days))
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Base class of all SQL data types.
+
+    Attributes:
+        name: SQL spelling, e.g. ``"INT32"`` or ``"DECIMAL(12, 2)"``.
+        size: width in bytes of a stored value.
+        wasm_type: Wasm value type compiled code computes with
+            (``"i32"``, ``"i64"``, ``"f64"``).  String types also use
+            ``"i32"`` — the value is a linear-memory *address*.
+        numpy_dtype: dtype used by the columnar storage layer.
+    """
+
+    name: str
+    size: int
+    wasm_type: str
+    numpy_dtype: object
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, (Int32Type, Int64Type))
+
+    @property
+    def is_floating(self) -> bool:
+        return isinstance(self, DoubleType)
+
+    @property
+    def is_decimal(self) -> bool:
+        return isinstance(self, DecimalType)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.is_integer or self.is_floating or self.is_decimal
+
+    @property
+    def is_string(self) -> bool:
+        return isinstance(self, (CharType, VarcharType))
+
+    @property
+    def is_boolean(self) -> bool:
+        return isinstance(self, BooleanType)
+
+    @property
+    def is_date(self) -> bool:
+        return isinstance(self, DateType)
+
+    # -- value conversion --------------------------------------------------
+
+    def to_storage(self, value):
+        """Convert a Python-level value to its stored representation."""
+        return value
+
+    def from_storage(self, value):
+        """Convert a stored representation back to a Python-level value."""
+        return value
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class BooleanType(DataType):
+    def __init__(self):
+        super().__init__("BOOLEAN", 1, "i32", np.dtype(np.int8))
+
+    def to_storage(self, value):
+        return 1 if value else 0
+
+    def from_storage(self, value):
+        return bool(value)
+
+
+class Int32Type(DataType):
+    def __init__(self):
+        super().__init__("INT32", 4, "i32", np.dtype(np.int32))
+
+    def to_storage(self, value):
+        return int(value)
+
+    def from_storage(self, value):
+        return int(value)
+
+
+class Int64Type(DataType):
+    def __init__(self):
+        super().__init__("INT64", 8, "i64", np.dtype(np.int64))
+
+    def to_storage(self, value):
+        return int(value)
+
+    def from_storage(self, value):
+        return int(value)
+
+
+class DoubleType(DataType):
+    def __init__(self):
+        super().__init__("DOUBLE", 8, "f64", np.dtype(np.float64))
+
+    def to_storage(self, value):
+        return float(value)
+
+    def from_storage(self, value):
+        return float(value)
+
+
+class DateType(DataType):
+    """Calendar date, stored as i32 days since 1970-01-01."""
+
+    def __init__(self):
+        super().__init__("DATE", 4, "i32", np.dtype(np.int32))
+
+    def to_storage(self, value):
+        if isinstance(value, _dt.date):
+            return date_to_days(value)
+        if isinstance(value, str):
+            return date_to_days(_dt.date.fromisoformat(value))
+        return int(value)
+
+    def from_storage(self, value):
+        return days_to_date(int(value))
+
+
+@dataclass(frozen=True)
+class DecimalType(DataType):
+    """Exact fixed-point numeric, stored as i64 scaled by ``10**scale``."""
+
+    precision: int = 18
+    scale: int = 2
+
+    def __init__(self, precision: int = 18, scale: int = 2):
+        if not (0 < precision <= 18):
+            raise AnalysisError(f"DECIMAL precision must be in 1..18, got {precision}")
+        if not (0 <= scale <= precision):
+            raise AnalysisError(f"DECIMAL scale must be in 0..precision, got {scale}")
+        super().__init__(
+            f"DECIMAL({precision}, {scale})", 8, "i64", np.dtype(np.int64)
+        )
+        object.__setattr__(self, "precision", precision)
+        object.__setattr__(self, "scale", scale)
+
+    @property
+    def factor(self) -> int:
+        return 10**self.scale
+
+    def to_storage(self, value):
+        # round-half-away-from-zero, as SQL implementations commonly do
+        scaled = float(value) * self.factor
+        return int(scaled + 0.5) if scaled >= 0 else int(scaled - 0.5)
+
+    def from_storage(self, value):
+        return int(value) / self.factor
+
+
+@dataclass(frozen=True)
+class CharType(DataType):
+    """Fixed-width character string, NUL-padded in storage."""
+
+    length: int = 1
+
+    def __init__(self, length: int):
+        if length <= 0:
+            raise AnalysisError(f"CHAR length must be positive, got {length}")
+        super().__init__(f"CHAR({length})", length, "i32", np.dtype(("S", length)))
+        object.__setattr__(self, "length", length)
+
+    def to_storage(self, value):
+        if isinstance(value, bytes):
+            raw = value
+        else:
+            raw = str(value).encode("utf-8")
+        if len(raw) > self.length:
+            raise AnalysisError(
+                f"value of length {len(raw)} does not fit {self.name}"
+            )
+        return raw.ljust(self.length, b"\x00")
+
+    def from_storage(self, value):
+        if isinstance(value, (bytes, np.bytes_)):
+            return bytes(value).rstrip(b"\x00").decode("utf-8")
+        return str(value)
+
+
+class VarcharType(CharType):
+    """Variable-length string, stored fixed-width (padded) up to ``length``.
+
+    The fixed-width storage is a documented simplification shared with the
+    paper's columnar experiments; semantics (trailing padding stripped on
+    read, length checks on write) follow VARCHAR.
+    """
+
+    def __init__(self, length: int):
+        if length <= 0:
+            raise AnalysisError(f"VARCHAR length must be positive, got {length}")
+        DataType.__init__(
+            self, f"VARCHAR({length})", length, "i32", np.dtype(("S", length))
+        )
+        object.__setattr__(self, "length", length)
+
+
+# Singletons for the non-parameterized types.
+BOOLEAN = BooleanType()
+INT32 = Int32Type()
+INT64 = Int64Type()
+DOUBLE = DoubleType()
+DATE = DateType()
+
+
+def decimal(precision: int = 18, scale: int = 2) -> DecimalType:
+    """Create a ``DECIMAL(precision, scale)`` type."""
+    return DecimalType(precision, scale)
+
+
+def char(length: int) -> CharType:
+    """Create a ``CHAR(length)`` type."""
+    return CharType(length)
+
+
+def varchar(length: int) -> VarcharType:
+    """Create a ``VARCHAR(length)`` type."""
+    return VarcharType(length)
+
+
+def is_numeric(ty: DataType) -> bool:
+    return ty.is_numeric
+
+
+# Numeric widening lattice: INT32 < INT64 < DECIMAL < DOUBLE.
+_NUMERIC_RANK = {Int32Type: 0, Int64Type: 1, DecimalType: 2, DoubleType: 3}
+
+
+def common_type(a: DataType, b: DataType) -> DataType:
+    """The common type two operands are coerced to for arithmetic/comparison.
+
+    Follows the usual SQL numeric widening lattice
+    ``INT32 < INT64 < DECIMAL < DOUBLE``.  Two decimals unify to the wider
+    scale/precision.  Non-numeric types must match exactly (modulo string
+    length, which unifies to the longer string).
+
+    Raises:
+        AnalysisError: if the types are incompatible.
+    """
+    if a == b:
+        return a
+    if a.is_numeric and b.is_numeric:
+        ra = _NUMERIC_RANK[type(a)]
+        rb = _NUMERIC_RANK[type(b)]
+        hi = a if ra >= rb else b
+        if isinstance(a, DecimalType) and isinstance(b, DecimalType):
+            return DecimalType(
+                max(a.precision, b.precision), max(a.scale, b.scale)
+            )
+        return hi
+    if a.is_string and b.is_string:
+        return a if a.size >= b.size else b
+    if a.is_date and b.is_date:
+        return a
+    raise AnalysisError(f"incompatible types: {a} and {b}")

@@ -1,0 +1,7 @@
+"""Storage: columnar tables on NumPy buffers and the rewired address space."""
+
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.storage.rewiring import WASM_PAGE_SIZE, AddressSpace, Mapping
+
+__all__ = ["AddressSpace", "Column", "Mapping", "Table", "WASM_PAGE_SIZE"]

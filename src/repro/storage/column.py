@@ -1,0 +1,79 @@
+"""A single stored column: a typed NumPy buffer.
+
+Columns are the unit the rewiring layer maps into Wasm linear memory:
+each column is one contiguous host allocation, so a query engine can map
+it zero-copy (Section 6.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.sql.types import DataType
+
+__all__ = ["Column"]
+
+
+class Column:
+    """A typed, contiguous column of values.
+
+    The public accessors (:meth:`__getitem__`, :meth:`to_list`) speak
+    Python-level values (dates, floats, strings); :attr:`values` exposes
+    the raw storage representation for the engines.
+    """
+
+    def __init__(self, name: str, ty: DataType, values: np.ndarray):
+        expected = ty.numpy_dtype
+        if values.dtype != expected:
+            raise StorageError(
+                f"column {name!r}: expected dtype {expected}, got {values.dtype}"
+            )
+        if not values.flags["C_CONTIGUOUS"]:
+            values = np.ascontiguousarray(values)
+        self.name = name
+        self.ty = ty
+        self.values = values
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, name: str, ty: DataType, values) -> "Column":
+        """Build a column from Python-level values (converting each)."""
+        storage = [ty.to_storage(v) for v in values]
+        if ty.is_string:
+            arr = np.array(storage, dtype=ty.numpy_dtype)
+        else:
+            arr = np.asarray(storage, dtype=ty.numpy_dtype)
+        return cls(name, ty, arr)
+
+    @classmethod
+    def from_storage_array(cls, name: str, ty: DataType, values: np.ndarray) -> "Column":
+        """Build a column from an array already in storage representation."""
+        return cls(name, ty, np.asarray(values, dtype=ty.numpy_dtype))
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __getitem__(self, index: int):
+        return self.ty.from_storage(self.values[index])
+
+    def to_list(self) -> list:
+        return [self.ty.from_storage(v) for v in self.values]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+    @property
+    def element_size(self) -> int:
+        return self.ty.size
+
+    def buffer(self) -> memoryview:
+        """The raw bytes of the column, for zero-copy mapping."""
+        return memoryview(self.values).cast("B")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Column({self.name!r}, {self.ty}, {len(self)} values)"

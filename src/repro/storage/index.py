@@ -1,0 +1,59 @@
+"""Ordered secondary indexes.
+
+An :class:`OrderedIndex` is the simplest index that supports the paper's
+"index seek" source (Section 4.2): a sorted copy of the key column plus
+the row-id permutation.  Both parts are single contiguous arrays, so the
+rewiring layer can map them into a Wasm module's linear memory zero-copy
+— resolving the "non-consecutive data structures" limitation the paper
+defers to future work (its footnote 3 / Section 8.2).
+
+Lookups are range scans: ``positions(low, high)`` returns the half-open
+position range within the permutation whose keys fall into the
+*inclusive* ``[low, high]`` key interval (either side may be None).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["OrderedIndex"]
+
+
+class OrderedIndex:
+    """A sorted-key + row-id-permutation index over one column."""
+
+    def __init__(self, name: str, column_name: str, keys: np.ndarray):
+        if keys.dtype.kind not in "ifb":
+            raise StorageError(
+                f"index {name!r}: only numeric/date keys are supported"
+            )
+        self.name = name
+        self.column_name = column_name
+        order = np.argsort(keys, kind="stable")
+        self.sorted_keys = np.ascontiguousarray(keys[order])
+        self.row_ids = np.ascontiguousarray(order.astype(np.int32))
+
+    def __len__(self) -> int:
+        return int(self.sorted_keys.size)
+
+    def positions(self, low=None, high=None, low_strict=False,
+                  high_strict=False) -> tuple[int, int]:
+        """The position range [lo, hi) of keys within the bounds.
+
+        Bounds are inclusive unless the matching ``*_strict`` flag is
+        set; either bound may be None (open)."""
+        lo = 0 if low is None else int(np.searchsorted(
+            self.sorted_keys, low, side="right" if low_strict else "left"
+        ))
+        hi = len(self) if high is None else int(np.searchsorted(
+            self.sorted_keys, high, side="left" if high_strict else "right"
+        ))
+        return lo, max(hi, lo)
+
+    def key_buffer(self) -> memoryview:
+        return memoryview(self.sorted_keys).cast("B")
+
+    def row_id_buffer(self) -> memoryview:
+        return memoryview(self.row_ids).cast("B")

@@ -1,0 +1,142 @@
+"""Columnar tables.
+
+A :class:`Table` owns one :class:`~repro.storage.column.Column` per schema
+column (the paper's experiments all use a columnar layout).  Statistics for
+the optimizer are computed lazily and cached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.schema import TableSchema
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.errors import StorageError
+from repro.storage.column import Column
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A columnar, main-memory table."""
+
+    def __init__(self, schema: TableSchema, columns: list[Column]):
+        if [c.name for c in columns] != schema.column_names:
+            raise StorageError(
+                f"columns {[c.name for c in columns]} do not match schema "
+                f"{schema.column_names}"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise StorageError(f"ragged columns: lengths {sorted(lengths)}")
+        self.schema = schema
+        self.columns = columns
+        self._by_name = {c.name: c for c in columns}
+        self._statistics: TableStatistics | None = None
+        self.indexes: dict[str, object] = {}  # column name -> OrderedIndex
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: TableSchema) -> "Table":
+        columns = [
+            Column(col.name, col.ty, np.empty(0, dtype=col.ty.numpy_dtype))
+            for col in schema
+        ]
+        return cls(schema, columns)
+
+    @classmethod
+    def from_rows(cls, schema: TableSchema, rows) -> "Table":
+        """Build a table from an iterable of Python-level row tuples."""
+        rows = list(rows)
+        columns = []
+        for i, col in enumerate(schema):
+            columns.append(
+                Column.from_values(col.name, col.ty, [row[i] for row in rows])
+            )
+        return cls(schema, columns)
+
+    @classmethod
+    def from_arrays(cls, schema: TableSchema, arrays: dict[str, np.ndarray]) -> "Table":
+        """Build a table from storage-representation arrays, by column name."""
+        columns = []
+        for col in schema:
+            try:
+                arr = arrays[col.name]
+            except KeyError:
+                raise StorageError(f"missing array for column {col.name!r}") from None
+            columns.append(Column.from_storage_array(col.name, col.ty, arr))
+        return cls(schema, columns)
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def row_count(self) -> int:
+        return len(self)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise StorageError(
+                f"table {self.schema.name!r} has no column {name!r}"
+            ) from None
+
+    def rows(self):
+        """Iterate Python-level row tuples (slow; for tests and small data)."""
+        for i in range(len(self)):
+            yield tuple(col[i] for col in self.columns)
+
+    def append_rows(self, rows) -> None:
+        """Append Python-level rows (rebuilds column buffers)."""
+        rows = list(rows)
+        if not rows:
+            return
+        for i, scol in enumerate(self.schema):
+            col = self.columns[i]
+            new = Column.from_values(col.name, scol.ty, [row[i] for row in rows])
+            col.values = np.concatenate([col.values, new.values])
+        self._statistics = None
+        for column_name in list(self.indexes):
+            self.create_index(column_name,
+                              self.indexes[column_name].name)
+
+    # -- indexes ------------------------------------------------------------------
+
+    def create_index(self, column_name: str, index_name: str | None = None):
+        """Build an ordered index over ``column_name``."""
+        from repro.storage.index import OrderedIndex
+
+        column = self.column(column_name)
+        index = OrderedIndex(
+            index_name or f"idx_{self.schema.name}_{column_name}",
+            column_name, column.values,
+        )
+        self.indexes[column_name] = index
+        return index
+
+    def index_on(self, column_name: str):
+        return self.indexes.get(column_name)
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def statistics(self) -> TableStatistics:
+        if self._statistics is None:
+            self._statistics = TableStatistics(
+                row_count=len(self),
+                columns={
+                    c.name: ColumnStatistics.from_array(c.values)
+                    for c in self.columns
+                },
+            )
+        return self._statistics
+
+    def invalidate_statistics(self) -> None:
+        self._statistics = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.schema.name!r}, {len(self)} rows)"

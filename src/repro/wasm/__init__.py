@@ -1,0 +1,50 @@
+"""A from-scratch WebAssembly (MVP subset) substrate.
+
+This package replaces the paper's use of V8 as an off-the-shelf engine:
+
+* :mod:`repro.wasm.module` / :mod:`repro.wasm.builder` — an in-memory IR
+  for Wasm modules and a convenient emitter API,
+* :mod:`repro.wasm.encoder` / :mod:`repro.wasm.decoder` — the real binary
+  ``.wasm`` format (LEB128, sections), round-trippable,
+* :mod:`repro.wasm.validator` — spec-style stack type checking,
+* :mod:`repro.wasm.wat` — text-format printing for debugging,
+* :mod:`repro.wasm.runtime` — the engine: a reference interpreter plus two
+  compilation tiers ("Liftoff" and "TurboFan") with adaptive tier-up.
+"""
+
+from repro.wasm.module import (
+    Data,
+    Element,
+    Export,
+    FuncType,
+    Function,
+    Global,
+    Import,
+    MemoryType,
+    Module,
+    TableType,
+)
+from repro.wasm.builder import FunctionBuilder, ModuleBuilder
+from repro.wasm.encoder import encode_module
+from repro.wasm.decoder import decode_module
+from repro.wasm.validator import validate_module
+from repro.wasm.wat import module_to_wat
+
+__all__ = [
+    "Data",
+    "Element",
+    "Export",
+    "FuncType",
+    "Function",
+    "FunctionBuilder",
+    "Global",
+    "Import",
+    "MemoryType",
+    "Module",
+    "ModuleBuilder",
+    "TableType",
+    "decode_module",
+    "encode_module",
+    "module_to_wat",
+    "validate_module",
+]

@@ -1,0 +1,310 @@
+"""Decoding of binary ``.wasm`` bytes back into a :class:`Module`.
+
+The inverse of :mod:`repro.wasm.encoder`; together they round-trip, which
+the property-based tests exercise.  Decoding rebuilds the nested
+structured-instruction representation from the flat ``end``-terminated
+byte form.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import DecodeError
+from repro.wasm.module import (
+    Data,
+    Element,
+    Export,
+    FuncType,
+    Function,
+    Global,
+    Import,
+    MemoryType,
+    Module,
+    TableType,
+)
+from repro.wasm.opcodes import BY_CODE
+
+__all__ = ["decode_module"]
+
+_VALTYPE_BY_CODE = {0x7F: "i32", 0x7E: "i64", 0x7D: "f32", 0x7C: "f64"}
+_EXPORT_KINDS = {0: "func", 1: "table", 2: "memory", 3: "global"}
+
+
+class _Reader:
+    """A cursor over the module bytes."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.data)
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise DecodeError("unexpected end of module")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def bytes_(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise DecodeError("unexpected end of module")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def uleb(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            b = self.byte()
+            result |= (b & 0x7F) << shift
+            if not (b & 0x80):
+                return result
+            shift += 7
+            if shift > 63:
+                raise DecodeError("uleb128 too long")
+
+    def sleb(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            b = self.byte()
+            result |= (b & 0x7F) << shift
+            shift += 7
+            if not (b & 0x80):
+                if b & 0x40:
+                    result -= 1 << shift
+                return result
+            if shift > 70:
+                raise DecodeError("sleb128 too long")
+
+    def name(self) -> str:
+        length = self.uleb()
+        raw = self.bytes_(length)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError:
+            raise DecodeError(f"name is not valid UTF-8: {raw!r}") from None
+
+    def valtype(self) -> str:
+        code = self.byte()
+        try:
+            return _VALTYPE_BY_CODE[code]
+        except KeyError:
+            raise DecodeError(f"bad value type {code:#x}") from None
+
+    def limits(self) -> tuple[int, int | None]:
+        flag = self.byte()
+        minimum = self.uleb()
+        if flag == 0:
+            return minimum, None
+        if flag == 1:
+            return minimum, self.uleb()
+        raise DecodeError(f"bad limits flag {flag:#x}")
+
+    def blocktype(self) -> list[str]:
+        code = self.byte()
+        if code == 0x40:
+            return []
+        if code in _VALTYPE_BY_CODE:
+            return [_VALTYPE_BY_CODE[code]]
+        raise DecodeError(f"unsupported block type {code:#x}")
+
+    def const_expr(self) -> tuple[str, object]:
+        opcode = self.byte()
+        if opcode == 0x41:
+            value: object = self.sleb()
+            ty = "i32"
+        elif opcode == 0x42:
+            value = self.sleb()
+            ty = "i64"
+        elif opcode == 0x43:
+            value = struct.unpack("<f", self.bytes_(4))[0]
+            ty = "f32"
+        elif opcode == 0x44:
+            value = struct.unpack("<d", self.bytes_(8))[0]
+            ty = "f64"
+        else:
+            raise DecodeError(f"unsupported const expr opcode {opcode:#x}")
+        if self.byte() != 0x0B:
+            raise DecodeError("const expr missing end")
+        return ty, value
+
+
+_END = object()
+_ELSE = object()
+
+
+def _decode_body(reader: _Reader) -> tuple[list, object]:
+    """Decode instructions until ``end`` or ``else``; returns (body, stopper)."""
+    body: list = []
+    while True:
+        opcode = reader.byte()
+        if opcode == 0x0B:
+            return body, _END
+        if opcode == 0x05:
+            return body, _ELSE
+        if opcode == 0x02 or opcode == 0x03:  # block / loop
+            results = reader.blocktype()
+            inner, stop = _decode_body(reader)
+            if stop is not _END:
+                raise DecodeError("else outside if")
+            body.append(("block" if opcode == 0x02 else "loop", results, inner))
+            continue
+        if opcode == 0x04:  # if
+            results = reader.blocktype()
+            then_body, stop = _decode_body(reader)
+            else_body: list = []
+            if stop is _ELSE:
+                else_body, stop = _decode_body(reader)
+                if stop is not _END:
+                    raise DecodeError("nested else")
+            body.append(("if", results, then_body, else_body))
+            continue
+
+        op = BY_CODE.get(opcode)
+        if op is None:
+            raise DecodeError(f"unknown opcode {opcode:#x}")
+        imm = op.imm
+        if imm == "":
+            body.append((op.name,))
+        elif imm == "i32" or imm == "i64":
+            body.append((op.name, reader.sleb()))
+        elif imm == "f32":
+            body.append((op.name, struct.unpack("<f", reader.bytes_(4))[0]))
+        elif imm == "f64":
+            body.append((op.name, struct.unpack("<d", reader.bytes_(8))[0]))
+        elif imm in ("local", "global", "func", "label"):
+            body.append((op.name, reader.uleb()))
+        elif imm == "memarg":
+            align = reader.uleb()
+            offset = reader.uleb()
+            body.append((op.name, align, offset))
+        elif imm == "mem":
+            reader.byte()
+            body.append((op.name,))
+        elif imm == "br_table":
+            count = reader.uleb()
+            targets = [reader.uleb() for _ in range(count)]
+            default = reader.uleb()
+            body.append((op.name, targets, default))
+        elif imm == "call_indirect":
+            type_index = reader.uleb()
+            table_index = reader.uleb()
+            body.append((op.name, type_index, table_index))
+        else:  # pragma: no cover - exhaustive
+            raise DecodeError(f"unhandled immediate kind {imm!r}")
+
+
+def decode_module(data: bytes) -> Module:
+    """Decode binary ``.wasm`` bytes into a :class:`Module`."""
+    reader = _Reader(data)
+    if reader.bytes_(4) != b"\x00asm":
+        raise DecodeError("bad magic")
+    if reader.bytes_(4) != b"\x01\x00\x00\x00":
+        raise DecodeError("unsupported version")
+
+    module = Module()
+    while not reader.eof():
+        section_id = reader.byte()
+        size = reader.uleb()
+        section = _Reader(reader.bytes_(size))
+        if section_id == 1:
+            for _ in range(section.uleb()):
+                if section.byte() != 0x60:
+                    raise DecodeError("bad functype tag")
+                params = tuple(section.valtype() for _ in range(section.uleb()))
+                results = tuple(section.valtype() for _ in range(section.uleb()))
+                module.types.append(FuncType(params, results))
+        elif section_id == 2:
+            for _ in range(section.uleb()):
+                mod_name = section.name()
+                item_name = section.name()
+                kind = section.byte()
+                if kind != 0x00:
+                    raise DecodeError("only function imports are supported")
+                module.imports.append(
+                    Import(mod_name, item_name, section.uleb())
+                )
+        elif section_id == 3:
+            for _ in range(section.uleb()):
+                module.functions.append(Function(type_index=section.uleb()))
+        elif section_id == 4:
+            for _ in range(section.uleb()):
+                if section.byte() != 0x70:
+                    raise DecodeError("bad table element type")
+                minimum, maximum = section.limits()
+                module.tables.append(TableType(minimum, maximum))
+        elif section_id == 5:
+            for _ in range(section.uleb()):
+                minimum, maximum = section.limits()
+                module.memories.append(MemoryType(minimum, maximum))
+        elif section_id == 6:
+            for _ in range(section.uleb()):
+                valtype = section.valtype()
+                mutable = section.byte() == 1
+                _, value = section.const_expr()
+                module.globals.append(Global(valtype, mutable, value))
+        elif section_id == 7:
+            for _ in range(section.uleb()):
+                name = section.name()
+                kind = _EXPORT_KINDS.get(section.byte())
+                if kind is None:
+                    raise DecodeError("bad export kind")
+                module.exports.append(Export(name, kind, section.uleb()))
+        elif section_id == 8:
+            module.start = section.uleb()
+        elif section_id == 9:
+            for _ in range(section.uleb()):
+                table_index = section.uleb()
+                _, offset = section.const_expr()
+                count = section.uleb()
+                indices = [section.uleb() for _ in range(count)]
+                module.elements.append(Element(table_index, int(offset), indices))
+        elif section_id == 10:
+            count = section.uleb()
+            if count != len(module.functions):
+                raise DecodeError("code/function section count mismatch")
+            for func in module.functions:
+                body_size = section.uleb()
+                body_reader = _Reader(section.bytes_(body_size))
+                for _ in range(body_reader.uleb()):
+                    n = body_reader.uleb()
+                    ty = body_reader.valtype()
+                    func.locals_.extend([ty] * n)
+                body, stop = _decode_body(body_reader)
+                if stop is not _END:
+                    raise DecodeError("function body missing end")
+                func.body = body
+        elif section_id == 11:
+            for _ in range(section.uleb()):
+                memory_index = section.uleb()
+                _, offset = section.const_expr()
+                length = section.uleb()
+                module.data.append(
+                    Data(memory_index, int(offset), section.bytes_(length))
+                )
+        elif section_id == 0:
+            name = section.name()
+            if name == "name":
+                _decode_name_section(section, module)
+        else:
+            raise DecodeError(f"unknown section id {section_id}")
+    return module
+
+
+def _decode_name_section(section: _Reader, module: Module) -> None:
+    while not section.eof():
+        sub_id = section.byte()
+        sub_size = section.uleb()
+        sub = _Reader(section.bytes_(sub_size))
+        if sub_id == 1:  # function names
+            for _ in range(sub.uleb()):
+                index = sub.uleb()
+                fname = sub.name()
+                defined_index = index - len(module.imports)
+                if 0 <= defined_index < len(module.functions):
+                    module.functions[defined_index].name = fname

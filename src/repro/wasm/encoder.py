@@ -1,0 +1,281 @@
+"""Encoding of modules to the binary ``.wasm`` format.
+
+Implements the WebAssembly MVP binary format: LEB128 integers, the section
+layout (type, import, function, table, memory, global, export, start,
+element, code, data) and an optional custom *name* section carrying
+function names for debuggability.  Structured instructions are flattened
+into the ``end``-terminated byte form.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import EncodeError
+from repro.wasm.module import Module
+from repro.wasm.opcodes import OPS
+
+__all__ = ["encode_module", "encode_uleb", "encode_sleb"]
+
+MAGIC = b"\x00asm"
+VERSION = b"\x01\x00\x00\x00"
+
+_VALTYPE_CODE = {"i32": 0x7F, "i64": 0x7E, "f32": 0x7D, "f64": 0x7C}
+_FUNCREF = 0x70
+
+
+def encode_uleb(value: int) -> bytes:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise EncodeError(f"uleb of negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_sleb(value: int) -> bytes:
+    """Signed LEB128."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        sign = byte & 0x40
+        if (value == 0 and not sign) or (value == -1 and sign):
+            out.append(byte)
+            return bytes(out)
+        out.append(byte | 0x80)
+
+
+def _name(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return encode_uleb(len(raw)) + raw
+
+
+def _limits(minimum: int, maximum: int | None) -> bytes:
+    if maximum is None:
+        return b"\x00" + encode_uleb(minimum)
+    return b"\x01" + encode_uleb(minimum) + encode_uleb(maximum)
+
+
+def _blocktype(results: list[str]) -> bytes:
+    if not results:
+        return b"\x40"
+    if len(results) == 1:
+        return bytes([_VALTYPE_CODE[results[0]]])
+    raise EncodeError("multi-value block results are not supported (MVP)")
+
+
+def _const_expr(valtype: str, value) -> bytes:
+    """A constant initializer expression (for globals and segment offsets)."""
+    out = bytearray()
+    if valtype == "i32":
+        out.append(0x41)
+        out += encode_sleb(int(value))
+    elif valtype == "i64":
+        out.append(0x42)
+        out += encode_sleb(int(value))
+    elif valtype == "f32":
+        out.append(0x43)
+        out += struct.pack("<f", float(value))
+    elif valtype == "f64":
+        out.append(0x44)
+        out += struct.pack("<d", float(value))
+    else:
+        raise EncodeError(f"bad const type {valtype!r}")
+    out.append(0x0B)  # end
+    return bytes(out)
+
+
+def _encode_instruction(instr: tuple, out: bytearray) -> None:
+    op_name = instr[0]
+
+    if op_name == "block" or op_name == "loop":
+        out.append(OPS[op_name].code)
+        out += _blocktype(instr[1])
+        _encode_body(instr[2], out)
+        out.append(0x0B)
+        return
+    if op_name == "if":
+        out.append(0x04)
+        out += _blocktype(instr[1])
+        _encode_body(instr[2], out)
+        if instr[3]:
+            out.append(0x05)  # else
+            _encode_body(instr[3], out)
+        out.append(0x0B)
+        return
+
+    op = OPS.get(op_name)
+    if op is None:
+        raise EncodeError(f"unknown instruction {op_name!r}")
+    out.append(op.code)
+    imm = op.imm
+    if imm == "":
+        return
+    if imm == "i32" or imm == "i64":
+        out += encode_sleb(int(instr[1]))
+    elif imm == "f32":
+        out += struct.pack("<f", float(instr[1]))
+    elif imm == "f64":
+        out += struct.pack("<d", float(instr[1]))
+    elif imm in ("local", "global", "func", "label"):
+        out += encode_uleb(int(instr[1]))
+    elif imm == "memarg":
+        out += encode_uleb(int(instr[1]))  # align (log2)
+        out += encode_uleb(int(instr[2]))  # offset
+    elif imm == "mem":
+        out.append(0x00)
+    elif imm == "br_table":
+        targets, default = instr[1], instr[2]
+        out += encode_uleb(len(targets))
+        for t in targets:
+            out += encode_uleb(int(t))
+        out += encode_uleb(int(default))
+    elif imm == "call_indirect":
+        out += encode_uleb(int(instr[1]))  # type index
+        out += encode_uleb(int(instr[2]))  # table index
+    else:  # pragma: no cover - exhaustive
+        raise EncodeError(f"unhandled immediate kind {imm!r}")
+
+
+def _encode_body(body: list, out: bytearray) -> None:
+    for instr in body:
+        _encode_instruction(instr, out)
+
+
+def _section(section_id: int, payload: bytes) -> bytes:
+    return bytes([section_id]) + encode_uleb(len(payload)) + payload
+
+
+def encode_module(module: Module, include_names: bool = True) -> bytes:
+    """Encode ``module`` to binary ``.wasm`` bytes."""
+    out = bytearray(MAGIC + VERSION)
+
+    # 1: types
+    if module.types:
+        payload = bytearray(encode_uleb(len(module.types)))
+        for ft in module.types:
+            payload.append(0x60)
+            payload += encode_uleb(len(ft.params))
+            payload += bytes(_VALTYPE_CODE[t] for t in ft.params)
+            payload += encode_uleb(len(ft.results))
+            payload += bytes(_VALTYPE_CODE[t] for t in ft.results)
+        out += _section(1, bytes(payload))
+
+    # 2: imports
+    if module.imports:
+        payload = bytearray(encode_uleb(len(module.imports)))
+        for imp in module.imports:
+            payload += _name(imp.module) + _name(imp.name)
+            payload += b"\x00" + encode_uleb(imp.type_index)
+        out += _section(2, bytes(payload))
+
+    # 3: function declarations
+    if module.functions:
+        payload = bytearray(encode_uleb(len(module.functions)))
+        for func in module.functions:
+            payload += encode_uleb(func.type_index)
+        out += _section(3, bytes(payload))
+
+    # 4: tables
+    if module.tables:
+        payload = bytearray(encode_uleb(len(module.tables)))
+        for table in module.tables:
+            payload.append(_FUNCREF)
+            payload += _limits(table.minimum, table.maximum)
+        out += _section(4, bytes(payload))
+
+    # 5: memories
+    if module.memories:
+        payload = bytearray(encode_uleb(len(module.memories)))
+        for mem in module.memories:
+            payload += _limits(mem.minimum, mem.maximum)
+        out += _section(5, bytes(payload))
+
+    # 6: globals
+    if module.globals:
+        payload = bytearray(encode_uleb(len(module.globals)))
+        for glob in module.globals:
+            payload.append(_VALTYPE_CODE[glob.valtype])
+            payload.append(0x01 if glob.mutable else 0x00)
+            payload += _const_expr(glob.valtype, glob.init)
+        out += _section(6, bytes(payload))
+
+    # 7: exports
+    if module.exports:
+        kinds = {"func": 0, "table": 1, "memory": 2, "global": 3}
+        payload = bytearray(encode_uleb(len(module.exports)))
+        for export in module.exports:
+            payload += _name(export.name)
+            payload.append(kinds[export.kind])
+            payload += encode_uleb(export.index)
+        out += _section(7, bytes(payload))
+
+    # 8: start
+    if module.start is not None:
+        out += _section(8, encode_uleb(module.start))
+
+    # 9: element segments
+    if module.elements:
+        payload = bytearray(encode_uleb(len(module.elements)))
+        for elem in module.elements:
+            payload += encode_uleb(elem.table_index)
+            payload += _const_expr("i32", elem.offset)
+            payload += encode_uleb(len(elem.func_indices))
+            for fi in elem.func_indices:
+                payload += encode_uleb(fi)
+        out += _section(9, bytes(payload))
+
+    # 10: code
+    if module.functions:
+        payload = bytearray(encode_uleb(len(module.functions)))
+        for func in module.functions:
+            body = bytearray()
+            # run-length-encode the local declarations
+            groups: list[tuple[int, str]] = []
+            for ty in func.locals_:
+                if groups and groups[-1][1] == ty:
+                    groups[-1] = (groups[-1][0] + 1, ty)
+                else:
+                    groups.append((1, ty))
+            body += encode_uleb(len(groups))
+            for count, ty in groups:
+                body += encode_uleb(count)
+                body.append(_VALTYPE_CODE[ty])
+            _encode_body(func.body, body)
+            body.append(0x0B)  # end of function
+            payload += encode_uleb(len(body)) + body
+        out += _section(10, bytes(payload))
+
+    # 11: data segments
+    if module.data:
+        payload = bytearray(encode_uleb(len(module.data)))
+        for seg in module.data:
+            payload += encode_uleb(seg.memory_index)
+            payload += _const_expr("i32", seg.offset)
+            payload += encode_uleb(len(seg.payload)) + seg.payload
+        out += _section(11, bytes(payload))
+
+    # custom "name" section, for debuggability
+    if include_names:
+        names = bytearray(_name("name"))
+        func_names = [
+            (len(module.imports) + i, f.name)
+            for i, f in enumerate(module.functions)
+            if f.name
+        ]
+        if func_names:
+            sub = bytearray(encode_uleb(len(func_names)))
+            for index, fname in func_names:
+                sub += encode_uleb(index) + _name(fname)
+            names.append(1)  # function-names subsection
+            names += encode_uleb(len(sub)) + sub
+            out += _section(0, bytes(names))
+
+    return bytes(out)

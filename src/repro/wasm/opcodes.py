@@ -1,0 +1,210 @@
+"""The WebAssembly MVP instruction table.
+
+Each instruction is described by an :class:`Op`: its binary opcode, the
+kind of immediate operands it carries, and its stack signature (parameter
+and result value types) used by the validator, the interpreter, and the
+tier compilers.
+
+Instructions in function bodies are represented as plain tuples::
+
+    ("i32.add",)
+    ("i32.const", 42)
+    ("local.get", 3)
+    ("i32.load", 2, 8)            # align, offset
+    ("block", ["i32"], [ ...body... ])
+    ("loop",  [],      [ ...body... ])
+    ("if",    [], [ ...then... ], [ ...else... ])
+    ("br_table", [0, 1, 2], 0)    # targets, default
+
+The structured control instructions (``block``/``loop``/``if``) nest their
+bodies directly; the encoder flattens them into the binary format's
+``end``-terminated form and the decoder rebuilds the nesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Op", "OPS", "VALUE_TYPES", "CONTROL_OPS"]
+
+VALUE_TYPES = ("i32", "i64", "f32", "f64")
+
+# Immediate kinds:
+#   ""         no immediates
+#   "i32"/"i64"/"f32"/"f64"  one constant
+#   "local"    local index
+#   "global"   global index
+#   "func"     function index
+#   "label"    label (relative depth)
+#   "br_table" list of labels + default label
+#   "memarg"   (align, offset)
+#   "mem"      memory index (always 0 in MVP)
+#   "call_indirect"  (type index, table index)
+#   "block"    structured: block type + nested bodies
+
+
+@dataclass(frozen=True)
+class Op:
+    """Static description of one instruction."""
+
+    name: str
+    code: int
+    imm: str
+    params: tuple[str, ...]
+    results: tuple[str, ...]
+
+
+def _op(name: str, code: int, imm: str, params, results) -> Op:
+    return Op(name, code, imm, tuple(params), tuple(results))
+
+
+OPS: dict[str, Op] = {}
+
+
+def _add(name: str, code: int, imm: str = "", params=(), results=()):
+    OPS[name] = _op(name, code, imm, params, results)
+
+
+# -- control ---------------------------------------------------------------
+_add("unreachable", 0x00)
+_add("nop", 0x01)
+_add("block", 0x02, "block")
+_add("loop", 0x03, "block")
+_add("if", 0x04, "block", params=("i32",))
+_add("br", 0x0C, "label")
+_add("br_if", 0x0D, "label", params=("i32",))
+_add("br_table", 0x0E, "br_table", params=("i32",))
+_add("return", 0x0F)
+_add("call", 0x10, "func")
+_add("call_indirect", 0x11, "call_indirect")
+
+# -- parametric -------------------------------------------------------------
+_add("drop", 0x1A)        # polymorphic; validator special-cases
+_add("select", 0x1B)      # polymorphic; validator special-cases
+
+# -- variables ---------------------------------------------------------------
+_add("local.get", 0x20, "local")
+_add("local.set", 0x21, "local")
+_add("local.tee", 0x22, "local")
+_add("global.get", 0x23, "global")
+_add("global.set", 0x24, "global")
+
+# -- memory -------------------------------------------------------------------
+for _name, _code, _ty, _width in [
+    ("i32.load", 0x28, "i32", 4),
+    ("i64.load", 0x29, "i64", 8),
+    ("f32.load", 0x2A, "f32", 4),
+    ("f64.load", 0x2B, "f64", 8),
+    ("i32.load8_s", 0x2C, "i32", 1),
+    ("i32.load8_u", 0x2D, "i32", 1),
+    ("i32.load16_s", 0x2E, "i32", 2),
+    ("i32.load16_u", 0x2F, "i32", 2),
+    ("i64.load8_s", 0x30, "i64", 1),
+    ("i64.load8_u", 0x31, "i64", 1),
+    ("i64.load16_s", 0x32, "i64", 2),
+    ("i64.load16_u", 0x33, "i64", 2),
+    ("i64.load32_s", 0x34, "i64", 4),
+    ("i64.load32_u", 0x35, "i64", 4),
+]:
+    _add(_name, _code, "memarg", params=("i32",), results=(_ty,))
+
+for _name, _code, _ty in [
+    ("i32.store", 0x36, "i32"),
+    ("i64.store", 0x37, "i64"),
+    ("f32.store", 0x38, "f32"),
+    ("f64.store", 0x39, "f64"),
+    ("i32.store8", 0x3A, "i32"),
+    ("i32.store16", 0x3B, "i32"),
+    ("i64.store8", 0x3C, "i64"),
+    ("i64.store16", 0x3D, "i64"),
+    ("i64.store32", 0x3E, "i64"),
+]:
+    _add(_name, _code, "memarg", params=("i32", _ty))
+
+_add("memory.size", 0x3F, "mem", results=("i32",))
+_add("memory.grow", 0x40, "mem", params=("i32",), results=("i32",))
+
+# -- constants ------------------------------------------------------------------
+_add("i32.const", 0x41, "i32", results=("i32",))
+_add("i64.const", 0x42, "i64", results=("i64",))
+_add("f32.const", 0x43, "f32", results=("f32",))
+_add("f64.const", 0x44, "f64", results=("f64",))
+
+# -- comparisons -------------------------------------------------------------------
+_add("i32.eqz", 0x45, params=("i32",), results=("i32",))
+for _i, _name in enumerate(
+    ["eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u", "le_s", "le_u", "ge_s", "ge_u"]
+):
+    _add(f"i32.{_name}", 0x46 + _i, params=("i32", "i32"), results=("i32",))
+_add("i64.eqz", 0x50, params=("i64",), results=("i32",))
+for _i, _name in enumerate(
+    ["eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u", "le_s", "le_u", "ge_s", "ge_u"]
+):
+    _add(f"i64.{_name}", 0x51 + _i, params=("i64", "i64"), results=("i32",))
+for _i, _name in enumerate(["eq", "ne", "lt", "gt", "le", "ge"]):
+    _add(f"f32.{_name}", 0x5B + _i, params=("f32", "f32"), results=("i32",))
+for _i, _name in enumerate(["eq", "ne", "lt", "gt", "le", "ge"]):
+    _add(f"f64.{_name}", 0x61 + _i, params=("f64", "f64"), results=("i32",))
+
+# -- numeric -------------------------------------------------------------------------
+for _i, _name in enumerate(["clz", "ctz", "popcnt"]):
+    _add(f"i32.{_name}", 0x67 + _i, params=("i32",), results=("i32",))
+for _i, _name in enumerate(
+    ["add", "sub", "mul", "div_s", "div_u", "rem_s", "rem_u",
+     "and", "or", "xor", "shl", "shr_s", "shr_u", "rotl", "rotr"]
+):
+    _add(f"i32.{_name}", 0x6A + _i, params=("i32", "i32"), results=("i32",))
+for _i, _name in enumerate(["clz", "ctz", "popcnt"]):
+    _add(f"i64.{_name}", 0x79 + _i, params=("i64",), results=("i64",))
+for _i, _name in enumerate(
+    ["add", "sub", "mul", "div_s", "div_u", "rem_s", "rem_u",
+     "and", "or", "xor", "shl", "shr_s", "shr_u", "rotl", "rotr"]
+):
+    _add(f"i64.{_name}", 0x7C + _i, params=("i64", "i64"), results=("i64",))
+for _i, _name in enumerate(
+    ["abs", "neg", "ceil", "floor", "trunc", "nearest", "sqrt"]
+):
+    _add(f"f32.{_name}", 0x8B + _i, params=("f32",), results=("f32",))
+for _i, _name in enumerate(["add", "sub", "mul", "div", "min", "max", "copysign"]):
+    _add(f"f32.{_name}", 0x92 + _i, params=("f32", "f32"), results=("f32",))
+for _i, _name in enumerate(
+    ["abs", "neg", "ceil", "floor", "trunc", "nearest", "sqrt"]
+):
+    _add(f"f64.{_name}", 0x99 + _i, params=("f64",), results=("f64",))
+for _i, _name in enumerate(["add", "sub", "mul", "div", "min", "max", "copysign"]):
+    _add(f"f64.{_name}", 0xA0 + _i, params=("f64", "f64"), results=("f64",))
+
+# -- conversions ---------------------------------------------------------------------
+for _name, _code, _src, _dst in [
+    ("i32.wrap_i64", 0xA7, "i64", "i32"),
+    ("i32.trunc_f32_s", 0xA8, "f32", "i32"),
+    ("i32.trunc_f32_u", 0xA9, "f32", "i32"),
+    ("i32.trunc_f64_s", 0xAA, "f64", "i32"),
+    ("i32.trunc_f64_u", 0xAB, "f64", "i32"),
+    ("i64.extend_i32_s", 0xAC, "i32", "i64"),
+    ("i64.extend_i32_u", 0xAD, "i32", "i64"),
+    ("i64.trunc_f32_s", 0xAE, "f32", "i64"),
+    ("i64.trunc_f32_u", 0xAF, "f32", "i64"),
+    ("i64.trunc_f64_s", 0xB0, "f64", "i64"),
+    ("i64.trunc_f64_u", 0xB1, "f64", "i64"),
+    ("f32.convert_i32_s", 0xB2, "i32", "f32"),
+    ("f32.convert_i32_u", 0xB3, "i32", "f32"),
+    ("f32.convert_i64_s", 0xB4, "i64", "f32"),
+    ("f32.convert_i64_u", 0xB5, "i64", "f32"),
+    ("f32.demote_f64", 0xB6, "f64", "f32"),
+    ("f64.convert_i32_s", 0xB7, "i32", "f64"),
+    ("f64.convert_i32_u", 0xB8, "i32", "f64"),
+    ("f64.convert_i64_s", 0xB9, "i64", "f64"),
+    ("f64.convert_i64_u", 0xBA, "i64", "f64"),
+    ("f64.promote_f32", 0xBB, "f32", "f64"),
+    ("i32.reinterpret_f32", 0xBC, "f32", "i32"),
+    ("i64.reinterpret_f64", 0xBD, "f64", "i64"),
+    ("f32.reinterpret_i32", 0xBE, "i32", "f32"),
+    ("f64.reinterpret_i64", 0xBF, "i64", "f64"),
+]:
+    _add(_name, _code, params=(_src,), results=(_dst,))
+
+CONTROL_OPS = frozenset({"block", "loop", "if"})
+
+# Reverse lookup for the decoder.
+BY_CODE: dict[int, Op] = {op.code: op for op in OPS.values()}

@@ -1,0 +1,21 @@
+"""The Wasm execution engine: interpreter, two compiler tiers, tiering.
+
+This package plays the role V8 plays in the paper:
+
+* :mod:`repro.wasm.runtime.interpreter` — a reference interpreter used for
+  testing and as the semantic oracle for the compilers,
+* :mod:`repro.wasm.runtime.liftoff` — the fast baseline tier: a single
+  pass over the code, naive stack emulation, minimal compile time,
+* :mod:`repro.wasm.runtime.turbofan` — the optimizing tier: recovers
+  expression trees from the stack machine, folds constants, eliminates
+  dead code, and emits idiomatic Python that runs several times faster,
+* :mod:`repro.wasm.runtime.engine` — instantiation and the **adaptive
+  tier-up controller** that transparently replaces Liftoff code with
+  TurboFan code while a query is running (at call boundaries, which
+  morsel-wise execution turns into frequent switch points).
+"""
+
+from repro.wasm.runtime.memory import LinearMemory
+from repro.wasm.runtime.engine import Engine, EngineConfig, Instance, TierStats
+
+__all__ = ["Engine", "EngineConfig", "Instance", "LinearMemory", "TierStats"]

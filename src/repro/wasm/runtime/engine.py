@@ -1,0 +1,257 @@
+"""Instantiation and adaptive execution — the V8 role.
+
+The :class:`Engine` owns the tiering policy:
+
+* ``mode="liftoff"`` — everything runs as Liftoff-compiled code,
+* ``mode="turbofan"`` — everything is optimized up front (the paper's
+  "enforce compilation with TurboFan" configuration of Section 8.2),
+* ``mode="adaptive"`` (default) — functions start as Liftoff code; a
+  per-function call counter triggers recompilation with TurboFan, and the
+  function-table entry is swapped so every later call — including calls
+  already in flight at morsel boundaries — runs optimized code.  This is
+  V8's dynamic tier-up [Liftoff paper], which the paper gets "for free",
+* ``mode="interpreter"`` — the reference interpreter (for testing).
+
+Compile times per tier are recorded in :class:`TierStats`; the paper's
+Figure 10 stacks exactly these phases.  In real V8 the TurboFan compile
+runs on a background thread; here it runs synchronously at the tier-up
+call boundary but is accounted separately, so benches can report it
+either overlapped or serialized.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import Trap, ValidationError
+from repro.wasm.module import Module
+from repro.wasm.runtime.interpreter import Interpreter
+from repro.wasm.runtime.liftoff import LiftoffCompiler
+from repro.wasm.runtime.memory import LinearMemory
+from repro.wasm.runtime.turbofan import TurboFanCompiler
+from repro.wasm.validator import validate_module
+
+__all__ = ["Engine", "EngineConfig", "Instance", "TierStats"]
+
+_GLOBAL_DEFAULTS = {"i32": 0, "i64": 0, "f32": 0.0, "f64": 0.0}
+
+
+@dataclass
+class EngineConfig:
+    """Tiering policy knobs (V8's ``--liftoff``/``--no-wasm-tier-up`` etc.)."""
+
+    mode: str = "adaptive"          # adaptive | liftoff | turbofan | interpreter
+    tier_up_threshold: int = 16     # calls of one function before tier-up
+    validate: bool = True
+
+
+@dataclass
+class TierStats:
+    """Per-instance compilation accounting (the phases of Figure 10)."""
+
+    liftoff_seconds: float = 0.0
+    turbofan_seconds: float = 0.0
+    liftoff_functions: int = 0
+    turbofan_functions: int = 0
+    tier_ups: int = 0
+
+    @property
+    def total_compile_seconds(self) -> float:
+        return self.liftoff_seconds + self.turbofan_seconds
+
+
+class Instance:
+    """One instantiated module.
+
+    ``funcs`` is the live function table: index -> current callable.
+    Tier-up replaces entries in place, so every call site — compiled code
+    uses ``_funcs[i]`` — immediately dispatches to the new code, which is
+    how the engine swaps code *during* query execution (morsel-wise).
+    """
+
+    def __init__(self, module: Module, memory: LinearMemory | None):
+        self.module = module
+        self.memory = memory
+        self.globals: list = [
+            g.init if g.init is not None else _GLOBAL_DEFAULTS[g.valtype]
+            for g in module.globals
+        ]
+        self.funcs: list = [None] * (len(module.imports) + len(module.functions))
+        self.table: list[int | None] = []
+        self.profile = None  # a costmodel Profile during instrumented runs
+        self.stats = TierStats()
+        self._exports = {e.name: e for e in module.exports}
+
+    # -- calls -----------------------------------------------------------------
+
+    def invoke(self, name: str, *args):
+        """Call an exported function by name."""
+        export = self._exports.get(name)
+        if export is None or export.kind != "func":
+            raise Trap("unknown export", name)
+        return self.funcs[export.index](*args)
+
+    def table_lookup(self, elem_index: int, type_index: int) -> int:
+        """Resolve a ``call_indirect``: element index -> function index."""
+        if not (0 <= elem_index < len(self.table)):
+            raise Trap("undefined element", str(elem_index))
+        func_index = self.table[elem_index]
+        if func_index is None:
+            raise Trap("uninitialized element", str(elem_index))
+        actual = self.module.func_type_of(func_index)
+        expected = self.module.types[type_index]
+        if actual != expected:
+            raise Trap("indirect call type mismatch",
+                       f"{actual} vs {expected}")
+        return func_index
+
+    def tier_of(self, name: str) -> str:
+        """The current tier of an exported function (for tests/benches)."""
+        export = self._exports[name]
+        return getattr(self.funcs[export.index], "tier", "?")
+
+
+class Engine:
+    """Instantiates modules and drives adaptive tier-up."""
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+
+    def instantiate(
+        self,
+        module: Module,
+        imports: dict[tuple[str, str], object] | None = None,
+        memory: LinearMemory | None = None,
+        profile=None,
+    ) -> Instance:
+        """Build an instance: resolve imports, set up memory, compile.
+
+        ``memory`` plays the role of the paper's ``SetModuleMemory()``
+        patch: the host passes a linear memory whose pages alias its own
+        rewired buffers.  If omitted, a private memory is created from the
+        module's memory section.
+        """
+        if self.config.validate:
+            validate_module(module)
+
+        if memory is None and module.memories:
+            spec = module.memories[0]
+            memory = LinearMemory(min_pages=spec.minimum,
+                                  max_pages=spec.maximum)
+        instance = Instance(module, memory)
+        instance.profile = profile
+
+        # imports
+        imports = imports or {}
+        for i, imp in enumerate(module.imports):
+            try:
+                host_fn = imports[(imp.module, imp.name)]
+            except KeyError:
+                raise ValidationError(
+                    f"missing import {imp.module}.{imp.name}"
+                ) from None
+            instance.funcs[i] = host_fn
+
+        # table + element segments
+        table_size = module.tables[0].minimum if module.tables else 0
+        instance.table = [None] * table_size
+        for elem in module.elements:
+            for k, func_index in enumerate(elem.func_indices):
+                instance.table[elem.offset + k] = func_index
+
+        # data segments
+        for seg in module.data:
+            if memory is None:
+                raise ValidationError("data segment without memory")
+            memory.write_bytes(seg.offset, seg.payload)
+
+        self._compile_all(instance)
+
+        if module.start is not None:
+            instance.funcs[module.start]()
+        return instance
+
+    # -- compilation -------------------------------------------------------------
+
+    def _compile_all(self, instance: Instance) -> None:
+        mode = self.config.mode
+        module = instance.module
+        n_imports = len(module.imports)
+
+        if mode == "interpreter":
+            interp = Interpreter(instance)
+            for i, func in enumerate(module.functions):
+                instance.funcs[n_imports + i] = interp.make_callable(func)
+            return
+
+        instrumented = instance.profile is not None
+        if mode == "turbofan":
+            compiler = TurboFanCompiler(module)
+            start = time.perf_counter()
+            for i, func in enumerate(module.functions):
+                compiled = compiler.compile(func, n_imports + i, instrumented)
+                instance.funcs[n_imports + i] = compiled.bind(
+                    instance, instance.profile
+                )
+            instance.stats.turbofan_seconds += time.perf_counter() - start
+            instance.stats.turbofan_functions += len(module.functions)
+            return
+
+        # liftoff and adaptive both start from Liftoff code
+        compiler = LiftoffCompiler(module)
+        start = time.perf_counter()
+        for i, func in enumerate(module.functions):
+            compiled = compiler.compile(func, n_imports + i, instrumented)
+            instance.funcs[n_imports + i] = compiled.bind(
+                instance, instance.profile
+            )
+        instance.stats.liftoff_seconds += time.perf_counter() - start
+        instance.stats.liftoff_functions += len(module.functions)
+
+        if mode == "adaptive":
+            for i in range(len(module.functions)):
+                self._install_tier_up_trigger(instance, n_imports + i)
+        elif mode != "liftoff":
+            raise ValueError(f"unknown engine mode {mode!r}")
+
+    def _install_tier_up_trigger(self, instance: Instance,
+                                 func_index: int) -> None:
+        """Wrap a Liftoff function with a call counter that triggers
+        TurboFan recompilation once the function is hot.
+
+        The wrapper replaces ``instance.funcs[func_index]`` with the raw
+        optimized callable on tier-up, so the counting overhead also
+        disappears — mirroring V8's code patching.
+        """
+        liftoff_fn = instance.funcs[func_index]
+        threshold = self.config.tier_up_threshold
+        engine = self
+
+        count = 0
+
+        def tiering(*args):
+            nonlocal count
+            count += 1
+            if count >= threshold:
+                engine.tier_up(instance, func_index)
+                return instance.funcs[func_index](*args)
+            return liftoff_fn(*args)
+
+        tiering.tier = "liftoff"
+        instance.funcs[func_index] = tiering
+
+    def tier_up(self, instance: Instance, func_index: int) -> None:
+        """Recompile one function with TurboFan and patch it in."""
+        module = instance.module
+        func = module.functions[func_index - len(module.imports)]
+        instrumented = instance.profile is not None
+        start = time.perf_counter()
+        compiled = TurboFanCompiler(module).compile(
+            func, func_index, instrumented
+        )
+        optimized = compiled.bind(instance, instance.profile)
+        instance.stats.turbofan_seconds += time.perf_counter() - start
+        instance.stats.turbofan_functions += 1
+        instance.stats.tier_ups += 1
+        instance.funcs[func_index] = optimized

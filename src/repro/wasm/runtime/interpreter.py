@@ -1,0 +1,384 @@
+"""Reference interpreter for the tuple-IR.
+
+Executes validated functions directly over the structured instruction
+representation.  It is the semantic oracle the tier compilers are tested
+against (differential testing in ``tests/wasm``), and the slowest but
+simplest execution path of the engine.
+
+Branches are implemented by signal values: executing a body returns
+``None`` for fall-through, a non-negative ``int`` for a branch that still
+has to unwind that many more levels, or :data:`_RETURN` for ``return``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import Trap
+from repro.wasm.module import Function, Module
+from repro.wasm.runtime import values as V
+
+__all__ = ["Interpreter"]
+
+_RETURN = "return"
+
+_DEFAULTS = {"i32": 0, "i64": 0, "f32": 0.0, "f64": 0.0}
+
+# Simple binary operators: op -> (lambda, needs-f32-rounding)
+_BINOPS = {
+    "i32.add": lambda a, b: V.wrap32(a + b),
+    "i32.sub": lambda a, b: V.wrap32(a - b),
+    "i32.mul": lambda a, b: V.wrap32(a * b),
+    "i32.div_s": lambda a, b: V.idiv_s(a, b, 32),
+    "i32.div_u": V.idiv_u32,
+    "i32.rem_s": V.irem_s,
+    "i32.rem_u": V.irem_u32,
+    "i32.and": lambda a, b: V.wrap32(a & b),
+    "i32.or": lambda a, b: V.wrap32(a | b),
+    "i32.xor": lambda a, b: V.wrap32(a ^ b),
+    "i32.shl": V.shl32,
+    "i32.shr_s": V.shr_s32,
+    "i32.shr_u": V.shr_u32,
+    "i32.rotl": V.rotl32,
+    "i32.rotr": V.rotr32,
+    "i64.add": lambda a, b: V.wrap64(a + b),
+    "i64.sub": lambda a, b: V.wrap64(a - b),
+    "i64.mul": lambda a, b: V.wrap64(a * b),
+    "i64.div_s": lambda a, b: V.idiv_s(a, b, 64),
+    "i64.div_u": V.idiv_u64,
+    "i64.rem_s": V.irem_s,
+    "i64.rem_u": V.irem_u64,
+    "i64.and": lambda a, b: V.wrap64(a & b),
+    "i64.or": lambda a, b: V.wrap64(a | b),
+    "i64.xor": lambda a, b: V.wrap64(a ^ b),
+    "i64.shl": V.shl64,
+    "i64.shr_s": V.shr_s64,
+    "i64.shr_u": V.shr_u64,
+    "i64.rotl": V.rotl64,
+    "i64.rotr": V.rotr64,
+    "f32.add": lambda a, b: V.f32round(a + b),
+    "f32.sub": lambda a, b: V.f32round(a - b),
+    "f32.mul": lambda a, b: V.f32round(a * b),
+    "f32.div": lambda a, b: V.f32round(V.fdiv(a, b)),
+    "f32.min": lambda a, b: V.f32round(V.fmin(a, b)),
+    "f32.max": lambda a, b: V.f32round(V.fmax(a, b)),
+    "f32.copysign": lambda a, b: V.f32round(math.copysign(a, b)),
+    "f64.add": lambda a, b: a + b,
+    "f64.sub": lambda a, b: a - b,
+    "f64.mul": lambda a, b: a * b,
+    "f64.div": V.fdiv,
+    "f64.min": V.fmin,
+    "f64.max": V.fmax,
+    "f64.copysign": lambda a, b: math.copysign(a, b),
+    # comparisons (return i32 0/1)
+    "i32.eq": lambda a, b: int(a == b),
+    "i32.ne": lambda a, b: int(a != b),
+    "i32.lt_s": lambda a, b: int(a < b),
+    "i32.lt_u": lambda a, b: int(V.u32(a) < V.u32(b)),
+    "i32.gt_s": lambda a, b: int(a > b),
+    "i32.gt_u": lambda a, b: int(V.u32(a) > V.u32(b)),
+    "i32.le_s": lambda a, b: int(a <= b),
+    "i32.le_u": lambda a, b: int(V.u32(a) <= V.u32(b)),
+    "i32.ge_s": lambda a, b: int(a >= b),
+    "i32.ge_u": lambda a, b: int(V.u32(a) >= V.u32(b)),
+    "i64.eq": lambda a, b: int(a == b),
+    "i64.ne": lambda a, b: int(a != b),
+    "i64.lt_s": lambda a, b: int(a < b),
+    "i64.lt_u": lambda a, b: int(V.u64(a) < V.u64(b)),
+    "i64.gt_s": lambda a, b: int(a > b),
+    "i64.gt_u": lambda a, b: int(V.u64(a) > V.u64(b)),
+    "i64.le_s": lambda a, b: int(a <= b),
+    "i64.le_u": lambda a, b: int(V.u64(a) <= V.u64(b)),
+    "i64.ge_s": lambda a, b: int(a >= b),
+    "i64.ge_u": lambda a, b: int(V.u64(a) >= V.u64(b)),
+    "f32.eq": lambda a, b: int(a == b),
+    "f32.ne": lambda a, b: int(a != b),
+    "f32.lt": lambda a, b: int(a < b),
+    "f32.gt": lambda a, b: int(a > b),
+    "f32.le": lambda a, b: int(a <= b),
+    "f32.ge": lambda a, b: int(a >= b),
+    "f64.eq": lambda a, b: int(a == b),
+    "f64.ne": lambda a, b: int(a != b),
+    "f64.lt": lambda a, b: int(a < b),
+    "f64.gt": lambda a, b: int(a > b),
+    "f64.le": lambda a, b: int(a <= b),
+    "f64.ge": lambda a, b: int(a >= b),
+}
+
+_UNOPS = {
+    "i32.eqz": lambda a: int(a == 0),
+    "i64.eqz": lambda a: int(a == 0),
+    "i32.clz": V.clz32,
+    "i32.ctz": V.ctz32,
+    "i32.popcnt": V.popcnt32,
+    "i64.clz": V.clz64,
+    "i64.ctz": V.ctz64,
+    "i64.popcnt": V.popcnt64,
+    "f32.abs": lambda a: V.f32round(abs(a)),
+    "f32.neg": lambda a: V.f32round(-a),
+    "f32.ceil": lambda a: V.f32round(math.ceil(a)) if math.isfinite(a) else a,
+    "f32.floor": lambda a: V.f32round(math.floor(a)) if math.isfinite(a) else a,
+    "f32.trunc": lambda a: V.f32round(V.ftrunc_float(a)),
+    "f32.nearest": lambda a: V.f32round(V.fnearest(a)),
+    "f32.sqrt": lambda a: V.f32round(math.sqrt(a)) if a >= 0 else math.nan,
+    "f64.abs": abs,
+    "f64.neg": lambda a: -a,
+    "f64.ceil": lambda a: float(math.ceil(a)) if math.isfinite(a) else a,
+    "f64.floor": lambda a: float(math.floor(a)) if math.isfinite(a) else a,
+    "f64.trunc": V.ftrunc_float,
+    "f64.nearest": V.fnearest,
+    "f64.sqrt": lambda a: math.sqrt(a) if a >= 0 else math.nan,
+    # conversions
+    "i32.wrap_i64": V.wrap32,
+    "i64.extend_i32_s": lambda a: a,
+    "i64.extend_i32_u": V.u32,
+    "i32.trunc_f32_s": V.trunc_to_i32_s,
+    "i32.trunc_f32_u": V.trunc_to_i32_u,
+    "i32.trunc_f64_s": V.trunc_to_i32_s,
+    "i32.trunc_f64_u": V.trunc_to_i32_u,
+    "i64.trunc_f32_s": V.trunc_to_i64_s,
+    "i64.trunc_f32_u": V.trunc_to_i64_u,
+    "i64.trunc_f64_s": V.trunc_to_i64_s,
+    "i64.trunc_f64_u": V.trunc_to_i64_u,
+    "f32.convert_i32_s": lambda a: V.f32round(float(a)),
+    "f32.convert_i32_u": lambda a: V.f32round(float(V.u32(a))),
+    "f32.convert_i64_s": lambda a: V.f32round(float(a)),
+    "f32.convert_i64_u": lambda a: V.f32round(float(V.u64(a))),
+    "f64.convert_i32_s": float,
+    "f64.convert_i32_u": lambda a: float(V.u32(a)),
+    "f64.convert_i64_s": float,
+    "f64.convert_i64_u": lambda a: float(V.u64(a)),
+    "f32.demote_f64": V.f32round,
+    "f64.promote_f32": lambda a: a,
+    "i32.reinterpret_f32": V.reinterpret_f2i32,
+    "i64.reinterpret_f64": V.reinterpret_f2i64,
+    "f32.reinterpret_i32": V.reinterpret_i2f32,
+    "f64.reinterpret_i64": V.reinterpret_i2f64,
+}
+
+
+class Interpreter:
+    """Interprets functions of one instance.
+
+    The instance provides ``module``, ``memory``, ``globals`` (mutable
+    list), ``funcs`` (current callable per function index), and ``table``
+    (list of function indices for ``call_indirect``).
+    """
+
+    def __init__(self, instance):
+        self.instance = instance
+        self.call_depth = 0
+        # kept well below Python's own recursion limit: each Wasm call
+        # and block level consumes Python frames in this interpreter
+        self.max_call_depth = 200
+
+    def make_callable(self, func: Function):
+        """A Python callable executing ``func`` by interpretation."""
+        def interpreted(*args):
+            return self.call_function(func, list(args))
+        interpreted.tier = "interp"
+        interpreted.wasm_function = func
+        return interpreted
+
+    def call_function(self, func: Function, args: list):
+        module: Module = self.instance.module
+        func_type = module.types[func.type_index]
+        if len(args) != len(func_type.params):
+            raise Trap("call argument count mismatch", func.name or "?")
+        locals_ = list(args) + [_DEFAULTS[t] for t in func.locals_]
+        stack: list = []
+        self.call_depth += 1
+        if self.call_depth > self.max_call_depth:
+            self.call_depth -= 1
+            raise Trap("call stack exhausted")
+        try:
+            signal = self._exec(func.body, locals_, stack, 0)
+        except RecursionError:
+            raise Trap("call stack exhausted") from None
+        finally:
+            self.call_depth -= 1
+        if signal is not None and signal is not _RETURN and signal != 0:
+            raise Trap("branch escaped function", func.name or "?")
+        results = func_type.results
+        if not results:
+            return None
+        if len(stack) < len(results):
+            raise Trap("function did not produce its results", func.name or "?")
+        if len(results) == 1:
+            return stack[-1]
+        return tuple(stack[-len(results):])
+
+    # The `depth` argument tracks the current block nesting (labels).
+    def _exec(self, body: list, locals_: list, stack: list, depth: int):
+        instance = self.instance
+        memory = instance.memory
+        profile = instance.profile
+        for instr in body:
+            if profile is not None:
+                profile.instructions += 1
+            op = instr[0]
+
+            # -- hottest ops first ------------------------------------------
+            if op == "local.get":
+                stack.append(locals_[instr[1]])
+                continue
+            if op == "local.set":
+                locals_[instr[1]] = stack.pop()
+                continue
+            if op == "local.tee":
+                locals_[instr[1]] = stack[-1]
+                continue
+            if op == "i32.const" or op == "i64.const" or op == "f64.const":
+                stack.append(instr[1])
+                continue
+            if op == "f32.const":
+                stack.append(V.f32round(instr[1]))
+                continue
+
+            fn = _BINOPS.get(op)
+            if fn is not None:
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(fn(a, b))
+                continue
+            fn = _UNOPS.get(op)
+            if fn is not None:
+                stack.append(fn(stack.pop()))
+                continue
+
+            # -- control ------------------------------------------------------
+            if op == "block":
+                height = len(stack)
+                signal = self._exec(instr[2], locals_, stack, depth + 1)
+                if signal is None:
+                    continue
+                if signal is _RETURN:
+                    return _RETURN
+                if signal == 0:
+                    # branch to this block: jump past its end, keep results
+                    results = instr[1]
+                    kept = stack[len(stack) - len(results):] if results else []
+                    del stack[height:]
+                    stack.extend(kept)
+                    continue
+                return signal - 1
+            if op == "loop":
+                height = len(stack)
+                while True:
+                    signal = self._exec(instr[2], locals_, stack, depth + 1)
+                    if signal is None:
+                        break
+                    if signal is _RETURN:
+                        return _RETURN
+                    if signal == 0:
+                        del stack[height:]  # branch to loop: restart it
+                        continue
+                    return signal - 1
+                continue
+            if op == "if":
+                cond = stack.pop()
+                height = len(stack)
+                chosen = instr[2] if cond else instr[3]
+                signal = self._exec(chosen, locals_, stack, depth + 1)
+                if signal is None:
+                    continue
+                if signal is _RETURN:
+                    return _RETURN
+                if signal == 0:
+                    results = instr[1]
+                    kept = stack[len(stack) - len(results):] if results else []
+                    del stack[height:]
+                    stack.extend(kept)
+                    continue
+                return signal - 1
+            if op == "br":
+                return instr[1]
+            if op == "br_if":
+                if stack.pop():
+                    if profile is not None:
+                        profile.branch(id(instr), True)
+                    return instr[1]
+                if profile is not None:
+                    profile.branch(id(instr), False)
+                continue
+            if op == "br_table":
+                index = stack.pop()
+                targets = instr[1]
+                if 0 <= index < len(targets):
+                    return targets[index]
+                return instr[2]
+            if op == "return":
+                return _RETURN
+            if op == "call":
+                stack_args = self._pop_call_args(stack, instr[1])
+                result = instance.funcs[instr[1]](*stack_args)
+                self._push_call_result(stack, instr[1], result)
+                continue
+            if op == "call_indirect":
+                elem_index = stack.pop()
+                func_index = instance.table_lookup(elem_index, instr[1])
+                stack_args = self._pop_call_args(stack, func_index)
+                result = instance.funcs[func_index](*stack_args)
+                self._push_call_result(stack, func_index, result)
+                continue
+            if op == "unreachable":
+                raise Trap("unreachable")
+            if op == "nop":
+                continue
+            if op == "drop":
+                stack.pop()
+                continue
+            if op == "select":
+                cond = stack.pop()
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(a if cond else b)
+                continue
+
+            # -- globals ---------------------------------------------------------
+            if op == "global.get":
+                stack.append(instance.globals[instr[1]])
+                continue
+            if op == "global.set":
+                instance.globals[instr[1]] = stack.pop()
+                continue
+
+            # -- memory ------------------------------------------------------------
+            if ".load" in op:
+                addr = stack.pop() + instr[2]
+                stack.append(memory.load(op, addr))
+                if profile is not None:
+                    profile.memory_access(id(instr), addr)
+                continue
+            if ".store" in op:
+                value = stack.pop()
+                addr = stack.pop() + instr[2]
+                memory.store(op, addr, value)
+                if profile is not None:
+                    profile.memory_access(id(instr), addr)
+                continue
+            if op == "memory.size":
+                stack.append(memory.size_pages)
+                continue
+            if op == "memory.grow":
+                stack.append(memory.grow(stack.pop()))
+                continue
+
+            raise Trap("unimplemented instruction", op)  # pragma: no cover
+        return None
+
+    def _pop_call_args(self, stack: list, func_index: int) -> list:
+        func_type = self.instance.module.func_type_of(func_index)
+        n = len(func_type.params)
+        if n == 0:
+            return []
+        args = stack[-n:]
+        del stack[-n:]
+        return args
+
+    def _push_call_result(self, stack: list, func_index: int, result) -> None:
+        func_type = self.instance.module.func_type_of(func_index)
+        if len(func_type.results) == 1:
+            stack.append(result)
+        elif len(func_type.results) > 1:
+            stack.extend(result)

@@ -1,0 +1,332 @@
+"""Module validation: spec-style stack type checking.
+
+Implements the type-checking algorithm of the WebAssembly specification
+appendix ("Validation Algorithm"): an operand stack of value types with an
+``unknown`` bottom type for unreachable code, and a control stack holding
+one frame per structured instruction whose label types govern branches.
+
+Every module the backend generates is validated before execution; the
+tier compilers may assume validated input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.wasm.module import Function, FuncType, Module
+from repro.wasm.opcodes import OPS
+
+__all__ = ["validate_module", "validate_function"]
+
+_UNKNOWN = "unknown"
+_NATURAL_ALIGN = {
+    "i32.load": 2, "i64.load": 3, "f32.load": 2, "f64.load": 3,
+    "i32.load8_s": 0, "i32.load8_u": 0, "i32.load16_s": 1, "i32.load16_u": 1,
+    "i64.load8_s": 0, "i64.load8_u": 0, "i64.load16_s": 1, "i64.load16_u": 1,
+    "i64.load32_s": 2, "i64.load32_u": 2,
+    "i32.store": 2, "i64.store": 3, "f32.store": 2, "f64.store": 3,
+    "i32.store8": 0, "i32.store16": 1,
+    "i64.store8": 0, "i64.store16": 1, "i64.store32": 2,
+}
+
+
+@dataclass
+class _Frame:
+    """One control frame: the label's branch types and entry stack height."""
+
+    opcode: str
+    start_types: list[str]
+    end_types: list[str]
+    height: int
+    unreachable: bool = False
+
+    @property
+    def label_types(self) -> list[str]:
+        # A branch to a loop re-enters it: the label takes the *start* types.
+        return self.start_types if self.opcode == "loop" else self.end_types
+
+
+@dataclass
+class _Checker:
+    module: Module
+    func: Function
+    locals_: list[str]
+    stack: list[str] = field(default_factory=list)
+    ctrls: list[_Frame] = field(default_factory=list)
+
+    # -- operand stack --------------------------------------------------------
+
+    def push(self, ty: str) -> None:
+        self.stack.append(ty)
+
+    def pop(self, expect: str | None = None) -> str:
+        frame = self.ctrls[-1]
+        if len(self.stack) == frame.height:
+            if frame.unreachable:
+                return expect or _UNKNOWN
+            raise ValidationError(
+                f"{self._where()}: stack underflow (wanted {expect or 'a value'})"
+            )
+        actual = self.stack.pop()
+        if expect is not None and actual != expect and actual != _UNKNOWN:
+            raise ValidationError(
+                f"{self._where()}: expected {expect}, found {actual}"
+            )
+        return actual
+
+    def _where(self) -> str:
+        return f"function {self.func.name or '?'}"
+
+    # -- control stack ----------------------------------------------------------
+
+    def push_ctrl(self, opcode: str, start: list[str], end: list[str]) -> None:
+        self.ctrls.append(_Frame(opcode, start, end, len(self.stack)))
+
+    def pop_ctrl(self) -> _Frame:
+        frame = self.ctrls[-1]
+        for ty in reversed(frame.end_types):
+            self.pop(ty)
+        if len(self.stack) != frame.height:
+            raise ValidationError(
+                f"{self._where()}: values left on stack at end of "
+                f"{frame.opcode} ({len(self.stack) - frame.height} extra)"
+            )
+        self.ctrls.pop()
+        return frame
+
+    def set_unreachable(self) -> None:
+        frame = self.ctrls[-1]
+        del self.stack[frame.height :]
+        frame.unreachable = True
+
+    def label(self, depth: int) -> _Frame:
+        if not (0 <= depth < len(self.ctrls)):
+            raise ValidationError(
+                f"{self._where()}: branch depth {depth} out of range"
+            )
+        return self.ctrls[-1 - depth]
+
+    # -- instruction checking -------------------------------------------------------
+
+    def check_body(self, body: list) -> None:
+        for instr in body:
+            self.check_instruction(instr)
+
+    def check_instruction(self, instr: tuple) -> None:
+        name = instr[0]
+
+        if name == "block" or name == "loop":
+            results = list(instr[1])
+            self.push_ctrl(name, [], results)
+            self.check_body(instr[2])
+            frame = self.pop_ctrl()
+            for ty in frame.end_types:
+                self.push(ty)
+            return
+        if name == "if":
+            self.pop("i32")
+            results = list(instr[1])
+            self.push_ctrl("if", [], results)
+            self.check_body(instr[2])
+            frame = self.pop_ctrl()
+            if instr[3] or results:
+                self.push_ctrl("else", [], results)
+                self.check_body(instr[3])
+                frame = self.pop_ctrl()
+            for ty in frame.end_types:
+                self.push(ty)
+            return
+
+        if name == "unreachable":
+            self.set_unreachable()
+            return
+        if name == "nop":
+            return
+        if name == "br":
+            for ty in reversed(self.label(instr[1]).label_types):
+                self.pop(ty)
+            self.set_unreachable()
+            return
+        if name == "br_if":
+            self.pop("i32")
+            types = self.label(instr[1]).label_types
+            for ty in reversed(types):
+                self.pop(ty)
+            for ty in types:
+                self.push(ty)
+            return
+        if name == "br_table":
+            self.pop("i32")
+            default_types = self.label(instr[2]).label_types
+            for target in instr[1]:
+                if self.label(target).label_types != default_types:
+                    raise ValidationError(
+                        f"{self._where()}: br_table label type mismatch"
+                    )
+            for ty in reversed(default_types):
+                self.pop(ty)
+            self.set_unreachable()
+            return
+        if name == "return":
+            func_type = self.module.types[self.func.type_index]
+            for ty in reversed(func_type.results):
+                self.pop(ty)
+            self.set_unreachable()
+            return
+        if name == "call":
+            func_index = instr[1]
+            total = len(self.module.imports) + len(self.module.functions)
+            if not (0 <= func_index < total):
+                raise ValidationError(
+                    f"{self._where()}: call to unknown function {func_index}"
+                )
+            callee = self.module.func_type_of(func_index)
+            for ty in reversed(callee.params):
+                self.pop(ty)
+            for ty in callee.results:
+                self.push(ty)
+            return
+        if name == "call_indirect":
+            type_index, table_index = instr[1], instr[2]
+            if not (0 <= type_index < len(self.module.types)):
+                raise ValidationError(f"{self._where()}: bad type index")
+            if not (0 <= table_index < len(self.module.tables)):
+                raise ValidationError(f"{self._where()}: no table {table_index}")
+            self.pop("i32")
+            callee = self.module.types[type_index]
+            for ty in reversed(callee.params):
+                self.pop(ty)
+            for ty in callee.results:
+                self.push(ty)
+            return
+
+        if name == "drop":
+            self.pop()
+            return
+        if name == "select":
+            self.pop("i32")
+            t1 = self.pop()
+            t2 = self.pop()
+            if t1 != t2 and _UNKNOWN not in (t1, t2):
+                raise ValidationError(
+                    f"{self._where()}: select operand mismatch {t1} vs {t2}"
+                )
+            self.push(t2 if t1 == _UNKNOWN else t1)
+            return
+
+        if name in ("local.get", "local.set", "local.tee"):
+            index = instr[1]
+            if not (0 <= index < len(self.locals_)):
+                raise ValidationError(
+                    f"{self._where()}: unknown local {index}"
+                )
+            ty = self.locals_[index]
+            if name == "local.get":
+                self.push(ty)
+            elif name == "local.set":
+                self.pop(ty)
+            else:
+                self.pop(ty)
+                self.push(ty)
+            return
+        if name in ("global.get", "global.set"):
+            index = instr[1]
+            if not (0 <= index < len(self.module.globals)):
+                raise ValidationError(
+                    f"{self._where()}: unknown global {index}"
+                )
+            glob = self.module.globals[index]
+            if name == "global.get":
+                self.push(glob.valtype)
+            else:
+                if not glob.mutable:
+                    raise ValidationError(
+                        f"{self._where()}: assignment to immutable global {index}"
+                    )
+                self.pop(glob.valtype)
+            return
+
+        op = OPS.get(name)
+        if op is None:
+            raise ValidationError(f"{self._where()}: unknown instruction {name!r}")
+
+        if op.imm == "memarg":
+            if not self.module.memories:
+                raise ValidationError(
+                    f"{self._where()}: {name} without a memory"
+                )
+            align = instr[1]
+            if align > _NATURAL_ALIGN[name]:
+                raise ValidationError(
+                    f"{self._where()}: alignment 2**{align} exceeds natural "
+                    f"alignment of {name}"
+                )
+        elif op.imm == "mem" and not self.module.memories:
+            raise ValidationError(f"{self._where()}: {name} without a memory")
+
+        for ty in reversed(op.params):
+            self.pop(ty)
+        for ty in op.results:
+            self.push(ty)
+
+
+def validate_function(module: Module, func: Function) -> None:
+    """Validate one defined function."""
+    if not (0 <= func.type_index < len(module.types)):
+        raise ValidationError(f"function {func.name!r}: bad type index")
+    func_type = module.types[func.type_index]
+    locals_ = list(func_type.params) + list(func.locals_)
+    checker = _Checker(module, func, locals_)
+    checker.push_ctrl("func", [], list(func_type.results))
+    checker.check_body(func.body)
+    frame = checker.pop_ctrl()
+    for ty in frame.end_types:
+        checker.push(ty)
+
+
+def validate_module(module: Module) -> None:
+    """Validate a whole module.
+
+    Raises:
+        ValidationError: describing the first problem found.
+    """
+    for imp in module.imports:
+        if not (0 <= imp.type_index < len(module.types)):
+            raise ValidationError(f"import {imp.module}.{imp.name}: bad type index")
+    if len(module.memories) > 1:
+        raise ValidationError("at most one memory is allowed (MVP)")
+    for mem in module.memories:
+        if mem.maximum is not None and mem.maximum < mem.minimum:
+            raise ValidationError("memory maximum below minimum")
+    total_funcs = len(module.imports) + len(module.functions)
+    for export in module.exports:
+        limit = {
+            "func": total_funcs,
+            "memory": len(module.memories),
+            "global": len(module.globals),
+            "table": len(module.tables),
+        }[export.kind]
+        if not (0 <= export.index < limit):
+            raise ValidationError(
+                f"export {export.name!r}: index {export.index} out of range"
+            )
+    for elem in module.elements:
+        if not (0 <= elem.table_index < len(module.tables)):
+            raise ValidationError("element segment references unknown table")
+        for func_index in elem.func_indices:
+            if not (0 <= func_index < total_funcs):
+                raise ValidationError(
+                    f"element segment references unknown function {func_index}"
+                )
+    if module.start is not None:
+        if not (0 <= module.start < total_funcs):
+            raise ValidationError("start function index out of range")
+        start_type = module.func_type_of(module.start)
+        if start_type.params or start_type.results:
+            raise ValidationError("start function must have type () -> ()")
+    for seg in module.data:
+        if not (0 <= seg.memory_index < len(module.memories)):
+            raise ValidationError("data segment references unknown memory")
+    for func in module.functions:
+        validate_function(module, func)

@@ -1,0 +1,119 @@
+"""Printing modules in the WebAssembly text format (WAT).
+
+Used for debugging generated queries and in tests that assert on the
+shape of generated code.  The output is standard folded-less WAT with
+one instruction per line.
+"""
+
+from __future__ import annotations
+
+from repro.wasm.module import Module
+
+__all__ = ["module_to_wat", "body_to_wat"]
+
+
+def _fmt_functype(params, results) -> str:
+    text = ""
+    if params:
+        text += " (param " + " ".join(params) + ")"
+    if results:
+        text += " (result " + " ".join(results) + ")"
+    return text
+
+
+def body_to_wat(body: list, indent: int = 2, lines: list[str] | None = None) -> list[str]:
+    """Render an instruction list as WAT lines."""
+    if lines is None:
+        lines = []
+    pad = "  " * indent
+    for instr in body:
+        name = instr[0]
+        if name in ("block", "loop"):
+            results = instr[1]
+            head = f"{pad}{name}" + (f" (result {' '.join(results)})" if results else "")
+            lines.append(head)
+            body_to_wat(instr[2], indent + 1, lines)
+            lines.append(f"{pad}end")
+        elif name == "if":
+            results = instr[1]
+            head = f"{pad}if" + (f" (result {' '.join(results)})" if results else "")
+            lines.append(head)
+            body_to_wat(instr[2], indent + 1, lines)
+            if instr[3]:
+                lines.append(f"{pad}else")
+                body_to_wat(instr[3], indent + 1, lines)
+            lines.append(f"{pad}end")
+        elif name == "br_table":
+            targets = " ".join(str(t) for t in instr[1])
+            lines.append(f"{pad}br_table {targets} {instr[2]}")
+        elif len(instr) == 1:
+            lines.append(f"{pad}{name}")
+        elif name.endswith(".load") or name.endswith(".store") or ".load" in name or ".store" in name:
+            align, offset = instr[1], instr[2]
+            suffix = ""
+            if offset:
+                suffix += f" offset={offset}"
+            if align:
+                suffix += f" align={1 << align}"
+            lines.append(f"{pad}{name}{suffix}")
+        elif name == "call_indirect":
+            lines.append(f"{pad}call_indirect (type {instr[1]})")
+        else:
+            args = " ".join(str(x) for x in instr[1:])
+            lines.append(f"{pad}{name} {args}")
+    return lines
+
+
+def module_to_wat(module: Module) -> str:
+    """Render a whole module as WAT text."""
+    lines: list[str] = ["(module" + (f" ${module.name}" if module.name else "")]
+
+    for i, ft in enumerate(module.types):
+        lines.append(
+            f"  (type (;{i};) (func{_fmt_functype(ft.params, ft.results)}))"
+        )
+    for i, imp in enumerate(module.imports):
+        ft = module.types[imp.type_index]
+        lines.append(
+            f'  (import "{imp.module}" "{imp.name}" '
+            f"(func (;{i};){_fmt_functype(ft.params, ft.results)}))"
+        )
+    for i, table in enumerate(module.tables):
+        maximum = f" {table.maximum}" if table.maximum is not None else ""
+        lines.append(f"  (table (;{i};) {table.minimum}{maximum} funcref)")
+    for i, mem in enumerate(module.memories):
+        maximum = f" {mem.maximum}" if mem.maximum is not None else ""
+        lines.append(f"  (memory (;{i};) {mem.minimum}{maximum})")
+    for i, glob in enumerate(module.globals):
+        ty = f"(mut {glob.valtype})" if glob.mutable else glob.valtype
+        lines.append(
+            f"  (global (;{i};) {ty} ({glob.valtype}.const {glob.init}))"
+        )
+
+    for i, func in enumerate(module.functions):
+        ft = module.types[func.type_index]
+        index = len(module.imports) + i
+        name = f" ${func.name}" if func.name else ""
+        lines.append(f"  (func{name} (;{index};){_fmt_functype(ft.params, ft.results)}")
+        if func.locals_:
+            lines.append("    (local " + " ".join(func.locals_) + ")")
+        body_to_wat(func.body, 2, lines)
+        lines.append("  )")
+
+    for export in module.exports:
+        lines.append(f'  (export "{export.name}" ({export.kind} {export.index}))')
+    for elem in module.elements:
+        funcs = " ".join(str(f) for f in elem.func_indices)
+        lines.append(f"  (elem (i32.const {elem.offset}) func {funcs})")
+    for seg in module.data:
+        preview = seg.payload[:32]
+        escaped = "".join(
+            chr(b) if 32 <= b < 127 and chr(b) not in '"\\' else f"\\{b:02x}"
+            for b in preview
+        )
+        suffix = "..." if len(seg.payload) > 32 else ""
+        lines.append(f'  (data (i32.const {seg.offset}) "{escaped}{suffix}")')
+    if module.start is not None:
+        lines.append(f"  (start {module.start})")
+    lines.append(")")
+    return "\n".join(lines)

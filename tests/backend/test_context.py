@@ -1,0 +1,137 @@
+"""Tests of the compiler context: constants, helpers, the bump allocator."""
+
+import pytest
+
+from repro.backend.context import CompilerContext, MemoryPlan
+from repro.errors import PlanError
+from repro.storage.rewiring import AddressSpace
+from repro.wasm import validate_module
+from repro.wasm.runtime import Engine, EngineConfig, LinearMemory
+
+
+def make_context(heap_bytes=256 * 1024):
+    space = AddressSpace()
+    consts = space.alloc("consts", 65536)
+    result = space.alloc("result", 65536)
+    heap = space.alloc("heap", heap_bytes)
+    plan = MemoryPlan(
+        consts_base=consts, result_base=result,
+        heap_base=heap, heap_end=heap + heap_bytes,
+        column_addresses={},
+    )
+    return CompilerContext("t", plan), space
+
+
+def instantiate(ctx, space):
+    module = ctx.finish()
+    validate_module(module)
+    imports = {
+        ("env", "flush_results"): lambda: None,
+        ("env", "like_generic"): lambda a, w, p: 0,
+    }
+    instance = Engine(EngineConfig(mode="turbofan")).instantiate(
+        module, imports=imports, memory=LinearMemory(space)
+    )
+    instance.invoke("init")
+    return instance
+
+
+class TestConstants:
+    def test_interning_deduplicates(self):
+        ctx, _ = make_context()
+        a = ctx.intern_bytes(b"hello")
+        b = ctx.intern_bytes(b"hello")
+        c = ctx.intern_bytes(b"world")
+        assert a == b
+        assert c != a
+
+    def test_constants_are_aligned(self):
+        ctx, _ = make_context()
+        ctx.intern_bytes(b"xyz")  # length 3
+        second = ctx.intern_bytes(b"other")
+        assert second % 8 == 0
+
+    def test_constants_written_at_instantiation(self):
+        ctx, space = make_context()
+        addr = ctx.intern_bytes(b"PROMO")
+        instance = instantiate(ctx, space)
+        assert instance.memory.read_bytes(addr, 5) == b"PROMO"
+
+    def test_pool_exhaustion(self):
+        from repro.backend.context import CONST_REGION_SIZE
+
+        ctx, _ = make_context()
+        with pytest.raises(PlanError, match="exhausted"):
+            ctx.intern_bytes(b"x" * (CONST_REGION_SIZE + 1))
+
+
+class TestHelpers:
+    def test_helper_memoization(self):
+        ctx, _ = make_context()
+        calls = []
+
+        def generate(c):
+            calls.append(1)
+            fb = c.mb.function("h", results=["i32"])
+            fb.i32(7)
+            return fb
+
+        first = ctx.helper("key", generate)
+        second = ctx.helper("key", generate)
+        assert first == second
+        assert len(calls) == 1
+
+    def test_memzero_and_memcpy(self):
+        ctx, space = make_context()
+        memzero = ctx.memzero_function()
+        memcpy = ctx.memcpy_function()
+        alloc = ctx.alloc_function()
+        fb = ctx.mb.function("run", results=["i32"], export=True)
+        a = fb.local("i32", "a")
+        b = fb.local("i32", "b")
+        fb.i32(64).call(alloc).set(a)
+        fb.i32(64).call(alloc).set(b)
+        fb.get(a).i32(64).call(memzero)
+        fb.get(a).i64(-1).store("i64", offset=8)
+        fb.get(b).get(a).i32(64).call(memcpy)
+        fb.get(b).load("i32", offset=8)
+        instance = instantiate(ctx, space)
+        assert instance.invoke("run") == -1
+
+
+class TestBumpAllocator:
+    def test_allocations_are_disjoint_and_aligned(self):
+        ctx, space = make_context()
+        alloc = ctx.alloc_function()
+        fb = ctx.mb.function("two", results=["i32"], export=True)
+        a = fb.local("i32", "a")
+        fb.i32(24).call(alloc).set(a)
+        fb.i32(24).call(alloc)
+        fb.get(a).emit("i32.sub")  # second - first
+        instance = instantiate(ctx, space)
+        assert instance.invoke("two") == 24  # rounded to 8, disjoint
+
+    def test_heap_growth_via_memory_grow(self):
+        """Exhausting the initial heap window triggers the generated
+        grow path; because the heap is the last mapping, the grown pages
+        are contiguous and the allocator keeps handing out memory."""
+        ctx, space = make_context(heap_bytes=128 * 1024)
+        alloc = ctx.alloc_function()
+        fb = ctx.mb.function("fill", params=[("i32", "n")],
+                             results=["i32"], export=True)
+        last = fb.local("i32", "last")
+        with fb.block() as done:
+            with fb.loop() as top:
+                fb.get(0).emit("i32.eqz")
+                fb.br_if(done)
+                fb.i32(4096).call(alloc).set(last)
+                # write to prove the memory is usable
+                fb.get(last).i32(1234).store("i32")
+                fb.get(0).i32(1).emit("i32.sub").set(0)
+                fb.br(top)
+        fb.get(last)
+        instance = instantiate(ctx, space)
+        # 200 * 4 KiB = 800 KiB >> the 128 KiB initial heap
+        final = instance.invoke("fill", 200)
+        assert instance.memory.read_bytes(final, 4) == \
+            (1234).to_bytes(4, "little")

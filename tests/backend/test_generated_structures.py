@@ -1,0 +1,184 @@
+"""Direct tests of the ad-hoc generated hash table and quicksort.
+
+These drive the generated structures through hand-built Wasm harness
+functions (not through SQL), exercising growth/rehash, duplicate-heavy
+sorting, and the function-call (ablation) variants.
+"""
+
+import random
+
+import pytest
+
+from repro.backend.context import CompilerContext, MemoryPlan
+from repro.backend.expr import ExprCompiler
+from repro.backend.hashtable import GeneratedHashTable
+from repro.backend.sort import GeneratedSort
+from repro.sql import types as T
+from repro.storage.rewiring import AddressSpace
+from repro.wasm import validate_module
+from repro.wasm.runtime import Engine, EngineConfig, LinearMemory
+
+
+def make_context():
+    space = AddressSpace()
+    consts = space.alloc("consts", 65536)
+    result = space.alloc("result", 65536)
+    heap = space.alloc("heap", 4 * 1024 * 1024)
+    memory_plan = MemoryPlan(
+        consts_base=consts, result_base=result,
+        heap_base=heap, heap_end=heap + 4 * 1024 * 1024,
+        column_addresses={},
+    )
+    return CompilerContext("t", memory_plan), space
+
+
+def instantiate(ctx, space, mode="turbofan"):
+    module = ctx.finish()
+    validate_module(module)
+    imports = {
+        ("env", "flush_results"): lambda: None,
+        ("env", "like_generic"): lambda a, w, p: 0,
+    }
+    engine = Engine(EngineConfig(mode=mode))
+    instance = engine.instantiate(module, imports=imports,
+                                  memory=LinearMemory(space))
+    instance.invoke("init")
+    return instance
+
+
+class TestGeneratedHashTable:
+    def _build_counter_table(self, estimate):
+        """upsert(key) increments a per-key counter; read(key) fetches it."""
+        ctx, space = make_context()
+        ht = GeneratedHashTable(
+            ctx, "ht0", [T.INT32], [("a0", T.INT64, 0)], estimate=estimate
+        )
+        mb = ctx.mb
+        fb = mb.function("bump", params=[("i32", "k")], export=True)
+        compiler = ExprCompiler(ctx, fb, [])
+        entry = ht.emit_upsert_inline(fb, compiler, [0])
+        field = ht.layout.field("a0")
+        fb.get(entry)
+        fb.get(entry).emit(field.load_op, 0, field.offset)
+        fb.i64(1).emit("i64.add")
+        fb.emit(field.store_op, 0, field.offset)
+
+        fr = mb.function("read", params=[("i32", "k")], results=["i64"],
+                         export=True)
+        read_compiler = ExprCompiler(ctx, fr, [])
+
+        def on_match(entry_local):
+            fr.get(entry_local).emit(field.load_op, 0, field.offset)
+            fr.ret()
+
+        ht.emit_probe_loop(fr, read_compiler, [0], on_match)
+        fr.i64(-1)
+        return instantiate(ctx, space)
+
+    def test_upsert_counts(self):
+        instance = self._build_counter_table(estimate=64)
+        keys = [5, 9, 5, 5, 7, 9]
+        for key in keys:
+            instance.invoke("bump", key)
+        assert instance.invoke("read", 5) == 3
+        assert instance.invoke("read", 9) == 2
+        assert instance.invoke("read", 7) == 1
+        assert instance.invoke("read", 999) == -1
+
+    def test_growth_and_rehash(self):
+        """Insert far beyond the initial capacity: the generated grow()
+        must relocate entries and re-link every bucket correctly."""
+        instance = self._build_counter_table(estimate=4)  # tiny capacity
+        random.seed(3)
+        counts = {}
+        for _ in range(5000):
+            key = random.randrange(1200)
+            counts[key] = counts.get(key, 0) + 1
+            instance.invoke("bump", key)
+        for key, expected in list(counts.items())[::37]:
+            assert instance.invoke("read", key) == expected
+        ht_count = instance.globals[
+            instance.module.export_by_name("ht0_count").index
+        ]
+        assert ht_count == len(counts)
+
+    def test_negative_and_extreme_keys(self):
+        instance = self._build_counter_table(estimate=8)
+        for key in (0, -1, 2**31 - 1, -(2**31), 42):
+            instance.invoke("bump", key)
+        for key in (0, -1, 2**31 - 1, -(2**31), 42):
+            assert instance.invoke("read", key) == 1
+
+
+class TestGeneratedSort:
+    def _build_sorter(self, descending=False, estimate=64):
+        ctx, space = make_context()
+        sorter = GeneratedSort(
+            ctx, "s0", [("c0", T.INT32)], [("c0", T.INT32, descending)],
+            estimate=estimate,
+        )
+        mb = ctx.mb
+        fb = mb.function("push", params=[("i32", "v")], export=True)
+        dst = sorter.emit_append_slot(fb)
+        field = sorter.layout.field("c0")
+        fb.get(dst).get(0).emit(field.store_op, 0, field.offset)
+
+        compiler = ExprCompiler(ctx, fb, [])
+        sorter.sort_driver(compiler)
+
+        fr = mb.function("peek", params=[("i32", "i")], results=["i32"],
+                         export=True)
+        fr.emit("global.get", sorter.g_base)
+        fr.get(0).i32(sorter.layout.stride).emit("i32.mul")
+        fr.emit("i32.add").emit(field.load_op, 0, field.offset)
+        return instantiate(ctx, space)
+
+    def _sort_roundtrip(self, values, descending=False):
+        instance = self._build_sorter(descending=descending,
+                                      estimate=max(4, len(values) // 8))
+        for v in values:
+            instance.invoke("push", v)
+        instance.invoke("s0_sort")
+        got = [instance.invoke("peek", i) for i in range(len(values))]
+        expected = sorted(values, reverse=descending)
+        assert got == expected
+
+    def test_random(self):
+        random.seed(11)
+        self._sort_roundtrip([random.randrange(-1000, 1000)
+                              for _ in range(3000)])
+
+    def test_descending(self):
+        random.seed(12)
+        self._sort_roundtrip(
+            [random.randrange(100) for _ in range(500)], descending=True
+        )
+
+    def test_already_sorted(self):
+        self._sort_roundtrip(list(range(1000)))
+
+    def test_reverse_sorted(self):
+        self._sort_roundtrip(list(range(1000, 0, -1)))
+
+    def test_all_equal(self):
+        """Duplicate-heavy input: the three-way partition must not blow
+        the recursion depth (the classic quicksort pathology)."""
+        self._sort_roundtrip([7] * 5000)
+
+    def test_few_distinct(self):
+        random.seed(13)
+        self._sort_roundtrip([random.randrange(3) for _ in range(5000)])
+
+    def test_empty_and_single(self):
+        self._sort_roundtrip([])
+        self._sort_roundtrip([42])
+        self._sort_roundtrip([2, 1])
+
+    def test_growth_during_append(self):
+        instance = self._build_sorter(estimate=4)
+        values = list(range(500, 0, -1))
+        for v in values:
+            instance.invoke("push", v)
+        instance.invoke("s0_sort")
+        got = [instance.invoke("peek", i) for i in range(len(values))]
+        assert got == sorted(values)

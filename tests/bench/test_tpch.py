@@ -1,0 +1,153 @@
+"""Tests of the TPC-H generator and queries across all engines."""
+
+import datetime as dt
+
+import pytest
+
+from repro.bench.tpch import QUERIES, generate_tpch, tpch_database
+from repro.sql.types import days_to_date
+
+from tests.engines.conftest import ALL_ENGINES, norm
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tpch(scale_factor=0.002, seed=1)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return tpch_database(scale_factor=0.002, seed=1,
+                         default_engine="volcano")
+
+
+class TestDbgen:
+    def test_cardinalities_scale(self, tables):
+        assert tables["region"].row_count == 5
+        assert tables["nation"].row_count == 25
+        assert tables["customer"].row_count == 300
+        assert tables["orders"].row_count == 3000
+        # lineitem averages 4 lines per order
+        assert 3000 < tables["lineitem"].row_count < 3000 * 7
+
+    def test_deterministic(self):
+        a = generate_tpch(scale_factor=0.002, seed=1)
+        b = generate_tpch(scale_factor=0.002, seed=1)
+        assert (a["lineitem"].column("l_extendedprice").values
+                == b["lineitem"].column("l_extendedprice").values).all()
+
+    def test_order_dates_in_spec_range(self, tables):
+        dates = tables["orders"].column("o_orderdate")
+        assert min(dates.to_list()) >= dt.date(1992, 1, 1)
+        assert max(dates.to_list()) <= dt.date(1998, 8, 2)
+
+    def test_shipdate_after_orderdate(self, db):
+        rows = db.execute("""
+            SELECT COUNT(*) FROM orders, lineitem
+            WHERE o_orderkey = l_orderkey AND l_shipdate <= o_orderdate
+        """).rows
+        assert rows[0][0] == 0
+
+    def test_receiptdate_after_shipdate(self, db):
+        rows = db.execute(
+            "SELECT COUNT(*) FROM lineitem WHERE l_receiptdate <= l_shipdate"
+        ).rows
+        assert rows[0][0] == 0
+
+    def test_returnflag_follows_receiptdate(self, db):
+        rows = db.execute("""
+            SELECT COUNT(*) FROM lineitem
+            WHERE l_returnflag = 'N' AND l_receiptdate <= DATE '1995-06-17'
+        """).rows
+        assert rows[0][0] == 0
+
+    def test_promo_parts_exist(self, db):
+        rows = db.execute(
+            "SELECT COUNT(*) FROM part WHERE p_type LIKE 'PROMO%'"
+        ).rows
+        assert rows[0][0] > 0
+
+    def test_extended_price_formula(self, tables):
+        line = tables["lineitem"]
+        part = tables["part"]
+        quantity = line.column("l_quantity").values  # scaled by 100
+        price = line.column("l_extendedprice").values
+        retail = part.column("p_retailprice").values
+        partkey = line.column("l_partkey").values
+        assert (price == (quantity // 100) * retail[partkey]).all()
+
+    def test_market_segments(self, db):
+        rows = db.execute(
+            "SELECT COUNT(DISTINCT_MARKER) FROM customer"
+            .replace("COUNT(DISTINCT_MARKER)", "COUNT(*)")
+        ).rows
+        segments = db.execute(
+            "SELECT DISTINCT c_mktsegment FROM customer ORDER BY c_mktsegment"
+        ).rows
+        assert len(segments) == 5
+
+
+class TestQueriesAcrossEngines:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_engines_agree(self, db, name):
+        sql = QUERIES[name]
+        reference = None
+        for engine in ALL_ENGINES:
+            rows = norm(db.execute(sql, engine=engine).rows)
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference, f"{engine} differs on {name}"
+
+    def test_q1_aggregates_are_consistent(self, db):
+        rows = db.execute(QUERIES["q1"]).to_dicts()
+        assert rows  # at least one group
+        for row in rows:
+            assert row["avg_qty"] == pytest.approx(
+                row["sum_qty"] / row["count_order"], rel=1e-6
+            )
+            assert row["sum_disc_price"] <= row["sum_base_price"]
+
+    def test_q1_group_keys(self, db):
+        rows = db.execute(QUERIES["q1"]).rows
+        flags = [(r[0], r[1]) for r in rows]
+        assert flags == sorted(flags)
+        assert set(f for f, _ in flags) <= {"A", "N", "R"}
+
+    def test_q3_limit_and_order(self, db):
+        rows = db.execute(QUERIES["q3"]).rows
+        assert len(rows) <= 10
+        revenues = [r[1] for r in rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q6_revenue_positive(self, db):
+        rows = db.execute(QUERIES["q6"]).rows
+        assert rows[0][0] > 0
+
+    def test_q6_matches_manual_computation(self, db):
+        line = db.table("lineitem")
+        ship = line.column("l_shipdate").values
+        disc = line.column("l_discount").values
+        qty = line.column("l_quantity").values
+        price = line.column("l_extendedprice").values
+        from repro.sql.types import date_to_days
+
+        lo = date_to_days(dt.date(1994, 1, 1))
+        hi = date_to_days(dt.date(1995, 1, 1))
+        mask = ((ship >= lo) & (ship < hi) & (disc >= 5) & (disc <= 7)
+                & (qty < 2400))
+        # DECIMAL multiplication truncates per row (scale 2 * scale 2
+        # rescaled by 100), then sums
+        per_row = (price[mask].astype(object) * disc[mask]) // 100
+        expected = int(per_row.sum()) / 100
+        got = db.execute(QUERIES["q6"]).rows[0][0]
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_q12_shipmodes(self, db):
+        rows = db.execute(QUERIES["q12"]).rows
+        assert [r[0] for r in rows] == sorted(r[0] for r in rows)
+        assert set(r[0] for r in rows) <= {"MAIL", "SHIP"}
+
+    def test_q14_percentage_range(self, db):
+        value = db.execute(QUERIES["q14"]).rows[0][0]
+        assert 0.0 <= value <= 100.0

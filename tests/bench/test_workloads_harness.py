@@ -1,0 +1,140 @@
+"""Tests of the synthetic workloads and the sweep harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_query, sweep
+from repro.bench.workloads import (
+    grouping_table,
+    join_tables,
+    selection_table,
+    selectivity_threshold,
+    sorting_table,
+)
+from repro.db import Database
+
+
+class TestSelectionWorkload:
+    def test_shape(self):
+        table = selection_table(1000)
+        assert table.row_count == 1000
+        assert table.schema.column_names == ["x", "x2", "y", "y2"]
+
+    def test_threshold_calibration(self):
+        """selectivity_threshold(s) selects ~s of the uniform data."""
+        table = selection_table(50_000, seed=9)
+        x = table.column("x").values
+        for target in (0.1, 0.5, 0.9):
+            threshold = selectivity_threshold(target)
+            actual = float((x < threshold).mean())
+            assert actual == pytest.approx(target, abs=0.02)
+
+    def test_floats_in_unit_interval(self):
+        table = selection_table(1000)
+        y = table.column("y").values
+        assert (y >= 0).all() and (y < 1).all()
+
+    def test_deterministic(self):
+        a = selection_table(100, seed=5).column("x").values
+        b = selection_table(100, seed=5).column("x").values
+        assert (a == b).all()
+
+
+class TestGroupingWorkload:
+    def test_distinct_counts(self):
+        table = grouping_table(10_000, distinct=16)
+        g1 = table.column("g1").values
+        assert len(np.unique(g1)) <= 16
+        assert len(np.unique(g1)) >= 14  # nearly all values appear
+
+    def test_attribute_count(self):
+        table = grouping_table(100, distinct=4, attributes=2)
+        assert table.schema.column_names[:2] == ["g1", "g2"]
+
+
+class TestJoinWorkload:
+    def test_foreign_key_every_probe_matches(self):
+        build, probe = join_tables(1000, 5000, foreign_key=True)
+        fk = probe.column("fk").values
+        assert fk.min() >= 0
+        assert fk.max() < 1000
+
+    def test_n_to_m_selectivity(self):
+        build, probe = join_tables(
+            2000, 2000, foreign_key=False, n_to_m_matches=1e-3
+        )
+        a = build.column("a").values
+        b = probe.column("b").values
+        matches = sum(
+            int((a == value).sum()) for value in np.unique(b)
+            for _ in [0]
+        )
+        # expected matches ~ n*m*sel = 2000*2000*1e-3 = 4000 (very rough)
+        assert matches > 0
+
+
+class TestSortingWorkload:
+    def test_full_domain(self):
+        table = sorting_table(1000)
+        s1 = table.column("s1").values
+        assert len(np.unique(s1)) > 990
+
+    def test_limited_distinct(self):
+        table = sorting_table(1000, distinct=8)
+        assert len(np.unique(table.column("s1").values)) <= 8
+
+
+class TestHarness:
+    def _db(self):
+        db = Database(default_engine="volcano")
+        db.register_table(selection_table(2000, seed=2))
+        return db
+
+    def test_run_query_cell(self):
+        db = self._db()
+        cell = run_query(db, "SELECT COUNT(*) FROM t WHERE x < 0",
+                         engine="vectorized")
+        assert cell.rows_returned == 1
+        assert cell.modeled_ms > 0
+        assert cell.wall_execution_ms > 0
+        assert "compute" in cell.breakdown
+
+    def test_scale_factor_scales_model(self):
+        db = self._db()
+        small = run_query(db, "SELECT COUNT(*) FROM t WHERE x < 0",
+                          engine="vectorized", scale_factor=1.0)
+        big = run_query(db, "SELECT COUNT(*) FROM t WHERE x < 0",
+                        engine="vectorized", scale_factor=10.0)
+        assert big.modeled_ms == pytest.approx(10 * small.modeled_ms,
+                                               rel=0.2)
+
+    def test_sweep_collects_grid(self):
+        result = sweep(
+            title="toy",
+            parameter="sel",
+            values=[0.1, 0.9],
+            engines=["volcano", "vectorized"],
+            make_db=lambda v: self._db(),
+            make_sql=lambda v: (
+                f"SELECT COUNT(*) FROM t WHERE x <"
+                f" {selectivity_threshold(v)}"
+            ),
+        )
+        assert len(result.cells) == 4
+        assert len(result.series("volcano")) == 2
+        table = result.format()
+        assert "toy" in table and "volcano" in table
+
+    def test_sweep_verifies_engines_agree(self):
+        # with verify=True every engine's result set is cross-checked;
+        # agreeing engines pass through without raising
+        result = sweep(
+            title="verified", parameter="p", values=[1],
+            engines=["volcano", "vectorized", "wasm"],
+            make_db=lambda v: self._db(),
+            make_sql=lambda v: "SELECT COUNT(*) FROM t WHERE x < 0",
+            verify=True,
+        )
+        counts = {result.cell(1, e).rows_returned
+                  for e in ("volcano", "vectorized", "wasm")}
+        assert counts == {1}

@@ -1,0 +1,181 @@
+"""Tests of the microarchitectural cost model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.costmodel import Profile, cost_report
+from repro.costmodel.branch import mispredict_rate, mispredicts
+from repro.costmodel.cache import (
+    L1_SIZE,
+    L2_SIZE,
+    L3_SIZE,
+    memory_cycles,
+)
+from repro.costmodel.events import MemorySite
+from repro.costmodel.weights import DEFAULT_WEIGHTS, Weights
+
+
+class TestBranchModel:
+    def test_tent_shape_endpoints(self):
+        assert mispredict_rate(0.0) == 0.0
+        assert mispredict_rate(1.0) == 0.0
+
+    def test_peak_at_half(self):
+        assert mispredict_rate(0.5) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        for p in (0.1, 0.25, 0.4):
+            assert mispredict_rate(p) == pytest.approx(mispredict_rate(1 - p))
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_rate_bounded(self, p):
+        rate = mispredict_rate(p)
+        assert 0.0 <= rate <= 0.5 + 1e-9
+
+    @given(st.floats(min_value=0.001, max_value=0.499))
+    def test_monotone_toward_half(self, p):
+        assert mispredict_rate(p) <= mispredict_rate(0.5) + 1e-9
+        assert mispredict_rate(p) >= mispredict_rate(p / 2) - 1e-9
+
+    def test_worse_than_ideal_static_predictor(self):
+        # a 2-bit counter on iid data mispredicts at least min(p, 1-p)
+        for p in (0.1, 0.3, 0.45):
+            assert mispredict_rate(p) >= min(p, 1 - p) - 1e-9
+
+    def test_mispredicts_counts(self):
+        assert mispredicts(0, 1000) == 0.0
+        assert mispredicts(1000, 1000) == 0.0
+        assert mispredicts(500, 1000) == pytest.approx(500.0)
+        assert mispredicts(0, 0) == 0.0
+
+
+class TestCacheModel:
+    def _site(self, accesses, sequential, footprint):
+        site = MemorySite()
+        site.accesses = accesses
+        site.sequential = sequential
+        site.min_addr = 0
+        site.max_addr = footprint - 1
+        return site
+
+    def test_l1_resident_random_access_is_free(self):
+        site = self._site(1000, 0, L1_SIZE // 2)
+        assert memory_cycles(site) == 0.0
+
+    def test_dram_resident_random_access_is_expensive(self):
+        small = memory_cycles(self._site(1000, 0, L2_SIZE))
+        large = memory_cycles(self._site(1000, 0, 64 * L3_SIZE))
+        assert large > small > 0
+
+    def test_sequential_cheaper_than_random(self):
+        footprint = 4 * L3_SIZE
+        sequential = memory_cycles(self._site(1000, 1000, footprint))
+        random = memory_cycles(self._site(1000, 0, footprint))
+        assert sequential < random / 5
+
+    def test_empty_site(self):
+        assert memory_cycles(MemorySite()) == 0.0
+
+    def test_monotone_in_footprint(self):
+        costs = [
+            memory_cycles(self._site(1000, 0, fp))
+            for fp in (L1_SIZE, L2_SIZE, L3_SIZE, 4 * L3_SIZE, 64 * L3_SIZE)
+        ]
+        assert costs == sorted(costs)
+
+
+class TestProfile:
+    def test_branch_recording(self):
+        profile = Profile()
+        for i in range(10):
+            profile.branch("site", i < 3)
+        site = profile.branch_sites["site"]
+        assert site.taken == 3
+        assert site.total == 10
+        assert site.taken_fraction == pytest.approx(0.3)
+
+    def test_memory_pattern_detection(self):
+        profile = Profile()
+        for addr in range(0, 4000, 4):  # sequential stream
+            profile.memory_access("seq", addr)
+        site = profile.memory_sites["seq"]
+        assert site.sequential_fraction > 0.99
+        assert site.footprint == 3997
+
+        for addr in (0, 100000, 52, 990000, 17):
+            profile.memory_access("rnd", addr)
+        assert profile.memory_sites["rnd"].sequential_fraction < 0.5
+
+    def test_merge(self):
+        a, b = Profile(), Profile()
+        a.instructions = 10
+        b.instructions = 20
+        a.branch("s", True)
+        b.branch("s", False)
+        b.calls = 3
+        a.merge(b)
+        assert a.instructions == 30
+        assert a.calls == 3
+        assert a.branch_sites["s"].total == 2
+
+    def test_scaled(self):
+        profile = Profile()
+        profile.instructions = 100
+        profile.branch_bulk("s", 50, 100)
+        profile.memory_bulk("m", 100, 90, 1 << 20)
+        scaled = profile.scaled(10)
+        assert scaled.instructions == 1000
+        assert scaled.branch_sites["s"].total == 1000
+        assert scaled.memory_sites["m"].accesses == 1000
+        # taken fraction is preserved, so the mispredict rate is too
+        assert scaled.branch_sites["s"].taken_fraction == pytest.approx(0.5)
+
+    def test_extra_counters(self):
+        profile = Profile()
+        profile.add("hash_probes", 5)
+        profile.add("hash_probes", 2)
+        assert profile.extra["hash_probes"] == 7
+
+
+class TestCostReport:
+    def test_pricing_components(self):
+        profile = Profile()
+        profile.instructions = 1_000_000
+        profile.calls = 1000
+        profile.branch_bulk("b", 500_000, 1_000_000)
+        report = cost_report(profile)
+        assert report.breakdown["compute"] == pytest.approx(
+            1_000_000 * DEFAULT_WEIGHTS.compiled_instr
+        )
+        assert report.breakdown["branch_mispredict"] == pytest.approx(
+            500_000 * DEFAULT_WEIGHTS.mispredict_penalty, rel=0.01
+        )
+        assert report.cycles == pytest.approx(sum(report.breakdown.values()))
+
+    def test_milliseconds_conversion(self):
+        profile = Profile()
+        profile.instructions = 12_000_000  # * 0.3 cyc = 3.6e6 cycles = 1 ms
+        report = cost_report(profile)
+        assert report.milliseconds == pytest.approx(1.0)
+
+    def test_custom_weights(self):
+        profile = Profile()
+        profile.virtual_calls = 100
+        report = cost_report(profile, Weights(virtual_call=10.0))
+        assert report.breakdown["calls"] == pytest.approx(1000.0)
+
+    def test_selectivity_sweep_produces_tent(self):
+        """The headline property: modeled selection time peaks at 50 %."""
+        times = []
+        for selectivity in (0.0, 0.25, 0.5, 0.75, 1.0):
+            profile = Profile()
+            n = 1_000_000
+            profile.instructions = 4 * n
+            profile.branch_bulk("sel", int(selectivity * n), n)
+            times.append(cost_report(profile).milliseconds)
+        assert times[2] == max(times)
+        assert times[0] == min(times[0], times[4])
+        assert times[1] > times[0]
+        assert times[3] > times[4]

@@ -1,0 +1,112 @@
+"""Tests of the public Database API."""
+
+import datetime as dt
+
+import pytest
+
+from repro.db import Database
+from repro.errors import AnalysisError, CatalogError, EngineError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INT PRIMARY KEY, x INT, s CHAR(4))")
+    database.execute("INSERT INTO t VALUES (1, 10, 'aa'), (2, 20, 'bb')")
+    return database
+
+
+class TestDdlDml:
+    def test_create_and_insert(self, db):
+        result = db.execute("SELECT COUNT(*) FROM t")
+        assert result.rows == [(2,)]
+
+    def test_insert_with_column_order(self, db):
+        db.execute("INSERT INTO t (x, s, id) VALUES (30, 'cc', 3)")
+        rows = db.execute("SELECT id, x, s FROM t WHERE id = 3").rows
+        assert rows == [(3, 30, "cc")]
+
+    def test_insert_negative_literals(self, db):
+        db.execute("INSERT INTO t VALUES (4, -5, 'dd')")
+        assert db.execute("SELECT x FROM t WHERE id = 4").rows == [(-5,)]
+
+    def test_create_duplicate_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            db.execute("CREATE TABLE t (a INT)")
+
+    def test_insert_partial_columns_rejected(self, db):
+        with pytest.raises(AnalysisError):
+            db.execute("INSERT INTO t (id) VALUES (9)")
+
+    def test_date_string_literals_in_insert(self):
+        db = Database()
+        db.execute("CREATE TABLE d (when_ DATE, amt DECIMAL(10,2))")
+        db.execute("INSERT INTO d VALUES ('1995-06-17', 12.34)")
+        rows = db.execute("SELECT when_, amt FROM d").rows
+        assert rows == [(dt.date(1995, 6, 17), 12.34)]
+
+
+class TestExecution:
+    def test_default_engine_is_wasm(self, db):
+        result = db.execute("SELECT x FROM t ORDER BY x")
+        assert result.engine == "wasm"
+        assert result.rows == [(10,), (20,)]
+
+    def test_engine_selection(self, db):
+        for engine in ("volcano", "vectorized", "hyper", "wasm"):
+            result = db.execute("SELECT SUM(x) FROM t", engine=engine)
+            assert result.rows == [(30,)]
+            assert result.engine == engine
+
+    def test_unknown_engine(self, db):
+        with pytest.raises(EngineError):
+            db.execute("SELECT 1 FROM t", engine="nope")
+
+    def test_result_helpers(self, db):
+        result = db.execute("SELECT id, x FROM t ORDER BY id")
+        assert result.column_names == ["id", "x"]
+        assert result.column("x") == [10, 20]
+        assert result.to_dicts()[0] == {"id": 1, "x": 10}
+        assert len(result) == 2
+        text = result.format_table()
+        assert "id" in text and "10" in text
+
+    def test_unknown_table(self, db):
+        with pytest.raises(AnalysisError):
+            db.execute("SELECT 1 FROM missing")
+
+    def test_register_table(self):
+        from repro.bench.workloads import selection_table
+
+        db = Database()
+        db.register_table(selection_table(10))
+        assert db.execute("SELECT COUNT(*) FROM t").rows == [(10,)]
+
+    def test_table_accessor(self, db):
+        assert db.table("t").row_count == 2
+        with pytest.raises(CatalogError):
+            db.table("nope")
+
+
+class TestExplain:
+    def test_explain_sections(self, db):
+        text = db.explain(
+            "SELECT s, COUNT(*) FROM t WHERE x > 5 GROUP BY s ORDER BY s"
+        )
+        assert "== logical ==" in text
+        assert "== physical ==" in text
+        assert "== pipelines ==" in text
+        assert "HashGroupBy" in text
+        assert "Scan" in text
+
+    def test_explain_wasm(self, db):
+        from repro.engines.wasm_engine import WasmEngine
+        from repro.sql.analyzer import analyze
+        from repro.sql.parser import parse
+
+        stmt = parse("SELECT x FROM t WHERE x > 5")
+        analyze(stmt, db.catalog)
+        plan = db.plan(stmt)
+        text = WasmEngine().explain_wasm(plan, db.catalog)
+        assert "(module" in text
+        assert "pipeline_0" in text

@@ -1,0 +1,123 @@
+"""Error paths and API edge cases across the stack."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import (
+    AnalysisError,
+    CatalogError,
+    LexError,
+    ParseError,
+    ReproError,
+    UnsupportedFeatureError,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database(default_engine="volcano")
+    database.execute("CREATE TABLE t (a INT, b DOUBLE, s CHAR(3))")
+    database.execute("INSERT INTO t VALUES (1, 1.5, 'x'), (2, 2.5, 'y')")
+    return database
+
+
+class TestErrorHierarchy:
+    def test_every_error_is_reproerror(self, db):
+        for sql in (
+            "SELECT",                       # parse error
+            "SELECT ' FROM t",              # lex error
+            "SELECT nope FROM t",           # analysis error
+            "SELECT a FROM missing",        # unknown table
+        ):
+            with pytest.raises(ReproError):
+                db.execute(sql)
+
+    def test_parse_error_positions(self):
+        with pytest.raises(ParseError) as err:
+            Database().execute("SELECT FROM t")
+        assert "FROM" in str(err.value)
+
+    def test_lex_error_positions(self):
+        with pytest.raises(LexError) as err:
+            Database().execute("SELECT @ FROM t")
+        assert err.value.line == 1
+
+    def test_distinct_with_aggregate_unsupported(self, db):
+        with pytest.raises(UnsupportedFeatureError):
+            db.execute("SELECT DISTINCT COUNT(*) FROM t GROUP BY a")
+
+    def test_catalog_drop(self, db):
+        db.catalog.drop("t")
+        with pytest.raises(CatalogError):
+            db.catalog.get("t")
+        with pytest.raises(CatalogError):
+            db.catalog.drop("t")
+
+
+class TestEdgeQueries:
+    def test_empty_table_all_engines(self):
+        db = Database()
+        db.execute("CREATE TABLE empty_t (a INT, s CHAR(4))")
+        for engine in ("volcano", "vectorized", "hyper", "wasm"):
+            assert db.execute("SELECT a FROM empty_t",
+                              engine=engine).rows == []
+            assert db.execute("SELECT COUNT(*) FROM empty_t",
+                              engine=engine).rows == [(0,)]
+            assert db.execute(
+                "SELECT s, COUNT(*) FROM empty_t GROUP BY s",
+                engine=engine,
+            ).rows == []
+            assert db.execute("SELECT a FROM empty_t ORDER BY a",
+                              engine=engine).rows == []
+
+    def test_single_row(self, db):
+        for engine in ("volcano", "vectorized", "hyper", "wasm"):
+            rows = db.execute("SELECT a FROM t WHERE a = 1",
+                              engine=engine).rows
+            assert rows == [(1,)]
+
+    def test_select_constant_expressions(self, db):
+        for engine in ("volcano", "vectorized", "hyper", "wasm"):
+            rows = db.execute("SELECT 1 + 2, a FROM t ORDER BY a",
+                              engine=engine).rows
+            assert rows == [(3, 1), (3, 2)]
+
+    def test_limit_zero(self, db):
+        for engine in ("volcano", "vectorized", "hyper", "wasm"):
+            assert db.execute("SELECT a FROM t LIMIT 0",
+                              engine=engine).rows == []
+
+    def test_offset_beyond_result(self, db):
+        for engine in ("volcano", "vectorized", "hyper", "wasm"):
+            assert db.execute(
+                "SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 10",
+                engine=engine,
+            ).rows == []
+
+    def test_where_true_and_false_constants(self, db):
+        for engine in ("volcano", "vectorized", "hyper", "wasm"):
+            assert len(db.execute("SELECT a FROM t WHERE TRUE",
+                                  engine=engine).rows) == 2
+            assert db.execute("SELECT a FROM t WHERE FALSE",
+                              engine=engine).rows == []
+
+    def test_case_insensitive_keywords_and_idents(self, db):
+        rows = db.execute("select A from T order by a").rows
+        assert rows == [(1,), (2,)]
+
+    def test_quoted_strings_with_escapes(self, db):
+        db.execute("INSERT INTO t VALUES (3, 0.0, 'a''b')")
+        rows = db.execute("SELECT a FROM t WHERE s = 'a''b'").rows
+        assert rows == [(3,)]
+
+    def test_format_table_empty(self, db):
+        result = db.execute("SELECT a FROM t WHERE FALSE")
+        text = result.format_table()
+        assert "a" in text
+
+    def test_result_truncation_marker(self, db):
+        db.execute("INSERT INTO t VALUES " + ", ".join(
+            f"({i}, 0.0, 'zz')" for i in range(10, 60)
+        ))
+        result = db.execute("SELECT a FROM t")
+        assert "rows total" in result.format_table(max_rows=5)

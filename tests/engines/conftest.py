@@ -1,0 +1,75 @@
+"""Shared fixtures for engine tests."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.db import Database
+
+ALL_ENGINES = ["volcano", "vectorized", "hyper", "wasm"]
+
+
+def make_db(rows_r: int = 500, rows_s: int = 800, seed: int = 11) -> Database:
+    rng = random.Random(seed)
+    db = Database(default_engine="volcano")
+    db.execute(
+        "CREATE TABLE r (id INT PRIMARY KEY, x INT, y DOUBLE, d DATE,"
+        " name CHAR(8), price DECIMAL(12,2), big BIGINT)"
+    )
+    db.execute("CREATE TABLE s (rid INT, v INT, tag CHAR(4))")
+    names = ["alpha", "beta", "gamma", "delta", "epsilon", ""]
+    tags = ["aa", "bb", "cc", "dd"]
+    db.table("r").append_rows([
+        (
+            i,
+            rng.randrange(-50, 50),
+            rng.uniform(-10, 10),
+            dt.date(1992, 1, 1) + dt.timedelta(days=rng.randrange(2500)),
+            rng.choice(names),
+            round(rng.uniform(0, 1000), 2),
+            rng.randrange(-(10**12), 10**12),
+        )
+        for i in range(rows_r)
+    ])
+    db.table("s").append_rows([
+        (rng.randrange(rows_r + 50), rng.randrange(1000), rng.choice(tags))
+        for _ in range(rows_s)
+    ])
+    return db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_db()
+
+
+def norm(rows):
+    """Normalize rows for comparison (round floats)."""
+    out = []
+    for row in rows:
+        out.append(tuple(
+            round(v, 6) if isinstance(v, float) else v for v in row
+        ))
+    return out
+
+
+def assert_engines_agree(db, sql, ordered=None):
+    """Run on all engines, assert identical results; returns volcano's."""
+    if ordered is None:
+        ordered = "ORDER BY" in sql.upper()
+    reference = None
+    for engine in ALL_ENGINES:
+        result = db.execute(sql, engine=engine)
+        rows = norm(result.rows)
+        if not ordered:
+            rows = sorted(map(repr, rows))
+        if reference is None:
+            reference = rows
+            reference_rows = result.rows
+        else:
+            assert rows == reference, (
+                f"engine {engine} disagrees on: {sql}\n"
+                f"expected {reference[:5]}\ngot      {rows[:5]}"
+            )
+    return reference_rows

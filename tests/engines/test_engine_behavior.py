@@ -1,0 +1,176 @@
+"""Per-engine behaviour: phases, adaptivity, cost-model profiles."""
+
+import pytest
+
+from repro.costmodel import Profile, cost_report
+from repro.engines.hyper import HyperEngine
+from repro.engines.wasm_engine import WasmEngine
+
+from tests.engines.conftest import make_db, norm
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_db(rows_r=2000, rows_s=1000, seed=3)
+
+
+QUERY = ("SELECT x, COUNT(*), SUM(price) FROM r WHERE x > -30"
+         " GROUP BY x ORDER BY x")
+
+
+class TestWasmEngineModes:
+    @pytest.mark.parametrize("mode", ["liftoff", "turbofan", "adaptive",
+                                      "interpreter"])
+    def test_all_modes_same_result(self, db, mode):
+        reference = db.execute(QUERY, engine="volcano").rows
+        db._engines["wasm"] = WasmEngine(mode=mode, morsel_size=512)
+        got = db.execute(QUERY, engine="wasm").rows
+        db._engines["wasm"] = WasmEngine()
+        assert norm(got) == norm(reference)
+
+    def test_phase_timings_present(self, db):
+        db._engines["wasm"] = WasmEngine(mode="adaptive", morsel_size=256)
+        result = db.execute(QUERY, engine="wasm")
+        db._engines["wasm"] = WasmEngine()
+        phases = result.timings.phases
+        assert phases["translation"] > 0
+        assert phases["compile_liftoff"] > 0
+        assert phases["execution"] > 0
+        # morsel-wise execution triggered tier-up during the query
+        assert phases.get("compile_turbofan", 0) > 0
+
+    def test_turbofan_mode_skips_liftoff(self, db):
+        db._engines["wasm"] = WasmEngine(mode="turbofan")
+        result = db.execute(QUERY, engine="wasm")
+        db._engines["wasm"] = WasmEngine()
+        assert result.timings.get("compile_liftoff") == 0
+        assert result.timings.get("compile_turbofan") > 0
+
+    def test_short_circuit_option(self, db):
+        reference = db.execute(
+            "SELECT COUNT(*) FROM r WHERE x > 0 AND y > 0.0",
+            engine="volcano",
+        ).rows
+        db._engines["wasm"] = WasmEngine(short_circuit=True)
+        got = db.execute(
+            "SELECT COUNT(*) FROM r WHERE x > 0 AND y > 0.0", engine="wasm"
+        ).rows
+        db._engines["wasm"] = WasmEngine()
+        assert got == reference
+
+    def test_morsel_size_does_not_change_results(self, db):
+        reference = None
+        for morsel in (64, 1000, 10**6):
+            db._engines["wasm"] = WasmEngine(morsel_size=morsel)
+            rows = db.execute(QUERY, engine="wasm").rows
+            if reference is None:
+                reference = rows
+            assert rows == reference
+        db._engines["wasm"] = WasmEngine()
+
+    def test_result_window_overflow_flushes(self, db):
+        """More result rows than the window holds exercises the
+        flush_results callback (Figure 5's chunked result protocol)."""
+        db._engines["wasm"] = WasmEngine()
+        rows = db.execute("SELECT id, x, y, big FROM r", engine="wasm").rows
+        assert len(rows) == 2000
+
+
+class TestHyperEngineModes:
+    @pytest.mark.parametrize("mode", ["interp", "o0", "o2", "adaptive", "umbra"])
+    def test_all_modes_same_result(self, db, mode):
+        reference = db.execute(QUERY, engine="volcano").rows
+        db._engines["hyper"] = HyperEngine(mode=mode, morsel_size=512)
+        got = db.execute(QUERY, engine="hyper").rows
+        db._engines["hyper"] = HyperEngine()
+        assert norm(got) == norm(reference)
+
+    def test_phases(self, db):
+        db._engines["hyper"] = HyperEngine(mode="adaptive")
+        result = db.execute(QUERY, engine="hyper")
+        db._engines["hyper"] = HyperEngine()
+        assert result.timings.get("compile_bytecode") > 0
+        assert result.timings.get("compile_o2") > 0
+        assert result.timings.get("execution") > 0
+
+    def test_o2_compiles_slower_than_bytecode(self, db):
+        db._engines["hyper"] = HyperEngine(mode="adaptive")
+        result = db.execute(QUERY, engine="hyper")
+        db._engines["hyper"] = HyperEngine()
+        assert result.timings.get("compile_o2") > \
+            result.timings.get("compile_bytecode")
+
+
+class TestProfiles:
+    def test_volcano_counts_virtual_calls(self, db):
+        profile = Profile()
+        db.execute("SELECT x FROM r WHERE x > 0", engine="volcano",
+                   profile=profile)
+        # one next() per operator per tuple: >= rows processed
+        assert profile.virtual_calls >= 2000
+
+    def test_vectorized_counts_kernels_not_calls(self, db):
+        profile = Profile()
+        db.execute("SELECT x FROM r WHERE x > 0", engine="vectorized",
+                   profile=profile)
+        assert profile.vector_ops > 0
+        assert profile.vector_elements >= 2000
+        assert profile.virtual_calls == 0
+
+    def test_wasm_counts_instructions_and_branches(self, db):
+        profile = Profile()
+        db._engines["wasm"] = WasmEngine(mode="turbofan")
+        db.execute("SELECT COUNT(*) FROM r WHERE x > 0", engine="wasm",
+                   profile=profile)
+        db._engines["wasm"] = WasmEngine()
+        assert profile.instructions > 2000
+        assert profile.branch_sites
+        # the selection branch has ~50% taken fraction on this data
+        fractions = [s.taken_fraction for s in profile.branch_sites.values()
+                     if s.total > 1000]
+        assert any(0.2 < f < 0.8 for f in fractions)
+
+    def test_hyper_interp_counts_dispatch(self, db):
+        profile = Profile()
+        db._engines["hyper"] = HyperEngine(mode="interp")
+        db.execute("SELECT COUNT(*) FROM r WHERE x > 0", engine="hyper",
+                   profile=profile)
+        db._engines["hyper"] = HyperEngine()
+        assert profile.interp_dispatch > 2000
+
+    def test_hyper_counts_library_calls(self, db):
+        profile = Profile()
+        db._engines["hyper"] = HyperEngine(mode="o2")
+        db.execute(
+            "SELECT COUNT(*) FROM r, s WHERE r.id = s.rid",
+            engine="hyper", profile=profile,
+        )
+        db._engines["hyper"] = HyperEngine()
+        # one library call per probe tuple (plus inserts)
+        assert profile.calls >= 1000
+
+    def test_hyper_sort_comparison_callbacks(self, db):
+        profile = Profile()
+        db._engines["hyper"] = HyperEngine(mode="o2")
+        db.execute("SELECT x FROM r ORDER BY x", engine="hyper",
+                   profile=profile)
+        db._engines["hyper"] = HyperEngine()
+        # Theta(n log n) comparison callbacks (Section 4.3's complaint)
+        assert profile.indirect_calls > 2000 * 8
+
+    def test_wasm_sort_has_no_comparison_callbacks(self, db):
+        """mutable's generated quicksort inlines the comparator."""
+        profile = Profile()
+        db._engines["wasm"] = WasmEngine(mode="turbofan")
+        db.execute("SELECT x FROM r ORDER BY x", engine="wasm",
+                   profile=profile)
+        db._engines["wasm"] = WasmEngine()
+        assert profile.indirect_calls == 0
+
+    def test_modeled_report(self, db):
+        profile = Profile()
+        db.execute(QUERY, engine="vectorized", profile=profile)
+        report = cost_report(profile)
+        assert report.cycles > 0
+        assert report.milliseconds > 0
+        assert set(report.breakdown) >= {"compute", "vector", "memory"}

@@ -1,0 +1,144 @@
+"""Tests of the shared tuple evaluator and calendar arithmetic."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engines.aggstate import finalize_states, new_states, update_states
+from repro.engines.datecalc import civil_from_days
+from repro.engines.eval import (
+    compare_values,
+    evaluate,
+    like_matches,
+    sql_like_regex,
+)
+from repro.errors import EngineError
+from repro.plan import exprs as E
+from repro.plan.exprs import Aggregate
+from repro.sql import types as T
+from repro.sql.types import date_to_days
+
+
+class TestCivilFromDays:
+    @given(st.integers(min_value=-700_000, max_value=2_900_000))
+    def test_matches_datetime(self, days):
+        got = civil_from_days(days)
+        expected = dt.date(1970, 1, 1) + dt.timedelta(days=days)
+        assert got == (expected.year, expected.month, expected.day)
+
+    def test_epoch(self):
+        assert civil_from_days(0) == (1970, 1, 1)
+
+    def test_leap_day(self):
+        assert civil_from_days(date_to_days(dt.date(1996, 2, 29))) == \
+            (1996, 2, 29)
+
+
+class TestLike:
+    def test_kinds(self):
+        assert like_matches("prefix", b"PROMO BRUSHED", b"PROMO")
+        assert not like_matches("prefix", b"STD BRUSHED", b"PROMO")
+        assert like_matches("suffix", b"a brass\x00\x00", b"brass")
+        assert like_matches("contains", b"xxBRASSxx", b"BRASS")
+        assert like_matches("exact", b"abc\x00\x00", b"abc")
+        assert like_matches("generic", b"bed", "b_d")
+        assert not like_matches("generic", b"bead", "b_d")
+
+    def test_regex_translation(self):
+        regex = sql_like_regex("a%b_c")
+        assert regex.match("aXXXbYc")
+        assert not regex.match("ab")
+        # regex metacharacters in the pattern are escaped
+        assert sql_like_regex("a.c").match("a.c")
+        assert not sql_like_regex("a.c").match("abc")
+
+
+class TestCompareValues:
+    def test_bytes_padding_insensitive(self):
+        assert compare_values("=", b"ab\x00\x00", b"ab")
+        assert compare_values("<", b"ab", b"abc\x00")
+
+    def test_numeric(self):
+        assert compare_values("<=", 3, 3)
+        assert not compare_values(">", 2.5, 2.5)
+
+
+class TestEvaluate:
+    def test_arith_division_semantics(self):
+        expr = E.Arith("/", E.Slot(0, T.INT32), E.Slot(1, T.INT32), T.INT32)
+        assert evaluate(expr, (-7, 2)) == -3
+        with pytest.raises(EngineError):
+            evaluate(expr, (1, 0))
+
+    def test_float_division_by_zero_is_inf(self):
+        expr = E.Arith("/", E.Slot(0, T.DOUBLE), E.Slot(1, T.DOUBLE),
+                       T.DOUBLE)
+        assert evaluate(expr, (1.0, 0.0)) == float("inf")
+        assert evaluate(expr, (-1.0, 0.0)) == float("-inf")
+
+    def test_logic_short_circuits(self):
+        # right side would divide by zero; AND must not evaluate it
+        boom = E.Compare("=", E.Arith("/", E.Slot(0, T.INT32),
+                                      E.Const(0, T.INT32), T.INT32),
+                         E.Const(1, T.INT32))
+        guarded = E.Logic("AND", E.Const(0, T.BOOLEAN), boom)
+        assert evaluate(guarded, (5,)) is False
+
+    def test_case(self):
+        expr = E.Case(
+            [(E.Compare("<", E.Slot(0, T.INT32), E.Const(0, T.INT32)),
+              E.Const(-1, T.INT32))],
+            E.Const(1, T.INT32), T.INT32,
+        )
+        assert evaluate(expr, (-5,)) == -1
+        assert evaluate(expr, (5,)) == 1
+
+    def test_profile_counts_nodes(self):
+        from repro.costmodel import Profile
+
+        profile = Profile()
+        expr = E.Arith("+", E.Slot(0, T.INT32), E.Const(1, T.INT32), T.INT32)
+        evaluate(expr, (1,), profile)
+        assert profile.interp_dispatch == 3
+
+
+class TestAggState:
+    def _agg(self, kind, ty=T.INT64):
+        return Aggregate(kind, E.Slot(0, ty) if kind != "COUNT" else None, ty)
+
+    def test_count_sum(self):
+        aggs = [self._agg("COUNT"), self._agg("SUM")]
+        states = new_states(aggs)
+        for v in (3, 5, 7):
+            update_states(states, aggs, [None, v])
+        assert finalize_states(states, aggs) == [3, 15]
+
+    def test_min_max(self):
+        aggs = [self._agg("MIN"), self._agg("MAX")]
+        states = new_states(aggs)
+        for v in (5, -2, 9):
+            update_states(states, aggs, [v, v])
+        assert finalize_states(states, aggs) == [-2, 9]
+
+    def test_avg(self):
+        aggs = [Aggregate("AVG", E.Slot(0, T.DOUBLE), T.DOUBLE)]
+        states = new_states(aggs)
+        for v in (1.0, 2.0, 6.0):
+            update_states(states, aggs, [v])
+        assert finalize_states(states, aggs) == [3.0]
+
+    def test_avg_empty_is_zero(self):
+        aggs = [Aggregate("AVG", E.Slot(0, T.DOUBLE), T.DOUBLE)]
+        assert finalize_states(new_states(aggs), aggs) == [0.0]
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    def test_property_matches_python(self, values):
+        aggs = [self._agg("COUNT"), self._agg("SUM"), self._agg("MIN"),
+                self._agg("MAX")]
+        states = new_states(aggs)
+        for v in values:
+            update_states(states, aggs, [None, v, v, v])
+        assert finalize_states(states, aggs) == [
+            len(values), sum(values), min(values), max(values)
+        ]

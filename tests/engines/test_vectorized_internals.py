@@ -1,0 +1,104 @@
+"""Unit tests of the vectorized engine's kernels and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.engines.vectorized import (
+    _combine_keys,
+    _combine_two_sided,
+    _expand_ranges,
+    _extract_vec,
+    _factorize,
+    _int_div_trunc,
+)
+
+
+class TestIntDiv:
+    def test_truncates_toward_zero(self):
+        a = np.array([-7, 7, -7, 7], dtype=np.int64)
+        b = np.array([2, 2, -2, -2], dtype=np.int64)
+        assert _int_div_trunc(a, b).tolist() == [-3, 3, 3, -3]
+
+    def test_scalar_divisor(self):
+        a = np.array([-10, 10], dtype=np.int64)
+        assert _int_div_trunc(a, 3).tolist() == [-3, 3]
+
+
+class TestFactorize:
+    def test_codes_preserve_order(self):
+        values = np.array([30, 10, 20, 10], dtype=np.int64)
+        codes, n = _factorize(values)
+        assert n == 3
+        assert codes.tolist() == [2, 0, 1, 0]
+
+    def test_bytes(self):
+        values = np.array([b"b", b"a", b"b"], dtype="S1")
+        codes, n = _factorize(values)
+        assert n == 2
+        assert codes.tolist() == [1, 0, 1]
+
+    def test_combine_keys_row_identity(self):
+        k1 = np.array([1, 1, 2, 2], dtype=np.int64)
+        k2 = np.array([1, 2, 1, 1], dtype=np.int64)
+        combined = _combine_keys([k1, k2])
+        # rows 2 and 3 are identical; all others distinct
+        assert combined[2] == combined[3]
+        assert len(set(combined.tolist())) == 3
+
+    def test_combine_two_sided_consistency(self):
+        build = [np.array([1, 2], dtype=np.int64),
+                 np.array([10, 20], dtype=np.int64)]
+        probe = [np.array([2, 1, 3], dtype=np.int64),
+                 np.array([20, 10, 30], dtype=np.int64)]
+        bc, pc = _combine_two_sided(build, probe)
+        assert bc[0] == pc[1]  # (1,10) matches
+        assert bc[1] == pc[0]  # (2,20) matches
+        assert pc[2] not in bc.tolist()
+
+
+class TestExpandRanges:
+    def test_simple(self):
+        starts = np.array([0, 5, 9], dtype=np.int64)
+        counts = np.array([2, 0, 3], dtype=np.int64)
+        assert _expand_ranges(starts, counts).tolist() == [0, 1, 9, 10, 11]
+
+    def test_empty(self):
+        out = _expand_ranges(np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64))
+        assert out.tolist() == []
+
+    def test_all_zero_counts(self):
+        out = _expand_ranges(np.array([3, 7], dtype=np.int64),
+                             np.array([0, 0], dtype=np.int64))
+        assert out.tolist() == []
+
+    def test_single_range(self):
+        out = _expand_ranges(np.array([4], dtype=np.int64),
+                             np.array([3], dtype=np.int64))
+        assert out.tolist() == [4, 5, 6]
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            n = int(rng.integers(1, 12))
+            starts = rng.integers(0, 50, size=n).astype(np.int64)
+            counts = rng.integers(0, 5, size=n).astype(np.int64)
+            expected = [
+                int(s) + i
+                for s, c in zip(starts, counts)
+                for i in range(int(c))
+            ]
+            assert _expand_ranges(starts, counts).tolist() == expected
+
+
+class TestExtractVec:
+    def test_matches_scalar(self):
+        from repro.engines.datecalc import civil_from_days
+
+        days = np.array([0, 1000, 9000, -400, 10500], dtype=np.int64)
+        years = _extract_vec("YEAR", days)
+        months = _extract_vec("MONTH", days)
+        dom = _extract_vec("DAY", days)
+        for i, d in enumerate(days):
+            y, m, dd = civil_from_days(int(d))
+            assert (years[i], months[i], dom[i]) == (y, m, dd)

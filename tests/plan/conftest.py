@@ -1,0 +1,39 @@
+"""Shared fixtures for the planning tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database(default_engine="volcano")
+    database.execute(
+        "CREATE TABLE r (id INT PRIMARY KEY, x INT, y DOUBLE, d DATE,"
+        " name CHAR(8), price DECIMAL(12,2))"
+    )
+    database.execute("CREATE TABLE s (rid INT, v BIGINT)")
+    database.execute("CREATE TABLE u (uid INT, w INT)")
+    database.table("r").append_rows([
+        (i, i % 10, i * 0.5, dt.date(1995, 1, 1) + dt.timedelta(days=i),
+         f"n{i % 3}", i * 1.25)
+        for i in range(100)
+    ])
+    database.table("s").append_rows([
+        (i % 120, i * 7) for i in range(300)
+    ])
+    database.table("u").append_rows([
+        (i % 50, i) for i in range(60)
+    ])
+    return database
+
+
+def plan_for(db, sql):
+    from repro.sql.analyzer import analyze
+    from repro.sql.parser import parse
+
+    stmt = parse(sql)
+    analyze(stmt, db.catalog)
+    return db.plan(stmt)

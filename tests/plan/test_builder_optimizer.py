@@ -1,0 +1,170 @@
+"""Tests of logical plan building and optimization."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.plan import logical as L
+from repro.plan.builder import build_logical_plan, split_conjuncts
+from repro.plan.logical import explain
+from repro.plan.optimizer import bindings_of, optimize
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse, parse_expression
+
+from tests.plan.conftest import plan_for
+
+
+def logical_for(db, sql, optimized=True):
+    stmt = parse(sql)
+    analyze(stmt, db.catalog)
+    plan = build_logical_plan(stmt, db.catalog)
+    return optimize(plan, db.catalog) if optimized else plan
+
+
+def ops_of(plan):
+    out = [type(plan).__name__]
+    for child in plan.children:
+        out += ops_of(child)
+    return out
+
+
+class TestBuilder:
+    def test_simple_shape(self, db):
+        plan = logical_for(db, "SELECT x FROM r", optimized=False)
+        assert ops_of(plan) == ["LogicalProject", "LogicalScan"]
+
+    def test_canonical_filter_above_joins(self, db):
+        plan = logical_for(
+            db, "SELECT r.x FROM r, s WHERE r.id = s.rid", optimized=False
+        )
+        assert ops_of(plan) == [
+            "LogicalProject", "LogicalFilter", "LogicalJoin",
+            "LogicalScan", "LogicalScan",
+        ]
+
+    def test_aggregation_shape(self, db):
+        plan = logical_for(
+            db, "SELECT x, COUNT(*) FROM r GROUP BY x HAVING COUNT(*) > 2",
+            optimized=False,
+        )
+        assert ops_of(plan) == [
+            "LogicalProject", "LogicalFilter", "LogicalAggregate",
+            "LogicalScan",
+        ]
+
+    def test_sort_below_project(self, db):
+        plan = logical_for(db, "SELECT x + 1 FROM r ORDER BY y",
+                           optimized=False)
+        assert ops_of(plan) == [
+            "LogicalProject", "LogicalSort", "LogicalScan",
+        ]
+
+    def test_distinct_becomes_aggregate(self, db):
+        plan = logical_for(db, "SELECT DISTINCT x FROM r", optimized=False)
+        assert ops_of(plan)[0] == "LogicalAggregate"
+
+    def test_limit_on_top(self, db):
+        plan = logical_for(db, "SELECT x FROM r LIMIT 5", optimized=False)
+        assert isinstance(plan, L.LogicalLimit)
+
+    def test_split_conjuncts(self):
+        expr = parse_expression("a = 1 AND b = 2 AND (c = 3 OR d = 4)")
+        parts = split_conjuncts(expr)
+        assert len(parts) == 3
+
+    def test_duplicate_output_names_disambiguated(self, db):
+        plan = logical_for(db, "SELECT x, x FROM r", optimized=False)
+        names = [name for _, name in plan.items]
+        assert len(set(names)) == 2
+
+
+class TestOptimizer:
+    def test_pushdown_single_table_predicate(self, db):
+        plan = logical_for(
+            db, "SELECT r.x FROM r, s WHERE r.id = s.rid AND r.x < 3"
+        )
+        text = explain(plan)
+        # the filter on r.x must sit directly above the scan of r
+        assert "Filter [(r.x < 3)]\n      Scan r" in text or \
+               "Filter [(r.x < 3)]\n        Scan r" in text
+
+    def test_join_predicate_attached_to_join(self, db):
+        plan = logical_for(db, "SELECT r.x FROM r, s WHERE r.id = s.rid")
+        joins = [op for op in _walk(plan) if isinstance(op, L.LogicalJoin)]
+        assert len(joins) == 1
+        assert joins[0].predicate is not None
+
+    def test_smaller_side_becomes_left_build_input(self, db):
+        # u (60 rows) is smaller than s (300 rows)
+        plan = logical_for(db, "SELECT 1 FROM s, u WHERE s.rid = u.uid")
+        join = next(op for op in _walk(plan) if isinstance(op, L.LogicalJoin))
+        left_bindings = {c.ref[0] for c in join.left.output_columns}
+        assert left_bindings == {"u"}
+
+    def test_three_way_join_all_predicates_used(self, db):
+        plan = logical_for(
+            db,
+            "SELECT 1 FROM r, s, u WHERE r.id = s.rid AND s.v = u.w",
+        )
+        joins = [op for op in _walk(plan) if isinstance(op, L.LogicalJoin)]
+        assert len(joins) == 2
+        assert all(j.predicate is not None for j in joins)
+        # no residual filter above the join tree
+        assert not isinstance(plan.children[0], L.LogicalFilter) or \
+            not isinstance(plan.children[0].child, L.LogicalJoin)
+
+    def test_cross_product_when_disconnected(self, db):
+        plan = logical_for(db, "SELECT 1 FROM r, s")
+        join = next(op for op in _walk(plan) if isinstance(op, L.LogicalJoin))
+        assert join.predicate is None
+
+    def test_constant_predicate_stays(self, db):
+        plan = logical_for(db, "SELECT x FROM r WHERE 1 = 2")
+        assert any(isinstance(op, L.LogicalFilter) for op in _walk(plan))
+
+    def test_bindings_of(self, db):
+        stmt = parse("SELECT 1 FROM r, s WHERE r.x + s.v > 3")
+        analyze(stmt, db.catalog)
+        assert bindings_of(stmt.where) == {"r", "s"}
+
+
+class TestCardinality:
+    def test_range_estimate_reasonable(self, db):
+        from repro.catalog.statistics import TableStatistics
+        from repro.plan.cardinality import CardinalityEstimator
+
+        stats = {"r": db.table("r").statistics}
+        est = CardinalityEstimator(stats)
+        stmt = parse("SELECT x FROM r WHERE x < 5")
+        analyze(stmt, db.catalog)
+        sel = est.selectivity(stmt.where)
+        assert 0.3 < sel < 0.8  # x in 0..9, threshold 5
+
+    def test_equality_uses_ndv(self, db):
+        from repro.plan.cardinality import CardinalityEstimator
+
+        est = CardinalityEstimator({"r": db.table("r").statistics})
+        stmt = parse("SELECT x FROM r WHERE x = 3")
+        analyze(stmt, db.catalog)
+        assert est.selectivity(stmt.where) == pytest.approx(0.1)
+
+    def test_conjunction_multiplies(self, db):
+        from repro.plan.cardinality import CardinalityEstimator
+
+        est = CardinalityEstimator({"r": db.table("r").statistics})
+        stmt = parse("SELECT x FROM r WHERE x = 3 AND x = 4")
+        analyze(stmt, db.catalog)
+        assert est.selectivity(stmt.where) == pytest.approx(0.01)
+
+    def test_impossible_range_zero(self, db):
+        from repro.plan.cardinality import CardinalityEstimator
+
+        est = CardinalityEstimator({"r": db.table("r").statistics})
+        stmt = parse("SELECT x FROM r WHERE x BETWEEN 100 AND 200")
+        analyze(stmt, db.catalog)
+        assert est.selectivity(stmt.where) == 0.0
+
+
+def _walk(plan):
+    yield plan
+    for child in plan.children:
+        yield from _walk(child)

@@ -1,0 +1,80 @@
+"""Focused tests of the Lowerer's coercion rules (decimals, constants)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan import exprs as E
+from repro.plan.exprs import Lowerer
+from repro.sql import types as T
+
+
+def lowerer():
+    return Lowerer(lambda ref: (_ for _ in ()).throw(PlanError("no columns")))
+
+
+class TestConstantCoercion:
+    def test_int_to_decimal_folds(self):
+        low = lowerer()
+        out = low.coerce(E.Const(5, T.INT32), T.decimal(10, 2))
+        assert isinstance(out, E.Const)
+        assert out.value == 500
+
+    def test_decimal_to_double_folds(self):
+        low = lowerer()
+        out = low.coerce(E.Const(1999, T.decimal(10, 2)), T.DOUBLE)
+        assert isinstance(out, E.Const)
+        assert out.value == pytest.approx(19.99)
+
+    def test_int_widening_folds(self):
+        out = lowerer().coerce(E.Const(7, T.INT32), T.INT64)
+        assert isinstance(out, E.Const)
+        assert out.value == 7
+
+    def test_float_to_int_truncates(self):
+        out = lowerer().coerce(E.Const(2.9, T.DOUBLE), T.INT32)
+        assert out.value == 2
+
+
+class TestExpressionCoercion:
+    def _slot(self, ty):
+        return E.Slot(0, ty)
+
+    def test_int_slot_to_decimal_scales(self):
+        out = lowerer().coerce(self._slot(T.INT32), T.decimal(10, 2))
+        assert isinstance(out, E.Arith)
+        assert out.op == "*"
+        assert out.right.value == 100
+
+    def test_decimal_rescale_up(self):
+        out = lowerer().coerce(self._slot(T.decimal(10, 1)),
+                               T.decimal(10, 3))
+        assert out.op == "*"
+        assert out.right.value == 100
+
+    def test_decimal_rescale_down(self):
+        out = lowerer().coerce(self._slot(T.decimal(10, 3)),
+                               T.decimal(10, 1))
+        assert out.op == "/"
+        assert out.right.value == 100
+
+    def test_decimal_to_double_divides_by_factor(self):
+        out = lowerer().coerce(self._slot(T.decimal(10, 2)), T.DOUBLE)
+        assert isinstance(out, E.Arith)
+        assert out.op == "/"
+        assert out.right.value == pytest.approx(100.0)
+
+    def test_same_type_is_identity(self):
+        slot = self._slot(T.INT64)
+        assert lowerer().coerce(slot, T.INT64) is slot
+
+    def test_incompatible_raises(self):
+        with pytest.raises(PlanError):
+            lowerer().coerce(self._slot(T.char(4)), T.INT32)
+
+    def test_string_width_coercion_is_identity(self):
+        slot = self._slot(T.char(4))
+        assert lowerer().coerce(slot, T.char(9)) is slot
+
+    def test_scale_zero_decimal_needs_no_multiply(self):
+        out = lowerer().coerce(self._slot(T.INT32), T.decimal(10, 0))
+        assert isinstance(out, E.Promote)

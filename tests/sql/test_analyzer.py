@@ -1,0 +1,272 @@
+"""Tests of semantic analysis."""
+
+import datetime as dt
+
+import pytest
+
+from repro.catalog import Catalog, TableSchema
+from repro.catalog.schema import Column
+from repro.errors import AnalysisError
+from repro.sql import ast
+from repro.sql import types as T
+from repro.sql.analyzer import add_months, analyze
+from repro.sql.parser import parse
+from repro.storage import Table
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    r = TableSchema("r", [
+        Column("id", T.INT32, primary_key=True),
+        Column("x", T.INT32),
+        Column("y", T.DOUBLE),
+        Column("d", T.DATE),
+        Column("name", T.char(8)),
+        Column("price", T.decimal(12, 2)),
+    ])
+    s = TableSchema("s", [
+        Column("rid", T.INT32),
+        Column("x", T.INT32),
+        Column("v", T.INT64),
+    ])
+    cat.add(Table.empty(r))
+    cat.add(Table.empty(s))
+    return cat
+
+
+def check(sql, catalog):
+    stmt = parse(sql)
+    scope = analyze(stmt, catalog)
+    return stmt, scope
+
+
+class TestResolution:
+    def test_unqualified(self, catalog):
+        stmt, _ = check("SELECT y FROM r", catalog)
+        ref = stmt.items[0].expr
+        assert ref.resolved == ("r", "y")
+        assert ref.ty == T.DOUBLE
+
+    def test_qualified(self, catalog):
+        stmt, _ = check("SELECT r.x FROM r, s", catalog)
+        assert stmt.items[0].expr.resolved == ("r", "x")
+
+    def test_alias(self, catalog):
+        stmt, _ = check("SELECT t.x FROM r AS t", catalog)
+        assert stmt.items[0].expr.resolved == ("t", "x")
+
+    def test_ambiguous_column(self, catalog):
+        with pytest.raises(AnalysisError, match="ambiguous"):
+            check("SELECT x FROM r, s", catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(AnalysisError, match="unknown column"):
+            check("SELECT nope FROM r", catalog)
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT x FROM nope", catalog)
+
+    def test_duplicate_binding(self, catalog):
+        with pytest.raises(AnalysisError, match="duplicate"):
+            check("SELECT 1 FROM r, r", catalog)
+
+    def test_star_expansion(self, catalog):
+        stmt, _ = check("SELECT * FROM s", catalog)
+        assert [i.alias for i in stmt.items] == ["rid", "x", "v"]
+
+    def test_qualified_star_expansion(self, catalog):
+        stmt, _ = check("SELECT s.* FROM r, s", catalog)
+        assert len(stmt.items) == 3
+
+
+class TestTyping:
+    def test_arithmetic_widening(self, catalog):
+        stmt, _ = check("SELECT x + y FROM r", catalog)
+        assert stmt.items[0].expr.ty == T.DOUBLE
+
+    def test_int_plus_int64(self, catalog):
+        stmt, _ = check("SELECT s.x + v FROM s", catalog)
+        assert stmt.items[0].expr.ty == T.INT64
+
+    def test_decimal_arithmetic(self, catalog):
+        stmt, _ = check("SELECT price * (1 - 0), price + price FROM r", catalog)
+        assert stmt.items[0].expr.ty == T.decimal(12, 2)
+        assert stmt.items[1].expr.ty == T.decimal(12, 2)
+
+    def test_decimal_division_is_double(self, catalog):
+        stmt, _ = check("SELECT price / price FROM r", catalog)
+        assert stmt.items[0].expr.ty == T.DOUBLE
+
+    def test_comparison_is_boolean(self, catalog):
+        stmt, _ = check("SELECT x FROM r WHERE x < 42", catalog)
+        assert stmt.where.ty == T.BOOLEAN
+
+    def test_where_must_be_boolean(self, catalog):
+        with pytest.raises(AnalysisError, match="boolean"):
+            check("SELECT x FROM r WHERE x + 1", catalog)
+
+    def test_modulo_requires_integers(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT y % 2 FROM r", catalog)
+
+    def test_string_literal_typing(self, catalog):
+        stmt, _ = check("SELECT x FROM r WHERE name = 'abc'", catalog)
+        assert stmt.where.right.ty == T.char(3)
+
+    def test_null_rejected(self, catalog):
+        with pytest.raises(AnalysisError, match="NULL"):
+            check("SELECT NULL FROM r", catalog)
+
+    def test_is_null_folds_to_constant(self, catalog):
+        stmt, _ = check("SELECT x FROM r WHERE x IS NOT NULL", catalog)
+        assert stmt.where == ast.Literal(True)
+
+
+class TestFolding:
+    def test_date_minus_interval_days(self, catalog):
+        stmt, _ = check(
+            "SELECT x FROM r WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY",
+            catalog,
+        )
+        assert stmt.where.right == ast.Literal(dt.date(1998, 9, 2))
+
+    def test_date_plus_interval_months(self, catalog):
+        stmt, _ = check(
+            "SELECT x FROM r WHERE d < DATE '1995-01-31' + INTERVAL '1' MONTH",
+            catalog,
+        )
+        assert stmt.where.right == ast.Literal(dt.date(1995, 2, 28))
+
+    def test_date_plus_interval_years(self, catalog):
+        stmt, _ = check(
+            "SELECT x FROM r WHERE d < DATE '1995-01-01' + INTERVAL '1' YEAR",
+            catalog,
+        )
+        assert stmt.where.right == ast.Literal(dt.date(1996, 1, 1))
+
+    def test_interval_on_column_rejected(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT x FROM r WHERE d + INTERVAL '1' DAY > d", catalog)
+
+    def test_negative_literal_folds(self, catalog):
+        stmt, _ = check("SELECT -5 FROM r", catalog)
+        assert stmt.items[0].expr == ast.Literal(-5)
+
+    def test_extract_year_on_literal_folds(self, catalog):
+        stmt, _ = check(
+            "SELECT x FROM r WHERE EXTRACT(YEAR FROM DATE '1995-06-01') = 1995",
+            catalog,
+        )
+        assert stmt.where.left == ast.Literal(1995)
+
+
+class TestAggregation:
+    def test_count_star(self, catalog):
+        stmt, _ = check("SELECT COUNT(*) FROM r", catalog)
+        assert stmt.items[0].expr.ty == T.INT64
+
+    def test_sum_widens_integers(self, catalog):
+        stmt, _ = check("SELECT SUM(x) FROM r", catalog)
+        assert stmt.items[0].expr.ty == T.INT64
+
+    def test_sum_keeps_decimal(self, catalog):
+        stmt, _ = check("SELECT SUM(price) FROM r", catalog)
+        assert stmt.items[0].expr.ty == T.decimal(12, 2)
+
+    def test_avg_is_double(self, catalog):
+        stmt, _ = check("SELECT AVG(x) FROM r", catalog)
+        assert stmt.items[0].expr.ty == T.DOUBLE
+
+    def test_min_max_keep_type(self, catalog):
+        stmt, _ = check("SELECT MIN(d), MAX(x) FROM r", catalog)
+        assert stmt.items[0].expr.ty == T.DATE
+        assert stmt.items[1].expr.ty == T.INT32
+
+    def test_ungrouped_column_with_aggregate_rejected(self, catalog):
+        with pytest.raises(AnalysisError, match="neither aggregated"):
+            check("SELECT x, COUNT(*) FROM r", catalog)
+
+    def test_group_by_allows_key_in_select(self, catalog):
+        check("SELECT x, COUNT(*) FROM r GROUP BY x", catalog)
+
+    def test_group_by_expression_key(self, catalog):
+        check("SELECT x + 1, COUNT(*) FROM r GROUP BY x + 1", catalog)
+
+    def test_nested_aggregates_rejected(self, catalog):
+        with pytest.raises(AnalysisError, match="nested"):
+            check("SELECT SUM(MAX(x)) FROM r GROUP BY x", catalog)
+
+    def test_having_without_group_rejected(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT x FROM r HAVING x > 1", catalog)
+
+    def test_order_by_non_grouped_rejected(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT x, COUNT(*) FROM r GROUP BY x ORDER BY y", catalog)
+
+    def test_sum_of_string_rejected(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT SUM(name) FROM r", catalog)
+
+    def test_min_of_string_rejected(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT MIN(name) FROM r", catalog)
+
+    def test_case_inside_aggregate(self, catalog):
+        stmt, _ = check(
+            "SELECT SUM(CASE WHEN x > 0 THEN price ELSE 0 END) FROM r",
+            catalog,
+        )
+        assert stmt.items[0].expr.ty == T.decimal(12, 2)
+
+
+class TestCase:
+    def test_searched_case_type(self, catalog):
+        stmt, _ = check(
+            "SELECT CASE WHEN x > 0 THEN 1 ELSE 0 END FROM r", catalog
+        )
+        assert stmt.items[0].expr.ty == T.INT32
+
+    def test_operand_form_rewritten(self, catalog):
+        stmt, _ = check("SELECT CASE x WHEN 1 THEN 10 ELSE 0 END FROM r", catalog)
+        case = stmt.items[0].expr
+        assert case.operand is None
+        assert case.whens[0][0].op == "="
+
+    def test_missing_else_defaults_to_zero(self, catalog):
+        stmt, _ = check("SELECT CASE WHEN x > 0 THEN 1 END FROM r", catalog)
+        assert stmt.items[0].expr.else_ == ast.Literal(0)
+
+    def test_non_boolean_when_rejected(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT CASE WHEN x THEN 1 ELSE 0 END FROM r", catalog)
+
+
+class TestLike:
+    def test_like_requires_string_column(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT x FROM r WHERE x LIKE 'a%'", catalog)
+
+    def test_like_requires_literal_pattern(self, catalog):
+        with pytest.raises(AnalysisError):
+            check("SELECT x FROM r WHERE name LIKE name", catalog)
+
+    def test_like_ok(self, catalog):
+        stmt, _ = check("SELECT x FROM r WHERE name LIKE 'PROMO%'", catalog)
+        assert stmt.where.ty == T.BOOLEAN
+
+
+class TestAddMonths:
+    def test_simple(self):
+        assert add_months(dt.date(1995, 1, 15), 2) == dt.date(1995, 3, 15)
+
+    def test_year_rollover(self):
+        assert add_months(dt.date(1995, 11, 1), 3) == dt.date(1996, 2, 1)
+
+    def test_clamps_to_month_end(self):
+        assert add_months(dt.date(1995, 1, 31), 1) == dt.date(1995, 2, 28)
+
+    def test_negative(self):
+        assert add_months(dt.date(1995, 3, 31), -1) == dt.date(1995, 2, 28)

@@ -1,0 +1,109 @@
+"""Tests of the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "EOF"
+
+    def test_keywords_are_upper_cased(self):
+        assert values("select FROM Where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_are_lower_cased(self):
+        assert values("Lineitem R_NaMe") == ["lineitem", "r_name"]
+
+    def test_keyword_vs_identifier(self):
+        toks = tokenize("select selectx")
+        assert toks[0].kind == "KEYWORD"
+        assert toks[1].kind == "IDENT"
+
+    def test_integer_literal(self):
+        assert values("42") == [42]
+        assert tokenize("42")[0].kind == "INT"
+
+    def test_float_literals(self):
+        assert values("3.14") == [3.14]
+        assert values("1e3") == [1000.0]
+        assert values("2.5E-2") == [0.025]
+        assert tokenize("0.04")[0].kind == "FLOAT"
+
+    def test_leading_dot_float(self):
+        assert values(".5") == [0.5]
+
+    def test_string_literal(self):
+        assert values("'hello'") == ["hello"]
+
+    def test_string_with_escaped_quote(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_empty_string_literal(self):
+        assert values("''") == [""]
+
+    def test_quoted_identifier(self):
+        toks = tokenize('"Weird Name"')
+        assert toks[0].kind == "IDENT"
+        assert toks[0].value == "Weird Name"
+
+    def test_operators_longest_match(self):
+        assert values("a <= b <> c != d") == ["a", "<=", "b", "<>", "c", "!=", "d"]
+
+    def test_all_single_operators(self):
+        assert values("+ - * / % ( ) , . ;") == list("+-*/%(),.;")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert values("1 -- comment\n2") == [1, 2]
+
+    def test_block_comment(self):
+        assert values("1 /* anything\n at all */ 2") == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("1 /* oops")
+
+    def test_line_numbers_across_newlines(self):
+        toks = tokenize("a\nb\n  c")
+        assert [(t.line, t.column) for t in toks[:-1]] == [(1, 1), (2, 1), (3, 3)]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize("'a\nb'")
+
+    def test_stray_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("a @ b")
+        assert err.value.column == 3
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+
+class TestTokenApi:
+    def test_matches(self):
+        tok = Token("KEYWORD", "SELECT", 1, 1)
+        assert tok.matches("KEYWORD")
+        assert tok.matches("KEYWORD", "SELECT")
+        assert not tok.matches("KEYWORD", "FROM")
+        assert not tok.matches("IDENT")

@@ -1,0 +1,239 @@
+"""Tests of the SQL parser."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql import types as T
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse("SELECT x FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.tables == [ast.TableRef("t", None)]
+        assert isinstance(stmt.items[0].expr, ast.ColumnRef)
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse("SELECT x AS a, y b FROM t AS u")
+        assert stmt.items[0].alias == "a"
+        assert stmt.items[1].alias == "b"
+        assert stmt.tables[0].alias == "u"
+
+    def test_where(self):
+        stmt = parse("SELECT x FROM t WHERE x < 42")
+        assert isinstance(stmt.where, ast.Binary)
+        assert stmt.where.op == "<"
+
+    def test_group_by_having(self):
+        stmt = parse("SELECT x FROM t GROUP BY x, y HAVING COUNT(*) > 1")
+        assert len(stmt.group_by) == 2
+        assert isinstance(stmt.having, ast.Binary)
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT x FROM t ORDER BY x DESC, y ASC, z")
+        assert [o.descending for o in stmt.order_by] == [True, False, False]
+
+    def test_limit_offset(self):
+        stmt = parse("SELECT x FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == 10
+        assert stmt.offset == 5
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT x FROM t").distinct
+        assert not parse("SELECT ALL x FROM t").distinct
+
+    def test_implicit_join(self):
+        stmt = parse("SELECT r.x FROM r, s WHERE r.id = s.rid")
+        assert [t.name for t in stmt.tables] == ["r", "s"]
+
+    def test_explicit_join_normalized_into_where(self):
+        stmt = parse("SELECT r.x FROM r JOIN s ON r.id = s.rid WHERE r.x < 2")
+        assert [t.name for t in stmt.tables] == ["r", "s"]
+        # both the ON condition and the WHERE arrive AND-ed together
+        assert stmt.where.op == "AND"
+
+    def test_outer_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM r LEFT JOIN s ON r.id = s.rid")
+
+    def test_trailing_semicolon(self):
+        parse("SELECT x FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT x FROM t garbage ,")
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_or(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = b")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "NOT"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_chain_not_allowed_is_single(self):
+        expr = parse_expression("a < b")
+        assert expr.op == "<"
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+        assert not expr.negated
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'PROMO%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_is_null(self):
+        expr = parse_expression("x IS NOT NULL")
+        assert isinstance(expr, ast.IsNull)
+        assert expr.negated
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "-"
+
+    def test_unary_plus_is_dropped(self):
+        expr = parse_expression("+x")
+        assert isinstance(expr, ast.ColumnRef)
+
+    def test_date_literal(self):
+        expr = parse_expression("DATE '1998-12-01'")
+        assert expr == ast.Literal(dt.date(1998, 12, 1))
+
+    def test_bad_date_literal(self):
+        with pytest.raises(ParseError):
+            parse_expression("DATE 'not-a-date'")
+
+    def test_interval(self):
+        expr = parse_expression("DATE '1998-12-01' - INTERVAL '90' DAY")
+        assert isinstance(expr.right, ast.Interval)
+        assert expr.right.amount == 90
+        assert expr.right.unit == "DAY"
+
+    def test_interval_unquoted(self):
+        expr = parse_expression("DATE '1998-12-01' + INTERVAL 3 MONTH")
+        assert expr.right == ast.Interval(3, "MONTH")
+
+    def test_case_searched(self):
+        expr = parse_expression(
+            "CASE WHEN x = 1 THEN 'a' WHEN x = 2 THEN 'b' ELSE 'c' END"
+        )
+        assert isinstance(expr, ast.CaseWhen)
+        assert expr.operand is None
+        assert len(expr.whens) == 2
+        assert expr.else_ == ast.Literal("c")
+
+    def test_case_operand_form(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 2 END")
+        assert expr.operand is not None
+
+    def test_cast(self):
+        expr = parse_expression("CAST(x AS DOUBLE)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target == T.DOUBLE
+
+    def test_extract(self):
+        expr = parse_expression("EXTRACT(YEAR FROM o_orderdate)")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "EXTRACT_YEAR"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr, ast.FuncCall)
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_aggregates(self):
+        for name in ("SUM", "AVG", "MIN", "MAX"):
+            expr = parse_expression(f"{name}(x + 1)")
+            assert expr.name == name
+            assert expr.is_aggregate
+
+    def test_qualified_column(self):
+        expr = parse_expression("lineitem.l_price")
+        assert expr == ast.ColumnRef("lineitem", "l_price")
+
+    def test_booleans(self):
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (a INT, b BIGINT, c DOUBLE, d DECIMAL(12, 2),"
+            " e CHAR(10), f VARCHAR(25), g DATE, h BOOLEAN)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        types = [c.ty for c in stmt.columns]
+        assert types == [
+            T.INT32, T.INT64, T.DOUBLE, T.decimal(12, 2),
+            T.char(10), T.varchar(25), T.DATE, T.BOOLEAN,
+        ]
+
+    def test_create_table_primary_key_inline(self):
+        stmt = parse("CREATE TABLE t (id INT PRIMARY KEY, x INT)")
+        assert stmt.columns[0].primary_key
+        assert not stmt.columns[1].primary_key
+
+    def test_create_table_primary_key_clause(self):
+        stmt = parse("CREATE TABLE t (id INT, x INT, PRIMARY KEY (id))")
+        assert stmt.columns[0].primary_key
+
+    def test_insert(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse("INSERT INTO t VALUES (1, 2)")
+        assert stmt.columns is None
+
+
+class TestWalk:
+    def test_walk_visits_all_nodes(self):
+        expr = parse_expression(
+            "CASE WHEN x BETWEEN 1 AND 2 THEN y + 1 ELSE -z END"
+        )
+        names = {
+            node.column for node in ast.walk(expr)
+            if isinstance(node, ast.ColumnRef)
+        }
+        assert names == {"x", "y", "z"}

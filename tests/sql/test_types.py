@@ -1,0 +1,138 @@
+"""Tests of the SQL type system."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sql import types as T
+
+
+class TestScalars:
+    def test_sizes(self):
+        assert T.BOOLEAN.size == 1
+        assert T.INT32.size == 4
+        assert T.INT64.size == 8
+        assert T.DOUBLE.size == 8
+        assert T.DATE.size == 4
+
+    def test_wasm_types(self):
+        assert T.INT32.wasm_type == "i32"
+        assert T.INT64.wasm_type == "i64"
+        assert T.DOUBLE.wasm_type == "f64"
+        assert T.DATE.wasm_type == "i32"
+        assert T.decimal(12, 2).wasm_type == "i64"
+
+    def test_classification(self):
+        assert T.INT32.is_integer and T.INT32.is_numeric
+        assert T.DOUBLE.is_floating and T.DOUBLE.is_numeric
+        assert T.decimal(9, 2).is_decimal and T.decimal(9, 2).is_numeric
+        assert T.char(3).is_string and not T.char(3).is_numeric
+        assert T.DATE.is_date
+        assert T.BOOLEAN.is_boolean
+
+    def test_singleton_equality(self):
+        assert T.INT32 == T.Int32Type()
+        assert T.INT32 != T.INT64
+
+
+class TestDate:
+    def test_roundtrip(self):
+        d = dt.date(1998, 9, 2)
+        assert T.DATE.from_storage(T.DATE.to_storage(d)) == d
+
+    def test_epoch(self):
+        assert T.DATE.to_storage(dt.date(1970, 1, 1)) == 0
+
+    def test_from_string(self):
+        assert T.DATE.to_storage("1970-01-02") == 1
+
+    def test_ordering_preserved(self):
+        a = T.DATE.to_storage(dt.date(1995, 3, 15))
+        b = T.DATE.to_storage(dt.date(1995, 3, 16))
+        assert a < b
+
+
+class TestDecimal:
+    def test_roundtrip(self):
+        ty = T.decimal(12, 2)
+        assert ty.to_storage(19.99) == 1999
+        assert ty.from_storage(1999) == 19.99
+
+    def test_rounding_half_away_from_zero(self):
+        ty = T.decimal(12, 2)
+        assert ty.to_storage(0.005) == 1
+        assert ty.to_storage(-0.005) == -1
+
+    def test_scale_zero(self):
+        ty = T.decimal(10, 0)
+        assert ty.to_storage(42) == 42
+        assert ty.factor == 1
+
+    def test_invalid_precision(self):
+        with pytest.raises(AnalysisError):
+            T.decimal(19, 2)
+        with pytest.raises(AnalysisError):
+            T.decimal(0, 0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(AnalysisError):
+            T.decimal(5, 6)
+
+    def test_equality_by_parameters(self):
+        assert T.decimal(12, 2) == T.decimal(12, 2)
+        assert T.decimal(12, 2) != T.decimal(12, 3)
+
+
+class TestStrings:
+    def test_char_padding(self):
+        ty = T.char(5)
+        assert ty.to_storage("ab") == b"ab\x00\x00\x00"
+        assert ty.from_storage(b"ab\x00\x00\x00") == "ab"
+
+    def test_char_exact_fit(self):
+        ty = T.char(2)
+        assert ty.to_storage("ab") == b"ab"
+
+    def test_char_overflow(self):
+        with pytest.raises(AnalysisError):
+            T.char(2).to_storage("abc")
+
+    def test_char_vs_varchar_distinct(self):
+        assert T.char(5) != T.varchar(5)
+
+    def test_numpy_dtype(self):
+        assert T.char(7).numpy_dtype == np.dtype("S7")
+
+    def test_invalid_length(self):
+        with pytest.raises(AnalysisError):
+            T.char(0)
+        with pytest.raises(AnalysisError):
+            T.varchar(-1)
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert T.common_type(T.INT32, T.INT32) == T.INT32
+
+    def test_numeric_widening(self):
+        assert T.common_type(T.INT32, T.INT64) == T.INT64
+        assert T.common_type(T.INT64, T.DOUBLE) == T.DOUBLE
+        assert T.common_type(T.INT32, T.decimal(12, 2)) == T.decimal(12, 2)
+        assert T.common_type(T.decimal(12, 2), T.DOUBLE) == T.DOUBLE
+
+    def test_decimal_unification(self):
+        assert T.common_type(T.decimal(9, 2), T.decimal(12, 4)) == T.decimal(12, 4)
+
+    def test_strings_unify_to_longer(self):
+        assert T.common_type(T.char(3), T.char(8)) == T.char(8)
+
+    def test_dates(self):
+        assert T.common_type(T.DATE, T.DATE) == T.DATE
+
+    def test_incompatible(self):
+        with pytest.raises(AnalysisError):
+            T.common_type(T.INT32, T.char(3))
+        with pytest.raises(AnalysisError):
+            T.common_type(T.DATE, T.DOUBLE)

@@ -1,0 +1,79 @@
+"""Unit tests of the ordered index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.index import OrderedIndex
+
+
+def make(keys):
+    return OrderedIndex("i", "k", np.asarray(keys, dtype=np.int32))
+
+
+class TestConstruction:
+    def test_sorted_and_permuted(self):
+        index = make([30, 10, 20])
+        assert index.sorted_keys.tolist() == [10, 20, 30]
+        assert index.row_ids.tolist() == [1, 2, 0]
+
+    def test_stable_for_duplicates(self):
+        index = make([5, 5, 5])
+        assert index.row_ids.tolist() == [0, 1, 2]
+
+    def test_rejects_string_keys(self):
+        with pytest.raises(StorageError):
+            OrderedIndex("i", "s", np.array([b"a"], dtype="S2"))
+
+    def test_buffers_are_contiguous_bytes(self):
+        index = make([3, 1, 2])
+        assert index.key_buffer().nbytes == 12
+        assert index.row_id_buffer().nbytes == 12
+
+
+class TestPositions:
+    def test_inclusive_range(self):
+        index = make([1, 2, 2, 3, 5])
+        assert index.positions(2, 3) == (1, 4)
+
+    def test_strict_bounds(self):
+        index = make([1, 2, 2, 3, 5])
+        assert index.positions(2, 3, low_strict=True) == (3, 4)
+        assert index.positions(2, 3, high_strict=True) == (1, 3)
+
+    def test_open_bounds(self):
+        index = make([1, 2, 3])
+        assert index.positions() == (0, 3)
+        assert index.positions(low=2) == (1, 3)
+        assert index.positions(high=2) == (0, 2)
+
+    def test_empty_range(self):
+        index = make([1, 2, 3])
+        assert index.positions(10, 20) == (3, 3)
+        lo, hi = index.positions(2, 1)
+        assert lo >= hi or (hi - lo) == 0
+
+    def test_empty_index(self):
+        index = make([])
+        assert index.positions(0, 10) == (0, 0)
+
+    @given(st.lists(st.integers(-50, 50), max_size=60),
+           st.integers(-60, 60), st.integers(-60, 60))
+    def test_positions_match_bruteforce(self, keys, low, high):
+        index = make(keys)
+        lo, hi = index.positions(low, high)
+        selected = sorted(
+            int(index.sorted_keys[p]) for p in range(lo, hi)
+        )
+        expected = sorted(k for k in keys if low <= k <= high)
+        assert selected == expected
+
+    @given(st.lists(st.integers(-50, 50), max_size=60),
+           st.integers(-60, 60))
+    def test_strict_excludes_boundary(self, keys, bound):
+        index = make(keys)
+        lo, hi = index.positions(low=bound, low_strict=True)
+        values = [int(index.sorted_keys[p]) for p in range(lo, hi)]
+        assert all(v > bound for v in values)
+        assert len(values) == sum(1 for k in keys if k > bound)

@@ -1,0 +1,150 @@
+"""Tests of columns and tables."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import Column as SchemaColumn
+from repro.catalog.schema import TableSchema
+from repro.errors import StorageError
+from repro.sql import types as T
+from repro.storage import Column, Table
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema("t", [
+        SchemaColumn("a", T.INT32),
+        SchemaColumn("b", T.DOUBLE),
+        SchemaColumn("c", T.char(4)),
+        SchemaColumn("d", T.DATE),
+        SchemaColumn("e", T.decimal(10, 2)),
+    ])
+
+
+class TestColumn:
+    def test_from_values_roundtrip(self):
+        col = Column.from_values("d", T.DATE, [dt.date(1995, 1, 1)])
+        assert col[0] == dt.date(1995, 1, 1)
+        assert col.values.dtype == np.int32
+
+    def test_decimal_storage(self):
+        col = Column.from_values("p", T.decimal(10, 2), [19.99, 5.0])
+        assert list(col.values) == [1999, 500]
+        assert col.to_list() == [19.99, 5.0]
+
+    def test_string_storage(self):
+        col = Column.from_values("s", T.char(4), ["ab", "cdef"])
+        assert col[0] == "ab"
+        assert col[1] == "cdef"
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            Column("x", T.INT32, np.zeros(3, dtype=np.int64))
+
+    def test_buffer_is_raw_bytes(self):
+        col = Column.from_values("a", T.INT32, [1, 2])
+        assert col.buffer().nbytes == 8
+        assert col.element_size == 4
+
+    def test_non_contiguous_input_is_made_contiguous(self):
+        arr = np.arange(10, dtype=np.int32)[::2]
+        col = Column("x", T.INT32, np.ascontiguousarray(arr))
+        assert len(col) == 5
+
+
+class TestTable:
+    def test_from_rows(self, schema):
+        t = Table.from_rows(schema, [
+            (1, 1.5, "ab", dt.date(1995, 1, 1), 9.99),
+            (2, 2.5, "cd", dt.date(1996, 1, 1), 1.25),
+        ])
+        assert len(t) == 2
+        assert list(t.rows())[0] == (1, 1.5, "ab", dt.date(1995, 1, 1), 9.99)
+
+    def test_empty(self, schema):
+        t = Table.empty(schema)
+        assert len(t) == 0
+
+    def test_from_arrays(self, schema):
+        arrays = {
+            "a": np.array([1, 2], dtype=np.int32),
+            "b": np.array([0.5, 1.5]),
+            "c": np.array([b"x", b"y"], dtype="S4"),
+            "d": np.array([0, 1], dtype=np.int32),
+            "e": np.array([100, 200], dtype=np.int64),
+        }
+        t = Table.from_arrays(schema, arrays)
+        assert t.column("e").to_list() == [1.0, 2.0]
+
+    def test_from_arrays_missing_column(self, schema):
+        with pytest.raises(StorageError, match="missing"):
+            Table.from_arrays(schema, {})
+
+    def test_ragged_columns_rejected(self, schema):
+        cols = [
+            Column.from_values("a", T.INT32, [1]),
+            Column.from_values("b", T.DOUBLE, [1.0, 2.0]),
+            Column.from_values("c", T.char(4), ["x"]),
+            Column.from_values("d", T.DATE, [0]),
+            Column.from_values("e", T.decimal(10, 2), [0]),
+        ]
+        with pytest.raises(StorageError, match="ragged"):
+            Table(schema, cols)
+
+    def test_wrong_column_order_rejected(self, schema):
+        t = Table.empty(schema)
+        with pytest.raises(StorageError):
+            Table(schema, list(reversed(t.columns)))
+
+    def test_append_rows(self, schema):
+        t = Table.empty(schema)
+        t.append_rows([(1, 1.0, "a", dt.date(1995, 1, 1), 0.5)])
+        t.append_rows([(2, 2.0, "b", dt.date(1995, 1, 2), 1.5)])
+        assert len(t) == 2
+        assert t.column("a").to_list() == [1, 2]
+
+    def test_statistics(self, schema):
+        t = Table.from_rows(schema, [
+            (5, 1.0, "a", dt.date(1995, 1, 1), 0.5),
+            (7, 1.0, "a", dt.date(1996, 1, 1), 1.5),
+            (5, 2.0, "b", dt.date(1995, 1, 1), 0.5),
+        ])
+        stats = t.statistics
+        assert stats.row_count == 3
+        assert stats.column("a").distinct == 2
+        assert stats.column("a").minimum == 5
+        assert stats.column("a").maximum == 7
+
+    def test_statistics_invalidated_by_append(self, schema):
+        t = Table.from_rows(schema, [(1, 1.0, "a", dt.date(1995, 1, 1), 0.5)])
+        assert t.statistics.row_count == 1
+        t.append_rows([(2, 1.0, "a", dt.date(1995, 1, 1), 0.5)])
+        assert t.statistics.row_count == 2
+
+
+class TestSchema:
+    def test_row_size(self, schema):
+        assert schema.row_size == 4 + 8 + 4 + 4 + 8
+
+    def test_index_of(self, schema):
+        assert schema.index_of("c") == 2
+
+    def test_contains(self, schema):
+        assert "a" in schema
+        assert "zz" not in schema
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(Exception):
+            TableSchema("t", [
+                SchemaColumn("a", T.INT32),
+                SchemaColumn("a", T.INT32),
+            ])
+
+    def test_primary_key_columns(self):
+        s = TableSchema("t", [
+            SchemaColumn("id", T.INT32, primary_key=True),
+            SchemaColumn("x", T.INT32),
+        ])
+        assert [c.name for c in s.primary_key_columns] == ["id"]

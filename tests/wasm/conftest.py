@@ -1,0 +1,57 @@
+"""Shared helpers for the Wasm substrate tests."""
+
+import math
+
+import pytest
+
+from repro.errors import Trap
+from repro.wasm import ModuleBuilder
+from repro.wasm.runtime import Engine, EngineConfig, LinearMemory
+from repro.storage.rewiring import AddressSpace
+
+ALL_MODES = ["interpreter", "liftoff", "turbofan"]
+
+
+def run_in_mode(module, mode, export, args, imports=None, memory_pages=0):
+    """Instantiate in one mode and invoke; returns ('ok', v) or ('trap', kind)."""
+    memory = None
+    if memory_pages:
+        memory = LinearMemory(min_pages=memory_pages,
+                              max_pages=memory_pages + 8)
+    engine = Engine(EngineConfig(mode=mode))
+    try:
+        instance = engine.instantiate(module, imports=imports, memory=memory)
+        return ("ok", instance.invoke(export, *args))
+    except Trap as trap:
+        return ("trap", trap.kind)
+
+
+def values_equal(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b or (a == b == 0.0)
+    return a == b
+
+
+def assert_all_modes_agree(module, export, args, imports=None, memory_pages=0):
+    """Differential check: every execution mode produces the same outcome."""
+    results = {
+        mode: run_in_mode(module, mode, export, args, imports, memory_pages)
+        for mode in ALL_MODES
+    }
+    reference = results["interpreter"]
+    for mode, outcome in results.items():
+        assert outcome[0] == reference[0], (
+            f"{mode} disagreed on outcome kind: {results}"
+        )
+        if outcome[0] == "ok":
+            assert values_equal(outcome[1], reference[1]), (
+                f"{mode} disagreed: {results}"
+            )
+    return reference
+
+
+@pytest.fixture()
+def builder():
+    return ModuleBuilder("test")

@@ -1,0 +1,88 @@
+"""Robustness of the binary decoder: malformed input must raise
+DecodeError, never crash with an arbitrary exception or hang."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError, ValidationError
+from repro.wasm import (
+    ModuleBuilder,
+    decode_module,
+    encode_module,
+    validate_module,
+)
+
+HEADER = b"\x00asm\x01\x00\x00\x00"
+
+
+def _valid_blob() -> bytes:
+    mb = ModuleBuilder("fuzz")
+    f = mb.function("f", params=[("i32", "x")], results=["i32"],
+                    export=True)
+    with f.block(results=["i32"]) as blk:
+        f.get(0).i32(3).emit("i32.mul")
+        f.get(0).i32(100).emit("i32.gt_s")
+        f.br_if(blk)
+        f.i32(1).emit("i32.add")
+    mb.add_memory(1, 4)
+    mb.add_data(0, b"abc")
+    return encode_module(mb.finish())
+
+
+class TestTruncation:
+    def test_every_truncation_is_handled(self):
+        """Truncation either raises DecodeError or — when the cut lands
+        exactly on a section boundary — yields a valid shorter module
+        (the binary format is a sequence of self-delimiting sections).
+        It must never raise anything else."""
+        blob = _valid_blob()
+        decoded_fine = 0
+        for cut in range(len(blob)):
+            try:
+                module = decode_module(blob[:cut])
+            except DecodeError:
+                continue
+            decoded_fine += 1
+            try:
+                validate_module(module)
+            except ValidationError:
+                pass
+        # the vast majority of cuts land mid-section and must fail
+        assert decoded_fine < len(blob) // 4
+
+    def test_full_blob_roundtrips(self):
+        blob = _valid_blob()
+        module = decode_module(blob)
+        validate_module(module)
+        assert encode_module(module) == blob
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=st.binary(min_size=0, max_size=200))
+def test_random_bytes_never_crash(payload):
+    try:
+        module = decode_module(HEADER + payload)
+    except DecodeError:
+        return
+    # if random bytes happen to decode, validation must still be safe
+    try:
+        validate_module(module)
+    except ValidationError:
+        pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    position=st.integers(min_value=8, max_value=120),
+    value=st.integers(min_value=0, max_value=255),
+)
+def test_single_byte_corruption_never_crashes(position, value):
+    blob = bytearray(_valid_blob())
+    if position >= len(blob):
+        return
+    blob[position] = value
+    try:
+        module = decode_module(bytes(blob))
+        validate_module(module)
+    except (DecodeError, ValidationError):
+        pass

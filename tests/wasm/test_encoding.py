@@ -1,0 +1,126 @@
+"""Binary format tests: LEB128 and module round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError
+from repro.wasm import (
+    ModuleBuilder,
+    decode_module,
+    encode_module,
+    module_to_wat,
+    validate_module,
+)
+from repro.wasm.decoder import _Reader
+from repro.wasm.encoder import encode_sleb, encode_uleb
+
+
+class TestLeb128:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_uleb_roundtrip(self, value):
+        reader = _Reader(encode_uleb(value))
+        assert reader.uleb() == value
+        assert reader.eof()
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_sleb_roundtrip(self, value):
+        reader = _Reader(encode_sleb(value))
+        assert reader.sleb() == value
+        assert reader.eof()
+
+    def test_known_encodings(self):
+        assert encode_uleb(0) == b"\x00"
+        assert encode_uleb(624485) == b"\xe5\x8e\x26"
+        assert encode_sleb(-1) == b"\x7f"
+        assert encode_sleb(-123456) == b"\xc0\xbb\x78"
+
+    def test_uleb_negative_rejected(self):
+        with pytest.raises(Exception):
+            encode_uleb(-1)
+
+
+def build_rich_module():
+    """A module exercising every section the encoder supports."""
+    mb = ModuleBuilder("rich")
+    host = mb.import_function("env", "callback", ["i32"], ["i32"])
+
+    f = mb.function("compute", params=[("i32", "x")], results=["i32"],
+                    export=True)
+    y = f.local("i32", "y")
+    f.get(0).i32(2).emit("i32.mul").set(y)
+    with f.block(results=["i32"]) as blk:
+        f.get(y)
+        f.get(y).i32(100).emit("i32.gt_s")
+        f.br_if(blk)
+        f.emit("drop")
+        f.get(y).call(host)
+    g = mb.add_global("i64", 7, mutable=True, name="counter")
+    f2 = mb.function("bump", results=["i64"], export=True)
+    f2.emit("global.get", g).i64(1).emit("i64.add")
+    f2.emit("global.set", g)
+    f2.emit("global.get", g)
+
+    mb.add_table([f.func_index, f2.func_index])
+    mb.add_memory(1, 16, export="memory")
+    mb.add_data(8, b"hello world")
+    return mb.finish()
+
+
+class TestModuleRoundTrip:
+    def test_roundtrip_bytes_identical(self):
+        module = build_rich_module()
+        validate_module(module)
+        blob = encode_module(module)
+        again = encode_module(decode_module(blob))
+        assert blob == again
+
+    def test_roundtrip_preserves_structure(self):
+        module = build_rich_module()
+        decoded = decode_module(encode_module(module))
+        assert len(decoded.functions) == len(module.functions)
+        assert len(decoded.imports) == 1
+        assert decoded.globals[0].init == 7
+        assert decoded.data[0].payload == b"hello world"
+        assert decoded.elements[0].func_indices == [1, 2]
+        assert [f.name for f in decoded.functions] == ["compute", "bump"]
+        validate_module(decoded)
+
+    def test_decoded_bodies_equal(self):
+        module = build_rich_module()
+        decoded = decode_module(encode_module(module))
+        assert decoded.functions[0].body == module.functions[0].body
+
+    def test_magic_checked(self):
+        with pytest.raises(DecodeError, match="magic"):
+            decode_module(b"\x00bad\x01\x00\x00\x00")
+
+    def test_version_checked(self):
+        with pytest.raises(DecodeError, match="version"):
+            decode_module(b"\x00asm\x02\x00\x00\x00")
+
+    def test_truncated_module(self):
+        blob = encode_module(build_rich_module())
+        with pytest.raises(DecodeError):
+            decode_module(blob[: len(blob) // 2])
+
+    def test_name_section_optional(self):
+        module = build_rich_module()
+        blob = encode_module(module, include_names=False)
+        decoded = decode_module(blob)
+        assert decoded.functions[0].name is None
+
+
+class TestWat:
+    def test_wat_contains_key_elements(self):
+        text = module_to_wat(build_rich_module())
+        assert "(module $rich" in text
+        assert '(import "env" "callback"' in text
+        assert "(func $compute" in text
+        assert "i32.mul" in text
+        assert '(export "memory"' in text
+        assert "(data (i32.const 8)" in text
+
+    def test_wat_block_nesting(self):
+        text = module_to_wat(build_rich_module())
+        assert "block (result i32)" in text
+        assert text.count("end") >= 1

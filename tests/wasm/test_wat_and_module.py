@@ -1,0 +1,95 @@
+"""Coverage for the WAT printer and module helper APIs."""
+
+import pytest
+
+from repro.wasm import ModuleBuilder, module_to_wat
+from repro.wasm.module import FuncType, Module
+from repro.wasm.wat import body_to_wat
+
+
+class TestModuleHelpers:
+    def test_type_interning(self):
+        module = Module()
+        first = module.add_type(FuncType(("i32",), ("i32",)))
+        second = module.add_type(FuncType(("i32",), ("i32",)))
+        third = module.add_type(FuncType(("i64",), ()))
+        assert first == second
+        assert third != first
+
+    def test_func_type_of_spans_imports(self):
+        mb = ModuleBuilder()
+        host = mb.import_function("env", "h", ["i32"], [])
+        f = mb.function("f", params=[("f64", "x")], results=["f64"])
+        f.get(0)
+        module = mb.finish()
+        assert module.func_type_of(host).params == ("i32",)
+        assert module.func_type_of(f.func_index).params == ("f64",)
+
+    def test_function_by_name(self):
+        mb = ModuleBuilder()
+        mb.import_function("env", "h", [], [])
+        f = mb.function("target", results=["i32"])
+        f.i32(1)
+        module = mb.finish()
+        index, func = module.function_by_name("target")
+        assert index == f.func_index
+        assert func.name == "target"
+        with pytest.raises(KeyError):
+            module.function_by_name("missing")
+
+    def test_export_by_name(self):
+        mb = ModuleBuilder()
+        f = mb.function("f", results=["i32"], export=True)
+        f.i32(0)
+        module = mb.finish()
+        assert module.export_by_name("f").index == f.func_index
+        with pytest.raises(KeyError):
+            module.export_by_name("missing")
+
+    def test_finish_is_idempotent(self):
+        mb = ModuleBuilder()
+        f = mb.function("f", results=["i32"], export=True)
+        f.i32(0)
+        first = mb.finish()
+        second = mb.finish()
+        assert first is second
+        assert len(first.functions) == 1
+
+
+class TestWat:
+    def test_body_rendering_covers_all_shapes(self):
+        body = [
+            ("i32.const", 5),
+            ("block", ["i32"], [
+                ("loop", [], [
+                    ("br_if", 0),
+                    ("br_table", [0, 1], 1),
+                ]),
+                ("i32.const", 1),
+            ]),
+            ("drop",),
+            ("i32.load", 2, 16),
+            ("i32.store", 0, 0),
+            ("call_indirect", 3, 0),
+            ("nop",),
+        ]
+        lines = body_to_wat(body)
+        text = "\n".join(lines)
+        assert "block (result i32)" in text
+        assert "loop" in text
+        assert "br_table 0 1 1" in text
+        assert "i32.load offset=16 align=4" in text
+        assert "call_indirect (type 3)" in text
+        assert text.count("end") == 2
+
+    def test_memarg_defaults_omitted(self):
+        lines = body_to_wat([("i64.load", 0, 0)])
+        assert lines == ["    i64.load"]
+
+    def test_data_segment_escaping(self):
+        mb = ModuleBuilder()
+        mb.add_memory(1)
+        mb.add_data(0, b'he"llo\x00\xff' + b"x" * 40)
+        text = module_to_wat(mb.finish())
+        assert '\\22' in text or '\\x22' in text or "\\" in text
+        assert "..." in text  # long payloads truncate
