@@ -1,0 +1,128 @@
+"""Chaos sweep: inject faults at every engine site, assert zero wrong results.
+
+For each named fault site and each seed, the TPC-H smoke queries run on
+a database whose Wasm engine carries a seeded
+:class:`~repro.robustness.FaultInjector` and the default fallback chain
+``wasm → wasm[interpreter] → volcano``.  Every query must either
+
+* complete with results identical to the (fault-free) volcano engine, or
+* raise a structured :class:`~repro.errors.QueryError` carrying the full
+  attempt trail
+
+— anything else (a wrong result, a bare ``ValueError``/``KeyError``, a
+raw trap escaping the chain) is a robustness bug and fails the sweep.
+
+Run:  python benchmarks/run_chaos.py [--seeds 3] [--rate 1.0] [--scale 0.002]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+sys.path.insert(0, "src")   # allow running from the repo root uninstalled
+sys.path.insert(0, ".")
+
+from repro.bench.tpch import QUERIES, tpch_database  # noqa: E402
+from repro.errors import QueryError, ReproError  # noqa: E402
+from repro.robustness import FAULT_SITES, FallbackPolicy, FaultInjector  # noqa: E402
+
+
+def norm(rows):
+    """Normalize rows for cross-engine comparison (round floats, sort)."""
+    normed = [
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        for row in rows
+    ]
+    return sorted(map(repr, normed))
+
+
+def run_sweep(seeds: list[int], rate: float, scale: float,
+              verbose: bool = True) -> dict:
+    db = tpch_database(scale_factor=scale, seed=7, default_engine="wasm")
+    db.fallback = FallbackPolicy()
+    wasm = db.engine("wasm")
+
+    reference = {
+        name: norm(db.execute(sql, engine="volcano").rows)
+        for name, sql in QUERIES.items()
+    }
+
+    stats = {"runs": 0, "clean": 0, "degraded": 0, "structured_failures": 0,
+             "incorrect": [], "unstructured": []}
+    for site in sorted(FAULT_SITES):
+        for seed in seeds:
+            injector = FaultInjector(seed=seed, rates={site: rate})
+            wasm.fault_injector = injector
+            # force chunked rewiring so the rewire.chunk site is reachable
+            wasm.table_window_rows = 512 if site == "rewire.chunk" else None
+            for name, sql in QUERIES.items():
+                stats["runs"] += 1
+                label = f"{site} seed={seed} {name}"
+                try:
+                    result = db.execute(sql)
+                except QueryError as err:
+                    stats["structured_failures"] += 1
+                    if verbose:
+                        print(f"  {label}: structured failure "
+                              f"({len(err.attempts)} attempts)")
+                    continue
+                except ReproError as err:
+                    # a single-engine error escaping a 3-rung chain means
+                    # the fallback never engaged — count as unstructured
+                    stats["unstructured"].append((label, repr(err)))
+                    continue
+                except Exception as err:  # bare ValueError/KeyError/...
+                    stats["unstructured"].append((label, repr(err)))
+                    continue
+                if norm(result.rows) != reference[name]:
+                    stats["incorrect"].append(label)
+                elif result.degraded:
+                    stats["degraded"] += 1
+                    if verbose:
+                        trail = " -> ".join(
+                            s for s, _ in result.fallback_attempts
+                        )
+                        print(f"  {label}: ok after degradation "
+                              f"({trail} -> {result.engine})")
+                else:
+                    stats["clean"] += 1
+    wasm.fault_injector = None
+    wasm.table_window_rows = None
+    return stats
+
+
+def main(seeds: int = 3, rate: float = 1.0, scale: float = 0.002) -> str:
+    start = time.perf_counter()
+    stats = run_sweep(list(range(seeds)), rate, scale)
+    lines = [
+        f"chaos sweep: {len(FAULT_SITES)} sites x {seeds} seeds x "
+        f"{len(QUERIES)} queries = {stats['runs']} runs "
+        f"({time.perf_counter() - start:.1f}s)",
+        f"  correct without degradation: {stats['clean']}",
+        f"  correct after degradation:   {stats['degraded']}",
+        f"  structured failures:         {stats['structured_failures']}",
+        f"  INCORRECT results:           {len(stats['incorrect'])}",
+        f"  unstructured escapes:        {len(stats['unstructured'])}",
+    ]
+    for label in stats["incorrect"]:
+        lines.append(f"    wrong result: {label}")
+    for label, err in stats["unstructured"]:
+        lines.append(f"    escape: {label}: {err}")
+    report = "\n".join(lines)
+    assert not stats["incorrect"], "chaos sweep produced incorrect results"
+    assert not stats["unstructured"], "unstructured errors escaped the chain"
+    return report
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="number of injection seeds per site")
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="fire probability per site visit")
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor")
+    args = parser.parse_args()
+    print(main(seeds=args.seeds, rate=args.rate, scale=args.scale))

@@ -17,16 +17,23 @@ Engines: ``"wasm"`` (the paper's architecture — default), ``"volcano"``
 
 from __future__ import annotations
 
+import copy
+
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, TableSchema
 from repro.costmodel import Profile
-from repro.errors import EngineError
+from repro.errors import AnalysisError, ConfigError, EngineError
 from repro.plan.builder import build_logical_plan
 from repro.plan.logical import explain as explain_logical
 from repro.plan.optimizer import optimize
 from repro.plan.physical import create_physical_plan, explain_physical
 from repro.plan.pipeline import dissect_into_pipelines
 from repro.sql import ast
+from repro.robustness.fallback import (
+    FallbackPolicy,
+    execute_with_fallback,
+    parse_engine_spec,
+)
 from repro.sql.analyzer import analyze
 from repro.sql.parser import parse
 from repro.storage.table import Table
@@ -35,14 +42,44 @@ __all__ = ["Database"]
 
 
 class Database:
-    """A single-user, main-memory database with pluggable engines."""
+    """A single-user, main-memory database with pluggable engines.
 
-    def __init__(self, default_engine: str = "wasm"):
+    Args:
+        default_engine: engine spec queries run on when ``execute`` is
+            called without one (e.g. ``"wasm"``, ``"wasm[interpreter]"``).
+        fallback: the degradation policy.  ``None`` (default) disables
+            fallback — errors surface exactly as the failing engine
+            raised them.  ``"default"`` (or ``True``) enables the chain
+            ``wasm → wasm[interpreter] → volcano``; a list/tuple of
+            engine specs or a :class:`~repro.robustness.FallbackPolicy`
+            customizes it.
+        max_attempts: retry budget per query (primary attempt included);
+            only meaningful together with ``fallback``.
+    """
+
+    def __init__(self, default_engine: str = "wasm",
+                 fallback=None, max_attempts: int | None = None):
         from repro.engines import ENGINES
 
         self.catalog = Catalog()
         self._engines = {name: cls() for name, cls in ENGINES.items()}
         self.default_engine = default_engine
+        self.fallback = self._normalize_fallback(fallback, max_attempts)
+
+    @staticmethod
+    def _normalize_fallback(fallback, max_attempts: int | None = None):
+        if fallback is None or fallback is False:
+            return None
+        if isinstance(fallback, FallbackPolicy):
+            return fallback
+        if fallback is True or fallback == "default":
+            return FallbackPolicy(max_attempts=max_attempts)
+        if isinstance(fallback, (list, tuple)):
+            return FallbackPolicy(chain=fallback, max_attempts=max_attempts)
+        raise ConfigError(
+            f"fallback must be None, 'default', a chain of engine specs, "
+            f"or a FallbackPolicy; got {fallback!r}"
+        )
 
     # -- schema & data ------------------------------------------------------
 
@@ -61,14 +98,40 @@ class Database:
                 f"unknown engine {name!r}; have {sorted(self._engines)}"
             ) from None
 
+    def resolve_engine(self, spec: str):
+        """An engine spec -> a (possibly variant) engine instance.
+
+        ``"wasm"`` returns the registered engine; ``"wasm[interpreter]"``
+        returns a shallow copy of it with ``mode`` overridden (shared
+        knobs — fault injector, budgets — are preserved, which is what
+        the chaos suite relies on: a fallback attempt faces the same
+        faults as the primary).
+        """
+        name, option = parse_engine_spec(spec)
+        if option is None:
+            return self.engine(name)
+        base = self.engine(name)
+        if not hasattr(base, "mode"):
+            raise ConfigError(
+                f"engine {name!r} has no execution modes ({spec!r})"
+            )
+        derived = copy.copy(base)  # cheap: engines hold knobs, not state
+        derived.mode = option
+        return derived
+
     # -- SQL ---------------------------------------------------------------------
 
     def execute(self, sql: str, engine: str | None = None,
-                profile: Profile | None = None):
+                profile: Profile | None = None, fallback=...):
         """Parse, plan, and run one SQL statement.
 
         SELECT returns an :class:`~repro.engines.base.ExecutionResult`;
         DDL/DML return None.
+
+        ``engine`` is an engine spec (``"wasm"``, ``"wasm[turbofan]"``,
+        ``"volcano"``, ...).  ``fallback`` overrides the database-level
+        degradation policy for this statement (same accepted values as
+        the constructor argument); omit it to inherit.
         """
         stmt = parse(sql)
         analyze(stmt, self.catalog)
@@ -91,14 +154,40 @@ class Database:
                 for row in stmt.rows
             ]
             if stmt.columns is not None:
-                order = [stmt.columns.index(c.name) for c in table.schema]
+                order = []
+                for c in table.schema:
+                    try:
+                        order.append(stmt.columns.index(c.name))
+                    except ValueError:
+                        raise AnalysisError(
+                            f"INSERT column list for table {stmt.table!r} "
+                            f"is missing column {c.name!r}"
+                        ) from None
                 rows = [tuple(row[i] for i in order) for row in rows]
             table.append_rows(rows)
             return None
 
         plan = self.plan(stmt)
-        chosen = self.engine(engine or self.default_engine)
-        return chosen.execute(plan, self.catalog, profile=profile)
+        policy = self.fallback if fallback is ... \
+            else self._normalize_fallback(fallback)
+        primary = engine or self.default_engine
+        if policy is None:
+            specs = [primary]
+        else:
+            specs = policy.attempts_for(primary)
+
+        def run_one(spec):
+            result = self.resolve_engine(spec).execute(
+                plan, self.catalog, profile=profile
+            )
+            result.engine = spec  # report the variant, e.g. wasm[interpreter]
+            return result
+
+        result, failures = execute_with_fallback(specs, run_one)
+        result.fallback_attempts = [
+            (spec, f"{type(err).__name__}: {err}") for spec, err in failures
+        ]
+        return result
 
     def plan(self, stmt: ast.Select):
         """Analyzed SELECT -> optimized physical plan."""

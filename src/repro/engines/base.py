@@ -75,6 +75,15 @@ class ExecutionResult:
     engine: str = ""
     timings: Timings = field(default_factory=Timings)
     profile: Profile | None = None
+    #: Engines that failed before this result was produced, as
+    #: ``(engine_spec, error_description)`` pairs — degradation through
+    #: the fallback chain is observable, never silent.
+    fallback_attempts: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the result came from a fallback engine."""
+        return bool(self.fallback_attempts)
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -34,8 +34,10 @@ from repro.catalog.catalog import Catalog
 from repro.costmodel import Profile
 from repro.engines.base import ExecutionResult, QueryEngine, Stopwatch, Timings
 from repro.engines.eval import sql_like_regex
+from repro.errors import Trap
 from repro.plan import physical as P
 from repro.plan.pipeline import dissect_into_pipelines
+from repro.robustness.governor import ResourceGovernor
 from repro.storage.rewiring import WASM_PAGE_SIZE, AddressSpace
 from repro.wasm.runtime import Engine, EngineConfig, LinearMemory
 
@@ -70,6 +72,12 @@ class WasmEngine(QueryEngine):
         short_circuit: compile conjunctions with short-circuit branches
             (mutable's default is off; used by the ablation benchmark).
         morsel_size: rows per pipeline invocation.
+        timeout_seconds: per-query wall-clock budget, checked at every
+            morsel boundary; ``None`` for unlimited.
+        max_memory_pages: per-query cap on 64 KiB pages in the rewired
+            address space (tables + heap + results); ``None`` unlimited.
+        fault_injector: a :class:`repro.robustness.FaultInjector`
+            threaded through the engine's named fault sites (testing).
     """
 
     name = "wasm"
@@ -77,13 +85,19 @@ class WasmEngine(QueryEngine):
     def __init__(self, mode: str = "adaptive", tier_up_threshold: int = 2,
                  short_circuit: bool = False, morsel_size: int = MORSEL_SIZE,
                  inline_adhoc: bool = True, predication: bool = False,
-                 table_window_rows: int | None = None):
+                 table_window_rows: int | None = None,
+                 timeout_seconds: float | None = None,
+                 max_memory_pages: int | None = None,
+                 fault_injector=None):
         self.mode = mode
         self.tier_up_threshold = tier_up_threshold
         self.short_circuit = short_circuit
         self.morsel_size = morsel_size
         self.inline_adhoc = inline_adhoc
         self.predication = predication
+        self.timeout_seconds = timeout_seconds
+        self.max_memory_pages = max_memory_pages
+        self.fault_injector = fault_injector
         # Figure 5: tables larger than this window (in rows) are not
         # mapped whole; the host re-wires chunk after chunk into a fixed
         # window while the pipeline runs (rewire_next_chunk).  None maps
@@ -93,9 +107,13 @@ class WasmEngine(QueryEngine):
     # -- compilation -----------------------------------------------------------
 
     def compile_query(self, plan: P.PhysicalOperator, catalog: Catalog,
-                      timings: Timings) -> tuple[CompiledQuery, AddressSpace]:
+                      timings: Timings,
+                      governor: ResourceGovernor | None = None,
+                      ) -> tuple[CompiledQuery, AddressSpace]:
         with Stopwatch(timings, "translation"):
-            space, memory_plan = self._build_address_space(plan, catalog)
+            space, memory_plan = self._build_address_space(
+                plan, catalog, governor
+            )
             compiler = QueryCompiler(memory_plan,
                                      short_circuit=self.short_circuit,
                                      inline_adhoc=self.inline_adhoc,
@@ -104,9 +122,11 @@ class WasmEngine(QueryEngine):
         return compiled, space
 
     def _build_address_space(self, plan: P.PhysicalOperator,
-                             catalog: Catalog):
+                             catalog: Catalog,
+                             governor: ResourceGovernor | None = None):
         """Rewire everything the query needs into one 32-bit space."""
         space = AddressSpace()
+        space.governor = governor  # every page reservation is budgeted
         consts_base = space.alloc("consts", CONST_REGION_SIZE)
 
         column_addresses: dict[tuple[str, str], int] = {}
@@ -172,13 +192,20 @@ class WasmEngine(QueryEngine):
     def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
                 profile: Profile | None = None) -> ExecutionResult:
         timings = Timings()
-        compiled, space = self.compile_query(plan, catalog, timings)
+        governor = ResourceGovernor(self.timeout_seconds,
+                                    self.max_memory_pages).start()
+        governor.phase = "translation"
+        compiled, space = self.compile_query(plan, catalog, timings, governor)
+        governor.check()
 
+        governor.phase = "compile"
         engine = Engine(EngineConfig(
-            mode=self.mode, tier_up_threshold=self.tier_up_threshold
+            mode=self.mode, tier_up_threshold=self.tier_up_threshold,
+            fault_injector=self.fault_injector,
         ))
         rows: list[tuple] = []
         memory = LinearMemory(space)
+        memory.fault_injector = self.fault_injector
 
         instance_box = {}
 
@@ -202,14 +229,16 @@ class WasmEngine(QueryEngine):
         # instantiation time counts as compilation (Liftoff/TurboFan)
         timings.add("compile_liftoff", instance.stats.liftoff_seconds)
         timings.add("compile_turbofan", instance.stats.turbofan_seconds)
+        governor.check()
 
+        governor.phase = "execution"
         self._rewire_count = 0
         compile_before = instance.stats.total_compile_seconds
         with Stopwatch(timings, "execution"):
             instance.invoke("init")
-            for info in compiled.pipelines:
+            for pipeline_index, info in enumerate(compiled.pipelines):
                 self._run_pipeline(instance, compiled, info, rows,
-                                   plan, catalog)
+                                   plan, catalog, governor, pipeline_index)
             self._drain(instance, compiled, rows)
         # tier-up compilation that happened during execution is reported
         # as compile time, not execution time (in V8 it runs concurrently)
@@ -225,7 +254,9 @@ class WasmEngine(QueryEngine):
         return result
 
     def _run_pipeline(self, instance, compiled: CompiledQuery, info,
-                      rows: list, plan, catalog) -> None:
+                      rows: list, plan, catalog,
+                      governor: ResourceGovernor | None = None,
+                      pipeline_index: int | None = None) -> None:
         if info.sort_before is not None:
             instance.invoke(info.sort_before)
         if info.source_kind == "indexseek":
@@ -255,6 +286,8 @@ class WasmEngine(QueryEngine):
             offset = 0
             while offset < total:
                 chunk_rows = min(window, total - offset)
+                if self.fault_injector is not None:
+                    self.fault_injector.check("rewire.chunk")
                 for name in scan.columns:
                     values = table.column(name).values
                     chunk = values[offset:offset + chunk_rows]
@@ -264,17 +297,36 @@ class WasmEngine(QueryEngine):
                     )
                 self._rewire_count += 1
                 self._drive_morsels(instance, compiled, info, rows,
-                                    0, chunk_rows)
+                                    0, chunk_rows, governor, pipeline_index)
                 offset += chunk_rows
             return
 
-        self._drive_morsels(instance, compiled, info, rows, begin, total)
+        self._drive_morsels(instance, compiled, info, rows, begin, total,
+                            governor, pipeline_index)
 
     def _drive_morsels(self, instance, compiled, info, rows,
-                       begin: int, total: int) -> None:
+                       begin: int, total: int,
+                       governor: ResourceGovernor | None = None,
+                       pipeline_index: int | None = None) -> None:
+        morsel = 0
+        injector = self.fault_injector
         while begin < total:
             end = min(begin + self.morsel_size, total)
-            instance.invoke(info.function, begin, end)
+            try:
+                if governor is not None:
+                    governor.check(pipeline_index=pipeline_index,
+                                   morsel=morsel)
+                if injector is not None:
+                    injector.check("trap.morsel")
+                instance.invoke(info.function, begin, end)
+            except Trap as trap:
+                # locate the trap for the caller: which phase, which
+                # pipeline, which morsel (raw traps carry none of that)
+                if trap.phase is None:
+                    trap.phase = "execution"
+                    trap.pipeline_index = pipeline_index
+                    trap.morsel = morsel
+                raise
             if info.is_final:
                 self._drain(instance, compiled, rows)
                 if info.limit_total is not None and self._read_global(
@@ -282,6 +334,7 @@ class WasmEngine(QueryEngine):
                 ) >= info.limit_total:
                     break
             begin = end
+            morsel += 1
 
     def _source_rows(self, instance, compiled: CompiledQuery, info) -> int:
         if info.source_kind == "scan":

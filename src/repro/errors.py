@@ -4,6 +4,20 @@ Every error raised by the library derives from :class:`ReproError` so that
 callers can catch a single base class.  The hierarchy mirrors the layered
 architecture: SQL frontend errors, catalog errors, planning errors, Wasm
 (compilation/validation/trap) errors, and engine errors.
+
+Each class carries a ``retryable`` flag, the contract the fallback chain
+in :mod:`repro.robustness.fallback` is built on:
+
+* **retryable** — the failure is specific to one execution strategy
+  (a trap in generated code, a tier compiler giving up, an engine running
+  out of its memory budget); re-running the same query on a different
+  engine can legitimately succeed.
+* **not retryable** — the failure is a property of the query or the data
+  (syntax errors, unknown columns, invalid configuration) or of the
+  overall budget (a wall-clock timeout); every engine would fail the same
+  way, or retrying would violate the budget that just fired.
+
+See DESIGN.md ("Robustness & error taxonomy") for the full table.
 """
 
 from __future__ import annotations
@@ -11,6 +25,10 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class of every exception raised by this library."""
+
+    #: Whether a fallback chain may re-run the query on another engine
+    #: after this error.  See the module docstring for the contract.
+    retryable: bool = False
 
 
 # --------------------------------------------------------------------------
@@ -61,7 +79,13 @@ class StorageError(ReproError):
 
 
 class RewiringError(StorageError):
-    """Errors in the rewired address space (overlap, out of window, ...)."""
+    """Errors in the rewired address space (overlap, out of window, ...).
+
+    Retryable: rewiring is an execution strategy of the Wasm engine; an
+    interpreter or Volcano run does not depend on the failed mapping.
+    """
+
+    retryable = True
 
 
 # --------------------------------------------------------------------------
@@ -73,7 +97,13 @@ class PlanError(ReproError):
 
 
 class UnsupportedFeatureError(PlanError):
-    """A SQL feature that is recognized but not implemented by a backend."""
+    """A SQL feature that is recognized but not implemented by a backend.
+
+    Retryable: raised per backend, so another engine in the fallback
+    chain may well support the feature.
+    """
+
+    retryable = True
 
 
 # --------------------------------------------------------------------------
@@ -101,15 +131,34 @@ class Trap(WasmError):
 
     Mirrors the traps of the Wasm spec: out-of-bounds memory access,
     integer divide by zero, unreachable, call-stack exhaustion, ...
+
+    When the trap fires while the host drives a query, the Wasm engine
+    annotates it with ``phase``, ``pipeline_index``, and ``morsel`` so
+    that the failure can be located without a debugger.  Traps are
+    retryable: the volcano engine raises an :class:`EngineError` for the
+    same arithmetic fault, or succeeds when the trap was spurious
+    (injected, or a miscompilation of one tier).
     """
+
+    retryable = True
 
     def __init__(self, kind: str, message: str = ""):
         super().__init__(f"wasm trap: {kind}" + (f": {message}" if message else ""))
         self.kind = kind
+        self.phase: str | None = None
+        self.pipeline_index: int | None = None
+        self.morsel: int | None = None
 
 
 class CompilationError(WasmError):
-    """Raised when a tier compiler cannot compile a function."""
+    """Raised when a tier compiler cannot compile a function.
+
+    Retryable: the adaptive engine pins the function to Liftoff when
+    TurboFan fails; if the baseline tier itself fails, the fallback chain
+    re-runs on the interpreter or a non-compiling engine.
+    """
+
+    retryable = True
 
 
 # --------------------------------------------------------------------------
@@ -117,4 +166,89 @@ class CompilationError(WasmError):
 # --------------------------------------------------------------------------
 
 class EngineError(ReproError):
-    """Errors during query execution in any engine."""
+    """Errors during query execution in any engine.
+
+    Retryable: execution errors are engine-specific by definition.
+    """
+
+    retryable = True
+
+
+class ConfigError(ReproError):
+    """Invalid engine or robustness configuration (bad tiering mode,
+    non-positive thresholds, malformed fallback chain, ...).
+
+    Not retryable: the configuration is wrong for every engine.
+    """
+
+
+class ResourceExhausted(ReproError):
+    """A per-query resource budget was exceeded.
+
+    Carries the exhausted ``resource`` (``"wall_clock"`` or
+    ``"memory_pages"``), the budget and observed usage, and — when raised
+    while a query is running — the execution ``phase``, ``pipeline_index``
+    and ``morsel`` at which the governor tripped.
+
+    Retryability depends on the resource: blowing the *memory* budget is
+    an artifact of one engine's data structures, so another engine may
+    fit (``retryable`` is True for ``memory_pages``); a *wall-clock*
+    timeout already consumed the query's time budget, so retrying on a
+    (typically slower) fallback engine would only make it worse
+    (``retryable`` is False for ``wall_clock``).
+    """
+
+    def __init__(self, resource: str, message: str = "", *,
+                 limit: float | None = None, used: float | None = None,
+                 phase: str | None = None, pipeline_index: int | None = None,
+                 morsel: int | None = None):
+        detail = message or f"{resource} budget exceeded"
+        parts = [detail]
+        if limit is not None:
+            parts.append(f"limit={limit}")
+        if used is not None:
+            parts.append(f"used={used}")
+        if phase is not None:
+            parts.append(f"phase={phase}")
+        if pipeline_index is not None:
+            parts.append(f"pipeline={pipeline_index}")
+        if morsel is not None:
+            parts.append(f"morsel={morsel}")
+        super().__init__(" ".join(parts))
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        self.phase = phase
+        self.pipeline_index = pipeline_index
+        self.morsel = morsel
+
+    @property
+    def retryable(self) -> bool:  # type: ignore[override]
+        return self.resource != "wall_clock"
+
+
+class QueryError(ReproError):
+    """A query failed on every engine the fallback chain tried.
+
+    ``attempts`` is the ordered list of ``(engine_spec, error)`` pairs;
+    ``__cause__`` chains to the last error, whose own ``__cause__`` (via
+    the per-attempt errors) preserves every original traceback.
+
+    Not retryable: it already *is* the outcome of the retry policy.
+    """
+
+    def __init__(self, message: str,
+                 attempts: list[tuple[str, BaseException]] | None = None):
+        attempts = attempts or []
+        if attempts:
+            trail = "; ".join(
+                f"[{i + 1}] {spec}: {type(err).__name__}: {err}"
+                for i, (spec, err) in enumerate(attempts)
+            )
+            message = f"{message} — attempts: {trail}"
+        super().__init__(message)
+        self.attempts = attempts
+
+    @property
+    def causes(self) -> list[BaseException]:
+        return [err for _, err in self.attempts]

@@ -1,0 +1,33 @@
+"""Execution guardrails: budgets, graceful degradation, fault injection.
+
+Three cooperating layers keep a query from taking the system down:
+
+* :mod:`repro.robustness.governor` — per-query resource budgets
+  (wall-clock, linear-memory pages), enforced at morsel boundaries and
+  in the rewired address space,
+* :mod:`repro.robustness.fallback` — the degradation ladder: a failed
+  attempt re-runs on the next engine of a configurable chain
+  (``wasm → wasm[interpreter] → volcano`` by default),
+* :mod:`repro.robustness.faults` — deterministic, seeded fault injection
+  at named engine sites, so the chaos suite can prove that every
+  injected failure still yields a correct query result.
+"""
+
+from repro.robustness.fallback import (
+    DEFAULT_CHAIN,
+    FallbackPolicy,
+    execute_with_fallback,
+    parse_engine_spec,
+)
+from repro.robustness.faults import FAULT_SITES, FaultInjector
+from repro.robustness.governor import ResourceGovernor
+
+__all__ = [
+    "DEFAULT_CHAIN",
+    "FAULT_SITES",
+    "FallbackPolicy",
+    "FaultInjector",
+    "ResourceGovernor",
+    "execute_with_fallback",
+    "parse_engine_spec",
+]

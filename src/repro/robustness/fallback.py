@@ -1,0 +1,121 @@
+"""Graceful degradation: re-run a failed query on the next engine.
+
+The paper's architecture already *contains* a degradation ladder — the
+same physical plan executes on the adaptive Wasm engine, on the Wasm
+reference interpreter, and on the Volcano engine, in strictly decreasing
+order of sophistication and strictly increasing order of simplicity (and
+hence trustworthiness).  The fallback chain makes that ladder an explicit
+policy: when an attempt fails with a *retryable* error (see
+:mod:`repro.errors`), the query transparently re-runs on the next rung.
+
+An engine spec is an engine name with an optional bracketed variant:
+``"wasm"``, ``"wasm[interpreter]"`` (the Wasm engine forced to the
+reference interpreter — no compilation at all), ``"volcano"``.  The
+default chain is ``wasm → wasm[interpreter] → volcano``.
+
+Outcome contract of :func:`execute_with_fallback`:
+
+* first success wins; failed earlier attempts are reported on the result
+  (``ExecutionResult.fallback_attempts``) — degradation is observable,
+  never silent;
+* a failure on a chain of one (no fallback configured) re-raises the
+  original exception unchanged — exactly the pre-robustness behavior;
+* a non-retryable error stops the chain immediately;
+* when more than one attempt failed, the caller gets one structured
+  :class:`~repro.errors.QueryError` carrying the full
+  ``(engine_spec, error)`` attempt trail, chained (``__cause__``) to the
+  last underlying error.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigError, QueryError, ReproError
+
+__all__ = [
+    "DEFAULT_CHAIN",
+    "FallbackPolicy",
+    "execute_with_fallback",
+    "parse_engine_spec",
+]
+
+#: The default degradation ladder of the paper's architecture.
+DEFAULT_CHAIN = ("wasm", "wasm[interpreter]", "volcano")
+
+_SPEC_RE = re.compile(r"^(?P<name>[a-z_][a-z0-9_]*)"
+                      r"(\[(?P<option>[a-z0-9_]+)\])?$")
+
+
+def parse_engine_spec(spec: str) -> tuple[str, str | None]:
+    """``"wasm[interpreter]"`` -> ``("wasm", "interpreter")``."""
+    match = _SPEC_RE.match(spec)
+    if match is None:
+        raise ConfigError(f"malformed engine spec {spec!r}")
+    return match.group("name"), match.group("option")
+
+
+class FallbackPolicy:
+    """An ordered chain of engine specs plus a retry budget.
+
+    Args:
+        chain: engine specs tried in order.  The primary engine of a
+            query is always attempted first; chain entries equal to it
+            are not attempted twice.
+        max_attempts: upper bound on attempts per query (primary
+            included); ``None`` means the chain length is the bound.
+    """
+
+    def __init__(self, chain: tuple[str, ...] | list[str] = DEFAULT_CHAIN,
+                 max_attempts: int | None = None):
+        chain = tuple(chain)
+        if not chain:
+            raise ConfigError("fallback chain must not be empty")
+        for spec in chain:
+            parse_engine_spec(spec)
+        if max_attempts is not None and max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.chain = chain
+        self.max_attempts = max_attempts
+
+    def attempts_for(self, primary: str) -> list[str]:
+        """The ordered engine specs to try for a query on ``primary``."""
+        parse_engine_spec(primary)
+        specs = [primary] + [s for s in self.chain if s != primary]
+        if self.max_attempts is not None:
+            specs = specs[: self.max_attempts]
+        return specs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FallbackPolicy(chain={self.chain!r}, "
+                f"max_attempts={self.max_attempts})")
+
+
+def execute_with_fallback(specs: list[str], run_one):
+    """Try ``run_one(spec)`` for each spec until one succeeds.
+
+    Returns ``(result, failures)`` where ``failures`` is the list of
+    ``(spec, error)`` pairs that preceded the success.  Raises per the
+    outcome contract in the module docstring.
+    """
+    if not specs:
+        raise ConfigError("no engines to attempt")
+    failures: list[tuple[str, ReproError]] = []
+    for i, spec in enumerate(specs):
+        try:
+            return run_one(spec), failures
+        except ReproError as err:
+            failures.append((spec, err))
+            if i + 1 < len(specs) and err.retryable:
+                continue
+            if len(failures) == 1:
+                raise  # no fallback was attempted: surface the original
+            if not err.retryable:
+                message = ("query aborted by a non-retryable error "
+                           "after fallback")
+            else:
+                message = "query failed on every engine of the chain"
+            raise QueryError(message, attempts=failures) from err
+    raise AssertionError("unreachable")  # pragma: no cover

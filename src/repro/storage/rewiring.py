@@ -61,6 +61,13 @@ class AddressSpace:
             space is byte ``base + (addr & 0xFFFF)`` of ``buffer``.
     """
 
+    #: Optional per-query :class:`repro.robustness.ResourceGovernor`.
+    #: When set, every page reservation is charged against the query's
+    #: memory budget *before* it takes effect — the single choke point
+    #: through which ``alloc``, ``map_buffer`` and ``memory.grow`` all
+    #: pass.
+    governor = None
+
     def __init__(self, max_pages: int = MAX_PAGES, first_page: int = 1):
         """By default page 0 stays unmapped as a NULL guard (address 0 is
         the generated code's null pointer); pass ``first_page=0`` for
@@ -86,6 +93,9 @@ class AddressSpace:
                 f"address space exhausted: need {npages} pages, "
                 f"{self.max_pages - start} free"
             )
+        if self.governor is not None:
+            # may raise ResourceExhausted; nothing is reserved in that case
+            self.governor.charge_pages(npages)
         self._next_page += npages
         return start
 
@@ -120,7 +130,17 @@ class AddressSpace:
         """
         if nbytes <= 0:
             raise RewiringError(f"allocation size must be positive, got {nbytes}")
-        buf = bytearray(-(-nbytes // WASM_PAGE_SIZE) * WASM_PAGE_SIZE)
+        # Validate before constructing the backing buffer: an over-budget
+        # request must fail fast, not materialise gigabytes first.
+        npages = max(1, -(-nbytes // WASM_PAGE_SIZE))
+        if self._next_page + npages > self.max_pages:
+            raise RewiringError(
+                f"address space exhausted: need {npages} pages, "
+                f"{self.max_pages - self._next_page} free"
+            )
+        if self.governor is not None:
+            self.governor.ensure_pages(npages)
+        buf = bytearray(npages * WASM_PAGE_SIZE)
         addr = self.map_buffer(name, buf, writable=True)
         return addr
 

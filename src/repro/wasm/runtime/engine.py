@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import Trap, ValidationError
+from repro.errors import CompilationError, ConfigError, Trap, ValidationError
 from repro.wasm.module import Module
 from repro.wasm.runtime.interpreter import Interpreter
 from repro.wasm.runtime.liftoff import LiftoffCompiler
@@ -32,18 +32,41 @@ from repro.wasm.runtime.memory import LinearMemory
 from repro.wasm.runtime.turbofan import TurboFanCompiler
 from repro.wasm.validator import validate_module
 
-__all__ = ["Engine", "EngineConfig", "Instance", "TierStats"]
+__all__ = ["ENGINE_MODES", "Engine", "EngineConfig", "Instance", "TierStats"]
 
 _GLOBAL_DEFAULTS = {"i32": 0, "i64": 0, "f32": 0.0, "f64": 0.0}
 
 
+#: The valid tiering modes, in decreasing order of sophistication.
+ENGINE_MODES = ("adaptive", "turbofan", "liftoff", "interpreter")
+
+
 @dataclass
 class EngineConfig:
-    """Tiering policy knobs (V8's ``--liftoff``/``--no-wasm-tier-up`` etc.)."""
+    """Tiering policy knobs (V8's ``--liftoff``/``--no-wasm-tier-up`` etc.).
+
+    Invalid configurations are rejected at construction so that a typo'd
+    mode fails before any compilation work happens, with a
+    :class:`~repro.errors.ConfigError` instead of a late bare
+    ``ValueError`` deep in ``_compile_all``.
+    """
 
     mode: str = "adaptive"          # adaptive | liftoff | turbofan | interpreter
     tier_up_threshold: int = 16     # calls of one function before tier-up
     validate: bool = True
+    fault_injector: object = None   # a repro.robustness.FaultInjector
+
+    def __post_init__(self):
+        if self.mode not in ENGINE_MODES:
+            raise ConfigError(
+                f"unknown engine mode {self.mode!r}; have {ENGINE_MODES}"
+            )
+        if not isinstance(self.tier_up_threshold, int) \
+                or self.tier_up_threshold < 1:
+            raise ConfigError(
+                f"tier_up_threshold must be an int >= 1, "
+                f"got {self.tier_up_threshold!r}"
+            )
 
 
 @dataclass
@@ -55,6 +78,9 @@ class TierStats:
     liftoff_functions: int = 0
     turbofan_functions: int = 0
     tier_ups: int = 0
+    #: TurboFan compilations that failed; each pins its function to the
+    #: Liftoff tier for the rest of the instance's life (V8's bailout).
+    tier_up_failures: int = 0
 
     @property
     def total_compile_seconds(self) -> float:
@@ -186,22 +212,45 @@ class Engine:
             return
 
         instrumented = instance.profile is not None
+        injector = self.config.fault_injector
         if mode == "turbofan":
             compiler = TurboFanCompiler(module)
+            fallback = None
             start = time.perf_counter()
             for i, func in enumerate(module.functions):
-                compiled = compiler.compile(func, n_imports + i, instrumented)
+                try:
+                    if injector is not None:
+                        injector.check("turbofan.compile")
+                    compiled = compiler.compile(
+                        func, n_imports + i, instrumented
+                    )
+                    instance.stats.turbofan_functions += 1
+                except CompilationError:
+                    # V8-style bailout: even under enforced optimization a
+                    # function TurboFan rejects stays on the baseline tier
+                    # instead of failing the whole instantiation.
+                    if fallback is None:
+                        fallback = LiftoffCompiler(module)
+                    compiled = fallback.compile(
+                        func, n_imports + i, instrumented
+                    )
+                    instance.stats.tier_up_failures += 1
+                    instance.stats.liftoff_functions += 1
                 instance.funcs[n_imports + i] = compiled.bind(
                     instance, instance.profile
                 )
             instance.stats.turbofan_seconds += time.perf_counter() - start
-            instance.stats.turbofan_functions += len(module.functions)
             return
 
         # liftoff and adaptive both start from Liftoff code
         compiler = LiftoffCompiler(module)
         start = time.perf_counter()
         for i, func in enumerate(module.functions):
+            if injector is not None:
+                # there is no lower compiled tier: a baseline failure
+                # aborts instantiation and is handled by the fallback
+                # chain (wasm[interpreter], then volcano)
+                injector.check("liftoff.compile")
             compiled = compiler.compile(func, n_imports + i, instrumented)
             instance.funcs[n_imports + i] = compiled.bind(
                 instance, instance.profile
@@ -212,8 +261,6 @@ class Engine:
         if mode == "adaptive":
             for i in range(len(module.functions)):
                 self._install_tier_up_trigger(instance, n_imports + i)
-        elif mode != "liftoff":
-            raise ValueError(f"unknown engine mode {mode!r}")
 
     def _install_tier_up_trigger(self, instance: Instance,
                                  func_index: int) -> None:
@@ -239,18 +286,40 @@ class Engine:
             return liftoff_fn(*args)
 
         tiering.tier = "liftoff"
+        tiering.liftoff = liftoff_fn  # kept for pinning on tier-up failure
         instance.funcs[func_index] = tiering
 
     def tier_up(self, instance: Instance, func_index: int) -> None:
-        """Recompile one function with TurboFan and patch it in."""
+        """Recompile one function with TurboFan and patch it in.
+
+        A failed TurboFan compilation must never abort a half-executed
+        query (real V8 silently keeps running Liftoff code when an
+        optimization job bails out): the :class:`CompilationError` is
+        swallowed, recorded in ``TierStats.tier_up_failures``, and the
+        function is *pinned* — the counting wrapper is replaced by the
+        raw Liftoff callable, so no further tier-up is attempted and the
+        counter overhead disappears too.
+        """
         module = instance.module
         func = module.functions[func_index - len(module.imports)]
         instrumented = instance.profile is not None
         start = time.perf_counter()
-        compiled = TurboFanCompiler(module).compile(
-            func, func_index, instrumented
-        )
-        optimized = compiled.bind(instance, instance.profile)
+        try:
+            injector = self.config.fault_injector
+            if injector is not None:
+                injector.check("turbofan.compile")
+            compiled = TurboFanCompiler(module).compile(
+                func, func_index, instrumented
+            )
+            optimized = compiled.bind(instance, instance.profile)
+        except CompilationError:
+            instance.stats.turbofan_seconds += time.perf_counter() - start
+            instance.stats.tier_up_failures += 1
+            current = instance.funcs[func_index]
+            instance.funcs[func_index] = getattr(
+                current, "liftoff", current
+            )
+            return
         instance.stats.turbofan_seconds += time.perf_counter() - start
         instance.stats.turbofan_functions += 1
         instance.stats.tier_ups += 1

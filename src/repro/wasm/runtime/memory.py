@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import struct
 
-from repro.errors import Trap
+from repro.errors import ResourceExhausted, Trap
 from repro.storage.rewiring import WASM_PAGE_SIZE, AddressSpace
 
 __all__ = ["LinearMemory"]
@@ -48,6 +48,10 @@ _STORE_MASK = {
 class LinearMemory:
     """A module's linear memory, backed by an :class:`AddressSpace`."""
 
+    #: Optional :class:`repro.robustness.FaultInjector`; when set, the
+    #: ``memory.grow`` site is consulted before pages are handed out.
+    fault_injector = None
+
     def __init__(self, space: AddressSpace | None = None, min_pages: int = 1,
                  max_pages: int | None = None):
         if space is None:
@@ -64,12 +68,25 @@ class LinearMemory:
         return self.space._next_page
 
     def grow(self, delta_pages: int) -> int:
-        """``memory.grow``: returns the old size or -1 on failure."""
+        """``memory.grow``: returns the old size or -1 on failure.
+
+        A failure *inside the Wasm semantics* (address space full) keeps
+        the spec behavior and returns -1.  A failure of the *host policy*
+        — the query's page budget (:class:`ResourceExhausted`, raised by
+        the governor attached to the address space, or injected at the
+        ``memory.grow`` fault site) — escapes to the host so the fallback
+        chain can degrade the query instead of letting generated code
+        limp on with a failed allocation.
+        """
         old = self.size_pages
         if delta_pages == 0:
             return old
+        if self.fault_injector is not None:
+            self.fault_injector.check("memory.grow")
         try:
             self.space.alloc(f"__grow_{old}__", delta_pages * WASM_PAGE_SIZE)
+        except ResourceExhausted:
+            raise
         except Exception:
             return -1
         return old

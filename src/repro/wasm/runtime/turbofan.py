@@ -284,22 +284,25 @@ class TurboFanCompiler:
 
         reads = a.locals_read | b.locals_read
 
-        # algebraic identities on pure values
+        # algebraic identities on pure values — integers only: on floats
+        # x+0.0 loses -0.0, and x*0.0 loses NaN/inf/sign (IEEE 754), so
+        # like TurboFan we never fold them away
         kind = op.split(".", 1)[1] if "." in op else op
-        if kind == "add" and b.is_const and b.const == 0:
-            return a
-        if kind == "add" and a.is_const and a.const == 0:
-            return b
-        if kind == "sub" and b.is_const and b.const == 0:
-            return a
-        if kind == "mul" and b.is_const and b.const == 1:
-            return a
-        if kind == "mul" and a.is_const and a.const == 1:
-            return b
-        if kind == "mul" and (
-            (a.is_const and a.const == 0) or (b.is_const and b.const == 0)
-        ):
-            return _const_val(0, result_ty)
+        if ty in ("i32", "i64"):
+            if kind == "add" and b.is_const and b.const == 0:
+                return a
+            if kind == "add" and a.is_const and a.const == 0:
+                return b
+            if kind == "sub" and b.is_const and b.const == 0:
+                return a
+            if kind == "mul" and b.is_const and b.const == 1:
+                return a
+            if kind == "mul" and a.is_const and a.const == 1:
+                return b
+            if kind == "mul" and (
+                (a.is_const and a.const == 0) or (b.is_const and b.const == 0)
+            ):
+                return _const_val(0, result_ty)
 
         # mod-ring ops: build the raw (unwrapped) form, wrap lazily
         if op in RING_OPS_32 or op in RING_OPS_64:

@@ -1,0 +1,81 @@
+"""Shared pytest configuration: per-test timeout cap and the chaos marker.
+
+Tier-1 runs with a 120 s per-test wall-clock cap so that a hung query
+(the exact failure class the robustness layer exists to prevent) fails
+fast instead of stalling CI.  When the ``pytest-timeout`` plugin is
+installed it provides the cap; this conftest carries a minimal
+SIGALRM-based fallback so the cap holds on bare environments too, with
+the same ``timeout`` ini key and ``@pytest.mark.timeout(N)`` marker.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (built-in SIGALRM fallback, "
+            "used when pytest-timeout is not installed)",
+            default="",
+        )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: deterministic fault-injection tests "
+        "(run only these with -m chaos, skip with -m 'not chaos')",
+    )
+    if not _HAVE_PYTEST_TIMEOUT:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test wall-clock cap "
+            "(SIGALRM fallback implementation)",
+        )
+
+
+def _timeout_seconds(item) -> float | None:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    ini = item.config.getini("timeout")
+    return float(ini) if ini else None
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _timeout_seconds(item)
+        usable = (
+            seconds
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            return (yield)
+
+        def on_alarm(signum, frame):
+            pytest.fail(
+                f"Timeout: test exceeded the {seconds:g}s cap", pytrace=False
+            )
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            return (yield)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,219 @@
+"""Fallback chain: engine specs, retry policy, structured QueryError."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import (
+    AnalysisError,
+    CompilationError,
+    ConfigError,
+    QueryError,
+    ResourceExhausted,
+    Trap,
+)
+from repro.robustness import (
+    DEFAULT_CHAIN,
+    FallbackPolicy,
+    FaultInjector,
+    execute_with_fallback,
+    parse_engine_spec,
+)
+
+
+class TestSpecs:
+    def test_parse(self):
+        assert parse_engine_spec("wasm") == ("wasm", None)
+        assert parse_engine_spec("wasm[interpreter]") == ("wasm",
+                                                         "interpreter")
+        assert parse_engine_spec("volcano") == ("volcano", None)
+
+    @pytest.mark.parametrize("bad", ["", "wasm[", "wasm[]", "WASM",
+                                     "wasm[interpreter][x]", "a b"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_engine_spec(bad)
+
+
+class TestPolicy:
+    def test_default_chain(self):
+        policy = FallbackPolicy()
+        assert policy.chain == DEFAULT_CHAIN
+
+    def test_attempts_start_with_primary_and_dedupe(self):
+        policy = FallbackPolicy()
+        assert policy.attempts_for("wasm") == [
+            "wasm", "wasm[interpreter]", "volcano"
+        ]
+        assert policy.attempts_for("volcano") == [
+            "volcano", "wasm", "wasm[interpreter]"
+        ]
+
+    def test_max_attempts_truncates(self):
+        policy = FallbackPolicy(max_attempts=2)
+        assert policy.attempts_for("wasm") == ["wasm", "wasm[interpreter]"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FallbackPolicy(chain=[])
+        with pytest.raises(ConfigError):
+            FallbackPolicy(chain=["wasm["])
+        with pytest.raises(ConfigError):
+            FallbackPolicy(max_attempts=0)
+
+
+class TestExecuteWithFallback:
+    def test_first_success_short_circuits(self):
+        calls = []
+
+        def run(spec):
+            calls.append(spec)
+            return spec.upper()
+
+        result, failures = execute_with_fallback(["a", "b"], run)
+        assert (result, failures, calls) == ("A", [], ["a"])
+
+    def test_retryable_error_advances_the_chain(self):
+        def run(spec):
+            if spec == "a":
+                raise Trap("unreachable")
+            return "ok"
+
+        result, failures = execute_with_fallback(["a", "b"], run)
+        assert result == "ok"
+        assert [s for s, _ in failures] == ["a"]
+
+    def test_single_spec_reraises_the_original(self):
+        def run(spec):
+            raise Trap("unreachable")
+
+        with pytest.raises(Trap):
+            execute_with_fallback(["a"], run)
+
+    def test_all_fail_raises_structured_query_error(self):
+        def run(spec):
+            raise CompilationError(f"broken on {spec}")
+
+        with pytest.raises(QueryError) as err:
+            execute_with_fallback(["a", "b", "c"], run)
+        attempts = err.value.attempts
+        assert [s for s, _ in attempts] == ["a", "b", "c"]
+        assert all(isinstance(e, CompilationError) for e in err.value.causes)
+        assert err.value.__cause__ is attempts[-1][1]
+
+    def test_non_retryable_error_stops_immediately(self):
+        calls = []
+
+        def run(spec):
+            calls.append(spec)
+            raise AnalysisError("bad query")
+
+        with pytest.raises(AnalysisError):
+            execute_with_fallback(["a", "b"], run)
+        assert calls == ["a"]
+
+    def test_non_retryable_after_fallback_is_wrapped(self):
+        def run(spec):
+            if spec == "a":
+                raise Trap("unreachable")
+            raise ResourceExhausted("wall_clock", "too slow")
+
+        with pytest.raises(QueryError) as err:
+            execute_with_fallback(["a", "b", "c"], run)
+        assert [s for s, _ in err.value.attempts] == ["a", "b"]
+
+
+@pytest.fixture()
+def db():
+    database = Database(fallback="default")
+    database.execute("CREATE TABLE t (id INT PRIMARY KEY, x INT, y INT)")
+    database.execute(
+        "INSERT INTO t VALUES (1, 10, 2), (2, 20, 0), (3, 30, 5)"
+    )
+    return database
+
+
+class TestDatabaseFallback:
+    def test_trap_degrades_to_a_correct_result(self, db):
+        # wasm compiles the conjunction without short-circuit, so x / y
+        # traps on the y = 0 row; volcano short-circuits and succeeds
+        sql = "SELECT id FROM t WHERE y <> 0 AND x / y > 4"
+        result = db.execute(sql)
+        assert result.rows == [(1,), (3,)]
+        assert result.degraded
+        assert result.engine == "volcano"
+        specs = [s for s, _ in result.fallback_attempts]
+        assert specs == ["wasm", "wasm[interpreter]"]
+
+    def test_no_fallback_surfaces_the_trap(self, db):
+        with pytest.raises(Trap) as err:
+            db.execute("SELECT id FROM t WHERE y <> 0 AND x / y > 4",
+                       fallback=None)
+        assert err.value.phase == "execution"
+        assert err.value.pipeline_index is not None
+        assert err.value.morsel is not None
+
+    def test_query_error_when_every_engine_fails(self, db):
+        # a genuine divide-by-zero fails everywhere, each engine its way
+        with pytest.raises(QueryError) as err:
+            db.execute("SELECT x / y FROM t")
+        assert [s for s, _ in err.value.attempts] == [
+            "wasm", "wasm[interpreter]", "volcano"
+        ]
+
+    def test_liftoff_failure_degrades_to_interpreter(self, db):
+        engine = db.engine("wasm")
+        engine.fault_injector = FaultInjector.always("liftoff.compile")
+        try:
+            result = db.execute("SELECT SUM(x) FROM t")
+            assert result.rows == [(60,)]
+            assert result.engine == "wasm[interpreter]"
+            assert [s for s, _ in result.fallback_attempts] == ["wasm"]
+        finally:
+            engine.fault_injector = None
+
+    def test_per_query_fallback_override(self, db):
+        result = db.execute(
+            "SELECT id FROM t WHERE y <> 0 AND x / y > 4",
+            fallback=["wasm", "vectorized"],
+        )
+        assert result.rows == [(1,), (3,)]
+        assert result.engine == "vectorized"
+
+    def test_custom_primary_engine_spec(self, db):
+        result = db.execute("SELECT SUM(x) FROM t",
+                            engine="wasm[turbofan]", fallback=None)
+        assert result.rows == [(60,)]
+        assert result.engine == "wasm[turbofan]"
+
+    def test_fallback_constructor_validation(self):
+        with pytest.raises(ConfigError):
+            Database(fallback=42)
+        with pytest.raises(ConfigError):
+            Database(fallback=["wasm["])
+
+    def test_successful_query_is_not_degraded(self, db):
+        result = db.execute("SELECT SUM(x) FROM t")
+        assert not result.degraded
+        assert result.fallback_attempts == []
+
+
+class TestInsertColumnList:
+    def test_missing_schema_column_raises_analysis_error(
+        self, db, monkeypatch
+    ):
+        # the analyzer guards the public path; disarm it to prove the
+        # mapping code itself raises AnalysisError, not a bare ValueError
+        # from list.index, when a schema column is absent from the list
+        import repro.db.database as database_module
+
+        monkeypatch.setattr(database_module, "analyze",
+                            lambda stmt, catalog: None)
+        rows_before = db.table("t").row_count
+        with pytest.raises(AnalysisError) as err:
+            db.execute("INSERT INTO t (id, x, x) VALUES (7, 1, 2)")
+        assert "'y'" in str(err.value)
+        assert db.table("t").row_count == rows_before
+
+    def test_analyzer_still_guards_the_public_path(self, db):
+        with pytest.raises(AnalysisError):
+            db.execute("INSERT INTO t (id, x, z) VALUES (7, 1, 2)")

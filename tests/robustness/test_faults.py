@@ -1,0 +1,94 @@
+"""Fault injector: determinism, site registry, exception types."""
+
+import pytest
+
+from repro.errors import (
+    CompilationError,
+    ConfigError,
+    ResourceExhausted,
+    RewiringError,
+    Trap,
+)
+from repro.robustness import FAULT_SITES, FaultInjector
+
+EXPECTED_TYPES = {
+    "turbofan.compile": CompilationError,
+    "liftoff.compile": CompilationError,
+    "memory.grow": ResourceExhausted,
+    "rewire.chunk": RewiringError,
+    "trap.morsel": Trap,
+}
+
+
+class TestRegistry:
+    def test_sites_cover_the_issue_contract(self):
+        assert set(FAULT_SITES) == set(EXPECTED_TYPES)
+
+    def test_each_site_raises_its_declared_type(self):
+        for site, exc_type in EXPECTED_TYPES.items():
+            injector = FaultInjector.always(site)
+            with pytest.raises(exc_type):
+                injector.check(site)
+
+    def test_every_injected_fault_is_retryable_or_memory(self):
+        # the chaos suite relies on injected faults being absorbable by
+        # the fallback chain
+        for site in FAULT_SITES:
+            try:
+                FaultInjector.always(site).check(site)
+            except Exception as exc:
+                assert getattr(exc, "retryable", False), site
+
+
+class TestValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(rates={"nonexistent.site": 1.0})
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(rates={"trap.morsel": 1.5})
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        def decisions(seed):
+            injector = FaultInjector(seed=seed,
+                                     rates={"trap.morsel": 0.3,
+                                            "memory.grow": 0.5})
+            out = []
+            for _ in range(200):
+                for site in ("trap.morsel", "memory.grow"):
+                    try:
+                        injector.check(site)
+                        out.append(0)
+                    except Exception:
+                        out.append(1)
+            return out
+
+        assert decisions(42) == decisions(42)
+        assert decisions(42) != decisions(43)
+
+    def test_unlisted_site_never_fires(self):
+        injector = FaultInjector(seed=1, rates={"trap.morsel": 1.0})
+        for _ in range(50):
+            injector.check("turbofan.compile")
+        assert injector.fired == {}
+
+    def test_max_fires_caps_transient_faults(self):
+        injector = FaultInjector.always("trap.morsel", max_fires=2)
+        hits = 0
+        for _ in range(10):
+            try:
+                injector.check("trap.morsel")
+            except Trap:
+                hits += 1
+        assert hits == 2
+        assert injector.trials["trap.morsel"] == 10
+
+    def test_accounting(self):
+        injector = FaultInjector.always("memory.grow")
+        with pytest.raises(ResourceExhausted):
+            injector.check("memory.grow")
+        assert injector.total_fired == 1
+        assert injector.fired == {"memory.grow": 1}

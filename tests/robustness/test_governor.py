@@ -1,0 +1,125 @@
+"""Resource governor: wall-clock and memory-page budgets."""
+
+import time
+
+import pytest
+
+from repro.db import Database
+from repro.errors import ConfigError, ResourceExhausted
+from repro.robustness import ResourceGovernor
+from repro.storage.rewiring import WASM_PAGE_SIZE, AddressSpace
+from repro.wasm.runtime import LinearMemory
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INT PRIMARY KEY, x INT)")
+    database.table("t").append_rows([(i, i % 97) for i in range(4000)])
+    return database
+
+
+class TestGovernorUnit:
+    def test_unlimited_governor_never_raises(self):
+        gov = ResourceGovernor().start()
+        gov.check()
+        gov.charge_pages(10**6)
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ConfigError):
+            ResourceGovernor(timeout_seconds=0)
+        with pytest.raises(ConfigError):
+            ResourceGovernor(max_memory_pages=-1)
+
+    def test_deadline_trips_with_context(self):
+        gov = ResourceGovernor(timeout_seconds=0.01).start()
+        time.sleep(0.02)
+        with pytest.raises(ResourceExhausted) as err:
+            gov.check(phase="execution", pipeline_index=2, morsel=7)
+        exc = err.value
+        assert exc.resource == "wall_clock"
+        assert exc.phase == "execution"
+        assert exc.pipeline_index == 2
+        assert exc.morsel == 7
+        assert exc.retryable is False
+
+    def test_page_budget_denies_before_reserving(self):
+        gov = ResourceGovernor(max_memory_pages=4)
+        gov.charge_pages(3)
+        with pytest.raises(ResourceExhausted) as err:
+            gov.charge_pages(2)
+        assert err.value.resource == "memory_pages"
+        assert err.value.retryable is True
+        # the denied charge must not have been accounted
+        assert gov.pages_charged == 3
+        gov.charge_pages(1)  # exactly at the limit is fine
+
+    def test_phase_attribute_used_as_default(self):
+        gov = ResourceGovernor(max_memory_pages=1)
+        gov.phase = "translation"
+        with pytest.raises(ResourceExhausted) as err:
+            gov.charge_pages(2)
+        assert err.value.phase == "translation"
+
+
+class TestAddressSpaceEnforcement:
+    def test_reserve_charges_governor(self):
+        space = AddressSpace()
+        space.governor = ResourceGovernor(max_memory_pages=3)
+        space.alloc("a", 2 * WASM_PAGE_SIZE)
+        with pytest.raises(ResourceExhausted):
+            space.alloc("b", 2 * WASM_PAGE_SIZE)
+        # the failed alloc left no mapping behind
+        assert "b" not in space.mappings
+
+    def test_linear_memory_grow_propagates_budget_error(self):
+        space = AddressSpace(first_page=0)
+        space.governor = ResourceGovernor(max_memory_pages=2)
+        memory = LinearMemory(space)
+        space.alloc("seed", WASM_PAGE_SIZE)
+        assert memory.grow(1) >= 0
+        # over budget: the governor's error escapes (host policy), it is
+        # NOT converted into the spec's silent -1
+        with pytest.raises(ResourceExhausted):
+            memory.grow(4)
+
+    def test_grow_without_governor_keeps_spec_semantics(self):
+        memory = LinearMemory(min_pages=1, max_pages=2)
+        assert memory.grow(1) == 1
+        assert memory.grow(10**6) == -1  # plain exhaustion: -1, no raise
+
+
+class TestQueryBudgets:
+    def test_timeout_surfaces_with_phase_context(self, db):
+        engine = db.engine("wasm")
+        engine.timeout_seconds = 1e-9
+        try:
+            with pytest.raises(ResourceExhausted) as err:
+                db.execute("SELECT SUM(x) FROM t")
+            assert err.value.resource == "wall_clock"
+            assert err.value.phase is not None
+        finally:
+            engine.timeout_seconds = None
+
+    def test_memory_budget_fails_oversized_query(self, db):
+        engine = db.engine("wasm")
+        engine.max_memory_pages = 8  # far below the 8 MiB heap slack
+        try:
+            with pytest.raises(ResourceExhausted) as err:
+                db.execute("SELECT x, COUNT(*) FROM t GROUP BY x")
+            assert err.value.resource == "memory_pages"
+        finally:
+            engine.max_memory_pages = None
+
+    def test_generous_budgets_leave_results_unchanged(self, db):
+        reference = db.execute("SELECT SUM(x) FROM t",
+                               engine="volcano").rows
+        engine = db.engine("wasm")
+        engine.timeout_seconds = 120.0
+        engine.max_memory_pages = 1 << 14
+        try:
+            result = db.execute("SELECT SUM(x) FROM t")
+            assert result.rows == reference
+        finally:
+            engine.timeout_seconds = None
+            engine.max_memory_pages = None

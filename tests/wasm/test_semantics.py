@@ -488,3 +488,30 @@ def test_random_i64_programs_agree(body, c):
 def test_random_f64_programs_agree(body, d):
     module = _module_from_body(body, "f64")
     assert_all_modes_agree(module, "main", [0, 0, 0, d])
+
+
+@pytest.mark.parametrize("op", ["f64.add", "f64.mul"])
+@pytest.mark.parametrize("d", [0.0, -0.0, -3.0, float("inf"), float("nan")])
+def test_float_zero_identities_are_not_folded(op, d):
+    # x + 0.0 loses -0.0 and x * 0.0 loses NaN/inf/sign; an optimizing
+    # tier must not apply the integer identities to floats
+    body = [("local.get", 3), ("f64.const", 0.0), (op,)]
+    module = _module_from_body(body, "f64")
+    assert_all_modes_agree(module, "main", [0, 0, 0, d])
+
+
+def test_float_nan_times_zero_agrees_across_tiers():
+    # regression: 0.0 * (0.0 + 0.0/0.0 + 0.0) must be NaN in every tier
+    body = [
+        ("f64.const", 0.0),
+        ("local.get", 3),
+        ("local.get", 3),
+        ("local.get", 3),
+        ("f64.div",),
+        ("f64.add",),
+        ("local.get", 3),
+        ("f64.add",),
+        ("f64.mul",),
+    ]
+    module = _module_from_body(body, "f64")
+    assert_all_modes_agree(module, "main", [0, 0, 0, 0.0])
