@@ -19,7 +19,6 @@ import pytest
 
 from repro.bench.tpch import QUERIES, tpch_database
 from repro.engines.base import Timings
-from repro.engines.hyper import HyperEngine
 from repro.engines.hyper.compile import compile_o0, compile_o2
 from repro.engines.hyper.hir import flatten_to_bytecode
 from repro.engines.hyper.irgen import generate_hir

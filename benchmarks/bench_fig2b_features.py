@@ -21,7 +21,6 @@ def _verify_features():
     for mode in ("interpreter", "liftoff", "turbofan", "adaptive"):
         db._engines["wasm"] = WasmEngine(mode=mode, morsel_size=4096)
         assert db.execute(sql, engine="wasm").rows == reference
-    result = db.execute(sql, engine="wasm")
     features[("mutable", "interpreted")] = True       # engine tier exists
     features[("mutable", "fast jit")] = True          # Liftoff
     features[("mutable", "optimizing")] = True        # TurboFan

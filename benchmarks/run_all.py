@@ -22,6 +22,7 @@ from benchmarks import (  # noqa: E402
     bench_compile_times,
     bench_ablation_adhoc,
     bench_ablation_tiering,
+    bench_bounds_elision,
 )
 
 SECTIONS = [
@@ -35,6 +36,7 @@ SECTIONS = [
     ("Compile times", bench_compile_times.main),
     ("Ablation: ad-hoc generation", bench_ablation_adhoc.main),
     ("Ablation: tiering & short-circuit", bench_ablation_tiering.main),
+    ("Ablation: bounds-check elision", bench_bounds_elision.main),
 ]
 
 

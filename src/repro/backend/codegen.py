@@ -16,7 +16,7 @@ the imported ``env.flush_results`` so the host can drain and reset it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.backend.context import (
     CompilerContext,
@@ -29,12 +29,24 @@ from repro.backend.layout import TupleLayout
 from repro.backend.sort import GeneratedSort
 from repro.errors import PlanError
 from repro.plan import physical as P
-from repro.plan.exprs import Aggregate, Slot
+from repro.plan.exprs import Aggregate, Slot, walk_lexpr
 from repro.plan.pipeline import Pipeline, dissect_into_pipelines
 from repro.sql import types as T
 from repro.wasm.builder import FunctionBuilder
 
 __all__ = ["QueryCompiler", "CompiledQuery", "PipelineInfo"]
+
+
+def _slot_indices(*exprs) -> set[int]:
+    """Slot indices referenced by any of ``exprs`` (``None`` entries ok)."""
+    used: set[int] = set()
+    for expr in exprs:
+        if expr is None:
+            continue
+        for node in walk_lexpr(expr):
+            if isinstance(node, Slot):
+                used.add(node.index)
+    return used
 
 
 @dataclass
@@ -252,22 +264,25 @@ class QueryCompiler:
                 result_layout, result_capacity,
             )
 
-        self._emit_source(fb, expr_compiler, pipe.source, info, body)
+        self._emit_source(fb, expr_compiler, pipe, info, body)
         return info
 
     # -- sources ----------------------------------------------------------------
 
     def _emit_source(self, fb: FunctionBuilder, expr_compiler,
-                     source: P.PhysicalOperator, info: PipelineInfo,
+                     pipe: Pipeline, info: PipelineInfo,
                      body) -> None:
+        source = pipe.source
         if isinstance(source, P.SeqScan):
             info.source_kind = "scan"
             info.source_name = source.binding
+            self._declare_extent(fb, source.binding)
             self._emit_scan_loop(fb, source, body)
             return
         if isinstance(source, P.IndexSeek):
             info.source_kind = "indexseek"
             info.source_name = source.binding
+            self._declare_extent(fb, source.binding)
             info.seek = (source.key_column, source.low, source.high,
                          source.low_strict, source.high_strict)
             self._emit_index_seek_loop(fb, source, body)
@@ -288,13 +303,25 @@ class QueryCompiler:
             info.source_kind = "sort"
             info.source_name = sorter.name
             info.sort_before = f"{sorter.name}_sort"
-            self._emit_array_iteration(fb, source.child.output, sorter, body)
+            keep = self._used_slot_indices(pipe.operators, pipe.sink)
+            self._emit_array_iteration(fb, source.child.output, sorter, body,
+                                       keep)
             # ensure the sort driver exists
             sorter.sort_driver(expr_compiler)
             return
         raise PlanError(
             f"cannot use {type(source).__name__} as a pipeline source"
         )
+
+    def _declare_extent(self, fb: FunctionBuilder, binding: str) -> None:
+        """Declare the host's morsel contract ``0 <= begin, end <= extent``
+        on a ``pipeline_i(begin, end)`` — the hint that lets the interval
+        analysis bound every row address and lets TurboFan elide the
+        per-access bounds checks of the scan loop."""
+        extent = self.memory.extent_rows.get(binding)
+        if extent is not None:
+            fb.param_range(0, 0, extent)
+            fb.param_range(1, 0, extent)
 
     def _emit_scan_loop(self, fb: FunctionBuilder, scan: P.SeqScan,
                         body) -> None:
@@ -454,7 +481,8 @@ class QueryCompiler:
             body(slots)
 
     def _emit_array_iteration(self, fb: FunctionBuilder, columns,
-                              array: GeneratedSort, body) -> None:
+                              array: GeneratedSort, body,
+                              keep: set[int] | None = None) -> None:
         stride = array.layout.stride
         index = fb.local("i32", "i")
         tup = fb.local("i32", "tup")
@@ -466,15 +494,19 @@ class QueryCompiler:
                 fb.emit("global.get", array.g_base)
                 fb.get(index).i32(stride).emit("i32.mul")
                 fb.emit("i32.add").set(tup)
-                slots = self._load_array_row(fb, columns, array, tup)
+                slots = self._load_array_row(fb, columns, array, tup, keep)
                 body(slots)
                 fb.get(index).i32(1).emit("i32.add").set(index)
                 fb.br(top)
 
     def _load_array_row(self, fb: FunctionBuilder, columns,
-                        array: GeneratedSort, tup: int) -> list[SlotValue]:
+                        array: GeneratedSort, tup: int,
+                        keep: set[int] | None = None) -> list[SlotValue]:
         slots = []
         for i, col in enumerate(columns):
+            if keep is not None and i not in keep:
+                slots.append(SlotValue(-1, col.ty))
+                continue
             fld = array.layout.field(f"c{i}")
             if col.ty.is_string:
                 local = fb.local("i32", f"m{i}")
@@ -524,10 +556,18 @@ class QueryCompiler:
             continue_with(new_slots)
             return
         if isinstance(op, P.HashJoin):
-            self._emit_probe(fb, expr_compiler, op, slots, continue_with)
+            keep = self._used_slot_indices(rest, pipe.sink)
+            if keep is not None:
+                keep = keep | _slot_indices(op.residual)
+            self._emit_probe(fb, expr_compiler, op, slots, continue_with,
+                             keep)
             return
         if isinstance(op, P.NestedLoopJoin):
-            self._emit_nlj_probe(fb, expr_compiler, op, slots, continue_with)
+            keep = self._used_slot_indices(rest, pipe.sink)
+            if keep is not None:
+                keep = keep | _slot_indices(op.predicate)
+            self._emit_nlj_probe(fb, expr_compiler, op, slots, continue_with,
+                                 keep)
             return
         if isinstance(op, P.Limit):
             self._emit_limit(fb, op, info, slots, continue_with)
@@ -546,8 +586,43 @@ class QueryCompiler:
         fb.set(local)
         return SlotValue(local, expr.ty)
 
+    def _used_slot_indices(self, ops, sink) -> set[int] | None:
+        """Which slots of the current tuple the rest of the pipeline can
+        read.  ``None`` means "all of them": the tuple reaches a sink that
+        stores whole rows (result write, join build, sort, materialize).
+        Join probes use this to skip loading columns nothing consumes."""
+        used: set[int] = set()
+        for pos, op in enumerate(ops):
+            if isinstance(op, P.Filter):
+                used |= _slot_indices(op.predicate)
+            elif isinstance(op, P.Limit):
+                pass
+            elif isinstance(op, P.Project):
+                # downstream slots index the projected tuple, not this one
+                return used | _slot_indices(*op.exprs)
+            elif isinstance(op, (P.HashJoin, P.NestedLoopJoin)):
+                if isinstance(op, P.HashJoin):
+                    used |= _slot_indices(*op.probe_keys)
+                    shift, residual = len(op.build.output), op.residual
+                else:
+                    shift, residual = len(op.left.output), op.predicate
+                inner = self._used_slot_indices(ops[pos + 1:], sink)
+                if inner is None:
+                    return None
+                inner = inner | _slot_indices(residual)
+                # this tuple occupies combined indices [shift, ...)
+                return used | {i - shift for i in inner if i >= shift}
+            else:
+                return None
+        if isinstance(sink, P.ScalarAggregate):
+            return used | _slot_indices(*(a.arg for a in sink.aggregates))
+        if isinstance(sink, P.HashGroupBy):
+            return (used | _slot_indices(*sink.keys)
+                    | _slot_indices(*(a.arg for a in sink.aggregates)))
+        return None
+
     def _emit_probe(self, fb, expr_compiler, op: P.HashJoin, slots,
-                    continue_with) -> None:
+                    continue_with, keep: set[int] | None = None) -> None:
         """Inline hash-join probe: hashing, chain walk, and key equality
         are emitted at the call site (Section 4.3 — no function call per
         hash-table access)."""
@@ -559,11 +634,11 @@ class QueryCompiler:
 
         if not self.inline_adhoc:
             self._emit_probe_via_calls(fb, expr_compiler, op, ht,
-                                       key_slots, slots, continue_with)
+                                       key_slots, slots, continue_with, keep)
             return
 
         def on_match(entry: int) -> None:
-            build_slots = self._load_build_columns(fb, op, ht, entry)
+            build_slots = self._load_build_columns(fb, op, ht, entry, keep)
             combined = build_slots + slots
             expr_compiler.slots = combined
             if op.residual is not None:
@@ -578,7 +653,8 @@ class QueryCompiler:
                            [s.local for s in key_slots], on_match)
 
     def _emit_probe_via_calls(self, fb, expr_compiler, op, ht, key_slots,
-                              slots, continue_with) -> None:
+                              slots, continue_with,
+                              keep: set[int] | None = None) -> None:
         """Ablation path: one call per lookup and per chain continuation
         (the pre-compiled-library interface of Listing 3)."""
         functions = self._ht_functions.get(id(op))
@@ -595,7 +671,8 @@ class QueryCompiler:
             with fb.loop() as top:
                 fb.get(entry).emit("i32.eqz")
                 fb.br_if(done)
-                build_slots = self._load_build_columns(fb, op, ht, entry)
+                build_slots = self._load_build_columns(fb, op, ht, entry,
+                                                       keep)
                 combined = build_slots + slots
                 expr_compiler.slots = combined
                 if op.residual is not None:
@@ -611,9 +688,15 @@ class QueryCompiler:
                 fb.call(functions["next"]).set(entry)
                 fb.br(top)
 
-    def _load_build_columns(self, fb, op: P.HashJoin, ht, entry) -> list:
+    def _load_build_columns(self, fb, op: P.HashJoin, ht, entry,
+                            keep: set[int] | None = None) -> list:
         slots = []
         for i, col in enumerate(op.build.output):
+            if keep is not None and i not in keep:
+                # nothing downstream reads this column; the -1 sentinel
+                # trips validation if that ever stops being true
+                slots.append(SlotValue(-1, col.ty))
+                continue
             fld = ht.layout.field(f"c{i}")
             if col.ty.is_string:
                 local = fb.local("i32", f"b{i}")
@@ -625,7 +708,8 @@ class QueryCompiler:
         return slots
 
     def _emit_nlj_probe(self, fb, expr_compiler, op: P.NestedLoopJoin,
-                        slots, continue_with) -> None:
+                        slots, continue_with,
+                        keep: set[int] | None = None) -> None:
         array = self._materialized[id(op)]
         stride = array.layout.stride
         cursor = fb.local("i32", "cursor")
@@ -639,7 +723,7 @@ class QueryCompiler:
                 fb.get(cursor).get(end).emit("i32.ge_u")
                 fb.br_if(done)
                 left_slots = self._load_array_row(
-                    fb, op.left.output, array, cursor
+                    fb, op.left.output, array, cursor, keep
                 )
                 combined = left_slots + slots
                 expr_compiler.slots = combined

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import PlanError
-from repro.wasm.builder import FunctionBuilder, ModuleBuilder
+from repro.wasm.builder import ModuleBuilder
 
 __all__ = ["MemoryPlan", "CompilerContext", "CONST_REGION_SIZE",
            "RESULT_REGION_SIZE", "MORSEL_SIZE"]
@@ -32,6 +32,11 @@ class MemoryPlan:
     heap_end: int
     column_addresses: dict[tuple[str, str], int]  # (binding, column) -> addr
     row_counts: dict[str, int] = field(default_factory=dict)  # binding -> rows
+    #: binding -> largest row index count a pipeline over that binding may
+    #: see per invocation (the chunk window for chunked scans, else the
+    #: full row count).  Declared as ``param_range`` contracts on the
+    #: generated pipelines so the interval analysis can bound addresses.
+    extent_rows: dict[str, int] = field(default_factory=dict)
 
     def column_address(self, binding: str, column: str) -> int:
         try:
@@ -61,8 +66,12 @@ class CompilerContext:
 
         # The module declares a memory as the spec requires, but the host
         # replaces it with its rewired space at instantiation — the
-        # paper's SetModuleMemory() patch (Section 6).
-        self.mb.add_memory(1, 1 << 16, export="memory")
+        # paper's SetModuleMemory() patch (Section 6).  The minimum is the
+        # true extent of the planned address space (heap is the last
+        # region), which the bounds-check elision uses as its proof bound;
+        # the host-provided rewired memory always covers it.
+        min_pages = max(1, -(-memory.heap_end // 65536))
+        self.mb.add_memory(min_pages, 1 << 16, export="memory")
 
         # module globals
         self.heap_ptr = self.mb.add_global(

@@ -194,24 +194,23 @@ class ExprCompiler:
             cb = fb.local("i32", "cb")
             width = max(wa, wb)
             with fb.loop() as top:
-                fb.get(i).i32(width).emit("i32.ge_u")
+                fb.get(i).i32(width).emit("i32.lt_u")
                 with fb.if_():
-                    fb.i32(0).ret()
-                self._emit_padded_byte(fb, 0, i, wa)
-                fb.set(ca)
-                self._emit_padded_byte(fb, 1, i, wb)
-                fb.set(cb)
-                fb.get(ca).get(cb).emit("i32.ne")
-                with fb.if_():
-                    fb.get(ca).get(cb).emit("i32.lt_u")
-                    with fb.if_(results=["i32"]) as iff:
-                        fb.i32(-1)
-                        iff.else_()
-                        fb.i32(1)
-                    fb.ret()
-                fb.get(i).i32(1).emit("i32.add").set(i)
-                fb.br(top)
-            fb.emit("unreachable")
+                    self._emit_padded_byte(fb, 0, i, wa)
+                    fb.set(ca)
+                    self._emit_padded_byte(fb, 1, i, wb)
+                    fb.set(cb)
+                    fb.get(ca).get(cb).emit("i32.ne")
+                    with fb.if_():
+                        fb.get(ca).get(cb).emit("i32.lt_u")
+                        with fb.if_(results=["i32"]) as iff:
+                            fb.i32(-1)
+                            iff.else_()
+                            fb.i32(1)
+                        fb.ret()
+                    fb.get(i).i32(1).emit("i32.add").set(i)
+                    fb.br(top)
+            fb.i32(0)
             return fb
 
         return self.ctx.helper(("strcmp", wa, wb), generate)

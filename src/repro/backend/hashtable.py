@@ -27,7 +27,6 @@ Memory layout of an entry::
 from __future__ import annotations
 
 from repro.backend.layout import TupleLayout
-from repro.sql import types as T
 from repro.sql.types import DataType
 from repro.wasm.builder import FunctionBuilder
 

@@ -267,10 +267,10 @@ class GeneratedSort:
     # -- Hoare partition (Listing 4) --------------------------------------------------
 
     def partition_function(self, expr_compiler, strict: bool = True) -> int:
-        """``partition(begin, end, pivot) -> l``.
+        """``partition(begin, end, pivot) -> lo``.
 
-        With ``strict`` (the Listing-4 form): [begin,l) < pivot,
-        [l,end) >= pivot.  The non-strict variant partitions by
+        With ``strict`` (the Listing-4 form): [begin,lo) < pivot,
+        [lo,end) >= pivot.  The non-strict variant partitions by
         ``<= pivot`` and is used to peel off the run of pivot-equal
         tuples (three-way quicksort).  The pivot address lies outside
         [begin,end), as the paper requires.
@@ -283,40 +283,40 @@ class GeneratedSort:
             results=["i32"],
         )
         pivot = 2
-        l = fb.local("i32", "l")
+        lo = fb.local("i32", "l")
         r = fb.local("i32", "r")
         last = fb.local("i32", "rm")  # r - stride, the right cursor
-        fb.get(0).set(l)
+        fb.get(0).set(lo)
         fb.get(1).set(r)
         with fb.block() as done:
             with fb.loop() as top:
-                fb.get(l).get(r).emit("i32.ge_u")
+                fb.get(lo).get(r).emit("i32.ge_u")
                 fb.br_if(done)
                 fb.get(r).i32(stride).emit("i32.sub").set(last)
-                # swap(l, r - stride) — EmitSwap, fully inline (Listing 4)
-                self.emit_swap_inline(fb, l, last)
+                # swap(lo, r - stride) — EmitSwap, fully inline (Listing 4)
+                self.emit_swap_inline(fb, lo, last)
                 if strict:
-                    # if cmp(l, pivot) < 0: l += stride
-                    self.emit_less(fb, expr_compiler, l, pivot)
+                    # if cmp(lo, pivot) < 0: lo += stride
+                    self.emit_less(fb, expr_compiler, lo, pivot)
                     with fb.if_():
-                        fb.get(l).i32(stride).emit("i32.add").set(l)
+                        fb.get(lo).i32(stride).emit("i32.add").set(lo)
                     # if cmp(r - stride, pivot) >= 0: r -= stride
                     self.emit_less(fb, expr_compiler, last, pivot)
                     fb.emit("i32.eqz")
                     with fb.if_():
                         fb.get(last).set(r)
                 else:
-                    # if cmp(l, pivot) <= 0: l += stride
-                    self.emit_less(fb, expr_compiler, pivot, l)
+                    # if cmp(lo, pivot) <= 0: lo += stride
+                    self.emit_less(fb, expr_compiler, pivot, lo)
                     fb.emit("i32.eqz")
                     with fb.if_():
-                        fb.get(l).i32(stride).emit("i32.add").set(l)
+                        fb.get(lo).i32(stride).emit("i32.add").set(lo)
                     # if cmp(r - stride, pivot) > 0: r -= stride
                     self.emit_less(fb, expr_compiler, pivot, last)
                     with fb.if_():
                         fb.get(last).set(r)
                 fb.br(top)
-        fb.get(l)
+        fb.get(lo)
         return fb.func_index
 
     # -- quicksort (Listing 5) + exported driver (Listing 6) ------------------------------

@@ -29,7 +29,7 @@ from repro.costmodel import Profile
 from repro.engines.base import ExecutionResult, QueryEngine, Stopwatch, Timings
 from repro.engines.hyper.compile import compile_o0, compile_o2
 from repro.engines.hyper.hir import BytecodeInterpreter, flatten_to_bytecode
-from repro.engines.hyper.irgen import HirProgram, generate_hir
+from repro.engines.hyper.irgen import generate_hir
 from repro.errors import EngineError
 from repro.plan import physical as P
 

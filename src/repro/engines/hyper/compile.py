@@ -418,12 +418,14 @@ def common_subexpressions(body: list) -> list:
 def _emit_python(func: hir.HirFunction, body: list, mapping: dict[int, int],
                  tier: str, instrumented: bool) -> CompiledHir:
     em = _Emitter()
-    reg = lambda r: f"r{mapping.get(r, r)}"
+
+    def reg(r):
+        return f"r{mapping.get(r, r)}"
+
     params = ", ".join(reg(i) for i in range(func.n_params))
     name = f"hf_{func.name}"
     header = f"def {name}({params}):"
     pending = [0]
-    site = [0]
 
     def flush():
         if instrumented and pending[0]:

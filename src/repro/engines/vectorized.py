@@ -31,7 +31,6 @@ import numpy as np
 from repro.catalog.catalog import Catalog
 from repro.costmodel import Profile
 from repro.engines.base import ExecutionResult, QueryEngine, Stopwatch, Timings
-from repro.engines.datecalc import civil_from_days
 from repro.engines.eval import sql_like_regex
 from repro.errors import EngineError
 from repro.plan import exprs as E

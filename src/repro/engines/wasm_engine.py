@@ -76,6 +76,11 @@ class WasmEngine(QueryEngine):
             morsel boundary; ``None`` for unlimited.
         max_memory_pages: per-query cap on 64 KiB pages in the rewired
             address space (tables + heap + results); ``None`` unlimited.
+        lint: run the static-analysis linter over every generated module —
+            ``"off"`` (default), ``"warn"``, or ``"strict"`` (raise
+            :class:`~repro.errors.LintError` on any diagnostic).
+        elide_bounds_checks: let TurboFan drop per-access address masks
+            the interval analysis proves redundant (default on).
         fault_injector: a :class:`repro.robustness.FaultInjector`
             threaded through the engine's named fault sites (testing).
     """
@@ -88,6 +93,7 @@ class WasmEngine(QueryEngine):
                  table_window_rows: int | None = None,
                  timeout_seconds: float | None = None,
                  max_memory_pages: int | None = None,
+                 lint: str = "off", elide_bounds_checks: bool = True,
                  fault_injector=None):
         self.mode = mode
         self.tier_up_threshold = tier_up_threshold
@@ -97,7 +103,10 @@ class WasmEngine(QueryEngine):
         self.predication = predication
         self.timeout_seconds = timeout_seconds
         self.max_memory_pages = max_memory_pages
+        self.lint = lint
+        self.elide_bounds_checks = elide_bounds_checks
         self.fault_injector = fault_injector
+        self.last_tier_stats = None  # TierStats of the most recent execute()
         # Figure 5: tables larger than this window (in rows) are not
         # mapped whole; the host re-wires chunk after chunk into a fixed
         # window while the pipeline runs (rewire_next_chunk).  None maps
@@ -131,6 +140,7 @@ class WasmEngine(QueryEngine):
 
         column_addresses: dict[tuple[str, str], int] = {}
         row_counts: dict[str, int] = {}
+        extent_rows: dict[str, int] = {}
         self._chunked: dict[str, int] = {}  # binding -> window rows
         for scan in _scans_of(plan):
             table = catalog.get(scan.table_name)
@@ -140,6 +150,10 @@ class WasmEngine(QueryEngine):
                        and isinstance(scan, P.SeqScan))
             if chunked:
                 self._chunked[scan.binding] = window
+            # one pipeline invocation never sees a row index past the
+            # mapped extent: the chunk window when chunked, else the table
+            extent_rows[scan.binding] = window if chunked \
+                else table.row_count
             for name in scan.columns:
                 column = table.column(name)
                 if chunked:
@@ -184,6 +198,7 @@ class WasmEngine(QueryEngine):
             heap_end=heap_end,
             column_addresses=column_addresses,
             row_counts=row_counts,
+            extent_rows=extent_rows,
         )
         return space, memory_plan
 
@@ -201,6 +216,7 @@ class WasmEngine(QueryEngine):
         governor.phase = "compile"
         engine = Engine(EngineConfig(
             mode=self.mode, tier_up_threshold=self.tier_up_threshold,
+            lint=self.lint, elide_bounds_checks=self.elide_bounds_checks,
             fault_injector=self.fault_injector,
         ))
         rows: list[tuple] = []
@@ -226,6 +242,7 @@ class WasmEngine(QueryEngine):
             compiled.module, imports=imports, memory=memory, profile=profile
         )
         instance_box["instance"] = instance
+        self.last_tier_stats = instance.stats
         # instantiation time counts as compilation (Liftoff/TurboFan)
         timings.add("compile_liftoff", instance.stats.liftoff_seconds)
         timings.add("compile_turbofan", instance.stats.turbofan_seconds)

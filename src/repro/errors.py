@@ -126,6 +126,25 @@ class ValidationError(WasmError):
     """Raised when a module fails validation (type checking)."""
 
 
+class LintError(ValidationError):
+    """Raised under ``EngineConfig(lint="strict")`` when the module
+    linter finds diagnostics (unreachable code, provably-trapping
+    accesses, dead stores, ...).
+
+    Like :class:`ValidationError` it is not retryable per engine — the
+    generated module is the same on every tier — but callers can inspect
+    ``diagnostics`` for the structured findings.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        summary = "\n".join(f"  {d}" for d in self.diagnostics)
+        super().__init__(
+            f"module failed lint with {len(self.diagnostics)} "
+            f"diagnostic(s):\n{summary}"
+        )
+
+
 class Trap(WasmError):
     """A WebAssembly trap: execution aborted with a runtime error.
 

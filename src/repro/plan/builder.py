@@ -22,7 +22,7 @@ from repro.plan.logical import (
     LogicalSort,
 )
 from repro.sql import ast
-from repro.sql.analyzer import _contains_aggregate, _expr_key
+from repro.sql.analyzer import _expr_key
 
 __all__ = ["build_logical_plan", "collect_aggregates", "split_conjuncts"]
 

@@ -9,7 +9,7 @@ use to resolve column references.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.catalog.schema import TableSchema
 from repro.sql import ast

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
-from repro.errors import PlanError, UnsupportedFeatureError
+from repro.errors import PlanError
 from repro.plan import logical as L
 from repro.plan.builder import split_conjuncts
 from repro.plan.cardinality import CardinalityEstimator

@@ -17,7 +17,7 @@ pipelines of Figure 3:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import PlanError
 from repro.plan.physical import (

@@ -11,7 +11,6 @@ compilation) lives in the layers that consume the AST.
 
 from __future__ import annotations
 
-import datetime as _dt
 from dataclasses import dataclass, field
 
 from repro.sql.types import DataType

@@ -538,7 +538,6 @@ class Parser:
         )
 
     def _parse_name_primary(self) -> ast.Expr:
-        tok = self._cur
         name = self._parse_name()
         # function call?
         if self._check("OP", "("):

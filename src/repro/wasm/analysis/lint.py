@@ -1,0 +1,152 @@
+"""The module linter: structured diagnostics over the analysis results.
+
+:class:`ModuleLinter` runs every analysis of this package over every
+defined function and turns the raw facts into :class:`Diagnostic`
+records:
+
+* ``unreachable-code`` — a basic block with instructions but no path
+  from the function entry (code after an unconditional branch);
+* ``oob-access`` — a load/store whose interval-analysis address range
+  proves the access traps for *every* possible memory size (the
+  module's declared maximum, or the 4 GiB ceiling when unbounded);
+* ``dead-store`` — a ``local.set``/``local.tee`` whose value is never
+  read on any path;
+* ``write-only-local`` — a local that is written somewhere but never
+  read anywhere (its dead stores are folded into this one diagnostic);
+* ``unused-local`` — a declared local that no instruction references.
+
+Diagnostics carry the function name and the *preorder instruction
+offset* (see :func:`~repro.wasm.analysis.cfg.assign_offsets`), matching
+the numbering ``repro.wasm.wat`` users see when reading the body top to
+bottom.  The engine exposes the linter via ``EngineConfig(lint=...)``:
+``"warn"`` emits Python warnings, ``"strict"`` raises
+:class:`~repro.errors.LintError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wasm.analysis.cfg import build_cfg
+from repro.wasm.analysis.liveness import analyze_liveness
+from repro.wasm.analysis.ranges import WASM_PAGE, analyze_ranges
+from repro.wasm.module import Function, Module
+
+__all__ = ["Diagnostic", "ModuleLinter"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, addressable to an instruction."""
+
+    code: str            # "unreachable-code" | "oob-access" | ...
+    function: str        # function (debug) name
+    offset: int | None   # preorder instruction offset, None if whole-func
+    message: str
+    severity: str = "warning"
+
+    def __str__(self) -> str:
+        where = f"{self.function}" + (
+            f"+{self.offset}" if self.offset is not None else "")
+        return f"{where}: {self.code}: {self.message}"
+
+
+class ModuleLinter:
+    """Lints every defined function of one module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+
+    def lint(self) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for i, func in enumerate(self.module.functions):
+            diagnostics.extend(self.lint_function(func, i))
+        return diagnostics
+
+    # ------------------------------------------------------------------
+
+    def lint_function(self, func: Function,
+                      index: int = -1) -> list[Diagnostic]:
+        name = func.name or f"f{index}"
+        diags: list[Diagnostic] = []
+        cfg = build_cfg(self.module, func)
+        reachable = cfg.reachable()
+
+        for block in cfg.blocks:
+            if block.index not in reachable and block.instrs:
+                off, instr = block.instrs[0]
+                diags.append(Diagnostic(
+                    "unreachable-code", name, off,
+                    f"instruction {instr[0]!r} can never execute",
+                ))
+
+        diags.extend(self._lint_accesses(func, name, cfg))
+        diags.extend(self._lint_locals(func, name, cfg, reachable))
+        diags.sort(key=lambda d: (d.offset is None, d.offset, d.code))
+        return diags
+
+    def _lint_accesses(self, func: Function, name: str, cfg) -> list:
+        if not self.module.memories:
+            return []
+        mem = self.module.memories[0]
+        max_pages = mem.maximum if mem.maximum is not None else 65536
+        max_bytes = max_pages * WASM_PAGE
+        diags = []
+        result = analyze_ranges(self.module, func, cfg=cfg)
+        for off in sorted(result.facts):
+            fact = result.facts[off]
+            addr = fact.addr
+            if addr.bits != 32 or addr.lo is None:
+                continue
+            reach = fact.imm_offset + fact.access_size
+            if addr.lo >= 0 and addr.lo + reach > max_bytes:
+                diags.append(Diagnostic(
+                    "oob-access", name, off,
+                    f"{fact.op} at address >= {addr.lo + fact.imm_offset:#x} "
+                    f"exceeds the maximum memory size of {max_bytes:#x} "
+                    "bytes on every path",
+                ))
+            elif addr.hi < 0 and addr.hi + reach > 0:
+                # entirely negative address: as u32 it reaches past 2**32
+                diags.append(Diagnostic(
+                    "oob-access", name, off,
+                    f"{fact.op} wraps past the end of the address space "
+                    "on every path",
+                ))
+        return diags
+
+    def _lint_locals(self, func: Function, name: str, cfg,
+                     reachable: set[int]) -> list:
+        func_type = self.module.types[func.type_index]
+        nparams = len(func_type.params)
+        live = analyze_liveness(self.module, func, cfg=cfg)
+        diags = []
+
+        def describe(index: int) -> str:
+            label = func.local_names.get(index)
+            return f"local {index}" + (f" ({label})" if label else "")
+
+        write_only: set[int] = set()
+        for index in range(nparams, nparams + len(func.locals_)):
+            if index in live.used_locals:
+                continue
+            if index in live.written_locals:
+                write_only.add(index)
+                diags.append(Diagnostic(
+                    "write-only-local", name, live.first_write.get(index),
+                    f"{describe(index)} is written but never read",
+                ))
+            else:
+                diags.append(Diagnostic(
+                    "unused-local", name, None,
+                    f"{describe(index)} is never referenced",
+                ))
+
+        for off, index, block in live.dead_stores:
+            if index in write_only or block not in reachable:
+                continue  # folded into write-only-local / unreachable-code
+            diags.append(Diagnostic(
+                "dead-store", name, off,
+                f"value stored to {describe(index)} is never read",
+            ))
+        return diags

@@ -1,0 +1,74 @@
+"""Local liveness: dead stores and never-read locals.
+
+Classic backward bit-vector analysis over the CFG — the abstract state
+is the set of locals whose current value may still be read.  A
+``local.get`` *gens* its index, ``local.set``/``local.tee`` *kill*
+theirs; no other instruction touches the frame's locals (calls cannot:
+Wasm locals are strictly per-activation).
+
+Two consumers: the lint pass reports stores whose value is provably
+never read (``dead_stores``, with the preorder offset of the store),
+and the module-level "written but never read" / "never referenced"
+local diagnostics use the plain ``used_locals``/``written_locals``
+sets collected on the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wasm.analysis.cfg import CFG, build_cfg
+from repro.wasm.analysis.dataflow import solve_backward
+from repro.wasm.module import Function, Module
+
+__all__ = ["LivenessResult", "analyze_liveness"]
+
+
+@dataclass
+class LivenessResult:
+    cfg: CFG
+    #: ``(preorder_offset, local_index, block_index)`` per dead store
+    dead_stores: list[tuple[int, int, int]] = field(default_factory=list)
+    used_locals: set[int] = field(default_factory=set)
+    written_locals: set[int] = field(default_factory=set)
+    #: local index -> preorder offset of its first write
+    first_write: dict[int, int] = field(default_factory=dict)
+
+
+def _transfer(block, live: frozenset) -> frozenset:
+    out = set(live)
+    for _off, instr in reversed(block.instrs):
+        op = instr[0]
+        if op == "local.get":
+            out.add(instr[1])
+        elif op == "local.set" or op == "local.tee":
+            out.discard(instr[1])
+    return frozenset(out)
+
+
+def analyze_liveness(module: Module, func: Function,
+                     cfg: CFG | None = None) -> LivenessResult:
+    cfg = cfg or build_cfg(module, func)
+    _in, out_states = solve_backward(
+        cfg, frozenset(), transfer=_transfer,
+        join=lambda a, b: a | b,
+    )
+    result = LivenessResult(cfg)
+    for block in cfg.blocks:
+        live = set(out_states.get(block.index, frozenset()))
+        for off, instr in reversed(block.instrs):
+            op = instr[0]
+            if op == "local.get":
+                live.add(instr[1])
+                result.used_locals.add(instr[1])
+            elif op == "local.set" or op == "local.tee":
+                index = instr[1]
+                if index not in live:
+                    result.dead_stores.append((off, index, block.index))
+                live.discard(index)
+                result.written_locals.add(index)
+                prev = result.first_write.get(index)
+                if prev is None or off < prev:
+                    result.first_write[index] = off
+    result.dead_stores.sort()
+    return result

@@ -140,6 +140,7 @@ class FunctionBuilder:
         self._bodies: list[list] = [self.body]
         self._control: list[Label] = []
         self.func_index: int = -1  # assigned by ModuleBuilder
+        self._param_ranges: dict[int, tuple[int, int]] = {}
 
     # -- locals -----------------------------------------------------------
 
@@ -158,6 +159,16 @@ class FunctionBuilder:
         if name:
             self._local_names[index] = name
         return index
+
+    def param_range(self, index: int, lo: int, hi: int) -> "FunctionBuilder":
+        """Declare the caller's contract that parameter ``index`` stays in
+        ``[lo, hi]`` — advisory metadata consumed by the static analyses."""
+        if not (0 <= index < len(self.param_types)):
+            raise EncodeError(f"no parameter {index}")
+        if lo > hi:
+            raise EncodeError(f"empty param range [{lo}, {hi}]")
+        self._param_ranges[index] = (int(lo), int(hi))
+        return self
 
     def type_of_local(self, index: int) -> str:
         if index < len(self.param_types):
@@ -323,6 +334,7 @@ class ModuleBuilder:
                     body=fb.body,
                     name=fb.name,
                     local_names=dict(fb._local_names),
+                    param_ranges=dict(fb._param_ranges),
                 )
             )
         for name, kind, target in self._exports:

@@ -51,6 +51,12 @@ class Function:
     body: list = field(default_factory=list)
     name: str | None = None
     local_names: dict[int, str] = field(default_factory=dict)
+    #: Host-contract value hints: parameter index -> inclusive ``(lo, hi)``
+    #: range the caller promises to respect.  Purely advisory metadata for
+    #: the static analyses (not encoded to binary): the codegen declares
+    #: the ``[0, extent_rows]`` contract of ``pipeline_i(begin, end)``
+    #: here, which lets the interval analysis bound scan addresses.
+    param_ranges: dict[int, tuple[int, int]] = field(default_factory=dict)
 
 
 @dataclass

@@ -22,9 +22,16 @@ either overlapped or serialized.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 
-from repro.errors import CompilationError, ConfigError, Trap, ValidationError
+from repro.errors import (
+    CompilationError,
+    ConfigError,
+    LintError,
+    Trap,
+    ValidationError,
+)
 from repro.wasm.module import Module
 from repro.wasm.runtime.interpreter import Interpreter
 from repro.wasm.runtime.liftoff import LiftoffCompiler
@@ -40,6 +47,9 @@ _GLOBAL_DEFAULTS = {"i32": 0, "i64": 0, "f32": 0.0, "f64": 0.0}
 #: The valid tiering modes, in decreasing order of sophistication.
 ENGINE_MODES = ("adaptive", "turbofan", "liftoff", "interpreter")
 
+#: The valid linter modes of :attr:`EngineConfig.lint`.
+LINT_MODES = ("off", "warn", "strict")
+
 
 @dataclass
 class EngineConfig:
@@ -54,6 +64,13 @@ class EngineConfig:
     mode: str = "adaptive"          # adaptive | liftoff | turbofan | interpreter
     tier_up_threshold: int = 16     # calls of one function before tier-up
     validate: bool = True
+    #: Static-analysis linter over every instantiated module:
+    #: "off" (default), "warn" (Python warnings), or "strict"
+    #: (:class:`~repro.errors.LintError` on any diagnostic).
+    lint: str = "off"
+    #: Let TurboFan drop the per-access address mask when the interval
+    #: analysis proves the access in bounds of the declared memory minimum.
+    elide_bounds_checks: bool = True
     fault_injector: object = None   # a repro.robustness.FaultInjector
 
     def __post_init__(self):
@@ -66,6 +83,15 @@ class EngineConfig:
             raise ConfigError(
                 f"tier_up_threshold must be an int >= 1, "
                 f"got {self.tier_up_threshold!r}"
+            )
+        if self.lint not in LINT_MODES:
+            raise ConfigError(
+                f"unknown lint mode {self.lint!r}; have {LINT_MODES}"
+            )
+        if not isinstance(self.elide_bounds_checks, bool):
+            raise ConfigError(
+                f"elide_bounds_checks must be a bool, "
+                f"got {self.elide_bounds_checks!r}"
             )
 
 
@@ -81,6 +107,9 @@ class TierStats:
     #: TurboFan compilations that failed; each pins its function to the
     #: Liftoff tier for the rest of the instance's life (V8's bailout).
     tier_up_failures: int = 0
+    #: Per-access bounds checks TurboFan statically proved away using the
+    #: interval analysis (summed over its compiled functions).
+    bounds_checks_elided: int = 0
 
     @property
     def total_compile_seconds(self) -> float:
@@ -106,6 +135,7 @@ class Instance:
         self.funcs: list = [None] * (len(module.imports) + len(module.functions))
         self.table: list[int | None] = []
         self.profile = None  # a costmodel Profile during instrumented runs
+        self.lint_diagnostics: list = []
         self.stats = TierStats()
         self._exports = {e.name: e for e in module.exports}
 
@@ -161,12 +191,34 @@ class Engine:
         if self.config.validate:
             validate_module(module)
 
+        lint_diagnostics: list = []
+        if self.config.lint != "off":
+            from repro.wasm.analysis import ModuleLinter
+
+            lint_diagnostics = ModuleLinter(module).lint()
+            if lint_diagnostics:
+                if self.config.lint == "strict":
+                    raise LintError(lint_diagnostics)
+                for diag in lint_diagnostics:
+                    warnings.warn(str(diag), stacklevel=2)
+
+        if memory is not None and module.memories:
+            # The host-provided memory plays the paper's SetModuleMemory()
+            # role; it must satisfy the module's declared minimum or the
+            # analyses (and elision proofs) built on that minimum are lies.
+            declared_min = module.memories[0].minimum
+            if memory.size_pages < declared_min:
+                raise ValidationError(
+                    f"provided memory has {memory.size_pages} page(s) but "
+                    f"the module declares a minimum of {declared_min}"
+                )
         if memory is None and module.memories:
             spec = module.memories[0]
             memory = LinearMemory(min_pages=spec.minimum,
                                   max_pages=spec.maximum)
         instance = Instance(module, memory)
         instance.profile = profile
+        instance.lint_diagnostics = lint_diagnostics
 
         # imports
         imports = imports or {}
@@ -214,7 +266,9 @@ class Engine:
         instrumented = instance.profile is not None
         injector = self.config.fault_injector
         if mode == "turbofan":
-            compiler = TurboFanCompiler(module)
+            compiler = TurboFanCompiler(
+                module, elide_bounds_checks=self.config.elide_bounds_checks
+            )
             fallback = None
             start = time.perf_counter()
             for i, func in enumerate(module.functions):
@@ -225,6 +279,8 @@ class Engine:
                         func, n_imports + i, instrumented
                     )
                     instance.stats.turbofan_functions += 1
+                    instance.stats.bounds_checks_elided += \
+                        compiled.bounds_checks_elided
                 except CompilationError:
                     # V8-style bailout: even under enforced optimization a
                     # function TurboFan rejects stays on the baseline tier
@@ -308,9 +364,9 @@ class Engine:
             injector = self.config.fault_injector
             if injector is not None:
                 injector.check("turbofan.compile")
-            compiled = TurboFanCompiler(module).compile(
-                func, func_index, instrumented
-            )
+            compiled = TurboFanCompiler(
+                module, elide_bounds_checks=self.config.elide_bounds_checks
+            ).compile(func, func_index, instrumented)
             optimized = compiled.bind(instance, instance.profile)
         except CompilationError:
             instance.stats.turbofan_seconds += time.perf_counter() - start
@@ -323,4 +379,5 @@ class Engine:
         instance.stats.turbofan_seconds += time.perf_counter() - start
         instance.stats.turbofan_functions += 1
         instance.stats.tier_ups += 1
+        instance.stats.bounds_checks_elided += compiled.bounds_checks_elided
         instance.funcs[func_index] = optimized

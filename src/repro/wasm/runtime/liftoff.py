@@ -41,6 +41,9 @@ class CompiledFunction:
     source: str
     entry: str
     code: object = field(repr=False, default=None)  # compiled code object
+    #: Memory accesses whose bounds check the compiler proved away
+    #: (always 0 for Liftoff, which never runs the range analysis).
+    bounds_checks_elided: int = 0
 
     def bind(self, instance, profile=None):
         """Instantiate the code against one instance; returns a callable."""

@@ -14,12 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
-from repro.wasm.module import Function, FuncType, Module
+from repro.wasm.module import Function, Module
 from repro.wasm.opcodes import OPS
 
 __all__ = ["validate_module", "validate_function"]
 
 _UNKNOWN = "unknown"
+_MAX_PAGES = 65536  # 4 GiB / 64 KiB: the 32-bit address-space cap
 _NATURAL_ALIGN = {
     "i32.load": 2, "i64.load": 3, "f32.load": 2, "f64.load": 3,
     "i32.load8_s": 0, "i32.load8_u": 0, "i32.load16_s": 1, "i32.load16_u": 1,
@@ -297,10 +298,56 @@ def validate_module(module: Module) -> None:
     if len(module.memories) > 1:
         raise ValidationError("at most one memory is allowed (MVP)")
     for mem in module.memories:
-        if mem.maximum is not None and mem.maximum < mem.minimum:
-            raise ValidationError("memory maximum below minimum")
+        if mem.minimum < 0 or mem.minimum > _MAX_PAGES:
+            raise ValidationError(
+                f"memory minimum {mem.minimum} exceeds {_MAX_PAGES} pages "
+                f"(the 4 GiB 32-bit address space)"
+            )
+        if mem.maximum is not None:
+            if mem.maximum > _MAX_PAGES:
+                raise ValidationError(
+                    f"memory maximum {mem.maximum} exceeds {_MAX_PAGES} pages"
+                )
+            if mem.maximum < mem.minimum:
+                raise ValidationError("memory maximum below minimum")
+    _GLOBAL_INIT_PYTYPE = {"i32": int, "i64": int, "f32": float, "f64": float}
+    _INT_INIT_RANGE = {"i32": (-(1 << 31), (1 << 32) - 1),
+                       "i64": (-(1 << 63), (1 << 64) - 1)}
+    for i, glob in enumerate(module.globals):
+        if glob.valtype not in _GLOBAL_INIT_PYTYPE:
+            raise ValidationError(
+                f"global {i}: unknown value type {glob.valtype!r}"
+            )
+        init = glob.init
+        if init is None:
+            continue  # zero-initialized by the engine
+        expected = _GLOBAL_INIT_PYTYPE[glob.valtype]
+        if expected is int:
+            # bool is an int subclass but not a Wasm constant
+            if not isinstance(init, int) or isinstance(init, bool):
+                raise ValidationError(
+                    f"global {i}: initializer {init!r} is not a "
+                    f"{glob.valtype} constant"
+                )
+            lo, hi = _INT_INIT_RANGE[glob.valtype]
+            if not (lo <= init <= hi):
+                raise ValidationError(
+                    f"global {i}: initializer {init} out of {glob.valtype} "
+                    f"range"
+                )
+        elif not isinstance(init, (int, float)) or isinstance(init, bool):
+            raise ValidationError(
+                f"global {i}: initializer {init!r} is not a "
+                f"{glob.valtype} constant"
+            )
     total_funcs = len(module.imports) + len(module.functions)
+    seen_exports: set[str] = set()
     for export in module.exports:
+        if export.name in seen_exports:
+            raise ValidationError(
+                f"duplicate export name {export.name!r}"
+            )
+        seen_exports.add(export.name)
         limit = {
             "func": total_funcs,
             "memory": len(module.memories),

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.backend.codegen import QueryCompiler
-from repro.backend.context import MORSEL_SIZE
 from repro.backend.layout import TupleLayout
 from repro.engines.base import Timings
 from repro.engines.wasm_engine import WasmEngine

@@ -7,7 +7,6 @@ sorting, and the function-call (ablation) variants.
 
 import random
 
-import pytest
 
 from repro.backend.context import CompilerContext, MemoryPlan
 from repro.backend.expr import ExprCompiler

@@ -5,7 +5,6 @@ import datetime as dt
 import pytest
 
 from repro.bench.tpch import QUERIES, generate_tpch, tpch_database
-from repro.sql.types import days_to_date
 
 from tests.engines.conftest import ALL_ENGINES, norm
 
@@ -77,10 +76,6 @@ class TestDbgen:
         assert (price == (quantity // 100) * retail[partkey]).all()
 
     def test_market_segments(self, db):
-        rows = db.execute(
-            "SELECT COUNT(DISTINCT_MARKER) FROM customer"
-            .replace("COUNT(DISTINCT_MARKER)", "COUNT(*)")
-        ).rows
         segments = db.execute(
             "SELECT DISTINCT c_mktsegment FROM customer ORDER BY c_mktsegment"
         ).rows

@@ -4,7 +4,6 @@ import pytest
 
 from repro.db import Database
 from repro.errors import (
-    AnalysisError,
     CatalogError,
     LexError,
     ParseError,

@@ -5,10 +5,8 @@ by the benchmark suite; here the fast examples run end to end.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 

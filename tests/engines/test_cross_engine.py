@@ -5,7 +5,6 @@ vectorized, and HyPer-like baselines — four independent implementations
 of the same physical-plan semantics.
 """
 
-import pytest
 
 from tests.engines.conftest import assert_engines_agree
 

@@ -9,7 +9,6 @@ and the Volcano interpreter fails here.
 
 import datetime as dt
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.db import Database

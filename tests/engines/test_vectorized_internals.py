@@ -1,7 +1,6 @@
 """Unit tests of the vectorized engine's kernels and helpers."""
 
 import numpy as np
-import pytest
 
 from repro.engines.vectorized import (
     _combine_keys,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import AnalysisError
 from repro.plan import logical as L
 from repro.plan.builder import build_logical_plan, split_conjuncts
 from repro.plan.logical import explain
@@ -10,7 +9,6 @@ from repro.plan.optimizer import bindings_of, optimize
 from repro.sql.analyzer import analyze
 from repro.sql.parser import parse, parse_expression
 
-from tests.plan.conftest import plan_for
 
 
 def logical_for(db, sql, optimized=True):
@@ -129,7 +127,7 @@ class TestOptimizer:
 
 class TestCardinality:
     def test_range_estimate_reasonable(self, db):
-        from repro.catalog.statistics import TableStatistics
+
         from repro.plan.cardinality import CardinalityEstimator
 
         stats = {"r": db.table("r").statistics}

@@ -61,7 +61,7 @@ class TestTierUpPinning:
         import repro.wasm.runtime.engine as engine_module
 
         class Exploding:
-            def __init__(self, module):
+            def __init__(self, module, **kwargs):
                 pass
 
             def compile(self, *args, **kwargs):

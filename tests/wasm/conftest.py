@@ -7,7 +7,6 @@ import pytest
 from repro.errors import Trap
 from repro.wasm import ModuleBuilder
 from repro.wasm.runtime import Engine, EngineConfig, LinearMemory
-from repro.storage.rewiring import AddressSpace
 
 ALL_MODES = ["interpreter", "liftoff", "turbofan"]
 

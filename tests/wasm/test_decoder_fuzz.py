@@ -1,7 +1,6 @@
 """Robustness of the binary decoder: malformed input must raise
 DecodeError, never crash with an arbitrary exception or hang."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import DecodeError, ValidationError

@@ -446,7 +446,7 @@ def f64_expr(draw, depth=0):
 
 
 def _module_from_body(body, result_ty):
-    from repro.wasm.module import FuncType, Function, MemoryType, Module
+    from repro.wasm.module import FuncType, Function, Module
     from repro.wasm.module import Export
     module = Module()
     module.types.append(FuncType(("i32", "i32", "i64", "f64"), (result_ty,)))

@@ -1,8 +1,6 @@
 """Tests of the TurboFan optimization passes (on generated source)."""
 
-import re
 
-import pytest
 
 from repro.wasm import ModuleBuilder, validate_module
 from repro.wasm.runtime.liftoff import LiftoffCompiler

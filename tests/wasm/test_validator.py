@@ -206,3 +206,95 @@ class TestModuleLevel:
         module.start = f.func_index
         with pytest.raises(ValidationError, match="start"):
             validate_module(module)
+
+
+class TestMemoryLimits:
+    def test_minimum_above_four_gib_rejected(self):
+        from repro.wasm.module import MemoryType
+        module = Module()
+        module.memories = [MemoryType(65537)]
+        with pytest.raises(ValidationError, match="65536 pages"):
+            validate_module(module)
+
+    def test_maximum_above_four_gib_rejected(self):
+        from repro.wasm.module import MemoryType
+        module = Module()
+        module.memories = [MemoryType(1, 70000)]
+        with pytest.raises(ValidationError, match="65536 pages"):
+            validate_module(module)
+
+    def test_maximum_below_minimum_rejected(self):
+        from repro.wasm.module import MemoryType
+        module = Module()
+        module.memories = [MemoryType(4, 2)]
+        with pytest.raises(ValidationError, match="below minimum"):
+            validate_module(module)
+
+    def test_full_address_space_accepted(self):
+        from repro.wasm.module import MemoryType
+        module = Module()
+        module.memories = [MemoryType(1, 65536)]
+        validate_module(module)
+
+
+class TestGlobalInitializers:
+    def test_float_init_for_int_global_rejected(self):
+        mb = ModuleBuilder()
+        mb.add_global("i32", 1.5)
+        with pytest.raises(ValidationError, match="not a i32 constant"):
+            validate_module(mb.finish())
+
+    def test_bool_init_rejected(self):
+        mb = ModuleBuilder()
+        mb.add_global("i64", True)
+        with pytest.raises(ValidationError, match="not a i64 constant"):
+            validate_module(mb.finish())
+
+    def test_out_of_range_i32_init_rejected(self):
+        mb = ModuleBuilder()
+        mb.add_global("i32", 1 << 40)
+        with pytest.raises(ValidationError, match="out of i32 range"):
+            validate_module(mb.finish())
+
+    def test_string_init_rejected(self):
+        mb = ModuleBuilder()
+        mb.add_global("f64", "zero")
+        with pytest.raises(ValidationError, match="not a f64 constant"):
+            validate_module(mb.finish())
+
+    def test_unknown_valtype_rejected(self):
+        mb = ModuleBuilder()
+        mb.add_global("v128", 0)
+        with pytest.raises(ValidationError, match="unknown value type"):
+            validate_module(mb.finish())
+
+    def test_valid_initializers_accepted(self):
+        mb = ModuleBuilder()
+        mb.add_global("i32", -(1 << 31))
+        mb.add_global("i64", (1 << 64) - 1)
+        mb.add_global("f64", 2.5)
+        mb.add_global("f32", 3)  # ints are acceptable float constants
+        validate_module(mb.finish())
+
+
+class TestUniqueExports:
+    def test_duplicate_export_names_rejected(self):
+        mb = ModuleBuilder()
+        mb.function("f", results=["i32"], export=True).i32(1)
+        mb.function("f", results=["i32"], export=True).i32(2)
+        with pytest.raises(ValidationError, match="duplicate export"):
+            validate_module(mb.finish())
+
+    def test_duplicate_across_kinds_rejected(self):
+        mb = ModuleBuilder()
+        mb.function("thing", results=["i32"], export=True).i32(1)
+        mb.add_memory(1, 1, export="thing")
+        with pytest.raises(ValidationError, match="duplicate export"):
+            validate_module(mb.finish())
+
+    def test_distinct_names_accepted(self):
+        mb = ModuleBuilder()
+        mb.function("f", results=["i32"], export=True).i32(1)
+        mb.function("g", results=["i32"], export=True).i32(2)
+        mb.add_memory(1, 1, export="memory")
+        validate_module(mb.finish())
