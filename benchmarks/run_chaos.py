@@ -26,6 +26,7 @@ sys.path.insert(0, ".")
 
 from repro.bench.tpch import QUERIES, tpch_database  # noqa: E402
 from repro.errors import QueryError, ReproError  # noqa: E402
+from repro.observability import QueryTrace  # noqa: E402
 from repro.robustness import FAULT_SITES, FallbackPolicy, FaultInjector  # noqa: E402
 
 
@@ -50,7 +51,10 @@ def run_sweep(seeds: list[int], rate: float, scale: float,
     }
 
     stats = {"runs": 0, "clean": 0, "degraded": 0, "structured_failures": 0,
-             "incorrect": [], "unstructured": []}
+             "incorrect": [], "unstructured": [],
+             # every injected fault is visible post-hoc as a
+             # ``fault.injected`` trace event: site -> observed count
+             "faults_observed": {}, "faults_unaccounted": []}
     for site in sorted(FAULT_SITES):
         for seed in seeds:
             injector = FaultInjector(seed=seed, rates={site: rate})
@@ -60,8 +64,10 @@ def run_sweep(seeds: list[int], rate: float, scale: float,
             for name, sql in QUERIES.items():
                 stats["runs"] += 1
                 label = f"{site} seed={seed} {name}"
+                fired_before = injector.total_fired
+                trace = QueryTrace(sql)
                 try:
-                    result = db.execute(sql)
+                    result = db.execute(sql, trace=trace)
                 except QueryError as err:
                     stats["structured_failures"] += 1
                     if verbose:
@@ -76,6 +82,19 @@ def run_sweep(seeds: list[int], rate: float, scale: float,
                 except Exception as err:  # bare ValueError/KeyError/...
                     stats["unstructured"].append((label, repr(err)))
                     continue
+                finally:
+                    # post-hoc auditability: every fault the injector
+                    # fired must appear in the query's trace
+                    observed = trace.find("fault.injected")
+                    for event in observed:
+                        fault_site = event.attrs["site"]
+                        stats["faults_observed"][fault_site] = \
+                            stats["faults_observed"].get(fault_site, 0) + 1
+                    fired = injector.total_fired - fired_before
+                    if fired != len(observed):
+                        stats["faults_unaccounted"].append(
+                            (label, fired, len(observed))
+                        )
                 if norm(result.rows) != reference[name]:
                     stats["incorrect"].append(label)
                 elif result.degraded:
@@ -105,14 +124,23 @@ def main(seeds: int = 3, rate: float = 1.0, scale: float = 0.002) -> str:
         f"  structured failures:         {stats['structured_failures']}",
         f"  INCORRECT results:           {len(stats['incorrect'])}",
         f"  unstructured escapes:        {len(stats['unstructured'])}",
+        "  faults observed in traces:   " + (", ".join(
+            f"{site}={count}"
+            for site, count in sorted(stats["faults_observed"].items())
+        ) or "none"),
     ]
     for label in stats["incorrect"]:
         lines.append(f"    wrong result: {label}")
     for label, err in stats["unstructured"]:
         lines.append(f"    escape: {label}: {err}")
+    for label, fired, seen in stats["faults_unaccounted"]:
+        lines.append(f"    untraced fault: {label}: "
+                     f"fired={fired} traced={seen}")
     report = "\n".join(lines)
     assert not stats["incorrect"], "chaos sweep produced incorrect results"
     assert not stats["unstructured"], "unstructured errors escaped the chain"
+    assert not stats["faults_unaccounted"], \
+        "injected faults missing from query traces"
     return report
 
 

@@ -28,6 +28,7 @@ from repro.backend.hashtable import GeneratedHashTable, sentinel_for
 from repro.backend.layout import TupleLayout
 from repro.backend.sort import GeneratedSort
 from repro.errors import PlanError
+from repro.observability.trace import trace_span
 from repro.plan import physical as P
 from repro.plan.exprs import Aggregate, Slot, walk_lexpr
 from repro.plan.pipeline import Pipeline, dissect_into_pipelines
@@ -59,6 +60,12 @@ class PipelineInfo:
     source_name: str              # binding / ht name / sort name
     sort_before: str | None = None  # exported sort driver to call first
     is_final: bool = False
+    # sink-side cardinality accounting (for EXPLAIN ANALYZE): the
+    # generated structure this pipeline feeds, whose exported
+    # ``{sink_name}_count`` global holds the rows it produced.  ``scalar``
+    # sinks have no count global (always exactly one state row).
+    sink_kind: str | None = None  # hashtable | sort | materialize | scalar
+    sink_name: str | None = None
     limit_global: str | None = None   # exported row counter for early stop
     limit_total: int | None = None    # offset + limit
     # index-seek bounds for the host's position lookup:
@@ -110,7 +117,8 @@ class QueryCompiler:
 
     # ------------------------------------------------------------------ api --
 
-    def compile(self, plan: P.PhysicalOperator) -> CompiledQuery:
+    def compile(self, plan: P.PhysicalOperator,
+                trace=None) -> CompiledQuery:
         pipelines = dissect_into_pipelines(plan)
         for pipe in pipelines:
             self._declare_breakers(pipe)
@@ -122,9 +130,11 @@ class QueryCompiler:
 
         infos = []
         for pipe in pipelines:
-            infos.append(
-                self._compile_pipeline(pipe, result_layout, result_capacity)
-            )
+            with trace_span(trace, "codegen.pipeline", pipeline=pipe.index):
+                infos.append(
+                    self._compile_pipeline(pipe, result_layout,
+                                           result_capacity)
+                )
         module = self.ctx.finish()
         return CompiledQuery(
             module=module,
@@ -256,6 +266,20 @@ class QueryCompiler:
             source_name="",
             is_final=pipe.sink is None,
         )
+        sink = pipe.sink
+        if sink is not None:
+            key = id(sink)
+            if key in self._hash_tables:
+                info.sink_kind = "hashtable"
+                info.sink_name = self._hash_tables[key].name
+            elif key in self._sorts:
+                info.sink_kind = "sort"
+                info.sink_name = self._sorts[key].name
+            elif key in self._materialized:
+                info.sink_kind = "materialize"
+                info.sink_name = self._materialized[key].name
+            elif key in self._scalar_states:
+                info.sink_kind = "scalar"
 
         def body(slots: list[SlotValue]) -> None:
             expr_compiler.slots = slots

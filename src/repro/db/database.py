@@ -22,7 +22,14 @@ import copy
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, TableSchema
 from repro.costmodel import Profile
-from repro.errors import AnalysisError, ConfigError, EngineError
+from repro.engines.base import ExecutionResult
+from repro.errors import AnalysisError, ConfigError, EngineError, ReproError
+from repro.observability.explain import (
+    pipeline_stats_from_trace,
+    render_explain_analyze,
+)
+from repro.observability.metrics import get_registry
+from repro.observability.trace import QueryTrace, trace_event, trace_span
 from repro.plan.builder import build_logical_plan
 from repro.plan.logical import explain as explain_logical
 from repro.plan.optimizer import optimize
@@ -121,8 +128,18 @@ class Database:
 
     # -- SQL ---------------------------------------------------------------------
 
+    @staticmethod
+    def _normalize_trace(trace):
+        """``True`` -> fresh :class:`QueryTrace`; pass traces through."""
+        if trace is None or trace is False:
+            return None
+        if trace is True:
+            return QueryTrace()
+        return trace  # a QueryTrace (possibly on a fake clock)
+
     def execute(self, sql: str, engine: str | None = None,
-                profile: Profile | None = None, fallback=...):
+                profile: Profile | None = None, fallback=...,
+                trace=None):
         """Parse, plan, and run one SQL statement.
 
         SELECT returns an :class:`~repro.engines.base.ExecutionResult`;
@@ -132,9 +149,19 @@ class Database:
         ``"volcano"``, ...).  ``fallback`` overrides the database-level
         degradation policy for this statement (same accepted values as
         the constructor argument); omit it to inherit.
+
+        ``trace`` requests a structured trace of the whole query
+        lifecycle: pass ``True`` for a fresh
+        :class:`~repro.observability.QueryTrace` on the wall clock, or an
+        existing ``QueryTrace`` (e.g. on a
+        :class:`~repro.observability.FakeClock`) to record into.  The
+        trace is attached to the result as ``result.trace``.
         """
-        stmt = parse(sql)
-        analyze(stmt, self.catalog)
+        qtrace = self._normalize_trace(trace)
+        with trace_span(qtrace, "parse"):
+            stmt = parse(sql)
+        with trace_span(qtrace, "analyze"):
+            analyze(stmt, self.catalog)
 
         if isinstance(stmt, ast.CreateTable):
             schema = TableSchema(stmt.name, [
@@ -167,7 +194,11 @@ class Database:
             table.append_rows(rows)
             return None
 
-        plan = self.plan(stmt)
+        if isinstance(stmt, ast.Explain):
+            return self._run_explain(stmt, engine, profile, qtrace)
+
+        with trace_span(qtrace, "plan"):
+            plan = self.plan(stmt)
         policy = self.fallback if fallback is ... \
             else self._normalize_fallback(fallback)
         primary = engine or self.default_engine
@@ -177,9 +208,15 @@ class Database:
             specs = policy.attempts_for(primary)
 
         def run_one(spec):
-            result = self.resolve_engine(spec).execute(
-                plan, self.catalog, profile=profile
-            )
+            trace_event(qtrace, "engine.attempt", engine=spec)
+            try:
+                result = self.resolve_engine(spec).execute(
+                    plan, self.catalog, profile=profile, trace=qtrace
+                )
+            except ReproError as err:
+                trace_event(qtrace, "engine.attempt_failed", engine=spec,
+                            error=type(err).__name__)
+                raise
             result.engine = spec  # report the variant, e.g. wasm[interpreter]
             return result
 
@@ -187,6 +224,57 @@ class Database:
         result.fallback_attempts = [
             (spec, f"{type(err).__name__}: {err}") for spec, err in failures
         ]
+        result.trace = qtrace
+        registry = get_registry()
+        registry.counter(
+            "queries_total", "Queries executed, by engine"
+        ).inc(engine=result.engine)
+        registry.histogram(
+            "query_seconds", "End-to-end query time (engine phases)"
+        ).observe(sum(result.timings.phases.values()))
+        return result
+
+    def _run_explain(self, stmt: ast.Explain, engine: str | None,
+                     profile: Profile | None, qtrace):
+        """``EXPLAIN [ANALYZE]``: the plan (with observed stats) as rows."""
+        with trace_span(qtrace, "plan"):
+            plan = self.plan(stmt.statement)
+        spec = engine or self.default_engine
+        if not stmt.analyze:
+            lines = ["EXPLAIN"] + explain_physical(plan).split("\n")
+            return self._text_result(lines, trace=qtrace)
+
+        # ANALYZE executes the query for real — under a trace, always,
+        # on the resolved engine alone (no fallback: the annotation must
+        # describe the engine the user asked about).
+        run_trace = qtrace if qtrace is not None else QueryTrace()
+        trace_event(run_trace, "engine.attempt", engine=spec)
+        executed = self.resolve_engine(spec).execute(
+            plan, self.catalog, profile=profile, trace=run_trace
+        )
+        stats = pipeline_stats_from_trace(
+            run_trace, dissect_into_pipelines(plan)
+        )
+        lines = render_explain_analyze(
+            plan, run_trace, stats, spec, total_rows=len(executed.rows)
+        )
+        result = self._text_result(lines, trace=run_trace)
+        result.pipeline_stats = stats
+        result.analyzed = executed  # the real result, for assertions
+        return result
+
+    @staticmethod
+    def _text_result(lines: list[str], trace=None) -> ExecutionResult:
+        from repro.sql.types import varchar
+
+        width = max([len(line) for line in lines] + [1])
+        result = ExecutionResult(
+            column_names=["plan"],
+            column_types=[varchar(width)],
+            rows=[(line,) for line in lines],
+            engine="",
+        )
+        result.trace = trace
         return result
 
     def plan(self, stmt: ast.Select):

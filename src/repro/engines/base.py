@@ -79,6 +79,9 @@ class ExecutionResult:
     #: ``(engine_spec, error_description)`` pairs — degradation through
     #: the fallback chain is observable, never silent.
     fallback_attempts: list[tuple[str, str]] = field(default_factory=list)
+    #: The :class:`~repro.observability.QueryTrace` recorded for this
+    #: query, when tracing was requested; ``None`` otherwise.
+    trace: object | None = None
 
     @property
     def degraded(self) -> bool:
@@ -128,12 +131,19 @@ class ExecutionResult:
 
 
 class QueryEngine:
-    """Interface all engines implement."""
+    """Interface all engines implement.
+
+    ``trace`` is an optional
+    :class:`~repro.observability.QueryTrace`; engines that support
+    structured tracing record their phase/pipeline/morsel spans into it,
+    others at minimum wrap execution in an ``execution`` span.
+    """
 
     name = "abstract"
 
     def execute(self, plan: PhysicalOperator, catalog: Catalog,
-                profile: Profile | None = None) -> ExecutionResult:
+                profile: Profile | None = None,
+                trace=None) -> ExecutionResult:
         raise NotImplementedError
 
     @staticmethod

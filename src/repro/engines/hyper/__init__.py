@@ -31,6 +31,7 @@ from repro.engines.hyper.compile import compile_o0, compile_o2
 from repro.engines.hyper.hir import BytecodeInterpreter, flatten_to_bytecode
 from repro.engines.hyper.irgen import generate_hir
 from repro.errors import EngineError
+from repro.observability.trace import trace_span
 from repro.plan import physical as P
 
 __all__ = ["HyperEngine", "HyperRuntimeLibrary"]
@@ -263,9 +264,11 @@ class HyperEngine(QueryEngine):
         self.morsel_size = morsel_size
 
     def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
-                profile: Profile | None = None) -> ExecutionResult:
+                profile: Profile | None = None,
+                trace=None) -> ExecutionResult:
         timings = Timings()
-        with Stopwatch(timings, "translation"):
+        with Stopwatch(timings, "translation"), \
+                trace_span(trace, "translation", engine=self.name):
             program = generate_hir(plan)
 
         columns = []
@@ -325,7 +328,8 @@ class HyperEngine(QueryEngine):
 
         interpreter = BytecodeInterpreter(columns, library, results, profile)
 
-        with Stopwatch(timings, "execution"):
+        with Stopwatch(timings, "execution"), \
+                trace_span(trace, "execution", engine=self.name):
             switched = 0
             for info in program.pipelines:
                 switched += self._run_pipeline(
@@ -340,6 +344,7 @@ class HyperEngine(QueryEngine):
         result.engine = self.name
         result.timings = timings
         result.profile = profile
+        result.trace = trace
         return result
 
     def _run_pipeline(self, info, library, interpreter, bytecodes,

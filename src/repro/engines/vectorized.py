@@ -33,6 +33,7 @@ from repro.costmodel import Profile
 from repro.engines.base import ExecutionResult, QueryEngine, Stopwatch, Timings
 from repro.engines.eval import sql_like_regex
 from repro.errors import EngineError
+from repro.observability.trace import trace_span
 from repro.plan import exprs as E
 from repro.plan import physical as P
 from repro.sql import types as T
@@ -239,10 +240,12 @@ class VectorizedEngine(QueryEngine):
     name = "vectorized"
 
     def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
-                profile: Profile | None = None) -> ExecutionResult:
+                profile: Profile | None = None,
+                trace=None) -> ExecutionResult:
         timings = Timings()
         evaluator = _Evaluator(profile)
-        with Stopwatch(timings, "execution"):
+        with Stopwatch(timings, "execution"), \
+                trace_span(trace, "execution", engine=self.name):
             chunk = self._run(plan, catalog, evaluator)
             rows = list(zip(*[col.tolist() for col in chunk.columns])) \
                 if chunk.length else []
@@ -250,6 +253,7 @@ class VectorizedEngine(QueryEngine):
         result.engine = self.name
         result.timings = timings
         result.profile = profile
+        result.trace = trace
         return result
 
     # -- operators -------------------------------------------------------------

@@ -20,6 +20,7 @@ from repro.engines import aggstate
 from repro.engines.base import ExecutionResult, QueryEngine, Stopwatch, Timings
 from repro.engines.eval import evaluate
 from repro.errors import EngineError
+from repro.observability.trace import trace_span
 from repro.plan import physical as P
 
 __all__ = ["VolcanoEngine"]
@@ -350,17 +351,21 @@ class VolcanoEngine(QueryEngine):
     name = "volcano"
 
     def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
-                profile: Profile | None = None) -> ExecutionResult:
+                profile: Profile | None = None,
+                trace=None) -> ExecutionResult:
         timings = Timings()
-        with Stopwatch(timings, "translation"):
+        with Stopwatch(timings, "translation"), \
+                trace_span(trace, "translation", engine=self.name):
             root = self._build(plan, catalog, profile)
-        with Stopwatch(timings, "execution"):
+        with Stopwatch(timings, "execution"), \
+                trace_span(trace, "execution", engine=self.name):
             root.open()
             rows = list(root)
         result = self.finalize_rows(plan, rows)
         result.engine = self.name
         result.timings = timings
         result.profile = profile
+        result.trace = trace
         return result
 
     def _build(self, op: P.PhysicalOperator, catalog: Catalog,

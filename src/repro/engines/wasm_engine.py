@@ -35,6 +35,8 @@ from repro.costmodel import Profile
 from repro.engines.base import ExecutionResult, QueryEngine, Stopwatch, Timings
 from repro.engines.eval import sql_like_regex
 from repro.errors import Trap
+from repro.observability.metrics import get_registry
+from repro.observability.trace import trace_event, trace_span
 from repro.plan import physical as P
 from repro.plan.pipeline import dissect_into_pipelines
 from repro.robustness.governor import ResourceGovernor
@@ -118,8 +120,10 @@ class WasmEngine(QueryEngine):
     def compile_query(self, plan: P.PhysicalOperator, catalog: Catalog,
                       timings: Timings,
                       governor: ResourceGovernor | None = None,
+                      trace=None,
                       ) -> tuple[CompiledQuery, AddressSpace]:
-        with Stopwatch(timings, "translation"):
+        with Stopwatch(timings, "translation"), \
+                trace_span(trace, "translation", engine=self.name):
             space, memory_plan = self._build_address_space(
                 plan, catalog, governor
             )
@@ -127,7 +131,7 @@ class WasmEngine(QueryEngine):
                                      short_circuit=self.short_circuit,
                                      inline_adhoc=self.inline_adhoc,
                                      predication=self.predication)
-            compiled = compiler.compile(plan)
+            compiled = compiler.compile(plan, trace=trace)
         return compiled, space
 
     def _build_address_space(self, plan: P.PhysicalOperator,
@@ -205,12 +209,17 @@ class WasmEngine(QueryEngine):
     # -- execution -----------------------------------------------------------------
 
     def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
-                profile: Profile | None = None) -> ExecutionResult:
+                profile: Profile | None = None,
+                trace=None) -> ExecutionResult:
         timings = Timings()
         governor = ResourceGovernor(self.timeout_seconds,
                                     self.max_memory_pages).start()
+        governor.trace = trace
+        if self.fault_injector is not None:
+            self.fault_injector.trace = trace
         governor.phase = "translation"
-        compiled, space = self.compile_query(plan, catalog, timings, governor)
+        compiled, space = self.compile_query(plan, catalog, timings,
+                                             governor, trace)
         governor.check()
 
         governor.phase = "compile"
@@ -218,6 +227,7 @@ class WasmEngine(QueryEngine):
             mode=self.mode, tier_up_threshold=self.tier_up_threshold,
             lint=self.lint, elide_bounds_checks=self.elide_bounds_checks,
             fault_injector=self.fault_injector,
+            trace=trace,
         ))
         rows: list[tuple] = []
         memory = LinearMemory(space)
@@ -251,11 +261,27 @@ class WasmEngine(QueryEngine):
         governor.phase = "execution"
         self._rewire_count = 0
         compile_before = instance.stats.total_compile_seconds
-        with Stopwatch(timings, "execution"):
+        with Stopwatch(timings, "execution"), \
+                trace_span(trace, "execution", engine=self.name):
             instance.invoke("init")
             for pipeline_index, info in enumerate(compiled.pipelines):
-                self._run_pipeline(instance, compiled, info, rows,
-                                   plan, catalog, governor, pipeline_index)
+                with trace_span(
+                    trace, "pipeline", pipeline=pipeline_index,
+                    function=info.function,
+                    source=f"{info.source_kind}:{info.source_name}",
+                ) as span:
+                    rows_before = len(rows)
+                    morsels = self._run_pipeline(
+                        instance, compiled, info, rows,
+                        plan, catalog, governor, pipeline_index, trace
+                    )
+                    if span is not None:
+                        if info.is_final:
+                            self._drain(instance, compiled, rows)
+                        span.attrs["morsels"] = morsels
+                        span.attrs["rows_out"] = self._pipeline_rows_out(
+                            instance, info, rows, rows_before
+                        )
             self._drain(instance, compiled, rows)
         # tier-up compilation that happened during execution is reported
         # as compile time, not execution time (in V8 it runs concurrently)
@@ -264,16 +290,45 @@ class WasmEngine(QueryEngine):
             timings.phases["execution"] -= tier_up
             timings.add("compile_turbofan", tier_up)
 
+        stats = instance.stats
+        trace_event(
+            trace, "tier_stats",
+            liftoff_functions=stats.liftoff_functions,
+            turbofan_functions=stats.turbofan_functions,
+            tier_ups=stats.tier_ups,
+            tier_up_failures=stats.tier_up_failures,
+            bounds_checks_elided=stats.bounds_checks_elided,
+        )
         result = self.finalize_rows(plan, rows)
         result.engine = self.name
         result.timings = timings
         result.profile = profile
+        result.trace = trace
         return result
+
+    def _pipeline_rows_out(self, instance, info, rows: list,
+                           rows_before: int) -> int:
+        """Observed output cardinality of one pipeline (EXPLAIN ANALYZE).
+
+        Final pipelines are measured by the rows drained from the result
+        window; sink pipelines by the generated structure's exported
+        ``{name}_count`` global; scalar-aggregate sinks hold exactly one
+        state row.
+        """
+        if info.is_final:
+            return len(rows) - rows_before
+        if info.sink_name is not None:
+            return self._read_global(instance, f"{info.sink_name}_count")
+        if info.sink_kind == "scalar":
+            return 1
+        return 0
 
     def _run_pipeline(self, instance, compiled: CompiledQuery, info,
                       rows: list, plan, catalog,
                       governor: ResourceGovernor | None = None,
-                      pipeline_index: int | None = None) -> None:
+                      pipeline_index: int | None = None,
+                      trace=None) -> int:
+        """Run one pipeline to completion; returns the morsel count."""
         if info.sort_before is not None:
             instance.invoke(info.sort_before)
         if info.source_kind == "indexseek":
@@ -301,6 +356,7 @@ class WasmEngine(QueryEngine):
             scan = next(s for s in _scans_of(plan)
                         if s.binding == info.source_name)
             offset = 0
+            morsels = 0
             while offset < total:
                 chunk_rows = min(window, total - offset)
                 if self.fault_injector is not None:
@@ -313,29 +369,47 @@ class WasmEngine(QueryEngine):
                         memoryview(chunk).cast("B"),
                     )
                 self._rewire_count += 1
-                self._drive_morsels(instance, compiled, info, rows,
-                                    0, chunk_rows, governor, pipeline_index)
+                trace_event(trace, "rewire.chunk",
+                            pipeline=pipeline_index, offset=offset,
+                            rows=chunk_rows)
+                get_registry().counter(
+                    "wasm_rewired_chunks_total",
+                    "Table chunks rewired into the fixed window",
+                ).inc()
+                morsels += self._drive_morsels(
+                    instance, compiled, info, rows, 0, chunk_rows,
+                    governor, pipeline_index, trace
+                )
                 offset += chunk_rows
-            return
+            return morsels
 
-        self._drive_morsels(instance, compiled, info, rows, begin, total,
-                            governor, pipeline_index)
+        return self._drive_morsels(instance, compiled, info, rows, begin,
+                                   total, governor, pipeline_index, trace)
 
     def _drive_morsels(self, instance, compiled, info, rows,
                        begin: int, total: int,
                        governor: ResourceGovernor | None = None,
-                       pipeline_index: int | None = None) -> None:
+                       pipeline_index: int | None = None,
+                       trace=None) -> int:
+        """Invoke the pipeline morsel by morsel; returns the morsel count."""
         morsel = 0
         injector = self.fault_injector
+        morsel_counter = get_registry().counter(
+            "wasm_morsels_total", "Morsels executed, by tier"
+        )
         while begin < total:
             end = min(begin + self.morsel_size, total)
+            tier = instance.tier_of(info.function)
             try:
                 if governor is not None:
                     governor.check(pipeline_index=pipeline_index,
                                    morsel=morsel)
                 if injector is not None:
                     injector.check("trap.morsel")
-                instance.invoke(info.function, begin, end)
+                with trace_span(trace, "morsel", pipeline=pipeline_index,
+                                morsel=morsel, begin=begin, end=end,
+                                tier=tier):
+                    instance.invoke(info.function, begin, end)
             except Trap as trap:
                 # locate the trap for the caller: which phase, which
                 # pipeline, which morsel (raw traps carry none of that)
@@ -344,14 +418,17 @@ class WasmEngine(QueryEngine):
                     trap.pipeline_index = pipeline_index
                     trap.morsel = morsel
                 raise
+            morsel_counter.inc(tier=tier)
             if info.is_final:
                 self._drain(instance, compiled, rows)
                 if info.limit_total is not None and self._read_global(
                     instance, info.limit_global
                 ) >= info.limit_total:
+                    morsel += 1
                     break
             begin = end
             morsel += 1
+        return morsel
 
     def _source_rows(self, instance, compiled: CompiledQuery, info) -> int:
         if info.source_kind == "scan":

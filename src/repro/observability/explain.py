@@ -1,0 +1,142 @@
+"""``EXPLAIN ANALYZE``: the physical plan annotated with observed stats.
+
+The renderer consumes a :class:`~repro.observability.trace.QueryTrace`
+recorded during a real execution and folds it back onto the plan:
+
+* per **pipeline** — morsel count, rows handed to the sink (or the
+  result), and execution time split by the tier that actually ran each
+  morsel (the paper's adaptive story, made visible per query);
+* per **tier** — functions compiled, tier-ups and their failures,
+  bounds checks the interval analysis elided;
+* per **phase** — parse, analyze, plan, translation (with per-pipeline
+  codegen), validation, lint, per-tier compilation, execution.
+
+All numbers derive from trace events, so an ``EXPLAIN ANALYZE`` under a
+:class:`~repro.observability.trace.FakeClock` is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PipelineStats",
+    "pipeline_stats_from_trace",
+    "render_explain_analyze",
+]
+
+#: Phase span kinds rendered in the summary line, in lifecycle order.
+_PHASE_KINDS = (
+    "parse", "analyze", "plan", "translation", "validate", "lint",
+    "compile.liftoff", "compile.turbofan", "execution",
+)
+
+
+@dataclass
+class PipelineStats:
+    """Observed execution statistics of one pipeline."""
+
+    index: int
+    function: str = ""
+    source: str = ""
+    description: str = ""
+    morsels: int = 0
+    #: Rows this pipeline handed to its sink (hash-table entries, sort
+    #: rows) or, for the final pipeline, rows delivered to the result.
+    rows_out: int | None = None
+    tier_morsels: dict[str, int] = field(default_factory=dict)
+    tier_seconds: dict[str, float] = field(default_factory=dict)
+    rewires: int = 0
+
+
+def pipeline_stats_from_trace(trace, pipelines=None) -> list[PipelineStats]:
+    """Fold a trace's pipeline/morsel/rewire events into per-pipeline stats.
+
+    ``pipelines`` (the plan dissection) is optional; when given, each
+    stat gets the pipeline's human-readable ``describe()`` string.
+    """
+    stats: dict[int, PipelineStats] = {}
+
+    def stat_for(index) -> PipelineStats:
+        if index not in stats:
+            stats[index] = PipelineStats(index=index)
+        return stats[index]
+
+    for event in trace.events:
+        if event.kind == "pipeline":
+            stat = stat_for(event.attrs["pipeline"])
+            stat.function = event.attrs.get("function", stat.function)
+            stat.source = event.attrs.get("source", stat.source)
+            if "morsels" in event.attrs:
+                stat.morsels = event.attrs["morsels"]
+            if "rows_out" in event.attrs:
+                stat.rows_out = event.attrs["rows_out"]
+        elif event.kind == "morsel":
+            stat = stat_for(event.attrs.get("pipeline"))
+            tier = event.attrs.get("tier") or "?"
+            stat.tier_morsels[tier] = stat.tier_morsels.get(tier, 0) + 1
+            stat.tier_seconds[tier] = (
+                stat.tier_seconds.get(tier, 0.0) + event.duration
+            )
+        elif event.kind == "rewire.chunk":
+            stat = stat_for(event.attrs.get("pipeline"))
+            stat.rewires += 1
+
+    if pipelines is not None:
+        for pipeline in pipelines:
+            if pipeline.index in stats:
+                stats[pipeline.index].description = pipeline.describe()
+    return [stats[index] for index in sorted(stats)]
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.3f}ms"
+
+
+def render_explain_analyze(plan, trace, stats: list[PipelineStats],
+                           engine_spec: str,
+                           total_rows: int | None = None) -> list[str]:
+    """The annotated plan as text lines (one per output row)."""
+    from repro.plan.physical import explain_physical
+
+    lines = [f"EXPLAIN ANALYZE (engine={engine_spec})"]
+    lines.extend(explain_physical(plan).split("\n"))
+
+    if stats:
+        lines.append("pipelines:")
+        for stat in stats:
+            header = stat.description or f"P{stat.index}: {stat.function}"
+            lines.append(f"  {header}")
+            detail = [f"morsels={stat.morsels}"]
+            if stat.rows_out is not None:
+                detail.append(f"rows={stat.rows_out}")
+            if stat.rewires:
+                detail.append(f"rewires={stat.rewires}")
+            for tier in sorted(stat.tier_morsels):
+                detail.append(
+                    f"{tier}={stat.tier_morsels[tier]} morsel(s)"
+                    f"/{_ms(stat.tier_seconds.get(tier, 0.0))}"
+                )
+            lines.append("    " + "  ".join(detail))
+
+    tier_events = trace.find("tier_stats")
+    if tier_events:
+        attrs = tier_events[-1].attrs
+        lines.append(
+            "tiers: "
+            f"liftoff={attrs.get('liftoff_functions', 0)} fn "
+            f"turbofan={attrs.get('turbofan_functions', 0)} fn "
+            f"tier-ups={attrs.get('tier_ups', 0)} "
+            f"(failures={attrs.get('tier_up_failures', 0)}) "
+            f"bounds-checks-elided={attrs.get('bounds_checks_elided', 0)}"
+        )
+
+    phases = [
+        f"{kind}={_ms(trace.total_seconds(kind))}"
+        for kind in _PHASE_KINDS if trace.find(kind)
+    ]
+    if phases:
+        lines.append("phases: " + " ".join(phases))
+    if total_rows is not None:
+        lines.append(f"result: {total_rows} row(s)")
+    return lines

@@ -1,0 +1,276 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+A single :data:`REGISTRY` instance is shared by the whole process — the
+engines, the adaptive tier-up controller, the resource governor, the
+fallback chain, the linter, and the fault injector all publish into it.
+Unlike a :class:`~repro.observability.trace.QueryTrace` (one per query,
+opt-in), metrics are always on and aggregate across queries, which is
+what a production deployment scrapes.
+
+The registry exports two ways:
+
+* :meth:`MetricsRegistry.as_dict` — a plain JSON-serializable dict for
+  programmatic consumers (tests, the bench harness), and
+* :meth:`MetricsRegistry.prometheus_text` — the Prometheus text
+  exposition format (``# TYPE``/``# HELP`` plus one line per labeled
+  sample; histograms as cumulative ``_bucket{le=...}`` series).
+
+Labels are plain keyword arguments::
+
+    MORSELS = REGISTRY.counter("morsels_total", "Morsels executed")
+    MORSELS.inc(tier="liftoff")
+
+Histogram buckets are fixed at registration so that scrape-to-scrape
+deltas are meaningful; the defaults suit query-latency seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+]
+
+#: Default histogram boundaries (seconds): 100 µs .. 10 s, then +Inf.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _label_text(key: tuple) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base class: a named, help-texted family of labeled samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    @property
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._values.values())
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def _export_values(self) -> dict:
+        return {_label_text(k): v for k, v in sorted(self._values.items())}
+
+    def _prometheus_lines(self) -> list[str]:
+        return [
+            f"{self.name}{_label_text(key)} {value}"
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(Counter):
+    """A value that can go up and down (current pages, active queries)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = value
+
+
+class Histogram(Metric):
+    """Observations bucketed at fixed boundaries, per label set.
+
+    Stored per label set as ``(per-bucket counts + overflow, sum,
+    count)``; exported cumulatively (Prometheus ``le`` semantics).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket boundary")
+        self._data: dict[tuple, list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            data = self._data.get(key)
+            if data is None:
+                data = [[0] * (len(self.buckets) + 1), 0.0, 0]
+                self._data[key] = data
+            data[0][bisect_left(self.buckets, value)] += 1
+            data[1] += value
+            data[2] += 1
+
+    def count(self, **labels) -> int:
+        data = self._data.get(_label_key(labels))
+        return 0 if data is None else data[2]
+
+    def sum(self, **labels) -> float:
+        data = self._data.get(_label_key(labels))
+        return 0.0 if data is None else data[1]
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def _cumulative(self, counts: list[int]) -> list[int]:
+        out, running = [], 0
+        for n in counts:
+            running += n
+            out.append(running)
+        return out
+
+    def _export_values(self) -> dict:
+        exported = {}
+        for key, (counts, total, n) in sorted(self._data.items()):
+            cumulative = self._cumulative(counts)
+            exported[_label_text(key)] = {
+                "buckets": {
+                    str(boundary): cumulative[i]
+                    for i, boundary in enumerate(self.buckets)
+                } | {"+Inf": cumulative[-1]},
+                "sum": total,
+                "count": n,
+            }
+        return exported
+
+    def _prometheus_lines(self) -> list[str]:
+        lines = []
+        for key, (counts, total, n) in sorted(self._data.items()):
+            cumulative = self._cumulative(counts)
+            for i, boundary in enumerate(self.buckets):
+                labeled = _label_key(dict(key) | {"le": str(boundary)})
+                lines.append(
+                    f"{self.name}_bucket{_label_text(labeled)} {cumulative[i]}"
+                )
+            labeled = _label_key(dict(key) | {"le": "+Inf"})
+            lines.append(
+                f"{self.name}_bucket{_label_text(labeled)} {cumulative[-1]}"
+            )
+            lines.append(f"{self.name}_sum{_label_text(key)} {total}")
+            lines.append(f"{self.name}_count{_label_text(key)} {n}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create semantics, two export formats."""
+
+    def __init__(self):
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name: str, help: str, **kwargs) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def reset(self) -> None:
+        """Zero every metric's samples (registrations survive)."""
+        for metric in self._metrics.values():
+            metric.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            name: {
+                "type": metric.kind,
+                "help": metric.help,
+                "values": metric._export_values(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def prometheus_text(self) -> str:
+        lines = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric._prometheus_lines())
+        return "\n".join(lines) + "\n"
+
+
+#: The process-wide registry every subsystem publishes into.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

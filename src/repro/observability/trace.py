@@ -1,0 +1,185 @@
+"""Structured, zero-dependency query tracing.
+
+The paper's central claims are *temporal*: Liftoff code starts running
+immediately, TurboFan replaces it mid-query at morsel boundaries, and
+compilation time is traded against execution time.  A
+:class:`QueryTrace` makes those claims inspectable: every phase of one
+query's life — parse, analyze, plan, per-pipeline codegen, validation,
+lint, per-tier compilation, every morsel with the tier that ran it,
+tier-ups and their failures, chunk re-wiring, governor budget checks,
+fallback transitions, injected faults — is recorded as a timestamped,
+typed :class:`TraceEvent`.
+
+Determinism by construction: the trace never reads the wall clock
+directly.  All timestamps come from an injectable monotonic *clock*
+(default :func:`time.perf_counter`), so tests drive a :class:`FakeClock`
+and assert golden span sequences byte-for-byte.  Producers never put
+wall-clock-derived values into event attributes for the same reason.
+
+Instrumented code uses the ``None``-tolerant module helpers so that an
+untraced query pays one ``is None`` check per site::
+
+    from repro.observability.trace import trace_event, trace_span
+
+    with trace_span(trace, "morsel", pipeline=0, tier="liftoff"):
+        instance.invoke(fn, begin, end)
+    trace_event(trace, "tier_up", function="pipeline_0")
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "FakeClock",
+    "QueryTrace",
+    "TraceEvent",
+    "trace_event",
+    "trace_span",
+]
+
+
+class TraceEvent:
+    """One trace record: an instant event (``end is None``) or a span.
+
+    Events are appended to the trace at *start* time, so the event list
+    is ordered by span start — nested spans appear before the events
+    they enclose finish, exactly like a flattened flame graph.
+    """
+
+    __slots__ = ("kind", "start", "end", "attrs")
+
+    def __init__(self, kind: str, start: float, attrs: dict):
+        self.kind = kind
+        self.start = start
+        self.end: float | None = None
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Span length in clock seconds; 0.0 for instant events."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "start": round(self.start, 9),
+            "end": None if self.end is None else round(self.end, 9),
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = "" if self.end is None else f"..{self.end:.6f}"
+        return f"TraceEvent({self.kind!r}, {self.start:.6f}{span}, {self.attrs})"
+
+
+class QueryTrace:
+    """The ordered trace of one query.
+
+    Args:
+        query: the SQL text (or any label) this trace belongs to.
+        clock: a zero-argument callable returning monotonic seconds;
+            defaults to :func:`time.perf_counter`.  Timestamps are
+            recorded relative to the clock value at construction.
+    """
+
+    def __init__(self, query: str = "", clock=None):
+        self._clock = clock if clock is not None else time.perf_counter
+        self._origin = self._clock()
+        self.query = query
+        self.events: list[TraceEvent] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds on the injected clock since the trace was created."""
+        return self._clock() - self._origin
+
+    def event(self, kind: str, **attrs) -> TraceEvent:
+        """Record an instant event."""
+        record = TraceEvent(kind, self.now(), attrs)
+        self.events.append(record)
+        return record
+
+    @contextmanager
+    def span(self, kind: str, **attrs):
+        """Record a span around a ``with`` block.
+
+        The yielded :class:`TraceEvent` is live: the block may add
+        attributes discovered during execution (row counts, morsel
+        totals).  The end timestamp is recorded even when the block
+        raises, so traps and budget aborts leave a well-formed trace.
+        """
+        record = TraceEvent(kind, self.now(), attrs)
+        self.events.append(record)
+        try:
+            yield record
+        finally:
+            record.end = self.now()
+
+    # -- inspection --------------------------------------------------------
+
+    def kinds(self) -> list[str]:
+        """The ordered sequence of event kinds (golden-test currency)."""
+        return [event.kind for event in self.events]
+
+    def find(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def total_seconds(self, kind: str) -> float:
+        """Summed duration of every span of one kind."""
+        return sum(event.duration for event in self.find(kind))
+
+    def to_dicts(self) -> list[dict]:
+        return [event.to_dict() for event in self.events]
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The whole trace as JSON (attrs coerced with ``str`` fallback)."""
+        return json.dumps(self.to_dicts(), indent=indent, sort_keys=True,
+                          default=str)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class FakeClock:
+    """A deterministic clock for tests: every reading advances it.
+
+    Each call returns the current time and then steps it forward, so a
+    trace driven by a ``FakeClock`` is fully deterministic — identical
+    code paths produce byte-identical JSON.  ``advance`` injects extra
+    elapsed time between readings (to model a slow phase).
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.001):
+        self.t = float(start)
+        self.step = float(step)
+
+    def __call__(self) -> float:
+        now = self.t
+        self.t += self.step
+        return now
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+# -- None-tolerant helpers for instrumented code -----------------------------
+
+def trace_event(trace: QueryTrace | None, kind: str, **attrs):
+    """Record an instant event, or do nothing when tracing is off."""
+    if trace is None:
+        return None
+    return trace.event(kind, **attrs)
+
+
+@contextmanager
+def trace_span(trace: QueryTrace | None, kind: str, **attrs):
+    """Record a span, or run the block untraced when tracing is off."""
+    if trace is None:
+        yield None
+        return
+    with trace.span(kind, **attrs) as record:
+        yield record

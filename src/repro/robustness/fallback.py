@@ -32,6 +32,7 @@ from __future__ import annotations
 import re
 
 from repro.errors import ConfigError, QueryError, ReproError
+from repro.observability.metrics import get_registry
 
 __all__ = [
     "DEFAULT_CHAIN",
@@ -102,11 +103,22 @@ def execute_with_fallback(specs: list[str], run_one):
     """
     if not specs:
         raise ConfigError("no engines to attempt")
+    attempts_counter = get_registry().counter(
+        "fallback_attempts_total", "Engine attempts, by spec and outcome"
+    )
     failures: list[tuple[str, ReproError]] = []
     for i, spec in enumerate(specs):
         try:
-            return run_one(spec), failures
+            result = run_one(spec)
+            attempts_counter.inc(engine=spec, outcome="ok")
+            if failures:
+                get_registry().counter(
+                    "fallback_degraded_queries_total",
+                    "Queries answered by a fallback engine",
+                ).inc()
+            return result, failures
         except ReproError as err:
+            attempts_counter.inc(engine=spec, outcome="error")
             failures.append((spec, err))
             if i + 1 < len(specs) and err.retryable:
                 continue

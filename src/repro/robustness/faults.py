@@ -40,6 +40,8 @@ from repro.errors import (
     RewiringError,
     Trap,
 )
+from repro.observability.metrics import get_registry
+from repro.observability.trace import trace_event
 
 __all__ = ["FAULT_SITES", "FaultInjector"]
 
@@ -105,6 +107,10 @@ class FaultInjector:
         self.max_fires = max_fires
         self.trials: dict[str, int] = {}
         self.fired: dict[str, int] = {}
+        #: Optional :class:`~repro.observability.QueryTrace`; every
+        #: injected fault is recorded as a ``fault.injected`` event so
+        #: chaos runs are auditable post-hoc.
+        self.trace = None
         self._rngs = {
             site: random.Random(f"{seed}:{site}") for site in rates
         }
@@ -134,6 +140,11 @@ class FaultInjector:
         if rate < 1.0 and self._rngs[site].random() >= rate:
             return
         self.fired[site] = self.fired.get(site, 0) + 1
+        trace_event(self.trace, "fault.injected", site=site,
+                    trial=self.trials[site], fired=self.fired[site])
+        get_registry().counter(
+            "faults_injected_total", "Faults injected, by site"
+        ).inc(site=site)
         raise FAULT_SITES[site](site)
 
     @property

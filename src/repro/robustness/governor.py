@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 
 from repro.errors import ConfigError, ResourceExhausted
+from repro.observability.metrics import get_registry
+from repro.observability.trace import trace_event
 
 __all__ = ["ResourceGovernor"]
 
@@ -56,6 +58,10 @@ class ResourceGovernor:
         #: through translation/compilation/execution so that allocation
         #: sites (which don't know the phase) still report it.
         self.phase = "setup"
+        #: Optional :class:`~repro.observability.QueryTrace`; budget
+        #: checks are recorded only when a budget is actually configured,
+        #: so un-budgeted queries keep clean traces.
+        self.trace = None
         self._deadline: float | None = None
         self._started_at: float | None = None
 
@@ -80,8 +86,22 @@ class ResourceGovernor:
               pipeline_index: int | None = None,
               morsel: int | None = None) -> None:
         """Raise :class:`ResourceExhausted` if the deadline has passed."""
-        if self._deadline is None or time.perf_counter() < self._deadline:
+        if self._deadline is None:
             return
+        trace_event(self.trace, "governor.check",
+                    phase=phase if phase is not None else self.phase,
+                    pipeline=pipeline_index, morsel=morsel)
+        get_registry().counter(
+            "governor_checks_total", "Budget checks at morsel boundaries"
+        ).inc()
+        if time.perf_counter() < self._deadline:
+            return
+        trace_event(self.trace, "governor.exhausted", resource="wall_clock",
+                    phase=phase if phase is not None else self.phase,
+                    pipeline=pipeline_index, morsel=morsel)
+        get_registry().counter(
+            "governor_exhausted_total", "Budget exhaustions, by resource"
+        ).inc(resource="wall_clock")
         raise ResourceExhausted(
             "wall_clock",
             "query exceeded its wall-clock budget",
@@ -105,6 +125,14 @@ class ResourceGovernor:
         """
         total = self.pages_charged + npages
         if self.max_memory_pages is not None and total > self.max_memory_pages:
+            trace_event(self.trace, "governor.exhausted",
+                        resource="memory_pages",
+                        phase=phase if phase is not None else self.phase,
+                        requested=npages, limit=self.max_memory_pages)
+            get_registry().counter(
+                "governor_exhausted_total",
+                "Budget exhaustions, by resource",
+            ).inc(resource="memory_pages")
             raise ResourceExhausted(
                 "memory_pages",
                 f"allocating {npages} pages would exceed the budget",

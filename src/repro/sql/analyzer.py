@@ -88,6 +88,8 @@ class Scope:
 
 def analyze(stmt: ast.Statement, catalog: Catalog) -> Scope | None:
     """Analyze any statement.  SELECTs return their :class:`Scope`."""
+    if isinstance(stmt, ast.Explain):
+        return analyze(stmt.statement, catalog)
     if isinstance(stmt, ast.Select):
         return analyze_select(stmt, catalog)
     if isinstance(stmt, ast.CreateTable):

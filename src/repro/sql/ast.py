@@ -37,6 +37,7 @@ __all__ = [
     "ColumnDef",
     "CreateTable",
     "CreateIndex",
+    "Explain",
     "Insert",
     "Statement",
     "AGGREGATE_FUNCTIONS",
@@ -262,7 +263,20 @@ class CreateIndex:
     column: str
 
 
-Statement = Select | CreateTable | Insert | CreateIndex
+@dataclass
+class Explain:
+    """``EXPLAIN [ANALYZE] <select>``.
+
+    Plain ``EXPLAIN`` renders the plan without running it;
+    ``EXPLAIN ANALYZE`` executes the query under tracing and annotates
+    the plan with observed per-pipeline/per-tier statistics.
+    """
+
+    statement: Select
+    analyze: bool = False
+
+
+Statement = Select | CreateTable | Insert | CreateIndex | Explain
 
 
 def walk(expr: Expr):

@@ -26,6 +26,7 @@ KEYWORDS = frozenset(
     DECIMAL NUMERIC CHAR CHARACTER VARCHAR VARYING BOOLEAN BOOL
     COUNT SUM AVG MIN MAX
     SUBSTRING EXISTS UNION EXCEPT INTERSECT
+    EXPLAIN ANALYZE
     """.split()
 )
 

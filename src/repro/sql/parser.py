@@ -95,7 +95,9 @@ class Parser:
     # -- statements ----------------------------------------------------------
 
     def parse_statement(self) -> ast.Statement:
-        if self._check("KEYWORD", "SELECT"):
+        if self._check("KEYWORD", "EXPLAIN"):
+            stmt = self.parse_explain()
+        elif self._check("KEYWORD", "SELECT"):
             stmt = self.parse_select()
         elif self._check("KEYWORD", "CREATE"):
             stmt = self.parse_create_table()
@@ -109,6 +111,17 @@ class Parser:
             )
         self.expect_eof()
         return stmt
+
+    def parse_explain(self) -> ast.Explain:
+        self._expect("KEYWORD", "EXPLAIN")
+        analyze = self._keyword("ANALYZE")
+        if not self._check("KEYWORD", "SELECT"):
+            raise ParseError(
+                "EXPLAIN supports only SELECT statements",
+                self._cur.line,
+                self._cur.column,
+            )
+        return ast.Explain(self.parse_select(), analyze)
 
     def parse_select(self) -> ast.Select:
         self._expect("KEYWORD", "SELECT")

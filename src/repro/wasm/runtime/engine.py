@@ -32,6 +32,8 @@ from repro.errors import (
     Trap,
     ValidationError,
 )
+from repro.observability.metrics import get_registry
+from repro.observability.trace import trace_event, trace_span
 from repro.wasm.module import Module
 from repro.wasm.runtime.interpreter import Interpreter
 from repro.wasm.runtime.liftoff import LiftoffCompiler
@@ -72,6 +74,9 @@ class EngineConfig:
     #: analysis proves the access in bounds of the declared memory minimum.
     elide_bounds_checks: bool = True
     fault_injector: object = None   # a repro.robustness.FaultInjector
+    #: Optional :class:`~repro.observability.QueryTrace`; when set, the
+    #: engine records validate/lint/compile spans and tier-up events.
+    trace: object = None
 
     def __post_init__(self):
         if self.mode not in ENGINE_MODES:
@@ -189,13 +194,16 @@ class Engine:
         module's memory section.
         """
         if self.config.validate:
-            validate_module(module)
+            with trace_span(self.config.trace, "validate"):
+                validate_module(module)
 
         lint_diagnostics: list = []
         if self.config.lint != "off":
             from repro.wasm.analysis import ModuleLinter
 
-            lint_diagnostics = ModuleLinter(module).lint()
+            with trace_span(self.config.trace, "lint",
+                            mode=self.config.lint):
+                lint_diagnostics = ModuleLinter(module).lint()
             if lint_diagnostics:
                 if self.config.lint == "strict":
                     raise LintError(lint_diagnostics)
@@ -257,10 +265,13 @@ class Engine:
         module = instance.module
         n_imports = len(module.imports)
 
+        trace = self.config.trace
         if mode == "interpreter":
-            interp = Interpreter(instance)
-            for i, func in enumerate(module.functions):
-                instance.funcs[n_imports + i] = interp.make_callable(func)
+            with trace_span(trace, "compile.interpreter",
+                            functions=len(module.functions)):
+                interp = Interpreter(instance)
+                for i, func in enumerate(module.functions):
+                    instance.funcs[n_imports + i] = interp.make_callable(func)
             return
 
         instrumented = instance.profile is not None
@@ -271,46 +282,56 @@ class Engine:
             )
             fallback = None
             start = time.perf_counter()
-            for i, func in enumerate(module.functions):
-                try:
-                    if injector is not None:
-                        injector.check("turbofan.compile")
-                    compiled = compiler.compile(
-                        func, n_imports + i, instrumented
+            with trace_span(trace, "compile.turbofan",
+                            functions=len(module.functions)):
+                for i, func in enumerate(module.functions):
+                    try:
+                        if injector is not None:
+                            injector.check("turbofan.compile")
+                        compiled = compiler.compile(
+                            func, n_imports + i, instrumented
+                        )
+                        instance.stats.turbofan_functions += 1
+                        instance.stats.bounds_checks_elided += \
+                            compiled.bounds_checks_elided
+                    except CompilationError:
+                        # V8-style bailout: even under enforced optimization a
+                        # function TurboFan rejects stays on the baseline tier
+                        # instead of failing the whole instantiation.
+                        if fallback is None:
+                            fallback = LiftoffCompiler(module)
+                        compiled = fallback.compile(
+                            func, n_imports + i, instrumented
+                        )
+                        instance.stats.tier_up_failures += 1
+                        instance.stats.liftoff_functions += 1
+                        trace_event(trace, "turbofan.bailout",
+                                    function=n_imports + i)
+                        get_registry().counter(
+                            "engine_tier_up_failures_total",
+                            "TurboFan compilations that bailed out",
+                        ).inc()
+                    instance.funcs[n_imports + i] = compiled.bind(
+                        instance, instance.profile
                     )
-                    instance.stats.turbofan_functions += 1
-                    instance.stats.bounds_checks_elided += \
-                        compiled.bounds_checks_elided
-                except CompilationError:
-                    # V8-style bailout: even under enforced optimization a
-                    # function TurboFan rejects stays on the baseline tier
-                    # instead of failing the whole instantiation.
-                    if fallback is None:
-                        fallback = LiftoffCompiler(module)
-                    compiled = fallback.compile(
-                        func, n_imports + i, instrumented
-                    )
-                    instance.stats.tier_up_failures += 1
-                    instance.stats.liftoff_functions += 1
-                instance.funcs[n_imports + i] = compiled.bind(
-                    instance, instance.profile
-                )
             instance.stats.turbofan_seconds += time.perf_counter() - start
             return
 
         # liftoff and adaptive both start from Liftoff code
         compiler = LiftoffCompiler(module)
         start = time.perf_counter()
-        for i, func in enumerate(module.functions):
-            if injector is not None:
-                # there is no lower compiled tier: a baseline failure
-                # aborts instantiation and is handled by the fallback
-                # chain (wasm[interpreter], then volcano)
-                injector.check("liftoff.compile")
-            compiled = compiler.compile(func, n_imports + i, instrumented)
-            instance.funcs[n_imports + i] = compiled.bind(
-                instance, instance.profile
-            )
+        with trace_span(trace, "compile.liftoff",
+                        functions=len(module.functions)):
+            for i, func in enumerate(module.functions):
+                if injector is not None:
+                    # there is no lower compiled tier: a baseline failure
+                    # aborts instantiation and is handled by the fallback
+                    # chain (wasm[interpreter], then volcano)
+                    injector.check("liftoff.compile")
+                compiled = compiler.compile(func, n_imports + i, instrumented)
+                instance.funcs[n_imports + i] = compiled.bind(
+                    instance, instance.profile
+                )
         instance.stats.liftoff_seconds += time.perf_counter() - start
         instance.stats.liftoff_functions += len(module.functions)
 
@@ -359,14 +380,17 @@ class Engine:
         module = instance.module
         func = module.functions[func_index - len(module.imports)]
         instrumented = instance.profile is not None
+        trace = self.config.trace
         start = time.perf_counter()
         try:
             injector = self.config.fault_injector
             if injector is not None:
                 injector.check("turbofan.compile")
-            compiled = TurboFanCompiler(
-                module, elide_bounds_checks=self.config.elide_bounds_checks
-            ).compile(func, func_index, instrumented)
+            with trace_span(trace, "compile.turbofan", function=func_index):
+                compiled = TurboFanCompiler(
+                    module,
+                    elide_bounds_checks=self.config.elide_bounds_checks,
+                ).compile(func, func_index, instrumented)
             optimized = compiled.bind(instance, instance.profile)
         except CompilationError:
             instance.stats.turbofan_seconds += time.perf_counter() - start
@@ -375,9 +399,20 @@ class Engine:
             instance.funcs[func_index] = getattr(
                 current, "liftoff", current
             )
+            trace_event(trace, "tier_up.failure", function=func_index)
+            get_registry().counter(
+                "engine_tier_up_failures_total",
+                "TurboFan compilations that bailed out",
+            ).inc()
             return
         instance.stats.turbofan_seconds += time.perf_counter() - start
         instance.stats.turbofan_functions += 1
         instance.stats.tier_ups += 1
         instance.stats.bounds_checks_elided += compiled.bounds_checks_elided
         instance.funcs[func_index] = optimized
+        trace_event(trace, "tier_up", function=func_index,
+                    elided=compiled.bounds_checks_elided)
+        get_registry().counter(
+            "engine_tier_ups_total",
+            "Functions promoted from Liftoff to TurboFan",
+        ).inc()

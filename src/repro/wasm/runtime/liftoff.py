@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import CompilationError
+from repro.observability.metrics import get_registry
 from repro.wasm.module import Function, Module
 from repro.wasm.runtime import values as V
 from repro.wasm.runtime.pycodegen import (
@@ -128,6 +129,10 @@ class LiftoffCompiler:
             code = compile(source, f"<liftoff:{name}>", "exec")
         except SyntaxError as exc:  # pragma: no cover - compiler bug guard
             raise CompilationError(f"liftoff generated bad code for {name}: {exc}\n{source}")
+        get_registry().counter(
+            "wasm_functions_compiled_total",
+            "Wasm functions compiled, by tier",
+        ).inc(tier=self.tier_name)
         return CompiledFunction(name, self.tier_name, source, entry, code)
 
     # -- instrumentation ------------------------------------------------------

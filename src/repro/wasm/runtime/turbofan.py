@@ -31,6 +31,7 @@ from __future__ import annotations
 import re
 
 from repro.errors import CompilationError, Trap
+from repro.observability.metrics import get_registry
 from repro.wasm.module import Function, Module
 from repro.wasm.runtime import values as V
 from repro.wasm.runtime.interpreter import _BINOPS as _FOLD_BIN
@@ -235,6 +236,16 @@ class TurboFanCompiler:
             raise CompilationError(
                 f"turbofan generated bad code for {name}: {exc}\n{source}"
             )
+        registry = get_registry()
+        registry.counter(
+            "wasm_functions_compiled_total",
+            "Wasm functions compiled, by tier",
+        ).inc(tier=self.tier_name)
+        if self._elided:
+            registry.counter(
+                "wasm_bounds_checks_elided_total",
+                "Per-access bounds checks proved away by TurboFan",
+            ).inc(self._elided)
         return CompiledFunction(name, self.tier_name, source, entry, code,
                                 bounds_checks_elided=self._elided)
 

@@ -1,0 +1,69 @@
+"""EXPLAIN ANALYZE agrees with the ground truth on the TPC-H subset.
+
+The annotated plan's observed row counts must be *measurements*, not
+estimates: the final pipeline's ``rows_out`` has to equal the actual
+result cardinality of running the same query directly, and the rendered
+``result:`` line must say the same number.
+"""
+
+import pytest
+
+from repro.bench.tpch import QUERIES, tpch_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return tpch_database(scale_factor=0.002, seed=1,
+                         default_engine="wasm")
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_rows_match_actual_cardinality(db, name):
+    sql = QUERIES[name]
+    actual = db.execute(sql, engine="wasm")
+    explained = db.execute(f"EXPLAIN ANALYZE {sql}", engine="wasm")
+
+    # the execution embedded in EXPLAIN ANALYZE saw the same result set
+    assert len(explained.analyzed.rows) == len(actual.rows)
+
+    # the final pipeline delivered exactly the result cardinality
+    final = explained.pipeline_stats[-1]
+    assert final.rows_out == len(actual.rows)
+    assert final.morsels >= 1
+
+    # and the rendered text reports it
+    lines = [row[0] for row in explained.rows]
+    assert lines[0].startswith("EXPLAIN ANALYZE (engine=wasm)")
+    assert f"result: {len(actual.rows)} row(s)" in lines
+
+
+def test_explain_without_analyze_does_not_execute(db):
+    explained = db.execute("EXPLAIN SELECT COUNT(*) FROM lineitem")
+    lines = [row[0] for row in explained.rows]
+    assert lines[0] == "EXPLAIN"
+    # no observed stats without ANALYZE
+    assert not any(line.startswith("pipelines:") for line in lines)
+    assert not hasattr(explained, "pipeline_stats")
+
+
+def test_q1_annotations_cover_every_pipeline(db):
+    explained = db.execute("EXPLAIN ANALYZE " + QUERIES["q1"],
+                           engine="wasm")
+    stats = explained.pipeline_stats
+    # q1 is scan -> group-by -> sort -> result: three pipelines
+    assert len(stats) == 3
+    for stat in stats:
+        assert stat.morsels >= 1
+        assert stat.rows_out is not None
+        assert sum(stat.tier_morsels.values()) == stat.morsels
+        assert stat.description  # dissection text made it into the stats
+
+
+def test_explain_analyze_respects_engine_spec(db):
+    explained = db.execute("EXPLAIN ANALYZE " + QUERIES["q6"],
+                           engine="volcano")
+    lines = [row[0] for row in explained.rows]
+    assert lines[0] == "EXPLAIN ANALYZE (engine=volcano)"
+    # volcano has no pipelines, but phases are still observed
+    assert any(line.startswith("phases:") for line in lines)
+    assert len(explained.analyzed.rows) == 1

@@ -163,3 +163,69 @@ class TestDifferentialFuzz:
             assert_all_modes_agree(module, "main", _args(rng))
             cases += 1
         assert cases == 20
+
+
+class TestAdaptiveTieringProperties:
+    """Property tests of adaptive tier-up over seeded scan modules.
+
+    For any module and any threshold: the tier a call runs on never
+    decreases (liftoff -> turbofan is a one-way door), the transition
+    happens exactly at the threshold call, and the trace/TierStats
+    accounts agree with the observed per-call tiers.
+    """
+
+    _ORDER = {"liftoff": 0, "turbofan": 1}
+
+    def _drive(self, module, n_rows, threshold, trace=None):
+        from repro.wasm.runtime import Engine, EngineConfig
+
+        engine = Engine(EngineConfig(mode="adaptive",
+                                     tier_up_threshold=threshold,
+                                     trace=trace))
+        instance = engine.instantiate(module)
+        tiers = []
+        for call in range(threshold + 3):
+            tiers.append(instance.tier_of("main"))
+            instance.invoke("main", 0, n_rows)
+        return instance, tiers
+
+    def test_tier_never_decreases(self):
+        rng = random.Random(0x7137)
+        for _ in range(10):
+            module, n_rows = _scan_module(rng)
+            threshold = rng.randrange(1, 8)
+            _, tiers = self._drive(module, n_rows, threshold)
+            ranks = [self._ORDER[t] for t in tiers]
+            assert ranks == sorted(ranks), (
+                f"tier regressed under threshold {threshold}: {tiers}"
+            )
+
+    def test_tier_up_exactly_at_threshold(self):
+        rng = random.Random(0xADA7)
+        for _ in range(10):
+            module, n_rows = _scan_module(rng)
+            threshold = rng.randrange(1, 8)
+            _, tiers = self._drive(module, n_rows, threshold)
+            # calls 1..threshold run Liftoff code; the threshold-th call
+            # triggers recompilation, so every later call is optimized
+            assert tiers[:threshold] == ["liftoff"] * threshold
+            assert all(t == "turbofan" for t in tiers[threshold:])
+
+    def test_morsel_tiers_agree_with_tier_stats(self):
+        from repro.observability import FakeClock, QueryTrace
+
+        rng = random.Random(0x57A7)
+        for _ in range(10):
+            module, n_rows = _scan_module(rng)
+            threshold = rng.randrange(1, 8)
+            trace = QueryTrace(clock=FakeClock())
+            instance, tiers = self._drive(module, n_rows, threshold,
+                                          trace=trace)
+            stats = instance.stats
+            # one trace event per successful tier-up, and the counters
+            # explain exactly the observed per-call tier transition
+            assert len(trace.find("tier_up")) == stats.tier_ups == 1
+            assert stats.tier_up_failures == 0
+            assert stats.turbofan_functions == 1
+            assert tiers.count("turbofan") == 3
+            assert stats.liftoff_functions == 1
