@@ -1,0 +1,191 @@
+"""Serving benchmark: cold vs warm plan-cache latency under concurrency.
+
+Measures what the query service adds on top of single-shot execution:
+
+* **cold** — every EXECUTE pays parse + plan + Wasm codegen + tier
+  compilation (the cache is cleared between queries),
+* **warm** — the compiled module and its tier state are reused; an
+  EXECUTE binds parameters and runs morsels, nothing else.
+
+Both are measured at 1, 4, and 8 concurrent clients issuing prepared
+EXECUTEs with rotating arguments, reporting client-observed p50/p95
+latency and total throughput.  The warm/cold gap is the paper's
+compile-time story amortized across repeated executions; the 4/8
+client rows show the fair scheduler keeping tail latency bounded while
+oversubscribed.
+
+``main()`` (also ``python benchmarks/bench_serving.py``) prints the
+table; the ``test_*`` functions benchmark one cell each so the file
+plugs into ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import random
+import threading
+import time
+
+from repro.server import QueryService
+
+ROWS = 20_000
+QUERIES_PER_CLIENT = 12
+SEED = 20230331
+
+PREPARE_BODY = (
+    "SELECT grp, COUNT(*), SUM(x) FROM serving WHERE x < $1 GROUP BY grp"
+)
+ARGS = [250, 500, 750]
+
+
+def build_service(rows: int = ROWS) -> QueryService:
+    service = QueryService(max_concurrent=8, max_queue_depth=64)
+    service.execute(
+        "CREATE TABLE serving (id INT PRIMARY KEY, grp INT, x INT)"
+    )
+    rng = random.Random(SEED)
+    batch = 2_000
+    for base in range(0, rows, batch):
+        values = ", ".join(
+            f"({i}, {i % 13}, {rng.randrange(1000)})"
+            for i in range(base, min(base + batch, rows))
+        )
+        service.execute(f"INSERT INTO serving VALUES {values}")
+    return service
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_cell(service: QueryService, clients: int, warm: bool) -> dict:
+    """One (client count, cold|warm) cell -> latency/throughput stats."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    if not warm:
+        service.cache.clear()
+
+    def client(index: int) -> None:
+        rng = random.Random(SEED + index)
+        session = service.create_session()
+        try:
+            service.execute(f"PREPARE q AS {PREPARE_BODY}", session=session)
+            for _ in range(QUERIES_PER_CLIENT):
+                arg = ARGS[rng.randrange(len(ARGS))]
+                if not warm:
+                    service.cache.clear()
+                start = time.perf_counter()
+                service.execute(f"EXECUTE q({arg})", session=session)
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed)
+        finally:
+            service.close_session(session)
+
+    wall_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    return {
+        "clients": clients,
+        "mode": "warm" if warm else "cold",
+        "queries": len(latencies),
+        "p50_ms": _percentile(latencies, 0.50) * 1000,
+        "p95_ms": _percentile(latencies, 0.95) * 1000,
+        "qps": len(latencies) / wall if wall else 0.0,
+    }
+
+
+def main() -> str:
+    service = build_service()
+    lines = [
+        f"serving: {ROWS} rows, {QUERIES_PER_CLIENT} prepared EXECUTEs "
+        f"per client, group-by query",
+        "",
+        f"{'clients':>7}  {'mode':<5} {'p50':>9} {'p95':>9} {'qps':>8}",
+    ]
+    cells = []
+    for clients in (1, 4, 8):
+        for warm in (False, True):
+            cell = run_cell(service, clients, warm)
+            cells.append(cell)
+            lines.append(
+                f"{cell['clients']:>7}  {cell['mode']:<5} "
+                f"{cell['p50_ms']:>7.2f}ms {cell['p95_ms']:>7.2f}ms "
+                f"{cell['qps']:>8.1f}"
+            )
+    by_key = {(c["clients"], c["mode"]): c for c in cells}
+    for clients in (1, 4, 8):
+        cold = by_key[(clients, "cold")]["p50_ms"]
+        warm = by_key[(clients, "warm")]["p50_ms"]
+        ratio = cold / warm if warm else float("inf")
+        lines.append(
+            f"warm speedup @ {clients} client(s): {ratio:.1f}x "
+            f"(cold {cold:.2f}ms -> warm {warm:.2f}ms p50)"
+        )
+    stats = service.cache.stats
+    lines.append(
+        f"plan cache: {stats['hits']} hits / {stats['misses']} misses "
+        f"/ {stats['evictions']} evictions"
+    )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark targets (reduced size) --------------------------------
+
+def _small_service():
+    return build_service(rows=4_000)
+
+
+def test_serving_cold_single_client(benchmark):
+    service = _small_service()
+    session = service.create_session()
+    service.execute(f"PREPARE q AS {PREPARE_BODY}", session=session)
+
+    def cold():
+        service.cache.clear()
+        service.execute("EXECUTE q(500)", session=session)
+
+    benchmark(cold)
+
+
+def test_serving_warm_single_client(benchmark):
+    service = _small_service()
+    session = service.create_session()
+    service.execute(f"PREPARE q AS {PREPARE_BODY}", session=session)
+    service.execute("EXECUTE q(500)", session=session)  # warm it
+
+    def warm():
+        service.execute("EXECUTE q(500)", session=session)
+
+    benchmark(warm)
+
+
+def test_serving_warm_beats_cold():
+    """Correctness-level assertion: a warm EXECUTE must be faster."""
+    service = _small_service()
+    session = service.create_session()
+    service.execute(f"PREPARE q AS {PREPARE_BODY}", session=session)
+
+    def measure(warm: bool, repeats: int = 5) -> float:
+        samples = []
+        for _ in range(repeats):
+            if not warm:
+                service.cache.clear()
+            start = time.perf_counter()
+            service.execute("EXECUTE q(500)", session=session)
+            samples.append(time.perf_counter() - start)
+        return sorted(samples)[len(samples) // 2]
+
+    cold = measure(warm=False)
+    service.execute("EXECUTE q(500)", session=session)
+    warm = measure(warm=True)
+    assert warm < cold, (warm, cold)
+
+
+if __name__ == "__main__":
+    print(main())

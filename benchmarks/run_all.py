@@ -33,6 +33,7 @@ from benchmarks import (  # noqa: E402
     bench_ablation_adhoc,
     bench_ablation_tiering,
     bench_bounds_elision,
+    bench_serving,
 )
 
 SECTIONS = [
@@ -47,6 +48,7 @@ SECTIONS = [
     ("Ablation: ad-hoc generation", bench_ablation_adhoc.main),
     ("Ablation: tiering & short-circuit", bench_ablation_tiering.main),
     ("Ablation: bounds-check elision", bench_bounds_elision.main),
+    ("Serving: plan cache & fair scheduler", bench_serving.main),
 ]
 
 

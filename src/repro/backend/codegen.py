@@ -84,6 +84,9 @@ class CompiledQuery:
     output_types: list[T.DataType]
     generic_patterns: list[str]
     memory: MemoryPlan
+    # $index -> (slot address, type): where the host writes bound
+    # parameter values before each execution (empty for plain queries)
+    param_layout: dict[int, tuple] = None
 
 
 class QueryCompiler:
@@ -144,6 +147,7 @@ class QueryCompiler:
             output_types=plan.output_types,
             generic_patterns=self.ctx.generic_patterns,
             memory=self.memory,
+            param_layout=self.ctx.param_layout,
         )
 
     # -------------------------------------------------- breaker declarations --

@@ -84,6 +84,7 @@ class CompilerContext:
             "i32", 0, name="result_count"
         )
         self.mb.export("heap_ptr", "global", self.heap_ptr)
+        self.mb.export("heap_end", "global", self.heap_end)
         self.mb.export("result_count", "global", self.result_count)
 
         self._constants = bytearray()
@@ -92,6 +93,9 @@ class CompilerContext:
         self._generic_patterns: list[str] = []
         self._alloc_index: int | None = None
         self._init_statements: list = []  # callbacks emitting into init()
+        # parameter slots, carved from the top of the constants region
+        self._param_slots: dict[int, tuple[int, object]] = {}
+        self._param_reserved = 0
 
     # -- constants ---------------------------------------------------------
 
@@ -105,10 +109,36 @@ class CompilerContext:
         self._constants += b"\x00" * pad
         addr = self.memory.consts_base + len(self._constants)
         self._constants += raw
-        if len(self._constants) > CONST_REGION_SIZE:
+        if len(self._constants) > CONST_REGION_SIZE - self._param_reserved:
             raise PlanError("constant pool exhausted")
         self._constant_cache[raw] = addr
         return addr
+
+    def param_address(self, index: int, ty) -> int:
+        """Fixed address of the value slot for parameter ``$index``.
+
+        Slots grow down from the top of the constants region, so the
+        layout of every other mapping is untouched.  Generated code
+        *loads* from the slot on every execution instead of baking the
+        value in — the host rewrites the slot at each EXECUTE, which is
+        what makes a compiled module reusable across bindings.
+        """
+        slot = self._param_slots.get(index)
+        if slot is not None:
+            return slot[0]
+        size = ty.size if ty.is_string else 8
+        size = (size + 7) & ~7
+        self._param_reserved += size
+        addr = self.memory.consts_base + CONST_REGION_SIZE - self._param_reserved
+        if addr < self.memory.consts_base + len(self._constants):
+            raise PlanError("constant pool exhausted (parameter slots)")
+        self._param_slots[index] = (addr, ty)
+        return addr
+
+    @property
+    def param_layout(self) -> dict[int, tuple[int, object]]:
+        """``$index -> (address, type)`` for every parameter slot."""
+        return dict(self._param_slots)
 
     def register_generic_pattern(self, pattern: str) -> int:
         """Host-side LIKE pattern id (generic patterns use a callback)."""

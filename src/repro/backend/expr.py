@@ -85,6 +85,21 @@ class ExprCompiler:
         else:
             self.fb.i32(int(expr.value))
 
+    def _emit_param(self, expr: E.Param) -> None:
+        """A prepared-statement parameter: load from its fixed slot.
+
+        Unlike a constant the value is *not* baked into the code — the
+        host rewrites the slot before every execution, so the same
+        compiled module serves every binding.
+        """
+        addr = self.ctx.param_address(expr.index, expr.ty)
+        if expr.ty.is_string:
+            self.fb.i32(addr)  # strings travel as addresses
+            return
+        wasm = expr.ty.wasm_type
+        self.fb.i32(addr)
+        self.fb.emit(f"{wasm}.load", 0, 0)
+
     # -- arithmetic ----------------------------------------------------------------
 
     def _emit_neg(self, expr: E.Neg) -> None:

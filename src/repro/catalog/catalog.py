@@ -17,6 +17,16 @@ class Catalog:
 
     def __init__(self):
         self._tables: dict[str, object] = {}
+        #: Monotonic counter bumped on every schema or data change (DDL,
+        #: INSERT, index creation).  Compiled-plan caches key on it, so a
+        #: stale plan — mapped buffers, row counts, constants — can never
+        #: serve a query after the data it was compiled against changed.
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Record a schema/data change; invalidates cached plans."""
+        self.version += 1
+        return self.version
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -36,6 +46,7 @@ class Catalog:
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
         self._tables[name] = table
+        self.bump_version()
 
     def get(self, name: str):
         try:
@@ -48,3 +59,4 @@ class Catalog:
             del self._tables[name.lower()]
         except KeyError:
             raise CatalogError(f"unknown table {name!r}") from None
+        self.bump_version()

@@ -173,6 +173,7 @@ class Database:
         if isinstance(stmt, ast.CreateIndex):
             table = self.catalog.get(stmt.table)
             table.create_index(stmt.column, stmt.name)
+            self.catalog.bump_version()
             return None
         if isinstance(stmt, ast.Insert):
             table = self.catalog.get(stmt.table)
@@ -192,7 +193,13 @@ class Database:
                         ) from None
                 rows = [tuple(row[i] for i in order) for row in rows]
             table.append_rows(rows)
+            self.catalog.bump_version()
             return None
+        if isinstance(stmt, (ast.Prepare, ast.Execute, ast.Deallocate)):
+            raise EngineError(
+                "PREPARE/EXECUTE/DEALLOCATE need a session — connect "
+                "through repro.server.QueryService instead of Database"
+            )
 
         if isinstance(stmt, ast.Explain):
             return self._run_explain(stmt, engine, profile, qtrace)
@@ -237,6 +244,11 @@ class Database:
     def _run_explain(self, stmt: ast.Explain, engine: str | None,
                      profile: Profile | None, qtrace):
         """``EXPLAIN [ANALYZE]``: the plan (with observed stats) as rows."""
+        if isinstance(stmt.statement, ast.Execute):
+            raise EngineError(
+                "EXPLAIN EXECUTE needs a session — connect through "
+                "repro.server.QueryService instead of Database"
+            )
         with trace_span(qtrace, "plan"):
             plan = self.plan(stmt.statement)
         spec = engine or self.default_engine

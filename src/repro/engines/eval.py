@@ -89,6 +89,10 @@ def evaluate(expr: E.LExpr, row: tuple, profile=None):
         return row[expr.index]
     if isinstance(expr, E.Const):
         return expr.value
+    if isinstance(expr, E.Param):
+        if expr.value is None:
+            raise EngineError(f"parameter ${expr.index} is unbound")
+        return expr.value
     if isinstance(expr, E.Arith):
         a = evaluate(expr.left, row, profile)
         b = evaluate(expr.right, row, profile)

@@ -135,6 +135,13 @@ class _ExprGen:
                 # column values arrive NUL-stripped (NumPy S-dtype lists)
                 value = value.rstrip(b"\x00")
             return fb.const(value)
+        if isinstance(expr, E.Param):
+            if expr.value is None:
+                raise PlanError(f"parameter ${expr.index} is unbound")
+            value = expr.value
+            if isinstance(value, bytes):
+                value = value.rstrip(b"\x00")
+            return fb.const(value)
         if isinstance(expr, E.Arith):
             a = self.gen(expr.left)
             b = self.gen(expr.right)

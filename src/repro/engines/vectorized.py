@@ -101,6 +101,11 @@ class _Evaluator:
         if isinstance(expr, E.Const):
             self._kernel(f"const:{id(expr)}", 0)
             return np.full(n, expr.value, dtype=expr.ty.numpy_dtype)
+        if isinstance(expr, E.Param):
+            if expr.value is None:
+                raise EngineError(f"parameter ${expr.index} is unbound")
+            self._kernel(f"param:{id(expr)}", 0)
+            return np.full(n, expr.value, dtype=expr.ty.numpy_dtype)
         if isinstance(expr, E.Arith):
             a = self.evaluate(expr.left, chunk)
             b = self.evaluate(expr.right, chunk)

@@ -22,6 +22,7 @@ and inside the ``flush_results`` callback (Section 6.2).
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass, field
 
 from repro.backend.codegen import CompiledQuery, QueryCompiler
 from repro.backend.context import (
@@ -43,9 +44,31 @@ from repro.robustness.governor import ResourceGovernor
 from repro.storage.rewiring import WASM_PAGE_SIZE, AddressSpace
 from repro.wasm.runtime import Engine, EngineConfig, LinearMemory
 
-__all__ = ["WasmEngine"]
+__all__ = ["WasmEngine", "WasmExecutable"]
 
 _HEAP_SLACK = 8 * 1024 * 1024
+
+
+@dataclass
+class WasmExecutable:
+    """A compiled, instantiated query, reusable across executions.
+
+    Holds everything the morsel driver needs — the compiled module and
+    pipeline metadata, the rewired address space, the engine instance
+    with its tier state — so a plan cache can skip translation,
+    compilation *and* instantiation on a hit.  One executable must not
+    run concurrently with itself (it owns a single address space and
+    parameter slots); callers serialize executions per executable.
+    """
+
+    compiled: CompiledQuery
+    space: AddressSpace
+    engine: Engine
+    memory: LinearMemory
+    instance: object = None       # set right after instantiation
+    chunked: dict = field(default_factory=dict)  # binding -> window rows
+    executions: int = 0
+    rows: list = field(default_factory=list)     # drained result rows
 
 
 def _scans_of(plan: P.PhysicalOperator):
@@ -109,6 +132,11 @@ class WasmEngine(QueryEngine):
         self.elide_bounds_checks = elide_bounds_checks
         self.fault_injector = fault_injector
         self.last_tier_stats = None  # TierStats of the most recent execute()
+        # Optional cooperative-scheduling callback, invoked once per
+        # morsel before the pipeline function runs.  The query service's
+        # fair scheduler parks threads here so concurrent queries
+        # round-robin at morsel boundaries.
+        self.morsel_hook = None
         # Figure 5: tables larger than this window (in rows) are not
         # mapped whole; the host re-wires chunk after chunk into a fixed
         # window while the pipeline runs (rewire_next_chunk).  None maps
@@ -217,29 +245,49 @@ class WasmEngine(QueryEngine):
         governor.trace = trace
         if self.fault_injector is not None:
             self.fault_injector.trace = trace
-        governor.phase = "translation"
+        executable = self.prepare_executable(
+            plan, catalog, governor=governor, trace=trace,
+            profile=profile, timings=timings,
+        )
+        return self.execute_prepared(
+            executable, plan, catalog, profile=profile, trace=trace,
+            governor=governor, timings=timings,
+        )
+
+    def prepare_executable(self, plan: P.PhysicalOperator, catalog: Catalog,
+                           governor: ResourceGovernor | None = None,
+                           trace=None, profile: Profile | None = None,
+                           timings: Timings | None = None) -> WasmExecutable:
+        """Translate, compile, and instantiate — everything up to (but
+        not including) running the pipelines.  The returned executable
+        can be executed repeatedly via :meth:`execute_prepared`; the plan
+        cache stores exactly this object."""
+        timings = timings if timings is not None else Timings()
+        if governor is not None:
+            governor.phase = "translation"
         compiled, space = self.compile_query(plan, catalog, timings,
                                              governor, trace)
-        governor.check()
-
-        governor.phase = "compile"
+        if governor is not None:
+            governor.check()
+            governor.phase = "compile"
         engine = Engine(EngineConfig(
             mode=self.mode, tier_up_threshold=self.tier_up_threshold,
             lint=self.lint, elide_bounds_checks=self.elide_bounds_checks,
             fault_injector=self.fault_injector,
             trace=trace,
         ))
-        rows: list[tuple] = []
         memory = LinearMemory(space)
         memory.fault_injector = self.fault_injector
-
-        instance_box = {}
+        executable = WasmExecutable(
+            compiled=compiled, space=space, engine=engine, memory=memory,
+            chunked=dict(self._chunked),
+        )
 
         def flush_results():
-            self._drain(instance_box["instance"], compiled, rows)
+            self._drain(executable.instance, compiled, executable.rows)
 
         def like_generic(addr: int, width: int, pattern_id: int) -> int:
-            raw = instance_box["instance"].memory.read_bytes(addr, width)
+            raw = executable.instance.memory.read_bytes(addr, width)
             text = raw.rstrip(b"\x00").decode("utf-8", "replace")
             regex = sql_like_regex(compiled.generic_patterns[pattern_id])
             return 1 if regex.match(text) else 0
@@ -251,14 +299,46 @@ class WasmEngine(QueryEngine):
         instance = engine.instantiate(
             compiled.module, imports=imports, memory=memory, profile=profile
         )
-        instance_box["instance"] = instance
+        executable.instance = instance
         self.last_tier_stats = instance.stats
         # instantiation time counts as compilation (Liftoff/TurboFan)
         timings.add("compile_liftoff", instance.stats.liftoff_seconds)
         timings.add("compile_turbofan", instance.stats.turbofan_seconds)
-        governor.check()
+        if governor is not None:
+            governor.check()
+        return executable
 
+    def execute_prepared(self, executable: WasmExecutable,
+                         plan: P.PhysicalOperator, catalog: Catalog,
+                         profile: Profile | None = None, trace=None,
+                         governor: ResourceGovernor | None = None,
+                         timings: Timings | None = None,
+                         param_values: list | None = None) -> ExecutionResult:
+        """Run (or re-run) an executable.  On re-runs the instance's
+        mutable state is reset first; tier state carries over, so a
+        cached query keeps its optimized code.  ``param_values`` are
+        storage-representation values written into the module's
+        parameter slots after the reset."""
+        timings = timings if timings is not None else Timings()
+        if governor is None:
+            governor = ResourceGovernor(self.timeout_seconds,
+                                        self.max_memory_pages).start()
+            governor.trace = trace
+        # re-attach: page growth during this run charges this run's budget
+        executable.space.governor = governor
         governor.phase = "execution"
+        instance = executable.instance
+        compiled = executable.compiled
+        self._chunked = dict(executable.chunked)
+        if executable.executions > 0:
+            self._reset_instance(executable)
+        executable.executions += 1
+        if param_values is not None:
+            self.bind_wasm_params(executable, param_values)
+        executable.rows = []
+        rows = executable.rows
+        self.last_tier_stats = instance.stats
+
         self._rewire_count = 0
         compile_before = instance.stats.total_compile_seconds
         with Stopwatch(timings, "execution"), \
@@ -305,6 +385,42 @@ class WasmEngine(QueryEngine):
         result.profile = profile
         result.trace = trace
         return result
+
+    def _reset_instance(self, executable: WasmExecutable) -> None:
+        """Restore a cached instance for the next execution.
+
+        Globals go back to their initializers, constants (and the bytes
+        under them) are replayed from the data segments, and the heap
+        bound is pinned at the *grown* extent: address-space pages are
+        never recycled, so re-growing from the original ``heap_end``
+        would leak 64 KiB pages on every cached execution.  The generated
+        ``init()`` — re-run by the caller — then re-allocates and
+        re-zeroes every scratch structure via the bump allocator.
+        """
+        instance = executable.instance
+        instance.reset_mutable_state()
+        extent = executable.space._next_page * WASM_PAGE_SIZE
+        self._write_global(instance, "heap_end", extent)
+        for seg in instance.module.data:
+            instance.memory.write_bytes(seg.offset, seg.payload)
+
+    @staticmethod
+    def bind_wasm_params(executable: WasmExecutable, values: list) -> None:
+        """Write bound parameter values into the module's fixed slots.
+
+        ``values[i]`` is the storage representation of ``$(i+1)``,
+        already coerced to the parameter's inferred type.
+        """
+        layout = executable.compiled.param_layout or {}
+        memory = executable.memory
+        for index, (addr, ty) in layout.items():
+            value = values[index - 1]
+            if ty.is_string:
+                raw = value if isinstance(value, bytes) else bytes(value)
+                memory.write_bytes(addr, raw.ljust(ty.size, b"\x00")[:ty.size])
+            else:
+                fmt = {"i32": "<i", "i64": "<q", "f64": "<d"}[ty.wasm_type]
+                memory.write_bytes(addr, struct.pack(fmt, value))
 
     def _pipeline_rows_out(self, instance, info, rows: list,
                            rows_before: int) -> int:
@@ -406,6 +522,10 @@ class WasmEngine(QueryEngine):
                                    morsel=morsel)
                 if injector is not None:
                     injector.check("trap.morsel")
+                if self.morsel_hook is not None:
+                    # cooperative fair scheduling: wait for this query's
+                    # turn before burning the next morsel
+                    self.morsel_hook()
                 with trace_span(trace, "morsel", pipeline=pipeline_index,
                                 morsel=morsel, begin=begin, end=end,
                                 tier=tier):

@@ -246,6 +246,25 @@ class ResourceExhausted(ReproError):
         return self.resource != "wall_clock"
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the concurrent query service."""
+
+
+class SessionError(ServiceError):
+    """Session-level misuse: unknown or duplicate prepared statements,
+    statements that need a session issued without one, closed sessions.
+
+    Not retryable: the request is wrong on every engine.
+    """
+
+
+class AdmissionError(ServiceError):
+    """The scheduler refused to admit a query (queue full, per-session
+    limit reached).  Not retryable through the engine fallback chain —
+    the client should back off and resubmit.
+    """
+
+
 class QueryError(ReproError):
     """A query failed on every engine the fallback chain tried.
 

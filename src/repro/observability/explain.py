@@ -95,11 +95,19 @@ def _ms(seconds: float) -> str:
 
 def render_explain_analyze(plan, trace, stats: list[PipelineStats],
                            engine_spec: str,
-                           total_rows: int | None = None) -> list[str]:
-    """The annotated plan as text lines (one per output row)."""
+                           total_rows: int | None = None,
+                           cache: str | None = None) -> list[str]:
+    """The annotated plan as text lines (one per output row).
+
+    ``cache`` is the plan-cache disposition of this execution —
+    ``"hit"`` or ``"miss"`` — when the query ran through the query
+    service; ``None`` (standalone execution) omits the line.
+    """
     from repro.plan.physical import explain_physical
 
     lines = [f"EXPLAIN ANALYZE (engine={engine_spec})"]
+    if cache is not None:
+        lines.append(f"cache: {cache}")
     lines.extend(explain_physical(plan).split("\n"))
 
     if stats:

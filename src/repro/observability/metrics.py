@@ -88,23 +88,30 @@ class Counter(Metric):
             self._values[key] = self._values.get(key, 0) + amount
 
     def value(self, **labels) -> float:
-        return self._values.get(_label_key(labels), 0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
 
     @property
     def total(self) -> float:
         """Sum over every label set."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def clear(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
     def _export_values(self) -> dict:
-        return {_label_text(k): v for k, v in sorted(self._values.items())}
+        with self._lock:
+            items = sorted(self._values.items())
+        return {_label_text(k): v for k, v in items}
 
     def _prometheus_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
         return [
             f"{self.name}{_label_text(key)} {value}"
-            for key, value in sorted(self._values.items())
+            for key, value in items
         ]
 
 
@@ -155,15 +162,18 @@ class Histogram(Metric):
             data[2] += 1
 
     def count(self, **labels) -> int:
-        data = self._data.get(_label_key(labels))
-        return 0 if data is None else data[2]
+        with self._lock:
+            data = self._data.get(_label_key(labels))
+            return 0 if data is None else data[2]
 
     def sum(self, **labels) -> float:
-        data = self._data.get(_label_key(labels))
-        return 0.0 if data is None else data[1]
+        with self._lock:
+            data = self._data.get(_label_key(labels))
+            return 0.0 if data is None else data[1]
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def _cumulative(self, counts: list[int]) -> list[int]:
         out, running = [], 0
@@ -172,9 +182,17 @@ class Histogram(Metric):
             out.append(running)
         return out
 
+    def _snapshot(self) -> list[tuple]:
+        """A consistent copy of every label set's data under the lock."""
+        with self._lock:
+            return [
+                (key, (list(counts), total, n))
+                for key, (counts, total, n) in sorted(self._data.items())
+            ]
+
     def _export_values(self) -> dict:
         exported = {}
-        for key, (counts, total, n) in sorted(self._data.items()):
+        for key, (counts, total, n) in self._snapshot():
             cumulative = self._cumulative(counts)
             exported[_label_text(key)] = {
                 "buckets": {
@@ -188,7 +206,7 @@ class Histogram(Metric):
 
     def _prometheus_lines(self) -> list[str]:
         lines = []
-        for key, (counts, total, n) in sorted(self._data.items()):
+        for key, (counts, total, n) in self._snapshot():
             cumulative = self._cumulative(counts)
             for i, boundary in enumerate(self.buckets):
                 labeled = _label_key(dict(key) | {"le": str(boundary)})
@@ -236,14 +254,20 @@ class MetricsRegistry:
         return self._register(Histogram, name, help, buckets=buckets)
 
     def get(self, name: str) -> Metric | None:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
+
+    def _snapshot(self) -> list[tuple[str, Metric]]:
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def reset(self) -> None:
         """Zero every metric's samples (registrations survive)."""
-        for metric in self._metrics.values():
+        for _name, metric in self._snapshot():
             metric.clear()
 
     # -- export ------------------------------------------------------------
@@ -255,12 +279,12 @@ class MetricsRegistry:
                 "help": metric.help,
                 "values": metric._export_values(),
             }
-            for name, metric in sorted(self._metrics.items())
+            for name, metric in self._snapshot()
         }
 
     def prometheus_text(self) -> str:
         lines = []
-        for name, metric in sorted(self._metrics.items()):
+        for name, metric in self._snapshot():
             if metric.help:
                 lines.append(f"# HELP {name} {metric.help}")
             lines.append(f"# TYPE {name} {metric.kind}")

@@ -29,9 +29,9 @@ from repro.sql import types as T
 from repro.sql.types import DataType
 
 __all__ = [
-    "LExpr", "Slot", "Const", "Neg", "Arith", "Compare", "Logic", "Not",
-    "Case", "Like", "Extract", "Promote", "Aggregate",
-    "walk_lexpr", "slots_used",
+    "LExpr", "Slot", "Const", "Param", "Neg", "Arith", "Compare", "Logic",
+    "Not", "Case", "Like", "Extract", "Promote", "Aggregate",
+    "walk_lexpr", "slots_used", "params_used", "bind_params",
 ]
 
 
@@ -62,6 +62,28 @@ class Const(LExpr):
     def __init__(self, value, ty: DataType):
         self.value = value
         self.ty = ty
+
+
+@dataclass
+class Param(LExpr):
+    """A prepared-statement parameter ``$index`` with its inferred type.
+
+    ``value`` holds the bound value in storage representation (like
+    :class:`Const`); it is (re)assigned by :func:`bind_params` at EXECUTE
+    time — the plan itself is immutable apart from this one field, which
+    is what lets a cached plan be re-executed without re-lowering.
+    """
+
+    index: int  # 1-based, as written in the SQL text
+
+    def __init__(self, index: int, ty: DataType):
+        self.index = index
+        self.ty = ty
+        self.value = None  # unbound until EXECUTE
+
+    @property
+    def bound(self) -> bool:
+        return self.value is not None
 
 
 @dataclass
@@ -237,6 +259,26 @@ def slots_used(expr: LExpr) -> set[int]:
     }
 
 
+def params_used(expr: LExpr) -> list[Param]:
+    """All :class:`Param` nodes in an expression (one per occurrence)."""
+    return [node for node in walk_lexpr(expr) if isinstance(node, Param)]
+
+
+def bind_params(params: list[Param], values: list[object]) -> None:
+    """Bind EXECUTE arguments (storage representation) onto Param nodes.
+
+    ``values[i]`` binds every occurrence of ``$(i+1)``; the caller has
+    already coerced each value to the parameter's inferred type.
+    """
+    for node in params:
+        if not (1 <= node.index <= len(values)):
+            raise PlanError(
+                f"parameter ${node.index} has no bound value "
+                f"({len(values)} given)"
+            )
+        node.value = values[node.index - 1]
+
+
 # ---------------------------------------------------------------------------
 # Lowering from the analyzed AST
 # ---------------------------------------------------------------------------
@@ -340,6 +382,8 @@ class Lowerer:
 
         if isinstance(expr, ast.Literal):
             return Const(expr.ty.to_storage(expr.value), expr.ty)
+        if isinstance(expr, ast.Parameter):
+            return Param(expr.index, expr.ty)
         if isinstance(expr, ast.ColumnRef):
             index, ty = self.resolve(expr.resolved)
             return Slot(index, ty)

@@ -32,7 +32,8 @@ from repro.sql.analyzer import _expr_key
 __all__ = [
     "PhysicalOperator", "SeqScan", "IndexSeek", "Filter", "Project",
     "HashJoin", "NestedLoopJoin", "HashGroupBy", "ScalarAggregate", "Sort",
-    "Limit", "create_physical_plan", "explain_physical",
+    "Limit", "create_physical_plan", "explain_physical", "plan_exprs",
+    "collect_params",
 ]
 
 
@@ -619,6 +620,49 @@ def _rebuild_bound(binding: str, column: str, entry: list, table):
         pred = ast.Binary("AND", pred, part)
         pred.ty = T.BOOLEAN
     return pred
+
+
+def plan_exprs(op: PhysicalOperator):
+    """Yield every :class:`LExpr` held by the operator tree under ``op``.
+
+    Walks the expression-bearing fields of each operator (predicates,
+    projections, join keys, grouping keys, aggregate arguments, sort
+    keys); used to find :class:`~repro.plan.exprs.Param` nodes when a
+    cached plan is re-bound at EXECUTE time.
+    """
+    if isinstance(op, Filter):
+        yield op.predicate
+    elif isinstance(op, Project):
+        yield from op.exprs
+    elif isinstance(op, HashJoin):
+        yield from op.build_keys
+        yield from op.probe_keys
+        if op.residual is not None:
+            yield op.residual
+    elif isinstance(op, NestedLoopJoin):
+        if op.predicate is not None:
+            yield op.predicate
+    elif isinstance(op, (HashGroupBy, ScalarAggregate)):
+        if isinstance(op, HashGroupBy):
+            yield from op.keys
+        for agg in op.aggregates:
+            if agg.arg is not None:
+                yield agg.arg
+    elif isinstance(op, Sort):
+        for key, _descending in op.order:
+            yield key
+    for child in op.children:
+        yield from plan_exprs(child)
+
+
+def collect_params(op: PhysicalOperator):
+    """All Param nodes in a physical plan (every occurrence, any order)."""
+    from repro.plan.exprs import params_used
+
+    found = []
+    for expr in plan_exprs(op):
+        found.extend(params_used(expr))
+    return found
 
 
 def explain_physical(op: PhysicalOperator, indent: int = 0) -> str:

@@ -1,0 +1,32 @@
+"""The concurrent query service (sessions, plan cache, fair scheduler).
+
+Public surface::
+
+    from repro.server import QueryService
+
+    service = QueryService()
+    session = service.create_session()
+    service.execute("CREATE TABLE r (id INT PRIMARY KEY, x INT)")
+    service.execute("PREPARE q AS SELECT x FROM r WHERE x < $1",
+                    session=session)
+    result = service.execute("EXECUTE q(10)", session=session)
+
+``python -m repro.server`` starts a line-oriented TCP front end (one
+session per connection); see :mod:`repro.server.__main__`.
+"""
+
+from repro.server.plancache import CacheEntry, PlanCache, fingerprint
+from repro.server.scheduler import MorselScheduler, Ticket
+from repro.server.service import QueryService
+from repro.server.session import PreparedStatement, Session
+
+__all__ = [
+    "CacheEntry",
+    "MorselScheduler",
+    "PlanCache",
+    "PreparedStatement",
+    "QueryService",
+    "Session",
+    "Ticket",
+    "fingerprint",
+]

@@ -1,0 +1,163 @@
+"""Network/REPL front end of the query service.
+
+``python -m repro.server`` serves a line-oriented protocol over TCP —
+one :class:`~repro.server.session.Session` per connection, statements
+terminated by ``;``, results rendered as aligned text tables followed
+by a blank line, errors as a single ``ERROR: ...`` line.  The protocol
+is deliberately trivial (netcat is a usable client); the point of the
+module is exercising the service from genuinely concurrent clients.
+
+``python -m repro.server --repl`` runs the same loop on stdin/stdout
+instead of a socket.
+
+Options::
+
+    --host HOST      bind address (default 127.0.0.1)
+    --port PORT      TCP port (default 5499; 0 picks a free port)
+    --engine SPEC    default engine (default: the database's default)
+    --demo           pre-create a small demo table
+"""
+
+from __future__ import annotations
+
+import argparse
+import socketserver
+import sys
+
+from repro.errors import ReproError
+from repro.server.service import QueryService
+
+__all__ = ["ServiceTCPServer", "main", "run_client_loop", "serve"]
+
+_PROMPT = "sql> "
+_GOODBYE = "bye."
+
+
+def run_client_loop(service: QueryService, read_line, write,
+                    prompt: bool = False) -> None:
+    """Drive one client: read ``;``-terminated statements, write tables.
+
+    ``read_line`` returns the next text line (or ``""`` at EOF);
+    ``write`` sends text.  ``\\q`` (or EOF) ends the loop.
+    """
+    session = service.create_session()
+    buffer = ""
+    try:
+        while True:
+            if prompt and not buffer:
+                write(_PROMPT)
+            line = read_line()
+            if not line:
+                break
+            stripped = line.strip()
+            if stripped in ("\\q", "exit", "quit") and not buffer:
+                write(_GOODBYE + "\n")
+                break
+            buffer += line
+            while ";" in buffer:
+                statement, buffer = buffer.split(";", 1)
+                if not statement.strip():
+                    continue
+                try:
+                    result = service.execute(statement, session=session)
+                except ReproError as err:
+                    write(f"ERROR: {err}\n\n")
+                    continue
+                if result is None:
+                    write("OK\n\n")
+                else:
+                    cached = getattr(result, "plan_cache", None)
+                    note = f"  (cache: {cached})" if cached else ""
+                    write(result.format_table()
+                          + f"\n({len(result)} rows){note}\n\n")
+    finally:
+        service.close_session(session)
+
+
+class ServiceTCPServer(socketserver.ThreadingTCPServer):
+    """One thread and one session per connection, shared QueryService."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service: QueryService):
+        self.service = service
+        super().__init__(address, _Handler)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        def read_line() -> str:
+            raw = self.rfile.readline()
+            return raw.decode("utf-8", "replace")
+
+        def write(text: str) -> None:
+            try:
+                self.wfile.write(text.encode("utf-8"))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                raise EOFError from None
+
+        try:
+            run_client_loop(self.server.service, read_line, write)
+        except EOFError:
+            pass
+
+
+def serve(service: QueryService, host: str = "127.0.0.1",
+          port: int = 5499) -> ServiceTCPServer:
+    """Create (but do not start) the TCP server; caller runs
+    ``serve_forever()`` — tests run it on a daemon thread."""
+    return ServiceTCPServer((host, port), service)
+
+
+def _demo_setup(service: QueryService) -> None:
+    service.execute(
+        "CREATE TABLE demo (id INT PRIMARY KEY, x INT, y DOUBLE)"
+    )
+    service.execute(
+        "INSERT INTO demo VALUES (1, 10, 0.5), (2, 20, 1.5), (3, 30, 2.5)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve SQL over TCP (or a stdin REPL).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5499)
+    parser.add_argument("--engine", default=None)
+    parser.add_argument("--demo", action="store_true")
+    parser.add_argument("--repl", action="store_true",
+                        help="serve stdin/stdout instead of TCP")
+    args = parser.parse_args(argv)
+
+    service = QueryService(default_engine=args.engine)
+    if args.demo:
+        _demo_setup(service)
+
+    if args.repl:
+        run_client_loop(
+            service, sys.stdin.readline, _write_stdout, prompt=True
+        )
+        return 0
+
+    with serve(service, args.host, args.port) as server:
+        host, port = server.server_address[:2]
+        print(f"repro query service listening on {host}:{port}",
+              flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _write_stdout(text: str) -> None:
+    sys.stdout.write(text)
+    sys.stdout.flush()
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""Cooperative, morsel-fair scheduling of concurrent queries.
+
+Morsel-wise execution gives the host a natural preemption granule: the
+generated code returns to the host after every ``pipeline_i(begin,
+end)`` call, so a scheduler that parks threads *between* morsels can
+interleave N queries fairly without OS-level preemption or signal
+handling — exactly the adaptive engine's trick of swapping code at
+call boundaries, applied to CPU time instead of tiers.
+
+Two mechanisms, both in :class:`MorselScheduler`:
+
+* **Admission control** — at most ``max_concurrent`` queries run at
+  once; excess queries wait in a bounded queue.  A full queue, or
+  a session exceeding ``per_session_limit`` in-flight queries, raises
+  :class:`~repro.errors.AdmissionError` immediately (fail fast, let
+  the client back off).
+* **Round-robin turnstile** — every admitted query holds a
+  :class:`Ticket`; the engine's ``morsel_hook`` calls
+  :meth:`MorselScheduler.gate` before each morsel, which blocks until
+  it is that ticket's turn.  Tickets join the rotation lazily on their
+  first ``gate`` call, so a query still compiling does not stall the
+  queries already executing.  With a single active ticket the gate is
+  a constant-time no-op.
+
+Wait times (admission and per-morsel) are published to the metrics
+registry as the ``scheduler_wait_seconds`` histogram, labeled by
+``stage``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from itertools import count
+
+from repro.errors import AdmissionError
+from repro.observability.metrics import get_registry
+
+__all__ = ["MorselScheduler", "Ticket"]
+
+
+class Ticket:
+    """One admitted query's claim on the scheduler.
+
+    Created by :meth:`MorselScheduler.admit`; passed (via the engine's
+    ``morsel_hook``) to :meth:`~MorselScheduler.gate` at each morsel
+    boundary and returned through :meth:`~MorselScheduler.release` when
+    the query finishes — success or failure.
+    """
+
+    __slots__ = ("id", "session_id", "in_rotation", "max_wait_seconds")
+
+    def __init__(self, ticket_id: int, session_id: object):
+        self.id = ticket_id
+        self.session_id = session_id
+        self.in_rotation = False
+        #: Longest single wait this ticket experienced (admission or
+        #: morsel gate) — the bounded-wait assertion of the stress suite.
+        self.max_wait_seconds = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging
+        return f"Ticket({self.id}, session={self.session_id!r})"
+
+
+class MorselScheduler:
+    """Admission control plus a fair round-robin morsel turnstile.
+
+    Args:
+        max_concurrent: queries allowed to execute simultaneously.
+        max_queue_depth: queries allowed to *wait* for admission; the
+            next one is refused with :class:`AdmissionError`.
+        per_session_limit: in-flight (admitted or queued) queries one
+            session may have; ``None`` for unlimited.
+    """
+
+    def __init__(self, max_concurrent: int = 4, max_queue_depth: int = 16,
+                 per_session_limit: int | None = None):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue_depth = max_queue_depth
+        self.per_session_limit = per_session_limit
+        self._cond = threading.Condition()
+        self._ids = count(1)
+        self._running: set[int] = set()      # admitted ticket ids
+        self._queued = 0
+        self._per_session: dict[object, int] = {}
+        # round-robin state: rotation order and whose turn it is
+        self._rotation: list[int] = []
+        self._turn = 0
+        self._wait_hist = get_registry().histogram(
+            "scheduler_wait_seconds",
+            "Time queries spent waiting on the scheduler, by stage",
+        )
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, session_id: object = None,
+              timeout: float | None = None) -> Ticket:
+        """Block until a run slot is free; returns the query's ticket.
+
+        Raises :class:`AdmissionError` if the wait queue is full, the
+        session is over its in-flight limit, or ``timeout`` elapses.
+        """
+        start = time.perf_counter()
+        with self._cond:
+            if (self.per_session_limit is not None
+                    and self._per_session.get(session_id, 0)
+                    >= self.per_session_limit):
+                raise AdmissionError(
+                    f"session {session_id!r} already has "
+                    f"{self.per_session_limit} queries in flight"
+                )
+            if (len(self._running) >= self.max_concurrent
+                    and self._queued >= self.max_queue_depth):
+                raise AdmissionError(
+                    f"admission queue full "
+                    f"({self.max_concurrent} running, "
+                    f"{self._queued} queued)"
+                )
+            self._per_session[session_id] = \
+                self._per_session.get(session_id, 0) + 1
+            self._queued += 1
+            try:
+                while len(self._running) >= self.max_concurrent:
+                    remaining = None if timeout is None else \
+                        timeout - (time.perf_counter() - start)
+                    if remaining is not None and remaining <= 0:
+                        raise AdmissionError(
+                            f"admission timed out after {timeout}s"
+                        )
+                    self._cond.wait(remaining)
+            except BaseException:
+                self._queued -= 1
+                self._session_done(session_id)
+                raise
+            self._queued -= 1
+            ticket = Ticket(next(self._ids), session_id)
+            self._running.add(ticket.id)
+        waited = time.perf_counter() - start
+        ticket.max_wait_seconds = max(ticket.max_wait_seconds, waited)
+        self._wait_hist.observe(waited, stage="admission")
+        return ticket
+
+    def _session_done(self, session_id: object) -> None:
+        left = self._per_session.get(session_id, 0) - 1
+        if left <= 0:
+            self._per_session.pop(session_id, None)
+        else:
+            self._per_session[session_id] = left
+
+    # -- the turnstile -----------------------------------------------------
+
+    def gate(self, ticket: Ticket) -> None:
+        """Wait for ``ticket``'s turn; called once per morsel.
+
+        The first call enrolls the ticket in the rotation.  The gate
+        passes when the rotation points at this ticket (or the ticket
+        runs alone), then advances the turn so the next active query
+        gets the next slice.
+        """
+        start = time.perf_counter()
+        with self._cond:
+            if not ticket.in_rotation:
+                # join just past the current turn: the newcomer waits
+                # one full round before its first morsel, never zero
+                position = self._turn + 1 if self._rotation else 0
+                self._rotation.insert(min(position, len(self._rotation)),
+                                      ticket.id)
+                ticket.in_rotation = True
+            if len(self._rotation) > 1:
+                while self._rotation[self._turn] != ticket.id:
+                    self._cond.wait()
+                self._turn = (self._turn + 1) % len(self._rotation)
+                self._cond.notify_all()
+            else:
+                self._turn = 0
+        waited = time.perf_counter() - start
+        ticket.max_wait_seconds = max(ticket.max_wait_seconds, waited)
+        self._wait_hist.observe(waited, stage="morsel")
+
+    def release(self, ticket: Ticket) -> None:
+        """Return ``ticket``'s slot; wakes waiting admissions and gates."""
+        with self._cond:
+            self._running.discard(ticket.id)
+            self._session_done(ticket.session_id)
+            if ticket.in_rotation:
+                index = self._rotation.index(ticket.id)
+                self._rotation.pop(index)
+                if self._rotation:
+                    if index < self._turn:
+                        self._turn -= 1
+                    self._turn %= len(self._rotation)
+                else:
+                    self._turn = 0
+                ticket.in_rotation = False
+            self._cond.notify_all()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        """Queries currently admitted (running or between morsels)."""
+        with self._cond:
+            return len(self._running)
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued

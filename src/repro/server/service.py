@@ -1,0 +1,376 @@
+"""The concurrent query service: a thread-safe facade over a Database.
+
+:class:`QueryService` is what a multi-client deployment talks to.  It
+adds, on top of :class:`~repro.db.Database`:
+
+* **sessions** with ``PREPARE name AS <select>`` / ``EXECUTE
+  name(args)`` / ``DEALLOCATE`` (see :mod:`repro.server.session`),
+* a shared **compiled-plan cache** keyed by token-normalized SQL,
+  engine spec, and catalog version (:mod:`repro.server.plancache`) —
+  a warm ``EXECUTE`` skips parse, plan, code generation *and* tier
+  compilation, and
+* a **fair morsel scheduler** (:mod:`repro.server.scheduler`) that
+  admits a bounded number of concurrent queries and round-robins them
+  at morsel boundaries through the Wasm engine's ``morsel_hook``.
+
+Concurrency model
+-----------------
+Queries (SELECT/EXECUTE) hold a shared *read* lock for their whole
+lifetime; DDL and INSERT take the *write* lock, so data never changes
+under a running query's mapped buffers.  After any write the catalog
+version is bumped and stale cache entries are purged.  Engines are
+``copy.copy``'d per execution (they hold knobs plus a little per-run
+state); the single-occupancy :class:`WasmExecutable` of a cache entry
+is serialized by the entry's lock.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from contextlib import contextmanager
+
+from repro.db.database import Database
+from repro.engines.base import Timings
+from repro.errors import AnalysisError, SessionError
+from repro.observability.explain import (
+    pipeline_stats_from_trace,
+    render_explain_analyze,
+)
+from repro.observability.metrics import get_registry
+from repro.observability.trace import QueryTrace, trace_event, trace_span
+from repro.plan.exprs import bind_params
+from repro.plan.physical import collect_params, explain_physical
+from repro.plan.pipeline import dissect_into_pipelines
+from repro.server.plancache import CacheEntry, PlanCache, fingerprint_tokens
+from repro.server.scheduler import MorselScheduler
+from repro.server.session import PreparedStatement, Session
+from repro.sql import ast
+from repro.sql.analyzer import analyze
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+__all__ = ["QueryService"]
+
+
+class _ReadWriteLock:
+    """Writer-priority readers/writer lock.
+
+    Queries are readers (many at once); DDL/INSERT are writers
+    (exclusive).  A waiting writer blocks new readers, so a stream of
+    queries cannot starve schema changes.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+class QueryService:
+    """Thread-safe sessions + plan cache + fair scheduling over a DB.
+
+    Args:
+        database: the :class:`Database` to serve; a fresh empty one is
+            created when omitted.
+        default_engine: engine spec for statements that don't name one;
+            defaults to the database's own default.
+        cache_capacity: plan-cache entries kept (LRU beyond that).
+        max_concurrent / max_queue_depth / per_session_limit: admission
+            control knobs, see :class:`MorselScheduler`.
+    """
+
+    def __init__(self, database: Database | None = None,
+                 default_engine: str | None = None,
+                 cache_capacity: int = 32, max_concurrent: int = 4,
+                 max_queue_depth: int = 16,
+                 per_session_limit: int | None = None):
+        self.db = database if database is not None else Database()
+        self.default_engine = default_engine or self.db.default_engine
+        self.cache = PlanCache(cache_capacity)
+        self.scheduler = MorselScheduler(
+            max_concurrent=max_concurrent,
+            max_queue_depth=max_queue_depth,
+            per_session_limit=per_session_limit,
+        )
+        self._state_lock = _ReadWriteLock()
+        self._sessions: dict[int, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._queries = get_registry().counter(
+            "service_queries_total", "Statements the query service ran, by kind"
+        )
+
+    # -- sessions ----------------------------------------------------------
+
+    def create_session(self) -> Session:
+        session = Session()
+        with self._sessions_lock:
+            self._sessions[session.id] = session
+        return session
+
+    def close_session(self, session: Session) -> None:
+        session.close()
+        with self._sessions_lock:
+            self._sessions.pop(session.id, None)
+
+    # -- the entry point ---------------------------------------------------
+
+    def execute(self, sql: str, session: Session | None = None,
+                engine: str | None = None, trace=None):
+        """Parse and run one statement on behalf of ``session``.
+
+        SELECT/EXECUTE return an :class:`~repro.engines.base.
+        ExecutionResult` carrying ``result.plan_cache`` (``"hit"`` or
+        ``"miss"``); PREPARE/DEALLOCATE/DDL/INSERT return ``None``.
+        """
+        qtrace = Database._normalize_trace(trace)
+        spec = engine or self.default_engine
+        with trace_span(qtrace, "parse"):
+            stmt = parse(sql)
+
+        if isinstance(stmt, (ast.CreateTable, ast.CreateIndex, ast.Insert)):
+            self._queries.inc(kind="write")
+            with self._state_lock.write():
+                self.db.execute(sql)
+                self.cache.invalidate(self.db.catalog.version)
+            return None
+        if isinstance(stmt, ast.Prepare):
+            self._queries.inc(kind="prepare")
+            return self._do_prepare(stmt, sql, session, spec, qtrace)
+        if isinstance(stmt, ast.Deallocate):
+            self._queries.inc(kind="deallocate")
+            self._require_session(session, "DEALLOCATE").deallocate(stmt.name)
+            return None
+        if isinstance(stmt, ast.Execute):
+            self._queries.inc(kind="execute")
+            result, _, _ = self._do_execute(stmt, session, spec, qtrace)
+            return result
+        if isinstance(stmt, ast.Explain):
+            self._queries.inc(kind="explain")
+            return self._do_explain(stmt, sql, session, spec, qtrace)
+
+        # a plain SELECT
+        self._queries.inc(kind="select")
+        result, _, _ = self._run_select_text(stmt, sql, session, spec, qtrace)
+        return result
+
+    @staticmethod
+    def _require_session(session: Session | None, what: str) -> Session:
+        if session is None:
+            raise SessionError(f"{what} requires a session; call "
+                               f"QueryService.create_session() first")
+        return session
+
+    # -- PREPARE / EXECUTE -------------------------------------------------
+
+    def _do_prepare(self, stmt: ast.Prepare, sql: str,
+                    session: Session | None, spec: str, qtrace) -> None:
+        session = self._require_session(session, "PREPARE")
+        with self._state_lock.read():
+            with trace_span(qtrace, "analyze"):
+                analyze(stmt, self.db.catalog)
+            # fingerprint the SELECT body: everything after PREPARE name AS
+            tokens = tokenize(sql)[3:]
+            prepared = PreparedStatement(
+                name=stmt.name,
+                select=stmt.statement,
+                param_types=list(stmt.param_types or []),
+                fingerprint=fingerprint_tokens(tokens),
+                sql=sql,
+            )
+            session.add_statement(prepared)
+            # warm the cache now so the first EXECUTE is already a hit
+            self._cached_entry(prepared.fingerprint, prepared.select,
+                               spec, qtrace)
+        return None
+
+    def _do_execute(self, stmt: ast.Execute, session: Session | None,
+                    spec: str, qtrace):
+        session = self._require_session(session, "EXECUTE")
+        prepared = session.statement(stmt.name)
+        values = self._argument_values(stmt, prepared)
+        prepared.executions += 1
+        return self._run_select(
+            prepared.select, prepared.fingerprint, spec, qtrace,
+            param_values=values, session=session,
+        )
+
+    @staticmethod
+    def _argument_values(stmt: ast.Execute,
+                         prepared: PreparedStatement) -> list | None:
+        """EXECUTE arguments coerced to the prepared types (storage repr)."""
+        types = prepared.param_types
+        if len(stmt.args) != len(types):
+            raise SessionError(
+                f"prepared statement {prepared.name!r} takes "
+                f"{len(types)} argument(s), got {len(stmt.args)}"
+            )
+        if not types:
+            return None
+        values = []
+        for position, (arg, ty) in enumerate(zip(stmt.args, types), start=1):
+            value = Database._literal_value(arg)
+            try:
+                values.append(ty.to_storage(value))
+            except (TypeError, ValueError) as err:
+                raise AnalysisError(
+                    f"argument {position} of EXECUTE {prepared.name}: "
+                    f"{value!r} is not coercible to {ty} ({err})"
+                ) from None
+        return values
+
+    # -- SELECT through the cache ------------------------------------------
+
+    def _run_select_text(self, stmt: ast.Select, sql: str,
+                         session: Session | None, spec: str, qtrace):
+        tokens = tokenize(sql)
+        fp = fingerprint_tokens(tokens)
+        return self._run_select(stmt, fp, spec, qtrace, session=session,
+                                analyzed=False)
+
+    def _run_select(self, select: ast.Select, fp: str, spec: str, qtrace,
+                    param_values: list | None = None,
+                    session: Session | None = None, analyzed: bool = True):
+        """The one execution path: cache lookup, then run under the
+        scheduler.  Returns ``(result, entry, disposition)``."""
+        session_id = session.id if session is not None else None
+        ticket = self.scheduler.admit(session_id)
+        try:
+            with self._state_lock.read():
+                entry, disposition = self._cached_entry(
+                    fp, select, spec, qtrace, analyzed=analyzed
+                )
+                engine = copy.copy(self.db.resolve_engine(spec))
+                engine.morsel_hook = lambda: self.scheduler.gate(ticket)
+                with entry.lock:
+                    if entry.executable is not None:
+                        result = engine.execute_prepared(
+                            entry.executable, entry.plan, self.db.catalog,
+                            trace=qtrace, param_values=param_values,
+                        )
+                    else:
+                        if param_values is not None:
+                            bind_params(collect_params(entry.plan),
+                                        param_values)
+                        result = engine.execute(entry.plan, self.db.catalog,
+                                                trace=qtrace)
+                result.engine = spec
+                result.trace = qtrace
+                result.plan_cache = disposition
+                result.scheduler_wait_seconds = ticket.max_wait_seconds
+                return result, entry, disposition
+        finally:
+            self.scheduler.release(ticket)
+
+    def _cached_entry(self, fp: str, select: ast.Select, spec: str, qtrace,
+                      analyzed: bool = True):
+        """Look up — or compile and insert — the entry for this query.
+
+        Caller holds the state read lock.  Returns ``(entry,
+        disposition)``; on a miss the plan is built and, for Wasm engine
+        specs, the query is translated/compiled/instantiated once.
+        """
+        key = (fp, spec, self.db.catalog.version)
+        entry = self.cache.lookup(key)
+        if entry is not None:
+            trace_event(qtrace, "plancache.hit", engine=spec)
+            return entry, "hit"
+        trace_event(qtrace, "plancache.miss", engine=spec)
+        if not analyzed:
+            with trace_span(qtrace, "analyze"):
+                analyze(select, self.db.catalog)
+        with trace_span(qtrace, "plan"):
+            plan = self.db.plan(select)
+        executable = None
+        engine = copy.copy(self.db.resolve_engine(spec))
+        if hasattr(engine, "prepare_executable"):
+            executable = engine.prepare_executable(
+                plan, self.db.catalog, trace=qtrace, timings=Timings()
+            )
+        entry = CacheEntry(plan=plan, executable=executable,
+                           catalog_version=self.db.catalog.version)
+        return self.cache.insert(key, entry), "miss"
+
+    # -- EXPLAIN -----------------------------------------------------------
+
+    def _do_explain(self, stmt: ast.Explain, sql: str,
+                    session: Session | None, spec: str, qtrace):
+        """``EXPLAIN [ANALYZE] <select | execute>`` with the cache
+        disposition annotated (``cache: hit|miss``)."""
+        inner = stmt.statement
+        if isinstance(inner, ast.Execute):
+            session = self._require_session(session, "EXPLAIN EXECUTE")
+            prepared = session.statement(inner.name)
+            if not stmt.analyze:
+                with self._state_lock.read():
+                    entry, _ = self._cached_entry(
+                        prepared.fingerprint, prepared.select, spec, qtrace
+                    )
+                lines = ["EXPLAIN"] + explain_physical(entry.plan).split("\n")
+                return Database._text_result(lines, trace=qtrace)
+            run_trace = qtrace if qtrace is not None else QueryTrace()
+            prepared.executions += 1
+            result, entry, disposition = self._run_select(
+                prepared.select, prepared.fingerprint, spec, run_trace,
+                param_values=self._argument_values(inner, prepared),
+                session=session,
+            )
+        else:
+            if not stmt.analyze:
+                with self._state_lock.read():
+                    with trace_span(qtrace, "analyze"):
+                        analyze(inner, self.db.catalog)
+                    with trace_span(qtrace, "plan"):
+                        plan = self.db.plan(inner)
+                lines = ["EXPLAIN"] + explain_physical(plan).split("\n")
+                return Database._text_result(lines, trace=qtrace)
+            run_trace = qtrace if qtrace is not None else QueryTrace()
+            # fingerprint the SELECT body: tokens after EXPLAIN ANALYZE
+            fp = fingerprint_tokens(tokenize(sql)[2:])
+            result, entry, disposition = self._run_select(
+                inner, fp, spec, run_trace, session=session, analyzed=False
+            )
+        stats = pipeline_stats_from_trace(
+            run_trace, dissect_into_pipelines(entry.plan)
+        )
+        lines = render_explain_analyze(
+            entry.plan, run_trace, stats, spec,
+            total_rows=len(result.rows), cache=disposition,
+        )
+        text = Database._text_result(lines, trace=run_trace)
+        text.pipeline_stats = stats
+        text.analyzed = result
+        text.plan_cache = disposition
+        return text

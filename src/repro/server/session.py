@@ -1,0 +1,109 @@
+"""Client sessions: the scope of prepared statements.
+
+A :class:`Session` is what ``PREPARE``/``EXECUTE``/``DEALLOCATE``
+resolve names against — statement names are session-local, exactly as
+in PostgreSQL.  The session stores the *analyzed* statement (AST with
+resolved types plus the inferred parameter types); the compiled
+artifacts live in the service's shared :class:`~repro.server.plancache.
+PlanCache`, so two sessions preparing the same SELECT share one
+compiled module.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.errors import SessionError
+
+__all__ = ["PreparedStatement", "Session"]
+
+_session_ids = count(1)
+
+
+@dataclass
+class PreparedStatement:
+    """One named statement prepared in a session.
+
+    ``select`` is the analyzed SELECT body (types resolved, parameters
+    registered); ``param_types`` is the inferred type of ``$1..$N`` in
+    order; ``fingerprint`` is the token-normalized body used as the
+    plan-cache key component, so EXECUTE never re-lexes the SQL.
+    """
+
+    name: str
+    select: object
+    param_types: list
+    fingerprint: str
+    sql: str = ""          # original text, for introspection/errors
+    executions: int = 0
+
+
+class Session:
+    """One client's connection state: a registry of prepared statements.
+
+    A session serves one client, but the registry is locked anyway —
+    the TCP front end and tests may poke a session from helper threads,
+    and the cost is negligible next to query execution.
+    """
+
+    def __init__(self, session_id: int | None = None):
+        self.id = session_id if session_id is not None else next(_session_ids)
+        self._statements: dict[str, PreparedStatement] = {}
+        self._lock = threading.Lock()
+        self.closed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging
+        with self._lock:
+            names = sorted(self._statements)
+        return f"Session({self.id}, prepared={names})"
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionError(f"session {self.id} is closed")
+
+    def add_statement(self, statement: PreparedStatement) -> None:
+        with self._lock:
+            self._check_open()
+            if statement.name in self._statements:
+                raise SessionError(
+                    f"prepared statement {statement.name!r} already exists; "
+                    f"DEALLOCATE it first"
+                )
+            self._statements[statement.name] = statement
+
+    def statement(self, name: str) -> PreparedStatement:
+        with self._lock:
+            self._check_open()
+            try:
+                return self._statements[name]
+            except KeyError:
+                raise SessionError(
+                    f"prepared statement {name!r} does not exist"
+                ) from None
+
+    def deallocate(self, name: str | None) -> list[str]:
+        """Drop one statement (or all for ``None``); returns the names."""
+        with self._lock:
+            self._check_open()
+            if name is None:
+                dropped = sorted(self._statements)
+                self._statements.clear()
+                return dropped
+            if name not in self._statements:
+                raise SessionError(
+                    f"prepared statement {name!r} does not exist"
+                )
+            del self._statements[name]
+            return [name]
+
+    @property
+    def statement_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._statements)
+
+    def close(self) -> None:
+        with self._lock:
+            self._statements.clear()
+            self.closed = True

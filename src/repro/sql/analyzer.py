@@ -28,7 +28,7 @@ from repro.errors import AnalysisError
 from repro.sql import ast
 from repro.sql import types as T
 
-__all__ = ["Scope", "analyze", "analyze_select", "add_months"]
+__all__ = ["Scope", "ParamRegistry", "analyze", "analyze_select", "add_months"]
 
 _COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
 _ARITHMETIC_OPS = {"+", "-", "*", "/", "%"}
@@ -46,6 +46,43 @@ def add_months(date: _dt.date, months: int) -> _dt.date:
         except ValueError:
             day -= 1
     return _dt.date(year, month, day)
+
+
+@dataclass
+class ParamRegistry:
+    """Types inferred for ``$N`` placeholders while analyzing a PREPARE.
+
+    Each occurrence of a parameter registers the type its context demands;
+    occurrences of the same parameter are reconciled via the usual type
+    promotion, and :meth:`finalize` enforces that parameters are numbered
+    contiguously from ``$1``.
+    """
+
+    types: dict[int, T.DataType] = field(default_factory=dict)
+
+    def register(self, index: int, ty: T.DataType) -> T.DataType:
+        prev = self.types.get(index)
+        if prev is not None:
+            try:
+                ty = T.common_type(prev, ty)
+            except Exception:
+                raise AnalysisError(
+                    f"conflicting types for parameter ${index}: {prev} vs {ty}"
+                ) from None
+        self.types[index] = ty
+        return ty
+
+    def finalize(self) -> list[T.DataType]:
+        if not self.types:
+            return []
+        highest = max(self.types)
+        missing = [i for i in range(1, highest + 1) if i not in self.types]
+        if missing:
+            gaps = ", ".join(f"${i}" for i in missing)
+            raise AnalysisError(
+                f"parameters must be numbered contiguously from $1; missing {gaps}"
+            )
+        return [self.types[i] for i in range(1, highest + 1)]
 
 
 @dataclass
@@ -110,6 +147,18 @@ def analyze(stmt: ast.Statement, catalog: Catalog) -> Scope | None:
         if ty.is_string:
             raise AnalysisError("string indexes are not supported")
         return None
+    if isinstance(stmt, ast.Prepare):
+        params = ParamRegistry()
+        scope = analyze_select(stmt.statement, catalog, params=params)
+        stmt.param_types = params.finalize()
+        return scope
+    if isinstance(stmt, ast.Execute):
+        for arg in stmt.args:
+            if not isinstance(arg, (ast.Literal, ast.Unary)):
+                raise AnalysisError("EXECUTE arguments must be literals")
+        return None
+    if isinstance(stmt, ast.Deallocate):
+        return None
     raise AnalysisError(f"cannot analyze {type(stmt).__name__}")
 
 
@@ -146,7 +195,9 @@ def _analyze_insert(stmt: ast.Insert, catalog: Catalog) -> None:
                 raise AnalysisError("INSERT values must be literals")
 
 
-def analyze_select(stmt: ast.Select, catalog: Catalog) -> Scope:
+def analyze_select(
+    stmt: ast.Select, catalog: Catalog, params: ParamRegistry | None = None
+) -> Scope:
     scope = Scope()
     for ref in stmt.tables:
         if ref.name not in catalog:
@@ -154,7 +205,7 @@ def analyze_select(stmt: ast.Select, catalog: Catalog) -> Scope:
         table = catalog.get(ref.name)
         scope.add(ref.binding, table.schema)
 
-    analyzer = _ExprAnalyzer(scope)
+    analyzer = _ExprAnalyzer(scope, params)
 
     # Expand ``*`` / ``t.*`` in the select list.
     expanded: list[ast.SelectItem] = []
@@ -220,6 +271,8 @@ def _expr_key(expr: ast.Expr) -> str:
         return f"fn:{expr.name}({args})"
     if isinstance(expr, ast.Cast):
         return f"cast:{expr.target}({_expr_key(expr.expr)})"
+    if isinstance(expr, ast.Parameter):
+        return f"param:{expr.index}"
     return f"id:{id(expr)}"
 
 
@@ -293,14 +346,30 @@ def _check_aggregation(stmt: ast.Select) -> None:
 class _ExprAnalyzer:
     """Resolves, types, and rewrites one expression tree."""
 
-    def __init__(self, scope: Scope):
+    def __init__(self, scope: Scope, params: ParamRegistry | None = None):
         self.scope = scope
+        self.params = params
 
     def visit(self, expr: ast.Expr) -> ast.Expr:
         method = getattr(self, f"_visit_{type(expr).__name__.lower()}", None)
         if method is None:
             raise AnalysisError(f"cannot analyze {type(expr).__name__}")
         return method(expr)
+
+    def _visit_pair(self, a: ast.Expr, b: ast.Expr) -> tuple[ast.Expr, ast.Expr]:
+        """Visit two operands; an untyped ``$N`` on one side takes the type
+        of the other side (the context-based inference of PREPARE)."""
+        a_param = isinstance(a, ast.Parameter)
+        b_param = isinstance(b, ast.Parameter)
+        if self.params is not None and a_param != b_param:
+            if a_param:
+                b = self.visit(b)
+                self.params.register(a.index, b.ty)
+                return self.visit(a), b
+            a = self.visit(a)
+            self.params.register(b.index, a.ty)
+            return a, self.visit(b)
+        return self.visit(a), self.visit(b)
 
     # -- leaves ---------------------------------------------------------------
 
@@ -320,6 +389,20 @@ class _ExprAnalyzer:
             expr.ty = T.char(max(1, len(value.encode("utf-8"))))
         else:
             raise AnalysisError(f"unsupported literal {value!r}")
+        return expr
+
+    def _visit_parameter(self, expr: ast.Parameter) -> ast.Expr:
+        if self.params is None:
+            raise AnalysisError(
+                "parameters ($N) are only allowed in PREPARE statements"
+            )
+        ty = self.params.types.get(expr.index)
+        if ty is None:
+            raise AnalysisError(
+                f"cannot infer the type of parameter ${expr.index}; "
+                f"compare it to a column or add an explicit CAST"
+            )
+        expr.ty = ty
         return expr
 
     def _visit_interval(self, expr: ast.Interval) -> ast.Expr:
@@ -371,8 +454,7 @@ class _ExprAnalyzer:
                 "date ± INTERVAL is only supported on date literals"
             )
 
-        expr.left = self.visit(expr.left)
-        expr.right = self.visit(expr.right)
+        expr.left, expr.right = self._visit_pair(expr.left, expr.right)
         lt, rt = expr.left.ty, expr.right.ty
 
         if expr.op in ("AND", "OR"):
@@ -409,8 +491,9 @@ class _ExprAnalyzer:
         raise AnalysisError(f"unknown operator {expr.op!r}")
 
     def _visit_between(self, expr: ast.Between) -> ast.Expr:
-        expr.expr = self.visit(expr.expr)
-        expr.low = self.visit(expr.low)
+        expr.expr, expr.low = self._visit_pair(expr.expr, expr.low)
+        if self.params is not None and isinstance(expr.high, ast.Parameter):
+            self.params.register(expr.high.index, expr.expr.ty)
         expr.high = self.visit(expr.high)
         T.common_type(expr.expr.ty, expr.low.ty)
         T.common_type(expr.expr.ty, expr.high.ty)
@@ -419,6 +502,10 @@ class _ExprAnalyzer:
 
     def _visit_inlist(self, expr: ast.InList) -> ast.Expr:
         expr.expr = self.visit(expr.expr)
+        if self.params is not None:
+            for item in expr.items:
+                if isinstance(item, ast.Parameter):
+                    self.params.register(item.index, expr.expr.ty)
         expr.items = [self.visit(item) for item in expr.items]
         for item in expr.items:
             T.common_type(expr.expr.ty, item.ty)
@@ -534,6 +621,9 @@ class _ExprAnalyzer:
         return expr
 
     def _visit_cast(self, expr: ast.Cast) -> ast.Expr:
+        # CAST($N AS type) is an explicit type annotation for a parameter.
+        if self.params is not None and isinstance(expr.expr, ast.Parameter):
+            self.params.register(expr.expr.index, expr.target)
         expr.expr = self.visit(expr.expr)
         src, dst = expr.expr.ty, expr.target
         ok = (

@@ -18,6 +18,7 @@ from repro.sql.types import DataType
 __all__ = [
     "Expr",
     "Literal",
+    "Parameter",
     "Interval",
     "ColumnRef",
     "Star",
@@ -39,6 +40,9 @@ __all__ = [
     "CreateIndex",
     "Explain",
     "Insert",
+    "Prepare",
+    "Execute",
+    "Deallocate",
     "Statement",
     "AGGREGATE_FUNCTIONS",
     "walk",
@@ -64,6 +68,18 @@ class Literal(Expr):
     """A constant: int, float, str, bool, or :class:`datetime.date`."""
 
     value: object
+
+
+@dataclass
+class Parameter(Expr):
+    """A prepared-statement placeholder ``$N`` (1-based).
+
+    Its type is inferred at PREPARE time from the context it appears in
+    (the other operand of a comparison/arithmetic expression); a value is
+    bound at EXECUTE time without re-planning.
+    """
+
+    index: int  # 1-based position, as written: $1, $2, ...
 
 
 @dataclass
@@ -272,11 +288,42 @@ class Explain:
     the plan with observed per-pipeline/per-tier statistics.
     """
 
-    statement: Select
+    statement: "Select | Execute"
     analyze: bool = False
 
 
-Statement = Select | CreateTable | Insert | CreateIndex | Explain
+@dataclass
+class Prepare:
+    """``PREPARE name AS <select>`` — plan once, execute many times."""
+
+    name: str
+    statement: Select
+
+    # Set by the analyzer: inferred type of $1..$N, in order.
+    param_types: list[DataType] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+
+@dataclass
+class Execute:
+    """``EXECUTE name(arg, ...)`` with literal arguments for ``$N``."""
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Deallocate:
+    """``DEALLOCATE name`` or ``DEALLOCATE ALL``; ``name is None`` = ALL."""
+
+    name: str | None
+
+
+Statement = (
+    Select | CreateTable | Insert | CreateIndex | Explain
+    | Prepare | Execute | Deallocate
+)
 
 
 def walk(expr: Expr):

@@ -27,6 +27,7 @@ KEYWORDS = frozenset(
     COUNT SUM AVG MIN MAX
     SUBSTRING EXISTS UNION EXCEPT INTERSECT
     EXPLAIN ANALYZE
+    PREPARE EXECUTE DEALLOCATE
     """.split()
 )
 
@@ -41,7 +42,7 @@ class Token:
 
     Attributes:
         kind: ``KEYWORD``, ``IDENT``, ``INT``, ``FLOAT``, ``STRING``,
-            ``OP``, or ``EOF``.
+            ``PARAM``, ``OP``, or ``EOF``.
         value: normalized token text (keywords upper-cased, identifiers
             lower-cased) or the literal value for constants.
         line: 1-based source line.
@@ -161,6 +162,20 @@ def tokenize(text: str) -> list[Token]:
                 tokens.append(Token("KEYWORD", upper, line, column(start)))
             else:
                 tokens.append(Token("IDENT", word.lower(), line, column(start)))
+            continue
+
+        # prepared-statement parameter placeholder: $1, $2, ...
+        if ch == "$":
+            start = i
+            i += 1
+            if i >= n or not text[i].isdigit():
+                raise LexError("expected digits after '$'", line, column(start))
+            while i < n and text[i].isdigit():
+                i += 1
+            index = int(text[start + 1 : i])
+            if index < 1:
+                raise LexError("parameter numbers start at $1", line, column(start))
+            tokens.append(Token("PARAM", index, line, column(start)))
             continue
 
         # quoted identifier

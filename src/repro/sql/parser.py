@@ -3,6 +3,8 @@
 Grammar (roughly)::
 
     statement   := select | create_table | insert
+                 | PREPARE name AS select | EXECUTE name '(' args ')'
+                 | DEALLOCATE (name | ALL)
     select      := SELECT [DISTINCT] items FROM tables [WHERE expr]
                    [GROUP BY exprs [HAVING expr]] [ORDER BY keys]
                    [LIMIT n [OFFSET m]]
@@ -103,6 +105,12 @@ class Parser:
             stmt = self.parse_create_table()
         elif self._check("KEYWORD", "INSERT"):
             stmt = self.parse_insert()
+        elif self._check("KEYWORD", "PREPARE"):
+            stmt = self.parse_prepare()
+        elif self._check("KEYWORD", "EXECUTE"):
+            stmt = self.parse_execute()
+        elif self._check("KEYWORD", "DEALLOCATE"):
+            stmt = self.parse_deallocate()
         else:
             raise ParseError(
                 f"expected a statement, found {self._cur.value!r}",
@@ -115,13 +123,45 @@ class Parser:
     def parse_explain(self) -> ast.Explain:
         self._expect("KEYWORD", "EXPLAIN")
         analyze = self._keyword("ANALYZE")
+        if self._check("KEYWORD", "EXECUTE"):
+            return ast.Explain(self.parse_execute(), analyze)
         if not self._check("KEYWORD", "SELECT"):
             raise ParseError(
-                "EXPLAIN supports only SELECT statements",
+                "EXPLAIN supports only SELECT and EXECUTE statements",
                 self._cur.line,
                 self._cur.column,
             )
         return ast.Explain(self.parse_select(), analyze)
+
+    def parse_prepare(self) -> ast.Prepare:
+        self._expect("KEYWORD", "PREPARE")
+        name = self._parse_name()
+        self._expect("KEYWORD", "AS")
+        if not self._check("KEYWORD", "SELECT"):
+            raise ParseError(
+                "PREPARE supports only SELECT statements",
+                self._cur.line,
+                self._cur.column,
+            )
+        return ast.Prepare(name, self.parse_select())
+
+    def parse_execute(self) -> ast.Execute:
+        self._expect("KEYWORD", "EXECUTE")
+        name = self._parse_name()
+        args: list[ast.Expr] = []
+        if self._accept("OP", "("):
+            if not self._check("OP", ")"):
+                args.append(self.parse_expr())
+                while self._accept("OP", ","):
+                    args.append(self.parse_expr())
+            self._expect("OP", ")")
+        return ast.Execute(name, args)
+
+    def parse_deallocate(self) -> ast.Deallocate:
+        self._expect("KEYWORD", "DEALLOCATE")
+        if self._keyword("ALL"):
+            return ast.Deallocate(None)
+        return ast.Deallocate(self._parse_name())
 
     def parse_select(self) -> ast.Select:
         self._expect("KEYWORD", "SELECT")
@@ -447,6 +487,10 @@ class Parser:
         if tok.kind == "INT" or tok.kind == "FLOAT" or tok.kind == "STRING":
             self._advance()
             return ast.Literal(tok.value)
+
+        if tok.kind == "PARAM":
+            self._advance()
+            return ast.Parameter(int(tok.value))
 
         if tok.kind == "OP" and tok.value == "(":
             self._advance()

@@ -172,6 +172,21 @@ class Instance:
         export = self._exports[name]
         return getattr(self.funcs[export.index], "tier", "?")
 
+    def reset_mutable_state(self) -> None:
+        """Restore every global to its module initializer (module reuse).
+
+        Tier state — the live function table, call counters, compiled
+        code — is deliberately preserved: resetting it would forfeit the
+        adaptive engine's optimization investment, which is the point of
+        caching an instantiated module.  The host is responsible for any
+        globals it wants pinned past the reset (e.g. a grown heap bound)
+        and for replaying data segments into linear memory.
+        """
+        for i, g in enumerate(self.module.globals):
+            self.globals[i] = (
+                g.init if g.init is not None else _GLOBAL_DEFAULTS[g.valtype]
+            )
+
 
 class Engine:
     """Instantiates modules and drives adaptive tier-up."""

@@ -33,6 +33,16 @@ from repro.wasm.runtime.pycodegen import (
 __all__ = ["LiftoffCompiler", "CompiledFunction"]
 
 
+def _float_src(value: float) -> str:
+    """Python source for a float constant; ``repr`` of non-finite
+    values (``inf``, ``nan``) is not valid source."""
+    if value != value:
+        return "float('nan')"
+    if value in (float("inf"), float("-inf")):
+        return f"float('{value}')"
+    return repr(value)
+
+
 @dataclass
 class CompiledFunction:
     """The output of a tier compiler for one function."""
@@ -171,9 +181,9 @@ class LiftoffCompiler:
             elif op == "i32.const" or op == "i64.const":
                 em.emit(f"st.append({int(instr[1])})")
             elif op == "f32.const":
-                em.emit(f"st.append({V.f32round(float(instr[1]))!r})")
+                em.emit(f"st.append({_float_src(V.f32round(float(instr[1])))})")
             elif op == "f64.const":
-                em.emit(f"st.append({float(instr[1])!r})")
+                em.emit(f"st.append({_float_src(float(instr[1]))})")
             elif op in SIMPLE_BINOPS:
                 em.emit("b = st.pop(); a = st.pop()")
                 expr = SIMPLE_BINOPS[op].format(a="a", b="b")

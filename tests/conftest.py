@@ -38,6 +38,11 @@ def pytest_configure(config):
         "chaos: deterministic fault-injection tests "
         "(run only these with -m chaos, skip with -m 'not chaos')",
     )
+    config.addinivalue_line(
+        "markers",
+        "stress: multi-threaded query-service stress tests "
+        "(run only these with -m stress, skip with -m 'not stress')",
+    )
     if not _HAVE_PYTEST_TIMEOUT:
         config.addinivalue_line(
             "markers",

@@ -1,0 +1,143 @@
+"""Plan-cache behavior: fingerprinting, LRU, invalidation."""
+
+import pytest
+
+from repro.server import PlanCache, QueryService, fingerprint
+from repro.server.plancache import CacheEntry
+
+
+class TestFingerprint:
+    def test_whitespace_and_case_insensitive(self):
+        a = fingerprint("SELECT x FROM t WHERE x < 10")
+        b = fingerprint("select   X\n  from T  where x < 10")
+        assert a == b
+
+    def test_literals_distinguish(self):
+        assert fingerprint("SELECT x FROM t WHERE x < 10") \
+            != fingerprint("SELECT x FROM t WHERE x < 11")
+
+    def test_identifiers_distinguish(self):
+        assert fingerprint("SELECT x FROM t") != fingerprint("SELECT y FROM t")
+
+    def test_string_case_preserved(self):
+        assert fingerprint("SELECT x FROM t WHERE s = 'A'") \
+            != fingerprint("SELECT x FROM t WHERE s = 'a'")
+
+
+class TestLru:
+    def test_hit_and_miss_counts(self):
+        cache = PlanCache(capacity=4)
+        key = ("q", "wasm", 0)
+        assert cache.lookup(key) is None
+        cache.insert(key, CacheEntry(plan=object()))
+        assert cache.lookup(key) is not None
+        stats = cache.stats
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_eviction_drops_lru(self):
+        cache = PlanCache(capacity=2)
+        for name in ("a", "b", "c"):
+            cache.insert((name, "wasm", 0), CacheEntry(plan=name))
+        assert ("a", "wasm", 0) not in cache  # least recently used
+        assert ("b", "wasm", 0) in cache
+        assert ("c", "wasm", 0) in cache
+        assert cache.stats["evictions"] == 1
+
+    def test_lookup_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        cache.insert(("a", "wasm", 0), CacheEntry(plan="a"))
+        cache.insert(("b", "wasm", 0), CacheEntry(plan="b"))
+        cache.lookup(("a", "wasm", 0))  # a becomes MRU
+        cache.insert(("c", "wasm", 0), CacheEntry(plan="c"))
+        assert ("a", "wasm", 0) in cache
+        assert ("b", "wasm", 0) not in cache
+
+    def test_duplicate_insert_returns_first(self):
+        cache = PlanCache(capacity=2)
+        first = cache.insert(("a", "wasm", 0), CacheEntry(plan="one"))
+        second = cache.insert(("a", "wasm", 0), CacheEntry(plan="two"))
+        assert second is first
+
+    def test_invalidate_purges_stale_versions(self):
+        cache = PlanCache(capacity=8)
+        cache.insert(("a", "wasm", 1), CacheEntry(plan="a",
+                                                  catalog_version=1))
+        cache.insert(("b", "wasm", 2), CacheEntry(plan="b",
+                                                  catalog_version=2))
+        assert cache.invalidate(2) == 1
+        assert ("a", "wasm", 1) not in cache
+        assert ("b", "wasm", 2) in cache
+        assert cache.stats["invalidations"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+@pytest.fixture()
+def service():
+    svc = QueryService()
+    svc.execute("CREATE TABLE t (id INT PRIMARY KEY, x INT, y DOUBLE)")
+    svc.execute("INSERT INTO t VALUES (1, 10, 0.5), (2, 20, 1.5), "
+                "(3, 30, 2.5)")
+    return svc
+
+
+class TestServiceCacheMatrix:
+    def test_select_miss_then_hit(self, service):
+        first = service.execute("SELECT x FROM t WHERE x < 25")
+        second = service.execute("select  x from T where x < 25")
+        assert first.plan_cache == "miss"
+        assert second.plan_cache == "hit"
+        assert first.rows == second.rows
+
+    def test_different_literals_are_different_entries(self, service):
+        service.execute("SELECT x FROM t WHERE x < 25")
+        other = service.execute("SELECT x FROM t WHERE x < 15")
+        assert other.plan_cache == "miss"
+
+    def test_engine_spec_part_of_key(self, service):
+        service.execute("SELECT x FROM t WHERE x < 25", engine="wasm")
+        other = service.execute("SELECT x FROM t WHERE x < 25",
+                                engine="volcano")
+        assert other.plan_cache == "miss"
+
+    def test_prepare_warms_cache(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t WHERE x < $1",
+                        session=session)
+        result = service.execute("EXECUTE q(25)", session=session)
+        assert result.plan_cache == "hit"
+
+    def test_ddl_after_prepare_invalidates(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t WHERE x < $1",
+                        session=session)
+        warm = service.execute("EXECUTE q(25)", session=session)
+        assert warm.plan_cache == "hit"
+        service.execute("INSERT INTO t VALUES (4, 12, 3.5)")
+        cold = service.execute("EXECUTE q(25)", session=session)
+        assert cold.plan_cache == "miss"
+        assert sorted(cold.rows) == [(10,), (12,), (20,)]
+        rewarmed = service.execute("EXECUTE q(25)", session=session)
+        assert rewarmed.plan_cache == "hit"
+        assert sorted(rewarmed.rows) == [(10,), (12,), (20,)]
+
+    def test_create_index_invalidates(self, service):
+        service.execute("SELECT x FROM t WHERE x < 25")
+        service.execute("CREATE INDEX t_x ON t (x)")
+        again = service.execute("SELECT x FROM t WHERE x < 25")
+        assert again.plan_cache == "miss"
+
+    def test_create_table_invalidates(self, service):
+        service.execute("SELECT x FROM t WHERE x < 25")
+        service.execute("CREATE TABLE u (a INT)")
+        again = service.execute("SELECT x FROM t WHERE x < 25")
+        assert again.plan_cache == "miss"
+
+    def test_eviction_under_pressure(self, service):
+        service.cache.capacity = 2
+        for bound in (11, 12, 13, 14):
+            service.execute(f"SELECT x FROM t WHERE x < {bound}")
+        assert len(service.cache) == 2
+        assert service.cache.stats["evictions"] >= 2

@@ -1,0 +1,170 @@
+"""QueryService behavior: parameters across engines, EXPLAIN, metrics."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import AnalysisError, EngineError
+from repro.observability.metrics import get_registry
+from repro.observability.trace import QueryTrace
+from repro.server import QueryService
+
+ENGINES = ["wasm", "wasm[interpreter]", "volcano", "vectorized", "hyper"]
+
+
+@pytest.fixture()
+def service():
+    svc = QueryService()
+    svc.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, x INT, y DOUBLE, s CHAR(4), "
+        "d DATE)"
+    )
+    svc.execute(
+        "INSERT INTO t VALUES "
+        "(1, 10, 0.5, 'aa', DATE '1994-01-01'), "
+        "(2, 20, 1.5, 'bb', DATE '1995-06-15'), "
+        "(3, 30, 2.5, 'cc', DATE '1996-12-31')"
+    )
+    return svc
+
+
+class TestParametersAcrossEngines:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_int_param(self, service, engine):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT id FROM t WHERE x < $1",
+                        session=session)
+        rows = service.execute("EXECUTE q(25)", session=session,
+                               engine=engine).rows
+        assert sorted(rows) == [(1,), (2,)]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_string_param(self, service, engine):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT id FROM t WHERE s = $1",
+                        session=session)
+        rows = service.execute("EXECUTE q('bb')", session=session,
+                               engine=engine).rows
+        assert rows == [(2,)]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_double_param(self, service, engine):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT id FROM t WHERE y > $1",
+                        session=session)
+        rows = service.execute("EXECUTE q(1.0)", session=session,
+                               engine=engine).rows
+        assert sorted(rows) == [(2,), (3,)]
+
+    def test_date_param(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT id FROM t WHERE d < $1",
+                        session=session)
+        rows = service.execute("EXECUTE q('1996-01-01')",
+                               session=session).rows
+        assert sorted(rows) == [(1,), (2,)]
+
+    def test_param_in_projection_arithmetic(self, service):
+        session = service.create_session()
+        service.execute(
+            "PREPARE q AS SELECT id, x + $1 FROM t WHERE id = 1",
+            session=session,
+        )
+        assert service.execute("EXECUTE q(5)", session=session).rows \
+            == [(1, 15)]
+
+    def test_negative_argument(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT id FROM t WHERE x > $1",
+                        session=session)
+        rows = service.execute("EXECUTE q(-100)", session=session).rows
+        assert len(rows) == 3
+
+    def test_uncoercible_argument(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT id FROM t WHERE x < $1",
+                        session=session)
+        with pytest.raises(AnalysisError, match="not coercible"):
+            service.execute("EXECUTE q('abc')", session=session)
+
+
+class TestResults:
+    def test_python_level_values(self, service):
+        result = service.execute("SELECT s, d FROM t WHERE id = 1")
+        assert result.rows == [("aa", dt.date(1994, 1, 1))]
+        # and again from the cache — conversion still correct
+        result = service.execute("SELECT s, d FROM t WHERE id = 1")
+        assert result.plan_cache == "hit"
+        assert result.rows == [("aa", dt.date(1994, 1, 1))]
+
+    def test_matches_database_oracle(self, service):
+        sql = "SELECT id, x * 2, s FROM t WHERE x <= 20 ORDER BY id"
+        service.execute(sql)  # cold
+        warm = service.execute(sql)
+        oracle = service.db.execute(sql)
+        assert warm.rows == oracle.rows
+
+    def test_database_rejects_prepare_without_service(self, service):
+        with pytest.raises(EngineError, match="QueryService"):
+            service.db.execute("PREPARE q AS SELECT id FROM t")
+
+
+class TestExplain:
+    def test_explain_analyze_reports_miss_then_hit(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t WHERE x < $1",
+                        session=session)
+        first = service.execute("EXPLAIN ANALYZE EXECUTE q(25)",
+                                session=session)
+        lines = [row[0] for row in first.rows]
+        assert "cache: hit" in lines  # PREPARE warmed the cache
+        service.execute("INSERT INTO t VALUES (4, 40, 3.5, 'dd', "
+                        "DATE '1997-01-01')")
+        cold = service.execute("EXPLAIN ANALYZE EXECUTE q(25)",
+                               session=session)
+        assert "cache: miss" in [row[0] for row in cold.rows]
+
+    def test_explain_analyze_select(self, service):
+        service.execute("SELECT x FROM t WHERE x < 25")
+        result = service.execute("EXPLAIN ANALYZE SELECT x FROM t "
+                                 "WHERE x < 25")
+        lines = [row[0] for row in result.rows]
+        assert "cache: hit" in lines
+        assert any(line.startswith("pipelines:") for line in lines)
+
+    def test_plain_explain(self, service):
+        result = service.execute("EXPLAIN SELECT x FROM t WHERE x < 25")
+        lines = [row[0] for row in result.rows]
+        assert lines[0] == "EXPLAIN"
+        assert not any(line.startswith("cache:") for line in lines)
+
+    def test_explain_execute_without_analyze(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t WHERE x < $1",
+                        session=session)
+        result = service.execute("EXPLAIN EXECUTE q(25)", session=session)
+        assert [row[0] for row in result.rows][0] == "EXPLAIN"
+
+
+class TestObservability:
+    def test_cache_counters_in_prometheus_text(self, service):
+        service.execute("SELECT x FROM t WHERE x < 25")
+        service.execute("SELECT x FROM t WHERE x < 25")
+        text = get_registry().prometheus_text()
+        assert "# TYPE plancache_hits_total counter" in text
+        assert "# TYPE plancache_misses_total counter" in text
+        assert "# TYPE scheduler_wait_seconds histogram" in text
+        assert 'scheduler_wait_seconds_bucket{le="+Inf",stage="morsel"}' \
+            in text
+
+    def test_trace_records_cache_events(self, service):
+        trace = QueryTrace()
+        service.execute("SELECT x FROM t WHERE x > 5", trace=trace)
+        assert trace.find("plancache.miss")
+        trace = QueryTrace()
+        service.execute("SELECT x FROM t WHERE x > 5", trace=trace)
+        assert trace.find("plancache.hit")
+
+    def test_scheduler_wait_attached_to_result(self, service):
+        result = service.execute("SELECT x FROM t WHERE x > 5")
+        assert result.scheduler_wait_seconds >= 0.0

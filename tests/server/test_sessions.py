@@ -1,0 +1,94 @@
+"""Session semantics: statement registry, DEALLOCATE, lifecycle."""
+
+import pytest
+
+from repro.errors import SessionError
+from repro.server import QueryService
+
+
+@pytest.fixture()
+def service():
+    svc = QueryService()
+    svc.execute("CREATE TABLE t (id INT PRIMARY KEY, x INT)")
+    svc.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+    return svc
+
+
+class TestSessions:
+    def test_prepare_requires_session(self, service):
+        with pytest.raises(SessionError, match="session"):
+            service.execute("PREPARE q AS SELECT x FROM t")
+
+    def test_execute_requires_session(self, service):
+        with pytest.raises(SessionError, match="session"):
+            service.execute("EXECUTE q")
+
+    def test_unknown_statement(self, service):
+        session = service.create_session()
+        with pytest.raises(SessionError, match="does not exist"):
+            service.execute("EXECUTE nope", session=session)
+
+    def test_duplicate_name_rejected(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t", session=session)
+        with pytest.raises(SessionError, match="already exists"):
+            service.execute("PREPARE q AS SELECT id FROM t", session=session)
+
+    def test_deallocate_then_reprepare(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t", session=session)
+        service.execute("DEALLOCATE q", session=session)
+        with pytest.raises(SessionError):
+            service.execute("EXECUTE q", session=session)
+        service.execute("PREPARE q AS SELECT id FROM t", session=session)
+        assert sorted(service.execute("EXECUTE q",
+                                      session=session).rows) == [(1,), (2,)]
+
+    def test_deallocate_all(self, service):
+        session = service.create_session()
+        service.execute("PREPARE a AS SELECT x FROM t", session=session)
+        service.execute("PREPARE b AS SELECT id FROM t", session=session)
+        service.execute("DEALLOCATE ALL", session=session)
+        assert session.statement_names == []
+
+    def test_deallocate_unknown_rejected(self, service):
+        session = service.create_session()
+        with pytest.raises(SessionError):
+            service.execute("DEALLOCATE nope", session=session)
+
+    def test_names_are_session_local(self, service):
+        s1 = service.create_session()
+        s2 = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t", session=s1)
+        with pytest.raises(SessionError):
+            service.execute("EXECUTE q", session=s2)
+        # same name, different body, no clash across sessions
+        service.execute("PREPARE q AS SELECT id FROM t", session=s2)
+        assert sorted(service.execute("EXECUTE q", session=s2).rows) \
+            == [(1,), (2,)]
+
+    def test_sessions_share_the_plan_cache(self, service):
+        s1 = service.create_session()
+        s2 = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t WHERE x < $1",
+                        session=s1)
+        service.execute("PREPARE p AS SELECT x FROM t WHERE x < $1",
+                        session=s2)
+        result = service.execute("EXECUTE p(15)", session=s2)
+        assert result.plan_cache == "hit"  # warmed by s1's PREPARE
+
+    def test_closed_session_rejects_use(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t", session=session)
+        service.close_session(session)
+        with pytest.raises(SessionError, match="closed"):
+            service.execute("EXECUTE q", session=session)
+
+    def test_param_count_mismatch(self, service):
+        session = service.create_session()
+        service.execute("PREPARE q AS SELECT x FROM t WHERE x < $1",
+                        session=session)
+        with pytest.raises(SessionError, match="argument"):
+            service.execute("EXECUTE q", session=session)
+        with pytest.raises(SessionError, match="argument"):
+            service.execute("EXECUTE q(1, 2)", session=session)

@@ -1,0 +1,159 @@
+"""Seeded multi-client stress: concurrent results must equal the oracle.
+
+Eight client threads run a seeded random mix of prepared EXECUTEs and
+ad-hoc SELECTs against one shared :class:`QueryService`.  Every result
+must be byte-identical to the single-threaded oracle computed up
+front, every query's scheduler wait must stay bounded, and the plan
+cache must have served the bulk of the load.
+
+Marked ``stress`` so CI can run the class on its own
+(``pytest -m stress``); the suite is seeded and fast enough for tier-1
+as well.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.server import QueryService
+
+CLIENTS = 8
+QUERIES_PER_CLIENT = 12
+SEED = 0xC0FFEE
+
+#: (name, PREPARE body, argument choices)
+PREPARED = [
+    ("by_x", "SELECT id, x FROM t WHERE x < $1 ORDER BY id",
+     [15, 35, 60, 90]),
+    ("by_grp", "SELECT grp, COUNT(*), SUM(x) FROM t WHERE x < $1 GROUP BY grp",
+     [25, 50, 100]),
+    ("by_s", "SELECT id FROM t WHERE s = $1",
+     ["'k00'", "'k07'", "'k13'"]),
+]
+
+ADHOC = [
+    "SELECT COUNT(*) FROM t",
+    "SELECT grp, MIN(x), MAX(x) FROM t GROUP BY grp",
+    "SELECT id, x FROM t ORDER BY x DESC, id LIMIT 5",
+]
+
+
+def build_service() -> QueryService:
+    service = QueryService(max_concurrent=4, max_queue_depth=64)
+    service.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, grp INT, x INT, s CHAR(4))"
+    )
+    rng = random.Random(SEED)
+    rows = ", ".join(
+        f"({i}, {i % 5}, {rng.randrange(100)}, 'k{i % 17:02d}')"
+        for i in range(120)
+    )
+    service.execute(f"INSERT INTO t VALUES {rows}")
+    return service
+
+
+def canonical(result) -> list:
+    """Stable bytes-comparable form of a result set."""
+    return [tuple(map(repr, row)) for row in result.rows]
+
+
+@pytest.mark.stress
+class TestConcurrentStress:
+    def test_eight_clients_match_single_threaded_oracle(self):
+        service = build_service()
+
+        # single-threaded oracle for every (statement, argument) pair
+        oracle_session = service.create_session()
+        oracle = {}
+        for name, body, args in PREPARED:
+            service.execute(f"PREPARE {name} AS {body}",
+                            session=oracle_session)
+            for arg in args:
+                key = (name, arg)
+                result = service.execute(f"EXECUTE {name}({arg})",
+                                         session=oracle_session)
+                oracle[key] = sorted(canonical(result))
+        for sql in ADHOC:
+            oracle[sql] = sorted(canonical(service.execute(sql)))
+
+        errors = []
+        max_waits = []
+        lock = threading.Lock()
+
+        def client(index: int) -> None:
+            rng = random.Random(SEED + index)
+            session = service.create_session()
+            try:
+                for name, body, _ in PREPARED:
+                    service.execute(f"PREPARE {name} AS {body}",
+                                    session=session)
+                for _ in range(QUERIES_PER_CLIENT):
+                    if rng.random() < 0.7:
+                        name, _, args = PREPARED[rng.randrange(len(PREPARED))]
+                        arg = args[rng.randrange(len(args))]
+                        key = (name, arg)
+                        result = service.execute(
+                            f"EXECUTE {name}({arg})", session=session
+                        )
+                    else:
+                        key = ADHOC[rng.randrange(len(ADHOC))]
+                        result = service.execute(key, session=session)
+                    got = sorted(canonical(result))
+                    with lock:
+                        max_waits.append(result.scheduler_wait_seconds)
+                        if got != oracle[key]:
+                            errors.append((index, key, got[:3]))
+            except Exception as err:  # noqa: BLE001 - collected for assert
+                with lock:
+                    errors.append((index, repr(err)))
+            finally:
+                service.close_session(session)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=90)
+        assert not any(t.is_alive() for t in threads), "stress run hung"
+
+        assert not errors, errors[:5]
+        # every query observed a bounded scheduler wait
+        assert max_waits and max(max_waits) < 30.0
+        # the cache carried the load: far more hits than misses
+        stats = service.cache.stats
+        assert stats["hits"] > stats["misses"]
+
+    def test_admission_pressure_is_survivable(self):
+        """Clients hammering a 1-slot scheduler either run or get a
+        clean AdmissionError — never a wedge or a wrong result."""
+        from repro.errors import AdmissionError
+
+        service = build_service()
+        service.scheduler.max_concurrent = 1
+        service.scheduler.max_queue_depth = 2
+        oracle = sorted(canonical(service.execute(ADHOC[0])))
+        outcomes = []
+        lock = threading.Lock()
+
+        def client():
+            try:
+                result = service.execute(ADHOC[0])
+                with lock:
+                    outcomes.append(sorted(canonical(result)) == oracle)
+            except AdmissionError:
+                with lock:
+                    outcomes.append("refused")
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(outcomes) == 8
+        completed = [o for o in outcomes if o != "refused"]
+        assert all(o is True for o in completed)
+        assert any(o is True for o in outcomes)  # someone got through

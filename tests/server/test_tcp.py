@@ -1,0 +1,89 @@
+"""The TCP front end: one session per connection, text protocol."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.server import QueryService
+from repro.server.__main__ import serve
+
+
+@pytest.fixture()
+def server():
+    service = QueryService()
+    service.execute("CREATE TABLE t (id INT PRIMARY KEY, x INT)")
+    service.execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+    srv = serve(service, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+class _Client:
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send(self, statement: str) -> list[str]:
+        """One statement -> the response block (lines, no blank)."""
+        self.file.write(statement + "\n")
+        self.file.flush()
+        lines = []
+        while True:
+            line = self.file.readline()
+            if line in ("\n", ""):
+                return lines
+            lines.append(line.rstrip("\n"))
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class TestTcp:
+    def test_select_roundtrip(self, server):
+        client = _Client(server.server_address[1])
+        block = client.send("SELECT x FROM t WHERE x < 25;")
+        assert block[-1].startswith("(2 rows)")
+        assert "10" in "".join(block) and "20" in "".join(block)
+        client.close()
+
+    def test_prepare_execute_over_the_wire(self, server):
+        client = _Client(server.server_address[1])
+        assert client.send("PREPARE q AS SELECT id FROM t "
+                           "WHERE x >= $1;") == ["OK"]
+        block = client.send("EXECUTE q(20);")
+        assert block[-1].endswith("(cache: hit)")
+        client.close()
+
+    def test_errors_keep_the_connection_alive(self, server):
+        client = _Client(server.server_address[1])
+        block = client.send("SELECT nope FROM t;")
+        assert block[0].startswith("ERROR:")
+        block = client.send("SELECT COUNT(*) FROM t;")
+        assert block[-1].startswith("(1 rows)")
+        client.close()
+
+    def test_sessions_are_per_connection(self, server):
+        port = server.server_address[1]
+        first = _Client(port)
+        second = _Client(port)
+        assert first.send("PREPARE q AS SELECT id FROM t;") == ["OK"]
+        block = second.send("EXECUTE q;")
+        assert block[0].startswith("ERROR:")  # q is first's statement
+        first.close()
+        second.close()
+
+    def test_two_connections_interleaved(self, server):
+        port = server.server_address[1]
+        clients = [_Client(port) for _ in range(2)]
+        for client in clients:
+            client.send("PREPARE q AS SELECT id FROM t WHERE x < $1;")
+        for _ in range(3):
+            for client in clients:
+                block = client.send("EXECUTE q(25);")
+                assert block[-1].startswith("(2 rows)")
+        for client in clients:
+            client.close()

@@ -1,0 +1,135 @@
+"""Front-end tests of PREPARE/EXECUTE/DEALLOCATE and $N parameters."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, TableSchema
+from repro.errors import AnalysisError, LexError, ParseError
+from repro.sql import ast
+from repro.sql.analyzer import analyze
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+from repro.sql.types import DOUBLE, INT32, INT64, varchar
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.add(Table.empty(TableSchema("t", [
+        Column("id", INT32, True),
+        Column("x", INT32),
+        Column("big", INT64),
+        Column("y", DOUBLE),
+        Column("s", varchar(8)),
+    ])))
+    return cat
+
+
+class TestLexer:
+    def test_param_token(self):
+        tokens = tokenize("SELECT $1, $23")
+        params = [t for t in tokens if t.kind == "PARAM"]
+        assert [t.value for t in params] == [1, 23]
+
+    def test_param_needs_digits(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT $x")
+
+    def test_param_zero_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT $0")
+
+    def test_prepare_keywords(self):
+        kinds = {t.value for t in tokenize("PREPARE EXECUTE DEALLOCATE")
+                 if t.kind == "KEYWORD"}
+        assert kinds == {"PREPARE", "EXECUTE", "DEALLOCATE"}
+
+
+class TestParser:
+    def test_prepare(self):
+        stmt = parse("PREPARE q AS SELECT x FROM t WHERE x < $1")
+        assert isinstance(stmt, ast.Prepare)
+        assert stmt.name == "q"
+        assert isinstance(stmt.statement, ast.Select)
+
+    def test_prepare_requires_select(self):
+        with pytest.raises(ParseError):
+            parse("PREPARE q AS INSERT INTO t VALUES (1)")
+
+    def test_execute_with_args(self):
+        stmt = parse("EXECUTE q(1, 'abc', -2.5)")
+        assert isinstance(stmt, ast.Execute)
+        assert stmt.name == "q"
+        assert len(stmt.args) == 3
+
+    def test_execute_no_args(self):
+        stmt = parse("EXECUTE q")
+        assert stmt.args == []
+
+    def test_deallocate(self):
+        assert parse("DEALLOCATE q").name == "q"
+        assert parse("DEALLOCATE ALL").name is None
+
+    def test_explain_execute(self):
+        stmt = parse("EXPLAIN ANALYZE EXECUTE q(5)")
+        assert isinstance(stmt, ast.Explain)
+        assert isinstance(stmt.statement, ast.Execute)
+        assert stmt.analyze
+
+    def test_parameter_expression(self):
+        stmt = parse("PREPARE q AS SELECT x FROM t WHERE x BETWEEN $1 AND $2")
+        params = [e for e in ast.walk(stmt.statement.where)
+                  if isinstance(e, ast.Parameter)]
+        assert sorted(p.index for p in params) == [1, 2]
+
+
+class TestAnalyzer:
+    def test_types_inferred_from_context(self, catalog):
+        stmt = parse(
+            "PREPARE q AS SELECT x FROM t "
+            "WHERE x < $1 AND y > $2 AND s = $3"
+        )
+        analyze(stmt, catalog)
+        assert stmt.param_types == [INT32, DOUBLE, varchar(8)]
+
+    def test_cast_annotates_type(self, catalog):
+        stmt = parse(
+            "PREPARE q AS SELECT x FROM t WHERE big < CAST($1 AS INT64)"
+        )
+        analyze(stmt, catalog)
+        assert stmt.param_types == [INT64]
+
+    def test_conflicting_types_rejected(self, catalog):
+        stmt = parse(
+            "PREPARE q AS SELECT x FROM t WHERE x = $1 AND s = $1"
+        )
+        with pytest.raises(AnalysisError, match="conflicting types"):
+            analyze(stmt, catalog)
+
+    def test_uninferrable_rejected(self, catalog):
+        stmt = parse("PREPARE q AS SELECT x FROM t WHERE $1 = $2")
+        with pytest.raises(AnalysisError):
+            analyze(stmt, catalog)
+
+    def test_gap_in_numbering_rejected(self, catalog):
+        stmt = parse("PREPARE q AS SELECT x FROM t WHERE x < $2")
+        with pytest.raises(AnalysisError, match="\\$1"):
+            analyze(stmt, catalog)
+
+    def test_params_outside_prepare_rejected(self, catalog):
+        stmt = parse("SELECT x FROM t WHERE x < $1")
+        with pytest.raises(AnalysisError, match="PREPARE"):
+            analyze(stmt, catalog)
+
+    def test_execute_args_must_be_literals(self, catalog):
+        stmt = parse("EXECUTE q(x + 1)")
+        with pytest.raises(AnalysisError):
+            analyze(stmt, catalog)
+
+    def test_repeated_param_unifies(self, catalog):
+        stmt = parse(
+            "PREPARE q AS SELECT x FROM t WHERE x < $1 AND big < $1"
+        )
+        analyze(stmt, catalog)
+        assert stmt.param_types == [INT64]
