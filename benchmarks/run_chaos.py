@@ -27,7 +27,7 @@ sys.path.insert(0, ".")
 from repro.bench.tpch import QUERIES, tpch_database  # noqa: E402
 from repro.errors import QueryError, ReproError  # noqa: E402
 from repro.observability import QueryTrace  # noqa: E402
-from repro.robustness import FAULT_SITES, FallbackPolicy, FaultInjector  # noqa: E402
+from repro.robustness import ENGINE_FAULT_SITES, FallbackPolicy, FaultInjector  # noqa: E402
 
 
 def norm(rows):
@@ -55,7 +55,7 @@ def run_sweep(seeds: list[int], rate: float, scale: float,
              # every injected fault is visible post-hoc as a
              # ``fault.injected`` trace event: site -> observed count
              "faults_observed": {}, "faults_unaccounted": []}
-    for site in sorted(FAULT_SITES):
+    for site in sorted(ENGINE_FAULT_SITES):
         for seed in seeds:
             injector = FaultInjector(seed=seed, rates={site: rate})
             wasm.fault_injector = injector
@@ -116,7 +116,7 @@ def main(seeds: int = 3, rate: float = 1.0, scale: float = 0.002) -> str:
     start = time.perf_counter()
     stats = run_sweep(list(range(seeds)), rate, scale)
     lines = [
-        f"chaos sweep: {len(FAULT_SITES)} sites x {seeds} seeds x "
+        f"chaos sweep: {len(ENGINE_FAULT_SITES)} sites x {seeds} seeds x "
         f"{len(QUERIES)} queries = {stats['runs']} runs "
         f"({time.perf_counter() - start:.1f}s)",
         f"  correct without degradation: {stats['clean']}",

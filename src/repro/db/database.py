@@ -200,6 +200,12 @@ class Database:
                 "PREPARE/EXECUTE/DEALLOCATE need a session — connect "
                 "through repro.server.QueryService instead of Database"
             )
+        if isinstance(stmt, (ast.Cancel, ast.ShowQueries, ast.SetOption)):
+            raise EngineError(
+                "CANCEL/SHOW QUERIES/SET need the query service — "
+                "connect through repro.server.QueryService instead of "
+                "Database"
+            )
 
         if isinstance(stmt, ast.Explain):
             return self._run_explain(stmt, engine, profile, qtrace)

@@ -137,6 +137,13 @@ class WasmEngine(QueryEngine):
         # fair scheduler parks threads here so concurrent queries
         # round-robin at morsel boundaries.
         self.morsel_hook = None
+        # Optional service-level resilience hooks, set per execution by
+        # the query service: a shared Deadline (admission wait debits
+        # the same budget the governor enforces) and a CancelToken
+        # checked at every morsel boundary, so CANCEL from another
+        # session aborts within one morsel.
+        self.deadline = None
+        self.cancel_token = None
         # Figure 5: tables larger than this window (in rows) are not
         # mapped whole; the host re-wires chunk after chunk into a fixed
         # window while the pipeline runs (rewire_next_chunk).  None maps
@@ -241,7 +248,8 @@ class WasmEngine(QueryEngine):
                 trace=None) -> ExecutionResult:
         timings = Timings()
         governor = ResourceGovernor(self.timeout_seconds,
-                                    self.max_memory_pages).start()
+                                    self.max_memory_pages,
+                                    deadline=self.deadline).start()
         governor.trace = trace
         if self.fault_injector is not None:
             self.fault_injector.trace = trace
@@ -270,6 +278,8 @@ class WasmEngine(QueryEngine):
         if governor is not None:
             governor.check()
             governor.phase = "compile"
+        if self.cancel_token is not None:
+            self.cancel_token.raise_if_cancelled(phase="translation")
         engine = Engine(EngineConfig(
             mode=self.mode, tier_up_threshold=self.tier_up_threshold,
             lint=self.lint, elide_bounds_checks=self.elide_bounds_checks,
@@ -306,6 +316,8 @@ class WasmEngine(QueryEngine):
         timings.add("compile_turbofan", instance.stats.turbofan_seconds)
         if governor is not None:
             governor.check()
+        if self.cancel_token is not None:
+            self.cancel_token.raise_if_cancelled(phase="compile")
         return executable
 
     def execute_prepared(self, executable: WasmExecutable,
@@ -322,7 +334,8 @@ class WasmEngine(QueryEngine):
         timings = timings if timings is not None else Timings()
         if governor is None:
             governor = ResourceGovernor(self.timeout_seconds,
-                                        self.max_memory_pages).start()
+                                        self.max_memory_pages,
+                                        deadline=self.deadline).start()
             governor.trace = trace
         # re-attach: page growth during this run charges this run's budget
         executable.space.governor = governor
@@ -517,6 +530,11 @@ class WasmEngine(QueryEngine):
             end = min(begin + self.morsel_size, total)
             tier = instance.tier_of(info.function)
             try:
+                if self.cancel_token is not None:
+                    self.cancel_token.raise_if_cancelled(
+                        phase="execution", pipeline_index=pipeline_index,
+                        morsel=morsel,
+                    )
                 if governor is not None:
                     governor.check(pipeline_index=pipeline_index,
                                    morsel=morsel)

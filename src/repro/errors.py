@@ -260,9 +260,61 @@ class SessionError(ServiceError):
 
 class AdmissionError(ServiceError):
     """The scheduler refused to admit a query (queue full, per-session
-    limit reached).  Not retryable through the engine fallback chain —
-    the client should back off and resubmit.
+    limit reached, or the query's deadline cannot survive the queue).
+    Not retryable through the engine *fallback chain* — but the
+    service-level :class:`~repro.robustness.resilience.RetryPolicy`
+    may back off and resubmit, guided by ``retry_after``.
+
+    Attributes:
+        reason: structured shed reason (``"queue_full"``,
+            ``"session_limit"``, ``"deadline"``, or ``"injected"``).
+        retry_after: the scheduler's hint, in seconds, for when a
+            resubmission is likely to be admitted (``None`` when the
+            refusal is not load-related, e.g. a session limit).
     """
+
+    def __init__(self, message: str, *, reason: str = "queue_full",
+                 retry_after: float | None = None):
+        if retry_after is not None:
+            message = f"{message} (retry after {retry_after:.3f}s)"
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class QueryCancelled(ServiceError):
+    """A query was cooperatively cancelled at a morsel boundary.
+
+    Raised by :meth:`~repro.robustness.resilience.CancelToken.
+    raise_if_cancelled` — from the scheduler's turnstile, the admission
+    queue, or the Wasm engine's morsel loop — when another session (or
+    the disconnecting client itself) issued ``CANCEL <query_id>``.
+
+    Not retryable: the cancellation was deliberate; re-running the
+    query on a fallback engine would undo it.
+    """
+
+    def __init__(self, message: str = "query cancelled", *,
+                 query_id: int | None = None, reason: str | None = None,
+                 phase: str | None = None, pipeline_index: int | None = None,
+                 morsel: int | None = None):
+        parts = [message]
+        if query_id is not None:
+            parts.append(f"query_id={query_id}")
+        if reason is not None and reason != "cancelled":
+            parts.append(f"reason={reason}")
+        if phase is not None:
+            parts.append(f"phase={phase}")
+        if pipeline_index is not None:
+            parts.append(f"pipeline={pipeline_index}")
+        if morsel is not None:
+            parts.append(f"morsel={morsel}")
+        super().__init__(" ".join(parts))
+        self.query_id = query_id
+        self.reason = reason
+        self.phase = phase
+        self.pipeline_index = pipeline_index
+        self.morsel = morsel
 
 
 class QueryError(ReproError):

@@ -19,15 +19,34 @@ from repro.robustness.fallback import (
     execute_with_fallback,
     parse_engine_spec,
 )
-from repro.robustness.faults import FAULT_SITES, FaultInjector
+from repro.robustness.faults import (
+    ENGINE_FAULT_SITES,
+    FAULT_SITES,
+    SERVICE_FAULT_SITES,
+    FaultInjector,
+)
 from repro.robustness.governor import ResourceGovernor
+from repro.robustness.resilience import (
+    CancelToken,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    TierBreakerBoard,
+)
 
 __all__ = [
+    "CancelToken",
+    "CircuitBreaker",
     "DEFAULT_CHAIN",
+    "Deadline",
+    "ENGINE_FAULT_SITES",
     "FAULT_SITES",
     "FallbackPolicy",
     "FaultInjector",
     "ResourceGovernor",
+    "RetryPolicy",
+    "SERVICE_FAULT_SITES",
+    "TierBreakerBoard",
     "execute_with_fallback",
     "parse_engine_spec",
 ]

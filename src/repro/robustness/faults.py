@@ -21,6 +21,12 @@ Sites (see :data:`FAULT_SITES`):
                           fails — raises ``RewiringError``
 ``trap.morsel``           a trap fires at a morsel boundary — raises
                           ``Trap("out of bounds memory access")``
+``admission``             the service refuses admission — raises
+                          ``AdmissionError`` with a retry-after hint
+``cache.lookup``          the plan-cache lookup fails transiently —
+                          raises ``EngineError`` (retryable)
+``socket.write``          the TCP front end's reply write fails —
+                          raises ``BrokenPipeError`` (connection drop)
 ========================  ====================================================
 
 Determinism: decisions depend only on ``(seed, site, per-site trial
@@ -34,8 +40,10 @@ from __future__ import annotations
 import random
 
 from repro.errors import (
+    AdmissionError,
     CompilationError,
     ConfigError,
+    EngineError,
     ResourceExhausted,
     RewiringError,
     Trap,
@@ -43,7 +51,8 @@ from repro.errors import (
 from repro.observability.metrics import get_registry
 from repro.observability.trace import trace_event
 
-__all__ = ["FAULT_SITES", "FaultInjector"]
+__all__ = ["ENGINE_FAULT_SITES", "FAULT_SITES", "SERVICE_FAULT_SITES",
+           "FaultInjector"]
 
 
 def _compile_fault(site: str) -> CompilationError:
@@ -65,14 +74,40 @@ def _trap_fault(site: str) -> Trap:
     return Trap("out of bounds memory access", "injected fault at morsel")
 
 
-#: site name -> factory building the exception that site raises when hit.
-FAULT_SITES = {
+def _admission_fault(site: str) -> AdmissionError:
+    return AdmissionError("injected fault: admission refused",
+                          reason="injected", retry_after=0.005)
+
+
+def _cache_fault(site: str) -> EngineError:
+    return EngineError("injected fault: plan-cache lookup failed")
+
+
+def _socket_fault(site: str) -> BrokenPipeError:
+    return BrokenPipeError("injected fault: socket write failed")
+
+
+#: Sites instrumented inside the execution engine (reachable from
+#: ``Database.execute``); the engine-level chaos sweep iterates these.
+ENGINE_FAULT_SITES = {
     "turbofan.compile": _compile_fault,
     "liftoff.compile": _compile_fault,
     "memory.grow": _grow_fault,
     "rewire.chunk": _rewire_fault,
     "trap.morsel": _trap_fault,
 }
+
+#: Sites instrumented in the query service and its TCP front end
+#: (reachable only through ``QueryService``); the multi-client chaos
+#: scenario exercises these.
+SERVICE_FAULT_SITES = {
+    "admission": _admission_fault,
+    "cache.lookup": _cache_fault,
+    "socket.write": _socket_fault,
+}
+
+#: site name -> factory building the exception that site raises when hit.
+FAULT_SITES = {**ENGINE_FAULT_SITES, **SERVICE_FAULT_SITES}
 
 
 class FaultInjector:

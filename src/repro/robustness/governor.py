@@ -45,13 +45,19 @@ class ResourceGovernor:
     """
 
     def __init__(self, timeout_seconds: float | None = None,
-                 max_memory_pages: int | None = None):
+                 max_memory_pages: int | None = None,
+                 deadline=None):
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise ConfigError("timeout_seconds must be positive")
         if max_memory_pages is not None and max_memory_pages <= 0:
             raise ConfigError("max_memory_pages must be positive")
         self.timeout_seconds = timeout_seconds
         self.max_memory_pages = max_memory_pages
+        #: Optional :class:`~repro.robustness.resilience.Deadline` the
+        #: query has carried since admission.  The governor honors the
+        #: *earlier* of its own ``timeout_seconds`` and this deadline,
+        #: which is how queue wait debits the same budget execution does.
+        self.deadline = deadline
         self.pages_charged = 0
         self.peak_pages = 0
         #: Current query phase; the engine updates it as the query moves
@@ -86,7 +92,7 @@ class ResourceGovernor:
               pipeline_index: int | None = None,
               morsel: int | None = None) -> None:
         """Raise :class:`ResourceExhausted` if the deadline has passed."""
-        if self._deadline is None:
+        if self._deadline is None and self.deadline is None:
             return
         trace_event(self.trace, "governor.check",
                     phase=phase if phase is not None else self.phase,
@@ -94,8 +100,14 @@ class ResourceGovernor:
         get_registry().counter(
             "governor_checks_total", "Budget checks at morsel boundaries"
         ).inc()
-        if time.perf_counter() < self._deadline:
+        own_expired = (self._deadline is not None
+                       and time.perf_counter() >= self._deadline)
+        shared_expired = self.deadline is not None and self.deadline.expired
+        if not own_expired and not shared_expired:
             return
+        limit = self.timeout_seconds
+        if own_expired is False and shared_expired:
+            limit = self.deadline.timeout_seconds
         trace_event(self.trace, "governor.exhausted", resource="wall_clock",
                     phase=phase if phase is not None else self.phase,
                     pipeline=pipeline_index, morsel=morsel)
@@ -104,8 +116,10 @@ class ResourceGovernor:
         ).inc(resource="wall_clock")
         raise ResourceExhausted(
             "wall_clock",
-            "query exceeded its wall-clock budget",
-            limit=self.timeout_seconds,
+            "query exceeded its wall-clock budget"
+            + (" (deadline carried from admission)" if shared_expired
+               and not own_expired else ""),
+            limit=limit,
             used=round(self.elapsed_seconds, 4),
             phase=phase if phase is not None else self.phase,
             pipeline_index=pipeline_index,

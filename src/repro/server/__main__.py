@@ -7,6 +7,24 @@ by a blank line, errors as a single ``ERROR: ...`` line.  The protocol
 is deliberately trivial (netcat is a usable client); the point of the
 module is exercising the service from genuinely concurrent clients.
 
+Resilience at the wire:
+
+* ``\\timeout <seconds>`` arms a wall-clock budget for the **next**
+  statement only (admission wait included); ``\\timeout off`` clears a
+  pending one.  Session-wide budgets use plain SQL: ``SET
+  statement_timeout = 0.5;``.
+* ``CANCEL <query_id>;`` (from any connection) aborts the running
+  query with that id — ids come from ``SHOW QUERIES;``.  The victim's
+  client sees ``ERROR: query cancelled ...``.
+* Input lines are capped at 64 KiB; an oversized line gets one final
+  ``ERROR`` and the connection is closed (the line may be mid-flight
+  garbage, so resynchronizing on ``;`` is hopeless).
+* Bytes that are not valid UTF-8 are replaced (U+FFFD) and flow into
+  the lexer, which rejects them like any other bad character — a
+  malformed client cannot wedge the server.
+* A client that disconnects mid-query has its session closed and its
+  in-flight queries cancelled, so abandoned work stops within a morsel.
+
 ``python -m repro.server --repl`` runs the same loop on stdin/stdout
 instead of a socket.
 
@@ -27,10 +45,22 @@ import sys
 from repro.errors import ReproError
 from repro.server.service import QueryService
 
-__all__ = ["ServiceTCPServer", "main", "run_client_loop", "serve"]
+__all__ = ["MAX_LINE_BYTES", "OversizedLine", "ServiceTCPServer", "main",
+           "run_client_loop", "serve"]
 
 _PROMPT = "sql> "
 _GOODBYE = "bye."
+
+#: Longest protocol line accepted before the connection is dropped.
+MAX_LINE_BYTES = 64 * 1024
+
+
+class OversizedLine(Exception):
+    """A client sent a line longer than :data:`MAX_LINE_BYTES`."""
+
+    def __init__(self, at_least: int):
+        super().__init__(f"line exceeds {MAX_LINE_BYTES} bytes")
+        self.at_least = at_least
 
 
 def run_client_loop(service: QueryService, read_line, write,
@@ -39,9 +69,11 @@ def run_client_loop(service: QueryService, read_line, write,
 
     ``read_line`` returns the next text line (or ``""`` at EOF);
     ``write`` sends text.  ``\\q`` (or EOF) ends the loop.
+    ``\\timeout <seconds>`` arms a deadline for the next statement only.
     """
     session = service.create_session()
     buffer = ""
+    pending_timeout: float | None = None
     try:
         while True:
             if prompt and not buffer:
@@ -50,16 +82,21 @@ def run_client_loop(service: QueryService, read_line, write,
             if not line:
                 break
             stripped = line.strip()
-            if stripped in ("\\q", "exit", "quit") and not buffer:
+            if stripped in ("\\q", "exit", "quit") and not buffer.strip():
                 write(_GOODBYE + "\n")
                 break
+            if stripped.startswith("\\timeout") and not buffer.strip():
+                pending_timeout = _parse_timeout_directive(stripped, write)
+                continue
             buffer += line
             while ";" in buffer:
                 statement, buffer = buffer.split(";", 1)
                 if not statement.strip():
                     continue
+                timeout, pending_timeout = pending_timeout, None
                 try:
-                    result = service.execute(statement, session=session)
+                    result = service.execute(statement, session=session,
+                                             timeout_seconds=timeout)
                 except ReproError as err:
                     write(f"ERROR: {err}\n\n")
                     continue
@@ -72,6 +109,24 @@ def run_client_loop(service: QueryService, read_line, write,
                           + f"\n({len(result)} rows){note}\n\n")
     finally:
         service.close_session(session)
+
+
+def _parse_timeout_directive(stripped: str, write) -> float | None:
+    """``\\timeout 0.5`` -> 0.5; ``\\timeout off``/``0`` -> None."""
+    arg = stripped[len("\\timeout"):].strip()
+    if arg in ("", "off", "0"):
+        write("OK (timeout cleared)\n\n")
+        return None
+    try:
+        seconds = float(arg)
+        if seconds <= 0:
+            raise ValueError
+    except ValueError:
+        write(f"ERROR: \\timeout expects seconds > 0 or 'off', "
+              f"got {arg!r}\n\n")
+        return None
+    write(f"OK (next statement limited to {seconds:g}s)\n\n")
+    return seconds
 
 
 class ServiceTCPServer(socketserver.ThreadingTCPServer):
@@ -87,21 +142,37 @@ class ServiceTCPServer(socketserver.ThreadingTCPServer):
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
+        service = self.server.service
+
         def read_line() -> str:
-            raw = self.rfile.readline()
+            raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+            if len(raw) > MAX_LINE_BYTES:
+                raise OversizedLine(len(raw))
+            # invalid UTF-8 becomes U+FFFD and fails in the lexer like
+            # any other bad character — one ERROR, connection stays up
             return raw.decode("utf-8", "replace")
 
         def write(text: str) -> None:
             try:
+                if service.fault_injector is not None:
+                    service.fault_injector.check("socket.write")
                 self.wfile.write(text.encode("utf-8"))
                 self.wfile.flush()
             except (BrokenPipeError, ConnectionResetError):
+                # client went away mid-result: surfaces as EOF so the
+                # client loop's finally closes the session, which
+                # cancels any query it still has running
                 raise EOFError from None
 
         try:
-            run_client_loop(self.server.service, read_line, write)
+            run_client_loop(service, read_line, write)
         except EOFError:
             pass
+        except OversizedLine as err:
+            try:
+                write(f"ERROR: {err}; closing connection\n")
+            except EOFError:
+                pass
 
 
 def serve(service: QueryService, host: str = "127.0.0.1",

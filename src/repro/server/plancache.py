@@ -78,6 +78,15 @@ class CacheEntry:
     (volcano, vectorized, hyper) — those still skip parse/analyze/plan
     on a hit.  ``lock`` serializes executions of the (single-occupancy)
     executable.
+
+    The trailing fields are tier-circuit-breaker bookkeeping (see
+    :class:`~repro.robustness.resilience.TierBreakerBoard`):
+    ``tier_degraded`` marks an entry compiled pinned to Liftoff because
+    its fingerprint's breaker was open; ``breaker_pending`` marks a
+    fresh, non-degraded compilation whose first execution must report
+    its episode (clean or bailing) to the breaker;
+    ``bailouts_recorded`` is how many of the executable's tier-up
+    failures the breaker has already been told about.
     """
 
     plan: object
@@ -85,6 +94,9 @@ class CacheEntry:
     catalog_version: int = 0
     hits: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
+    tier_degraded: bool = False
+    breaker_pending: bool = False
+    bailouts_recorded: int = 0
 
 
 class PlanCache:

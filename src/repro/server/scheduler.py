@@ -7,24 +7,31 @@ interleave N queries fairly without OS-level preemption or signal
 handling — exactly the adaptive engine's trick of swapping code at
 call boundaries, applied to CPU time instead of tiers.
 
-Two mechanisms, both in :class:`MorselScheduler`:
+Three mechanisms, all in :class:`MorselScheduler`:
 
-* **Admission control** — at most ``max_concurrent`` queries run at
-  once; excess queries wait in a bounded queue.  A full queue, or
-  a session exceeding ``per_session_limit`` in-flight queries, raises
-  :class:`~repro.errors.AdmissionError` immediately (fail fast, let
-  the client back off).
+* **Admission control with load shedding** — at most ``max_concurrent``
+  queries run at once; excess queries wait in a bounded queue.  A full
+  queue, a session exceeding ``per_session_limit``, or a query whose
+  :class:`~repro.robustness.resilience.Deadline` cannot plausibly
+  survive the queue is *shed* immediately with
+  :class:`~repro.errors.AdmissionError` carrying a ``retry_after`` hint
+  (an EWMA of recent slot-hold times) instead of blocking blindly.
+* **One budget** — a queued query's admission wait debits the same
+  :class:`Deadline` that later seeds the governor's wall-clock check,
+  so queue time is never free; the deadline expiring in the queue
+  raises :class:`~repro.errors.ResourceExhausted` with
+  ``phase="admission"``.
 * **Round-robin turnstile** — every admitted query holds a
   :class:`Ticket`; the engine's ``morsel_hook`` calls
   :meth:`MorselScheduler.gate` before each morsel, which blocks until
-  it is that ticket's turn.  Tickets join the rotation lazily on their
-  first ``gate`` call, so a query still compiling does not stall the
-  queries already executing.  With a single active ticket the gate is
-  a constant-time no-op.
+  it is that ticket's turn.  A ticket's :class:`CancelToken` wakes a
+  parked gate (or a queued admission) immediately, so ``CANCEL``
+  aborts within one morsel even for queries that are waiting, not
+  running.
 
 Wait times (admission and per-morsel) are published to the metrics
 registry as the ``scheduler_wait_seconds`` histogram, labeled by
-``stage``.
+``stage``; refusals as ``admission_rejections_total`` by ``reason``.
 """
 
 from __future__ import annotations
@@ -33,8 +40,10 @@ import threading
 import time
 from itertools import count
 
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, ResourceExhausted
 from repro.observability.metrics import get_registry
+from repro.observability.trace import trace_event
+from repro.robustness.resilience import CancelToken, Deadline
 
 __all__ = ["MorselScheduler", "Ticket"]
 
@@ -45,33 +54,42 @@ class Ticket:
     Created by :meth:`MorselScheduler.admit`; passed (via the engine's
     ``morsel_hook``) to :meth:`~MorselScheduler.gate` at each morsel
     boundary and returned through :meth:`~MorselScheduler.release` when
-    the query finishes — success or failure.
+    the query finishes — success, cancellation, or failure.
     """
 
-    __slots__ = ("id", "session_id", "in_rotation", "max_wait_seconds")
+    __slots__ = ("id", "session_id", "in_rotation", "max_wait_seconds",
+                 "deadline", "cancel_token", "admitted_at")
 
-    def __init__(self, ticket_id: int, session_id: object):
+    def __init__(self, ticket_id: int, session_id: object,
+                 deadline: Deadline | None = None,
+                 cancel_token: CancelToken | None = None):
         self.id = ticket_id
         self.session_id = session_id
         self.in_rotation = False
         #: Longest single wait this ticket experienced (admission or
         #: morsel gate) — the bounded-wait assertion of the stress suite.
         self.max_wait_seconds = 0.0
+        self.deadline = deadline
+        self.cancel_token = cancel_token
+        self.admitted_at: float | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging
         return f"Ticket({self.id}, session={self.session_id!r})"
 
 
 class MorselScheduler:
-    """Admission control plus a fair round-robin morsel turnstile.
+    """Admission control, load shedding, and a fair morsel turnstile.
 
     Args:
         max_concurrent: queries allowed to execute simultaneously.
         max_queue_depth: queries allowed to *wait* for admission; the
-            next one is refused with :class:`AdmissionError`.
+            next one is shed with :class:`AdmissionError`.
         per_session_limit: in-flight (admitted or queued) queries one
             session may have; ``None`` for unlimited.
     """
+
+    #: EWMA smoothing for the slot-hold estimate behind ``retry_after``.
+    _EWMA_ALPHA = 0.3
 
     def __init__(self, max_concurrent: int = 4, max_queue_depth: int = 16,
                  per_session_limit: int | None = None):
@@ -90,46 +108,118 @@ class MorselScheduler:
         # round-robin state: rotation order and whose turn it is
         self._rotation: list[int] = []
         self._turn = 0
+        # EWMA of how long tickets hold their slot (admission -> release);
+        # the basis of the retry-after hint handed to shed clients
+        self._avg_hold_seconds = 0.0
         self._wait_hist = get_registry().histogram(
             "scheduler_wait_seconds",
             "Time queries spent waiting on the scheduler, by stage",
         )
+        self._rejections = get_registry().counter(
+            "admission_rejections_total",
+            "Queries refused admission, by reason",
+        )
 
     # -- admission ---------------------------------------------------------
 
+    def retry_after_hint(self) -> float:
+        """Seconds until a resubmission plausibly finds a free slot.
+
+        Queue position over drain rate: each of the ``max_concurrent``
+        slots frees every ``avg_hold`` seconds, so a full queue drains
+        one slot roughly every ``avg_hold / max_concurrent``.
+        """
+        hold = self._avg_hold_seconds or 0.005
+        waiting = self._queued + 1
+        return round(hold * waiting / self.max_concurrent, 6)
+
+    def _shed(self, reason: str, message: str,
+              retry_after: float | None, trace=None) -> AdmissionError:
+        self._rejections.inc(reason=reason)
+        trace_event(trace, "admission.shed", reason=reason,
+                    retry_after=retry_after)
+        return AdmissionError(message, reason=reason,
+                              retry_after=retry_after)
+
     def admit(self, session_id: object = None,
-              timeout: float | None = None) -> Ticket:
+              timeout: float | None = None,
+              deadline: Deadline | None = None,
+              cancel_token: CancelToken | None = None,
+              trace=None) -> Ticket:
         """Block until a run slot is free; returns the query's ticket.
 
-        Raises :class:`AdmissionError` if the wait queue is full, the
-        session is over its in-flight limit, or ``timeout`` elapses.
+        ``deadline`` is the query's end-to-end budget — the wait debits
+        it, and it travels on the ticket so the same object later seeds
+        the governor.  ``timeout`` (legacy) tightens the deadline for
+        the admission wait alone.  Sheds with :class:`AdmissionError`
+        (queue full, session over limit, deadline shorter than the
+        expected wait); raises :class:`ResourceExhausted` if the
+        deadline expires *while* queued and :class:`QueryCancelled` if
+        the token flips while queued.
         """
+        wait_deadline = deadline if deadline is not None else Deadline.never()
+        if timeout is not None:
+            wait_deadline = wait_deadline.tighten(timeout)
         start = time.perf_counter()
         with self._cond:
+            if cancel_token is not None:
+                cancel_token.raise_if_cancelled(phase="admission")
             if (self.per_session_limit is not None
                     and self._per_session.get(session_id, 0)
                     >= self.per_session_limit):
-                raise AdmissionError(
+                raise self._shed(
+                    "session_limit",
                     f"session {session_id!r} already has "
-                    f"{self.per_session_limit} queries in flight"
+                    f"{self.per_session_limit} queries in flight",
+                    None, trace,
                 )
-            if (len(self._running) >= self.max_concurrent
-                    and self._queued >= self.max_queue_depth):
-                raise AdmissionError(
-                    f"admission queue full "
-                    f"({self.max_concurrent} running, "
-                    f"{self._queued} queued)"
+            must_wait = len(self._running) >= self.max_concurrent
+            if must_wait and self._queued >= self.max_queue_depth:
+                raise self._shed(
+                    "queue_full",
+                    f"admission queue full ({self.max_concurrent} running, "
+                    f"{self._queued} queued)",
+                    self.retry_after_hint(), trace,
                 )
+            if must_wait and deadline is not None:
+                # deadline-aware shedding: don't queue a query whose
+                # budget the expected wait would consume anyway
+                left = deadline.remaining()
+                expected = (self._avg_hold_seconds * (self._queued + 1)
+                            / self.max_concurrent)
+                if left is not None and (left <= 0 or left < expected):
+                    raise self._shed(
+                        "deadline",
+                        f"deadline ({left:.3f}s left) shorter than the "
+                        f"expected admission wait ({expected:.3f}s)",
+                        self.retry_after_hint(), trace,
+                    )
             self._per_session[session_id] = \
                 self._per_session.get(session_id, 0) + 1
             self._queued += 1
             try:
                 while len(self._running) >= self.max_concurrent:
-                    remaining = None if timeout is None else \
-                        timeout - (time.perf_counter() - start)
+                    if cancel_token is not None:
+                        cancel_token.raise_if_cancelled(phase="admission")
+                    remaining = wait_deadline.remaining()
                     if remaining is not None and remaining <= 0:
-                        raise AdmissionError(
-                            f"admission timed out after {timeout}s"
+                        if deadline is not None and deadline.expired:
+                            self._rejections.inc(reason="deadline")
+                            trace_event(trace, "admission.shed",
+                                        reason="deadline_expired")
+                            raise ResourceExhausted(
+                                "wall_clock",
+                                "deadline expired while queued for "
+                                "admission",
+                                limit=deadline.timeout_seconds,
+                                used=round(
+                                    time.perf_counter() - start, 4),
+                                phase="admission",
+                            )
+                        raise self._shed(
+                            "timeout",
+                            f"admission timed out after {timeout}s",
+                            self.retry_after_hint(), trace,
                         )
                     self._cond.wait(remaining)
             except BaseException:
@@ -137,12 +227,22 @@ class MorselScheduler:
                 self._session_done(session_id)
                 raise
             self._queued -= 1
-            ticket = Ticket(next(self._ids), session_id)
+            ticket = Ticket(next(self._ids), session_id,
+                            deadline=deadline, cancel_token=cancel_token)
             self._running.add(ticket.id)
+            if cancel_token is not None:
+                # wake this ticket's parked gate the moment it is
+                # cancelled, instead of at its next turn
+                cancel_token.on_cancel(self._notify_all)
         waited = time.perf_counter() - start
+        ticket.admitted_at = time.perf_counter()
         ticket.max_wait_seconds = max(ticket.max_wait_seconds, waited)
         self._wait_hist.observe(waited, stage="admission")
         return ticket
+
+    def _notify_all(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
 
     def _session_done(self, session_id: object) -> None:
         left = self._per_session.get(session_id, 0) - 1
@@ -159,8 +259,13 @@ class MorselScheduler:
         The first call enrolls the ticket in the rotation.  The gate
         passes when the rotation points at this ticket (or the ticket
         runs alone), then advances the turn so the next active query
-        gets the next slice.
+        gets the next slice.  A cancelled token aborts the wait with
+        :class:`QueryCancelled` — ``release`` (in the caller's
+        ``finally``) repairs the rotation.
         """
+        token = ticket.cancel_token
+        if token is not None:
+            token.raise_if_cancelled(phase="execution")
         start = time.perf_counter()
         with self._cond:
             if not ticket.in_rotation:
@@ -172,6 +277,8 @@ class MorselScheduler:
                 ticket.in_rotation = True
             if len(self._rotation) > 1:
                 while self._rotation[self._turn] != ticket.id:
+                    if token is not None and token.cancelled:
+                        token.raise_if_cancelled(phase="execution")
                     self._cond.wait()
                 self._turn = (self._turn + 1) % len(self._rotation)
                 self._cond.notify_all()
@@ -184,6 +291,14 @@ class MorselScheduler:
     def release(self, ticket: Ticket) -> None:
         """Return ``ticket``'s slot; wakes waiting admissions and gates."""
         with self._cond:
+            if ticket.admitted_at is not None:
+                held = time.perf_counter() - ticket.admitted_at
+                self._avg_hold_seconds = (
+                    held if self._avg_hold_seconds == 0.0
+                    else (1 - self._EWMA_ALPHA) * self._avg_hold_seconds
+                    + self._EWMA_ALPHA * held
+                )
+                ticket.admitted_at = None
             self._running.discard(ticket.id)
             self._session_done(ticket.session_id)
             if ticket.in_rotation:

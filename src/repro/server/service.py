@@ -8,10 +8,20 @@ adds, on top of :class:`~repro.db.Database`:
 * a shared **compiled-plan cache** keyed by token-normalized SQL,
   engine spec, and catalog version (:mod:`repro.server.plancache`) —
   a warm ``EXECUTE`` skips parse, plan, code generation *and* tier
-  compilation, and
+  compilation,
 * a **fair morsel scheduler** (:mod:`repro.server.scheduler`) that
-  admits a bounded number of concurrent queries and round-robins them
-  at morsel boundaries through the Wasm engine's ``morsel_hook``.
+  admits a bounded number of concurrent queries, sheds load it cannot
+  serve in time, and round-robins the rest at morsel boundaries, and
+* **service-level resilience** (:mod:`repro.robustness.resilience`):
+  every query carries one :class:`Deadline` from admission to its last
+  morsel (session ``statement_timeout``, per-query timeouts, and queue
+  wait all debit the same budget, which seeds the governor), a
+  :class:`CancelToken` checked at the same morsel gate (``CANCEL
+  <query_id>`` aborts a running query from another session), an
+  optional deterministic :class:`RetryPolicy` for retryable failures,
+  and per-fingerprint **tier circuit breakers** that stop repeatedly
+  bailing fingerprints from re-attempting TurboFan until a cool-down
+  half-opens.
 
 Concurrency model
 -----------------
@@ -28,11 +38,20 @@ from __future__ import annotations
 
 import copy
 import threading
+import time
 from contextlib import contextmanager
+from dataclasses import dataclass, field
+from itertools import count
 
 from repro.db.database import Database
 from repro.engines.base import Timings
-from repro.errors import AnalysisError, SessionError
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    QueryCancelled,
+    ServiceError,
+    SessionError,
+)
 from repro.observability.explain import (
     pipeline_stats_from_trace,
     render_explain_analyze,
@@ -42,6 +61,12 @@ from repro.observability.trace import QueryTrace, trace_event, trace_span
 from repro.plan.exprs import bind_params
 from repro.plan.physical import collect_params, explain_physical
 from repro.plan.pipeline import dissect_into_pipelines
+from repro.robustness.resilience import (
+    CancelToken,
+    Deadline,
+    RetryPolicy,
+    TierBreakerBoard,
+)
 from repro.server.plancache import CacheEntry, PlanCache, fingerprint_tokens
 from repro.server.scheduler import MorselScheduler
 from repro.server.session import PreparedStatement, Session
@@ -99,6 +124,22 @@ class _ReadWriteLock:
                 self._cond.notify_all()
 
 
+@dataclass
+class _ActiveQuery:
+    """One in-flight query in the service's registry (``SHOW QUERIES``)."""
+
+    id: int
+    session_id: int | None
+    sql: str
+    token: CancelToken
+    deadline: Deadline
+    started_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return time.perf_counter() - self.started_at
+
+
 class QueryService:
     """Thread-safe sessions + plan cache + fair scheduling over a DB.
 
@@ -110,13 +151,37 @@ class QueryService:
         cache_capacity: plan-cache entries kept (LRU beyond that).
         max_concurrent / max_queue_depth / per_session_limit: admission
             control knobs, see :class:`MorselScheduler`.
+        statement_timeout: service-wide default wall-clock budget per
+            query, in seconds (sessions and per-query timeouts tighten
+            it); ``None`` for unlimited.
+        retry_policy: a :class:`RetryPolicy` for service-level retries
+            of retryable failures and shed admissions; ``None`` (the
+            default) fails fast exactly as before.
+        breaker_threshold / breaker_cooldown: per-fingerprint tier
+            circuit breakers — after ``breaker_threshold`` TurboFan
+            bailouts a fingerprint compiles pinned to Liftoff for
+            ``breaker_cooldown`` seconds, then half-opens with one
+            probe.  ``breaker_threshold=None`` disables breakers.
+        breaker_clock: injectable clock for the breakers (tests).
+        fault_injector: a :class:`~repro.robustness.FaultInjector`
+            checked at the service's own sites (``admission``,
+            ``cache.lookup``; the TCP front end adds
+            ``socket.write``).
     """
 
     def __init__(self, database: Database | None = None,
                  default_engine: str | None = None,
                  cache_capacity: int = 32, max_concurrent: int = 4,
                  max_queue_depth: int = 16,
-                 per_session_limit: int | None = None):
+                 per_session_limit: int | None = None,
+                 statement_timeout: float | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker_threshold: int | None = 2,
+                 breaker_cooldown: float = 30.0,
+                 breaker_clock=None,
+                 fault_injector=None):
+        if statement_timeout is not None and statement_timeout <= 0:
+            raise ConfigError("statement_timeout must be positive")
         self.db = database if database is not None else Database()
         self.default_engine = default_engine or self.db.default_engine
         self.cache = PlanCache(cache_capacity)
@@ -125,11 +190,27 @@ class QueryService:
             max_queue_depth=max_queue_depth,
             per_session_limit=per_session_limit,
         )
+        self.statement_timeout = statement_timeout
+        self.retry_policy = retry_policy
+        self.breakers = (
+            TierBreakerBoard(breaker_threshold, breaker_cooldown,
+                             clock=breaker_clock)
+            if breaker_threshold is not None else None
+        )
+        self.fault_injector = fault_injector
         self._state_lock = _ReadWriteLock()
         self._sessions: dict[int, Session] = {}
         self._sessions_lock = threading.Lock()
-        self._queries = get_registry().counter(
+        self._active: dict[int, _ActiveQuery] = {}
+        self._active_lock = threading.Lock()
+        self._query_ids = count(1)
+        registry = get_registry()
+        self._queries = registry.counter(
             "service_queries_total", "Statements the query service ran, by kind"
+        )
+        self._cancelled = registry.counter(
+            "queries_cancelled_total",
+            "Queries aborted by cooperative cancellation",
         )
 
     # -- sessions ----------------------------------------------------------
@@ -141,19 +222,92 @@ class QueryService:
         return session
 
     def close_session(self, session: Session) -> None:
+        """Close ``session``, cancelling any query it still has running.
+
+        The TCP front end calls this on disconnect, so a client that
+        vanishes mid-query does not keep burning morsels.
+        """
+        for active in self.active_queries():
+            if active.session_id == session.id:
+                active.token.cancel(f"session {session.id} closed")
         session.close()
         with self._sessions_lock:
             self._sessions.pop(session.id, None)
 
+    # -- the in-flight registry (SHOW QUERIES / CANCEL) --------------------
+
+    def active_queries(self) -> list[_ActiveQuery]:
+        """Snapshot of the queries currently registered (queued or
+        running), ordered by query id."""
+        with self._active_lock:
+            return [self._active[qid] for qid in sorted(self._active)]
+
+    def cancel_query(self, query_id: int,
+                     reason: str = "cancelled by request") -> bool:
+        """Flip ``query_id``'s cancel token; True if a query was hit.
+
+        The target aborts cooperatively at its next morsel boundary —
+        including while parked in the scheduler's turnstile or the
+        admission queue — with a structured :class:`QueryCancelled`.
+        """
+        with self._active_lock:
+            active = self._active.get(query_id)
+        if active is None:
+            return False
+        return active.token.cancel(reason)
+
+    @contextmanager
+    def _registered(self, sql: str, session: Session | None,
+                    timeout_seconds: float | None, qtrace):
+        """Register one query run: one deadline + one cancel token.
+
+        The deadline starts *here*, before admission, so queue wait
+        debits the same budget the governor later enforces.  Yields
+        ``(query_id, token, deadline)``; counts a delivered
+        cancellation on the way out.
+        """
+        timeout = self.statement_timeout
+        if session is not None and session.statement_timeout is not None:
+            timeout = (session.statement_timeout if timeout is None
+                       else min(timeout, session.statement_timeout))
+        deadline = Deadline(timeout) if timeout is not None \
+            else Deadline.never()
+        if timeout_seconds is not None:
+            deadline = deadline.tighten(timeout_seconds)
+        query_id = next(self._query_ids)
+        token = CancelToken(query_id)
+        active = _ActiveQuery(
+            id=query_id, session_id=session.id if session else None,
+            sql=sql.strip(), token=token, deadline=deadline,
+        )
+        with self._active_lock:
+            self._active[query_id] = active
+        trace_event(qtrace, "query.registered", query_id=query_id,
+                    timeout=deadline.timeout_seconds)
+        try:
+            yield query_id, token, deadline
+        except QueryCancelled:
+            self._cancelled.inc()
+            trace_event(qtrace, "query.cancelled", query_id=query_id,
+                        reason=token.reason)
+            raise
+        finally:
+            with self._active_lock:
+                self._active.pop(query_id, None)
+
     # -- the entry point ---------------------------------------------------
 
     def execute(self, sql: str, session: Session | None = None,
-                engine: str | None = None, trace=None):
+                engine: str | None = None, trace=None,
+                timeout_seconds: float | None = None):
         """Parse and run one statement on behalf of ``session``.
 
         SELECT/EXECUTE return an :class:`~repro.engines.base.
         ExecutionResult` carrying ``result.plan_cache`` (``"hit"`` or
-        ``"miss"``); PREPARE/DEALLOCATE/DDL/INSERT return ``None``.
+        ``"miss"``) and ``result.query_id``; PREPARE/DEALLOCATE/DDL/
+        INSERT/SET/CANCEL return ``None``.  ``timeout_seconds`` is this
+        statement's wall-clock budget — admission wait included — and
+        tightens (never extends) the session's ``statement_timeout``.
         """
         qtrace = Database._normalize_trace(trace)
         spec = engine or self.default_engine
@@ -173,17 +327,51 @@ class QueryService:
             self._queries.inc(kind="deallocate")
             self._require_session(session, "DEALLOCATE").deallocate(stmt.name)
             return None
+        if isinstance(stmt, ast.SetOption):
+            self._queries.inc(kind="set")
+            return self._do_set(stmt, session)
+        if isinstance(stmt, ast.Cancel):
+            self._queries.inc(kind="cancel")
+            requester = f"session {session.id}" if session else "the service"
+            if not self.cancel_query(
+                    stmt.query_id, reason=f"CANCEL issued by {requester}"):
+                raise ServiceError(
+                    f"no running query with id {stmt.query_id}"
+                )
+            return None
+        if isinstance(stmt, ast.ShowQueries):
+            self._queries.inc(kind="show")
+            return self._do_show_queries(qtrace)
         if isinstance(stmt, ast.Execute):
             self._queries.inc(kind="execute")
-            result, _, _ = self._do_execute(stmt, session, spec, qtrace)
+            with self._registered(sql, session, timeout_seconds,
+                                  qtrace) as (qid, token, deadline):
+                result, _, _ = self._do_execute(
+                    stmt, session, spec, qtrace,
+                    deadline=deadline, token=token, query_id=qid,
+                )
+                result.query_id = qid
             return result
         if isinstance(stmt, ast.Explain):
             self._queries.inc(kind="explain")
-            return self._do_explain(stmt, sql, session, spec, qtrace)
+            with self._registered(sql, session, timeout_seconds,
+                                  qtrace) as (qid, token, deadline):
+                result = self._do_explain(
+                    stmt, sql, session, spec, qtrace,
+                    deadline=deadline, token=token, query_id=qid,
+                )
+                result.query_id = qid
+            return result
 
         # a plain SELECT
         self._queries.inc(kind="select")
-        result, _, _ = self._run_select_text(stmt, sql, session, spec, qtrace)
+        with self._registered(sql, session, timeout_seconds,
+                              qtrace) as (qid, token, deadline):
+            result, _, _ = self._run_select_text(
+                stmt, sql, session, spec, qtrace,
+                deadline=deadline, token=token, query_id=qid,
+            )
+            result.query_id = qid
         return result
 
     @staticmethod
@@ -192,6 +380,42 @@ class QueryService:
             raise SessionError(f"{what} requires a session; call "
                                f"QueryService.create_session() first")
         return session
+
+    # -- SET / SHOW QUERIES ------------------------------------------------
+
+    def _do_set(self, stmt: ast.SetOption,
+                session: Session | None) -> None:
+        session = self._require_session(session, "SET")
+        if stmt.name != "statement_timeout":
+            raise SessionError(
+                f"unknown session option {stmt.name!r}; "
+                f"have: statement_timeout"
+            )
+        if stmt.value is None:
+            session.statement_timeout = None
+            return None
+        value = Database._literal_value(stmt.value)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise AnalysisError(
+                f"statement_timeout expects seconds as a number, "
+                f"got {value!r}"
+            )
+        if value < 0:
+            raise AnalysisError("statement_timeout must be >= 0")
+        session.statement_timeout = float(value) if value else None
+        return None
+
+    def _do_show_queries(self, qtrace):
+        lines = ["id  session  elapsed_s  statement"]
+        for active in self.active_queries():
+            sql = active.sql.replace("\n", " ")
+            if len(sql) > 48:
+                sql = sql[:45] + "..."
+            lines.append(
+                f"{active.id:<3} {active.session_id!s:<8} "
+                f"{active.elapsed_seconds:>9.3f}  {sql}"
+            )
+        return Database._text_result(lines, trace=qtrace)
 
     # -- PREPARE / EXECUTE -------------------------------------------------
 
@@ -217,7 +441,8 @@ class QueryService:
         return None
 
     def _do_execute(self, stmt: ast.Execute, session: Session | None,
-                    spec: str, qtrace):
+                    spec: str, qtrace, deadline=None, token=None,
+                    query_id=None):
         session = self._require_session(session, "EXECUTE")
         prepared = session.statement(stmt.name)
         values = self._argument_values(stmt, prepared)
@@ -225,6 +450,7 @@ class QueryService:
         return self._run_select(
             prepared.select, prepared.fingerprint, spec, qtrace,
             param_values=values, session=session,
+            deadline=deadline, token=token, query_id=query_id,
         )
 
     @staticmethod
@@ -254,45 +480,81 @@ class QueryService:
     # -- SELECT through the cache ------------------------------------------
 
     def _run_select_text(self, stmt: ast.Select, sql: str,
-                         session: Session | None, spec: str, qtrace):
+                         session: Session | None, spec: str, qtrace,
+                         deadline=None, token=None, query_id=None):
         tokens = tokenize(sql)
         fp = fingerprint_tokens(tokens)
         return self._run_select(stmt, fp, spec, qtrace, session=session,
-                                analyzed=False)
+                                analyzed=False, deadline=deadline,
+                                token=token, query_id=query_id)
 
     def _run_select(self, select: ast.Select, fp: str, spec: str, qtrace,
                     param_values: list | None = None,
-                    session: Session | None = None, analyzed: bool = True):
-        """The one execution path: cache lookup, then run under the
-        scheduler.  Returns ``(result, entry, disposition)``."""
+                    session: Session | None = None, analyzed: bool = True,
+                    deadline: Deadline | None = None,
+                    token: CancelToken | None = None,
+                    query_id: int | None = None):
+        """The one execution path: admission (shedding + one deadline),
+        cache lookup, then run under the scheduler with cancellation
+        checked at every morsel.  Returns ``(result, entry,
+        disposition)``.  With a :class:`RetryPolicy` configured, shed
+        admissions and retryable engine failures are retried under
+        seeded backoff, never past the deadline."""
         session_id = session.id if session is not None else None
-        ticket = self.scheduler.admit(session_id)
-        try:
-            with self._state_lock.read():
-                entry, disposition = self._cached_entry(
-                    fp, select, spec, qtrace, analyzed=analyzed
-                )
-                engine = copy.copy(self.db.resolve_engine(spec))
-                engine.morsel_hook = lambda: self.scheduler.gate(ticket)
-                with entry.lock:
-                    if entry.executable is not None:
-                        result = engine.execute_prepared(
-                            entry.executable, entry.plan, self.db.catalog,
-                            trace=qtrace, param_values=param_values,
-                        )
-                    else:
-                        if param_values is not None:
-                            bind_params(collect_params(entry.plan),
-                                        param_values)
-                        result = engine.execute(entry.plan, self.db.catalog,
-                                                trace=qtrace)
-                result.engine = spec
-                result.trace = qtrace
-                result.plan_cache = disposition
-                result.scheduler_wait_seconds = ticket.max_wait_seconds
-                return result, entry, disposition
-        finally:
-            self.scheduler.release(ticket)
+        first_attempt = [True]
+
+        def attempt():
+            analyzed_now = analyzed or not first_attempt[0]
+            first_attempt[0] = False
+            if self.fault_injector is not None:
+                self.fault_injector.check("admission")
+            ticket = self.scheduler.admit(
+                session_id, deadline=deadline, cancel_token=token,
+                trace=qtrace,
+            )
+            try:
+                with self._state_lock.read():
+                    entry, disposition = self._cached_entry(
+                        fp, select, spec, qtrace, analyzed=analyzed_now
+                    )
+                    engine = copy.copy(self.db.resolve_engine(spec))
+                    engine.morsel_hook = lambda: self.scheduler.gate(ticket)
+                    if hasattr(engine, "deadline"):
+                        # the Wasm engine's governor enforces the same
+                        # deadline admission already debited, and its
+                        # morsel loop honors the cancel token directly
+                        engine.deadline = deadline
+                        engine.cancel_token = token
+                    with entry.lock:
+                        if entry.executable is not None:
+                            result = engine.execute_prepared(
+                                entry.executable, entry.plan,
+                                self.db.catalog, trace=qtrace,
+                                param_values=param_values,
+                            )
+                        else:
+                            if param_values is not None:
+                                bind_params(collect_params(entry.plan),
+                                            param_values)
+                            result = engine.execute(
+                                entry.plan, self.db.catalog, trace=qtrace
+                            )
+                        self._note_tier_outcome(fp, entry, qtrace)
+                    result.engine = spec
+                    result.trace = qtrace
+                    result.plan_cache = disposition
+                    result.scheduler_wait_seconds = ticket.max_wait_seconds
+                    return result, entry, disposition
+            finally:
+                self.scheduler.release(ticket)
+
+        if self.retry_policy is None:
+            return attempt()
+        return self.retry_policy.run(
+            attempt, deadline=deadline,
+            key=f"{query_id if query_id is not None else fp}",
+            trace=qtrace,
+        )
 
     def _cached_entry(self, fp: str, select: ast.Select, spec: str, qtrace,
                       analyzed: bool = True):
@@ -300,8 +562,13 @@ class QueryService:
 
         Caller holds the state read lock.  Returns ``(entry,
         disposition)``; on a miss the plan is built and, for Wasm engine
-        specs, the query is translated/compiled/instantiated once.
+        specs, the query is translated/compiled/instantiated once —
+        consulting the fingerprint's tier circuit breaker: while it is
+        open, compilation is pinned to Liftoff (no tier-up attempts)
+        instead of paying the bailout again.
         """
+        if self.fault_injector is not None:
+            self.fault_injector.check("cache.lookup")
         key = (fp, spec, self.db.catalog.version)
         entry = self.cache.lookup(key)
         if entry is not None:
@@ -315,18 +582,55 @@ class QueryService:
             plan = self.db.plan(select)
         executable = None
         engine = copy.copy(self.db.resolve_engine(spec))
+        tier_degraded = False
+        if (self.breakers is not None
+                and getattr(engine, "mode", None) in ("adaptive", "turbofan")
+                and hasattr(engine, "prepare_executable")):
+            if not self.breakers.allow_tier_up(fp):
+                tier_degraded = True
+                engine.mode = "liftoff"
+                trace_event(qtrace, "breaker.degraded", engine=spec,
+                            state=self.breakers.state(fp))
         if hasattr(engine, "prepare_executable"):
             executable = engine.prepare_executable(
                 plan, self.db.catalog, trace=qtrace, timings=Timings()
             )
         entry = CacheEntry(plan=plan, executable=executable,
-                           catalog_version=self.db.catalog.version)
+                           catalog_version=self.db.catalog.version,
+                           tier_degraded=tier_degraded,
+                           breaker_pending=(executable is not None
+                                            and not tier_degraded))
         return self.cache.insert(key, entry), "miss"
+
+    def _note_tier_outcome(self, fp: str, entry: CacheEntry,
+                           qtrace) -> None:
+        """Feed the fingerprint's breaker with this compilation episode.
+
+        New TurboFan bailouts (at instantiation or adaptive tier-up)
+        count as failures; the first clean execution of a fresh,
+        non-degraded compilation counts as a success — which is what
+        closes a half-open breaker after a good probe.
+        """
+        if self.breakers is None or entry.executable is None:
+            return
+        stats = entry.executable.instance.stats
+        delta = stats.tier_up_failures - entry.bailouts_recorded
+        if delta > 0:
+            entry.bailouts_recorded = stats.tier_up_failures
+            self.breakers.record(fp, delta)
+            trace_event(qtrace, "breaker.bailouts", count=delta,
+                        state=self.breakers.state(fp))
+        elif entry.breaker_pending:
+            self.breakers.record(fp, 0)
+            trace_event(qtrace, "breaker.clean",
+                        state=self.breakers.state(fp))
+        entry.breaker_pending = False
 
     # -- EXPLAIN -----------------------------------------------------------
 
     def _do_explain(self, stmt: ast.Explain, sql: str,
-                    session: Session | None, spec: str, qtrace):
+                    session: Session | None, spec: str, qtrace,
+                    deadline=None, token=None, query_id=None):
         """``EXPLAIN [ANALYZE] <select | execute>`` with the cache
         disposition annotated (``cache: hit|miss``)."""
         inner = stmt.statement
@@ -345,7 +649,8 @@ class QueryService:
             result, entry, disposition = self._run_select(
                 prepared.select, prepared.fingerprint, spec, run_trace,
                 param_values=self._argument_values(inner, prepared),
-                session=session,
+                session=session, deadline=deadline, token=token,
+                query_id=query_id,
             )
         else:
             if not stmt.analyze:
@@ -360,7 +665,8 @@ class QueryService:
             # fingerprint the SELECT body: tokens after EXPLAIN ANALYZE
             fp = fingerprint_tokens(tokenize(sql)[2:])
             result, entry, disposition = self._run_select(
-                inner, fp, spec, run_trace, session=session, analyzed=False
+                inner, fp, spec, run_trace, session=session, analyzed=False,
+                deadline=deadline, token=token, query_id=query_id,
             )
         stats = pipeline_stats_from_trace(
             run_trace, dissect_into_pipelines(entry.plan)

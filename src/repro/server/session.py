@@ -53,6 +53,12 @@ class Session:
         self._statements: dict[str, PreparedStatement] = {}
         self._lock = threading.Lock()
         self.closed = False
+        #: Session-level wall-clock budget per statement, in seconds
+        #: (``SET statement_timeout = 0.5``); ``None`` means unlimited.
+        #: A per-query timeout (service argument or the TCP front end's
+        #: ``\timeout`` directive) tightens — never extends — it, and
+        #: the resulting Deadline covers admission wait *and* execution.
+        self.statement_timeout: float | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging
         with self._lock:

@@ -159,6 +159,13 @@ def analyze(stmt: ast.Statement, catalog: Catalog) -> Scope | None:
         return None
     if isinstance(stmt, ast.Deallocate):
         return None
+    if isinstance(stmt, (ast.Cancel, ast.ShowQueries)):
+        return None
+    if isinstance(stmt, ast.SetOption):
+        if stmt.value is not None and not isinstance(
+                stmt.value, (ast.Literal, ast.Unary)):
+            raise AnalysisError("SET values must be literals")
+        return None
     raise AnalysisError(f"cannot analyze {type(stmt).__name__}")
 
 

@@ -320,9 +320,39 @@ class Deallocate:
     name: str | None
 
 
+@dataclass
+class Cancel:
+    """``CANCEL <query_id>`` — cooperatively abort a running query.
+
+    The target aborts at its next morsel boundary with a structured
+    :class:`~repro.errors.QueryCancelled`; query ids are listed by
+    ``SHOW QUERIES``.
+    """
+
+    query_id: int
+
+
+@dataclass
+class ShowQueries:
+    """``SHOW QUERIES`` — the service's in-flight query registry."""
+
+
+@dataclass
+class SetOption:
+    """``SET <name> = <value>`` — a session option.
+
+    ``value`` is the literal expression as parsed; ``None`` (from
+    ``SET name = DEFAULT``) resets the option.  The only option today
+    is ``statement_timeout`` (seconds; 0 disables).
+    """
+
+    name: str
+    value: "Expr | None"
+
+
 Statement = (
     Select | CreateTable | Insert | CreateIndex | Explain
-    | Prepare | Execute | Deallocate
+    | Prepare | Execute | Deallocate | Cancel | ShowQueries | SetOption
 )
 
 

@@ -28,6 +28,7 @@ KEYWORDS = frozenset(
     SUBSTRING EXISTS UNION EXCEPT INTERSECT
     EXPLAIN ANALYZE
     PREPARE EXECUTE DEALLOCATE
+    CANCEL SHOW QUERIES SET
     """.split()
 )
 

@@ -111,6 +111,12 @@ class Parser:
             stmt = self.parse_execute()
         elif self._check("KEYWORD", "DEALLOCATE"):
             stmt = self.parse_deallocate()
+        elif self._check("KEYWORD", "CANCEL"):
+            stmt = self.parse_cancel()
+        elif self._check("KEYWORD", "SHOW"):
+            stmt = self.parse_show()
+        elif self._check("KEYWORD", "SET"):
+            stmt = self.parse_set()
         else:
             raise ParseError(
                 f"expected a statement, found {self._cur.value!r}",
@@ -162,6 +168,45 @@ class Parser:
         if self._keyword("ALL"):
             return ast.Deallocate(None)
         return ast.Deallocate(self._parse_name())
+
+    def parse_cancel(self) -> ast.Cancel:
+        self._expect("KEYWORD", "CANCEL")
+        tok = self._cur
+        if tok.kind != "INT":
+            raise ParseError(
+                f"CANCEL expects a query id (an integer), "
+                f"found {tok.value!r}",
+                tok.line, tok.column,
+            )
+        self._advance()
+        return ast.Cancel(int(tok.value))
+
+    def parse_show(self) -> ast.ShowQueries:
+        self._expect("KEYWORD", "SHOW")
+        self._expect("KEYWORD", "QUERIES")
+        return ast.ShowQueries()
+
+    def parse_set(self) -> ast.SetOption:
+        self._expect("KEYWORD", "SET")
+        name = self._parse_name()
+        if not self._accept("OP", "="):
+            # PostgreSQL also accepts SET name TO value; TO is not a
+            # keyword here, so accept a bare identifier "to"
+            tok = self._cur
+            if tok.kind == "IDENT" and tok.value == "to":
+                self._advance()
+            else:
+                raise ParseError(
+                    f"expected = after SET {name}, found {tok.value!r}",
+                    tok.line, tok.column,
+                )
+        if self._keyword("NULL"):
+            return ast.SetOption(name, None)
+        tok = self._cur
+        if tok.kind == "IDENT" and tok.value == "default":
+            self._advance()
+            return ast.SetOption(name, None)
+        return ast.SetOption(name, self.parse_expr())
 
     def parse_select(self) -> ast.Select:
         self._expect("KEYWORD", "SELECT")

@@ -12,7 +12,7 @@ import pytest
 
 from benchmarks.run_chaos import norm, run_sweep
 from repro.bench.tpch import QUERIES, tpch_database
-from repro.robustness import FAULT_SITES, FallbackPolicy, FaultInjector
+from repro.robustness import ENGINE_FAULT_SITES, FallbackPolicy, FaultInjector
 
 SEEDS = [0, 1, 2]
 
@@ -26,9 +26,9 @@ def sweep_stats():
 
 class TestChaosSweep:
     def test_covers_all_sites_and_seeds(self, sweep_stats):
-        assert len(FAULT_SITES) >= 5
+        assert len(ENGINE_FAULT_SITES) >= 5
         assert sweep_stats["runs"] == (
-            len(FAULT_SITES) * len(SEEDS) * len(QUERIES)
+            len(ENGINE_FAULT_SITES) * len(SEEDS) * len(QUERIES)
         )
 
     def test_zero_incorrect_results(self, sweep_stats):

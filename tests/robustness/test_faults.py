@@ -3,15 +3,22 @@
 import pytest
 
 from repro.errors import (
+    AdmissionError,
     CompilationError,
     ConfigError,
+    EngineError,
     ResourceExhausted,
     RewiringError,
     Trap,
 )
-from repro.robustness import FAULT_SITES, FaultInjector
+from repro.robustness import (
+    ENGINE_FAULT_SITES,
+    FAULT_SITES,
+    SERVICE_FAULT_SITES,
+    FaultInjector,
+)
 
-EXPECTED_TYPES = {
+EXPECTED_ENGINE_TYPES = {
     "turbofan.compile": CompilationError,
     "liftoff.compile": CompilationError,
     "memory.grow": ResourceExhausted,
@@ -19,25 +26,41 @@ EXPECTED_TYPES = {
     "trap.morsel": Trap,
 }
 
+EXPECTED_SERVICE_TYPES = {
+    "admission": AdmissionError,
+    "cache.lookup": EngineError,
+    "socket.write": BrokenPipeError,
+}
+
 
 class TestRegistry:
     def test_sites_cover_the_issue_contract(self):
-        assert set(FAULT_SITES) == set(EXPECTED_TYPES)
+        assert set(ENGINE_FAULT_SITES) == set(EXPECTED_ENGINE_TYPES)
+        assert set(SERVICE_FAULT_SITES) == set(EXPECTED_SERVICE_TYPES)
+        assert set(FAULT_SITES) == (set(EXPECTED_ENGINE_TYPES)
+                                    | set(EXPECTED_SERVICE_TYPES))
 
     def test_each_site_raises_its_declared_type(self):
-        for site, exc_type in EXPECTED_TYPES.items():
+        expected = {**EXPECTED_ENGINE_TYPES, **EXPECTED_SERVICE_TYPES}
+        for site, exc_type in expected.items():
             injector = FaultInjector.always(site)
             with pytest.raises(exc_type):
                 injector.check(site)
 
-    def test_every_injected_fault_is_retryable_or_memory(self):
-        # the chaos suite relies on injected faults being absorbable by
-        # the fallback chain
-        for site in FAULT_SITES:
+    def test_every_injected_engine_fault_is_retryable_or_memory(self):
+        # the chaos suite relies on injected engine faults being
+        # absorbable by the fallback chain
+        for site in ENGINE_FAULT_SITES:
             try:
                 FaultInjector.always(site).check(site)
             except Exception as exc:
                 assert getattr(exc, "retryable", False), site
+
+    def test_shed_admission_fault_carries_a_retry_hint(self):
+        with pytest.raises(AdmissionError) as info:
+            FaultInjector.always("admission").check("admission")
+        assert info.value.retry_after is not None
+        assert info.value.reason == "injected"
 
 
 class TestValidation:

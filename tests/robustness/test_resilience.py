@@ -1,0 +1,247 @@
+"""Unit tests for the resilience primitives (deadline, token, retry,
+breaker) on injected clocks/seeds — no threads, no engine."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    CompilationError,
+    ConfigError,
+    QueryCancelled,
+)
+from repro.robustness.resilience import (
+    CancelToken,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    TierBreakerBoard,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline.never()
+        assert d.remaining() is None
+        assert not d.expired
+        assert d.clamp(1.5) == 1.5
+
+    def test_budget_debits_on_the_shared_clock(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        assert d.remaining() == pytest.approx(1.0)
+        clock.advance(0.6)
+        assert d.remaining() == pytest.approx(0.4)
+        assert d.clamp(2.0) == pytest.approx(0.4)
+        clock.advance(0.5)
+        assert d.expired
+        assert d.remaining() == 0.0
+
+    def test_tighten_takes_the_earlier_expiry(self):
+        clock = FakeClock()
+        d = Deadline(10.0, clock=clock)
+        tighter = d.tighten(1.0)
+        assert tighter.remaining() == pytest.approx(1.0)
+        # a looser per-query timeout never extends the session budget
+        assert d.tighten(60.0) is d
+        assert Deadline.never(clock=clock).tighten(2.0).remaining() \
+            == pytest.approx(2.0)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            Deadline(0.0)
+        with pytest.raises(ConfigError):
+            Deadline(-1.0)
+
+
+class TestCancelToken:
+    def test_one_shot(self):
+        token = CancelToken(query_id=7)
+        assert not token.cancelled
+        token.raise_if_cancelled()  # no-op while live
+        assert token.cancel("first") is True
+        assert token.cancel("second") is False
+        assert token.reason == "first"
+
+    def test_raise_carries_structured_context(self):
+        token = CancelToken(query_id=7)
+        token.cancel("operator said so")
+        with pytest.raises(QueryCancelled) as info:
+            token.raise_if_cancelled(phase="execution",
+                                     pipeline_index=2, morsel=5)
+        err = info.value
+        assert err.query_id == 7
+        assert err.reason == "operator said so"
+        assert err.phase == "execution"
+        assert err.pipeline_index == 2
+        assert err.morsel == 5
+        assert not err.retryable  # a cancelled query must not be retried
+
+    def test_callbacks_fire_once_even_when_registered_late(self):
+        token = CancelToken()
+        fired = []
+        token.on_cancel(lambda: fired.append("early"))
+        token.cancel()
+        token.on_cancel(lambda: fired.append("late"))
+        token.cancel()
+        assert fired == ["early", "late"]
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic_and_exponential(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0,
+                             jitter=0.5, seed=42)
+        again = RetryPolicy(base_delay=0.01, multiplier=2.0,
+                            jitter=0.5, seed=42)
+        delays = [policy.delay("q", a) for a in range(3)]
+        assert delays == [again.delay("q", a) for a in range(3)]
+        # jittered into [raw/2, raw]; raw doubles per attempt
+        for attempt, d in enumerate(delays):
+            raw = 0.01 * (2.0 ** attempt)
+            assert raw / 2 <= d <= raw
+        assert policy.delay("other-key", 0) != delays[0]
+
+    def test_retries_retryable_then_succeeds(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01,
+                             sleep=sleeps.append)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise CompilationError("turbofan bailout")
+            return "ok"
+
+        assert policy.run(flaky) == "ok"
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+
+    def test_non_retryable_raises_immediately(self):
+        # a cancelled query is deliberately dead: retrying would undo
+        # the CANCEL, so the policy must give up on the first attempt
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _: None)
+        calls = []
+
+        def cancelled():
+            calls.append(1)
+            raise QueryCancelled(query_id=1, reason="operator")
+
+        with pytest.raises(QueryCancelled):
+            policy.run(cancelled)
+        assert len(calls) == 1
+
+    def test_shed_admission_is_retryable_and_honors_the_hint(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=2, base_delay=0.001,
+                             sleep=sleeps.append)
+        calls = []
+
+        def shed_once():
+            calls.append(1)
+            if len(calls) == 1:
+                raise AdmissionError("full", reason="queue_full",
+                                     retry_after=0.25)
+            return "ran"
+
+        assert policy.run(shed_once) == "ran"
+        assert sleeps == [pytest.approx(0.25)]  # hint raises the floor
+
+    def test_never_sleeps_past_the_deadline(self):
+        clock = FakeClock()
+        deadline = Deadline(0.05, clock=clock)
+        policy = RetryPolicy(max_attempts=5, base_delay=10.0, jitter=0.0,
+                             sleep=lambda _: None)
+
+        def always_shed():
+            raise AdmissionError("full", reason="queue_full")
+
+        with pytest.raises(AdmissionError):
+            policy.run(always_shed, deadline=deadline)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestCircuitBreaker:
+    def test_failures_accumulate_without_reset_on_success(self):
+        # bailouts happen once per compile episode, interleaved with
+        # cheap successful runs — consecutive-failure semantics would
+        # never trip, so successes must NOT clear the count while closed
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failures == 1
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_half_open_single_probe_then_close(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0, clock=clock,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow() is True      # the probe
+        assert breaker.allow() is False     # everyone else keeps degrading
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        assert transitions == [("closed", "open"), ("open", "half_open"),
+                               ("half_open", "closed")]
+
+    def test_failed_probe_reopens_for_a_full_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()            # the probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+
+class TestTierBreakerBoard:
+    def test_per_fingerprint_isolation(self):
+        clock = FakeClock()
+        board = TierBreakerBoard(failure_threshold=1, cooldown_seconds=5.0,
+                                 clock=clock)
+        board.record("bad-query", bailouts=1)
+        assert not board.allow_tier_up("bad-query")
+        assert board.allow_tier_up("good-query")
+        assert board.states() == {"bad-query": "open",
+                                  "good-query": "closed"}
+
+    def test_clean_episode_closes_a_half_open_breaker(self):
+        clock = FakeClock()
+        board = TierBreakerBoard(failure_threshold=1, cooldown_seconds=5.0,
+                                 clock=clock)
+        board.record("q", bailouts=2)
+        clock.advance(5.0)
+        assert board.allow_tier_up("q")     # the probe compiles TurboFan
+        board.record("q", bailouts=0)       # ...and the episode was clean
+        assert board.state("q") == "closed"

@@ -1,0 +1,183 @@
+"""TCP front-end error paths: disconnects mid-query, oversized lines,
+malformed UTF-8, per-query timeouts and CANCEL over the wire."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.server import QueryService
+from repro.server.__main__ import MAX_LINE_BYTES, serve
+
+ROWS = 3000
+
+
+@pytest.fixture()
+def service():
+    svc = QueryService()
+    svc.execute("CREATE TABLE t (id INT PRIMARY KEY, x INT)")
+    values = ", ".join(f"({i}, {i % 97})" for i in range(1, ROWS + 1))
+    svc.execute(f"INSERT INTO t VALUES {values}")
+    svc.db.engine("wasm").morsel_size = 64
+    return svc
+
+
+@pytest.fixture()
+def server(service):
+    srv = serve(service, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+class _Client:
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send(self, statement: str) -> list[str]:
+        self.file.write(statement + "\n")
+        self.file.flush()
+        return self.read_block()
+
+    def read_block(self) -> list[str]:
+        lines = []
+        while True:
+            line = self.file.readline()
+            if line in ("\n", ""):
+                return lines
+            lines.append(line.rstrip("\n"))
+
+    def close(self) -> None:
+        # makefile() dups the fd: both must go for the server to see FIN
+        try:
+            self.file.close()
+        except OSError:
+            pass
+        self.sock.close()
+
+
+def _wait_for(predicate, timeout: float = 10.0) -> bool:
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestDisconnect:
+    def test_disconnect_mid_query_cancels_it(self, server, service):
+        held = threading.Event()
+        dropped = threading.Event()
+        original_gate = service.scheduler.gate
+
+        def gate(ticket):
+            if not held.is_set():
+                held.set()
+                dropped.wait(10.0)
+            original_gate(ticket)
+
+        service.scheduler.gate = gate
+        client = _Client(server.server_address[1])
+        client.file.write("SELECT a.x FROM t a, t b WHERE a.x = b.x;\n")
+        client.file.flush()
+        assert held.wait(10.0), "query never started"
+        assert len(service.active_queries()) == 1
+        client.close()  # vanish mid-query, result never read
+        dropped.set()
+        # the handler notices on write, closes the session, and the
+        # session close cancels the in-flight query — nothing hangs
+        assert _wait_for(lambda: not service.active_queries()), \
+            "disconnected client's query is still running"
+
+    def test_disconnect_between_statements_is_clean(self, server, service):
+        client = _Client(server.server_address[1])
+        client.send("SELECT x FROM t WHERE x < 2;")
+        sessions_before = len(service._sessions)
+        client.close()
+        assert _wait_for(
+            lambda: len(service._sessions) < sessions_before)
+
+
+class TestProtocolAbuse:
+    def test_oversized_line_gets_error_and_close(self, server):
+        client = _Client(server.server_address[1])
+        huge = "SELECT x FROM t WHERE x < " + "9" * (MAX_LINE_BYTES + 64)
+        client.file.write(huge + ";\n")
+        client.file.flush()
+        response = client.file.readline()
+        assert response.startswith("ERROR:")
+        assert "exceeds" in response
+        # ...and the server hung up: subsequent reads see EOF
+        assert client.file.readline() == ""
+        client.close()
+
+    def test_malformed_utf8_is_one_error_not_a_wedge(self, server):
+        client = _Client(server.server_address[1])
+        client.sock.sendall(b"SELECT x FROM t WHERE x < \xff\xfe;\n")
+        block = client.read_block()
+        assert block[0].startswith("ERROR:")
+        # the connection survives and speaks SQL again
+        block = client.send("SELECT x FROM t WHERE x < 2;")
+        assert block[-1].startswith("(")
+        client.close()
+
+    def test_blank_statements_are_ignored(self, server):
+        client = _Client(server.server_address[1])
+        block = client.send(";;; SELECT x FROM t WHERE x < 2;")
+        assert block[-1].startswith("(")
+        client.close()
+
+
+class TestWireResilience:
+    def test_timeout_directive_applies_to_next_statement_only(self, server):
+        client = _Client(server.server_address[1])
+        assert client.send("\\timeout 0.001")[0].startswith("OK")
+        block = client.send("SELECT a.x FROM t a, t b WHERE a.x = b.x;")
+        assert block[0].startswith("ERROR:")
+        assert "wall-clock" in block[0] or "deadline" in block[0]
+        # the budget was one-shot: the next statement is unlimited again
+        block = client.send("SELECT x FROM t WHERE x < 2;")
+        assert block[-1].startswith("(")
+        client.close()
+
+    def test_timeout_directive_rejects_garbage(self, server):
+        client = _Client(server.server_address[1])
+        assert client.send("\\timeout banana")[0].startswith("ERROR:")
+        assert client.send("\\timeout off")[0].startswith("OK")
+        client.close()
+
+    def test_cancel_over_the_wire_from_second_connection(self, server,
+                                                         service):
+        port = server.server_address[1]
+        held = threading.Event()
+        cancelled = threading.Event()
+        original_gate = service.scheduler.gate
+
+        def gate(ticket):
+            if not held.is_set():
+                held.set()
+                cancelled.wait(10.0)
+            original_gate(ticket)
+
+        service.scheduler.gate = gate
+        victim, operator = _Client(port), _Client(port)
+        victim.file.write("SELECT a.x FROM t a, t b WHERE a.x = b.x;\n")
+        victim.file.flush()
+        assert held.wait(10.0)
+        [active] = service.active_queries()
+        rows = [r[0] for r in operator.send("SHOW QUERIES;")]
+        assert any(f"{active.id}" in line for line in rows[1:])
+        assert operator.send(f"CANCEL {active.id};") == ["OK"]
+        cancelled.set()
+        block = victim.read_block()
+        assert block[0].startswith("ERROR:")
+        assert "cancelled" in block[0]
+        # the victim's connection survives its cancelled query
+        assert victim.send("SELECT x FROM t WHERE x < 2;")[-1].startswith("(")
+        victim.close()
+        operator.close()
