@@ -351,6 +351,19 @@ class QueryCompiler:
             fb.param_range(0, 0, extent)
             fb.param_range(1, 0, extent)
 
+    def _declare_load_range(self, fb: FunctionBuilder, binding: str,
+                            column: str, load_op: str) -> None:
+        """Declare the host's value contract on the column load just
+        emitted — the catalog-statistics bounds collected into
+        ``MemoryPlan.value_ranges`` by the plan analysis.  Integer loads
+        only: float intervals carry no elision value and the interval
+        domain is integral."""
+        if not load_op.startswith(("i32", "i64")):
+            return
+        bounds = self.memory.value_ranges.get((binding, column))
+        if bounds is not None:
+            fb.value_range(*bounds)
+
     def _emit_scan_loop(self, fb: FunctionBuilder, scan: P.SeqScan,
                         body) -> None:
         """The tight per-morsel scan loop: row in [begin, end)."""
@@ -381,6 +394,7 @@ class QueryCompiler:
                             ("f64", 8): "f64.load",
                         }[(col.ty.wasm_type, size)]
                         fb.emit(load_op, 0, base)
+                        self._declare_load_range(fb, binding, column, load_op)
                         fb.set(local)
                     slots.append(SlotValue(local, col.ty))
                 body(slots)
@@ -405,7 +419,12 @@ class QueryCompiler:
                 fb.get(pos).get(1).emit("i32.ge_s")
                 fb.br_if(done)
                 fb.get(pos).i32(4).emit("i32.mul")
-                fb.emit("i32.load", 0, rowid_base).set(rowid)
+                fb.emit("i32.load", 0, rowid_base)
+                self._declare_load_range(
+                    fb, seek.binding, f"__index_rowids__{seek.key_column}",
+                    "i32.load",
+                )
+                fb.set(rowid)
                 slots = []
                 for col in seek.output:
                     binding, column = col.ref
@@ -427,6 +446,7 @@ class QueryCompiler:
                             ("f64", 8): "f64.load",
                         }[(col.ty.wasm_type, size)]
                         fb.emit(load_op, 0, base)
+                        self._declare_load_range(fb, binding, column, load_op)
                         fb.set(local)
                     slots.append(SlotValue(local, col.ty))
                 body(slots)

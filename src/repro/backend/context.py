@@ -37,6 +37,15 @@ class MemoryPlan:
     #: full row count).  Declared as ``param_range`` contracts on the
     #: generated pipelines so the interval analysis can bound addresses.
     extent_rows: dict[str, int] = field(default_factory=dict)
+    #: (binding, column) -> inclusive host-guaranteed bounds on every
+    #: value the column's loads can produce (integer storage domains
+    #: only; derived from catalog statistics by the plan analysis).
+    #: Declared as ``value_range`` contracts on the generated loads so
+    #: the interval analysis can bound *loaded* values — the key to
+    #: eliding bounds checks on loads addressed by another load (e.g.
+    #: index-seek row ids).
+    value_ranges: dict[tuple[str, str], tuple[int, int]] = \
+        field(default_factory=dict)
 
     def column_address(self, binding: str, column: str) -> int:
         try:

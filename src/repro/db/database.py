@@ -18,19 +18,28 @@ Engines: ``"wasm"`` (the paper's architecture — default), ``"volcano"``
 from __future__ import annotations
 
 import copy
+import warnings
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, TableSchema
 from repro.costmodel import Profile
 from repro.engines.base import ExecutionResult
-from repro.errors import AnalysisError, ConfigError, EngineError, ReproError
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    EngineError,
+    LintError,
+    ReproError,
+)
 from repro.observability.explain import (
     pipeline_stats_from_trace,
     render_explain_analyze,
 )
 from repro.observability.metrics import get_registry
 from repro.observability.trace import QueryTrace, trace_event, trace_span
+from repro.plan.analysis import PlanLinter, analyze_plan
 from repro.plan.builder import build_logical_plan
+from repro.plan.logical import LogicalEmpty
 from repro.plan.logical import explain as explain_logical
 from repro.plan.optimizer import optimize
 from repro.plan.physical import create_physical_plan, explain_physical
@@ -62,16 +71,30 @@ class Database:
             customizes it.
         max_attempts: retry budget per query (primary attempt included);
             only meaningful together with ``fallback``.
+        plan_lint: PlanLinter mode over every planned SELECT —
+            ``"off"`` (default), ``"warn"`` (diagnostics become Python
+            warnings), or ``"strict"`` (diagnostics raise
+            :class:`~repro.errors.LintError`), mirroring the Wasm
+            engine's ``lint`` knob one layer up.
     """
 
+    PLAN_LINT_MODES = ("off", "warn", "strict")
+
     def __init__(self, default_engine: str = "wasm",
-                 fallback=None, max_attempts: int | None = None):
+                 fallback=None, max_attempts: int | None = None,
+                 plan_lint: str = "off"):
         from repro.engines import ENGINES
 
+        if plan_lint not in self.PLAN_LINT_MODES:
+            raise ConfigError(
+                f"plan_lint must be one of {self.PLAN_LINT_MODES}; "
+                f"got {plan_lint!r}"
+            )
         self.catalog = Catalog()
         self._engines = {name: cls() for name, cls in ENGINES.items()}
         self.default_engine = default_engine
         self.fallback = self._normalize_fallback(fallback, max_attempts)
+        self.plan_lint = plan_lint
 
     @staticmethod
     def _normalize_fallback(fallback, max_attempts: int | None = None):
@@ -211,7 +234,7 @@ class Database:
             return self._run_explain(stmt, engine, profile, qtrace)
 
         with trace_span(qtrace, "plan"):
-            plan = self.plan(stmt)
+            plan = self.plan(stmt, trace=qtrace)
         policy = self.fallback if fallback is ... \
             else self._normalize_fallback(fallback)
         primary = engine or self.default_engine
@@ -256,7 +279,7 @@ class Database:
                 "repro.server.QueryService instead of Database"
             )
         with trace_span(qtrace, "plan"):
-            plan = self.plan(stmt.statement)
+            plan = self.plan(stmt.statement, trace=qtrace)
         spec = engine or self.default_engine
         if not stmt.analyze:
             lines = ["EXPLAIN"] + explain_physical(plan).split("\n")
@@ -295,17 +318,52 @@ class Database:
         result.trace = trace
         return result
 
-    def plan(self, stmt: ast.Select):
-        """Analyzed SELECT -> optimized physical plan."""
+    def plan(self, stmt: ast.Select, trace=None):
+        """Analyzed SELECT -> optimized physical plan.
+
+        Runs the column-fact dataflow (:mod:`repro.plan.analysis`) over
+        the optimized logical plan: a root proven empty is folded to an
+        empty-relation operator (no code is ever generated or compiled
+        for it), and the :class:`PlanAnalysis` rides on the physical
+        root as ``plan.analysis`` for engines, EXPLAIN, and the plan
+        cache.  Under ``plan_lint="warn"``/``"strict"`` the PlanLinter
+        checks inter-operator invariants inside a ``plan.lint`` span.
+        """
         logical = build_logical_plan(stmt, self.catalog)
-        optimized = optimize(logical, self.catalog)
-        return create_physical_plan(optimized, self.catalog)
+        dropped: list[str] = []
+        optimized = optimize(logical, self.catalog, report=dropped)
+        with trace_span(trace, "plan.analysis"):
+            analysis = analyze_plan(optimized, self.catalog)
+            analysis.dropped_conjuncts = dropped
+        if self.plan_lint != "off":
+            with trace_span(trace, "plan.lint"):
+                diagnostics = PlanLinter(optimized).lint()
+                analysis.lint = list(diagnostics)
+                if diagnostics and self.plan_lint == "strict":
+                    raise LintError(diagnostics)
+                for diag in diagnostics:
+                    warnings.warn(f"plan lint: {diag.render()}")
+        if analysis.proven_empty:
+            optimized = LogicalEmpty(optimized.output_columns,
+                                     analysis.empty_reason)
+        physical = create_physical_plan(optimized, self.catalog)
+        physical.analysis = analysis
+        return physical
 
     def explain(self, sql: str) -> str:
-        """Logical plan, physical plan, and pipeline dissection as text."""
+        """Logical plan, physical plan, analysis facts, and pipelines."""
         stmt = parse(sql)
         analyze(stmt, self.catalog)
-        logical = optimize(build_logical_plan(stmt, self.catalog), self.catalog)
+        dropped: list[str] = []
+        logical = optimize(build_logical_plan(stmt, self.catalog),
+                           self.catalog, report=dropped)
+        analysis = analyze_plan(logical, self.catalog)
+        analysis.dropped_conjuncts = dropped
+        if self.plan_lint != "off":
+            analysis.lint = PlanLinter(logical).lint()
+        if analysis.proven_empty:
+            logical = LogicalEmpty(logical.output_columns,
+                                   analysis.empty_reason)
         physical = create_physical_plan(logical, self.catalog)
         pipelines = dissect_into_pipelines(physical)
         parts = [
@@ -313,6 +371,8 @@ class Database:
             explain_logical(logical),
             "== physical ==",
             explain_physical(physical),
+            "== analysis ==",
+            *(analysis.describe() or ["(no derived facts)"]),
             "== pipelines ==",
             *(p.describe() for p in pipelines),
         ]

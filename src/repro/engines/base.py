@@ -159,3 +159,26 @@ class QueryEngine:
             column_types=types,
             rows=rows,
         )
+
+    def execute_folded(self, plan, profile: Profile | None = None,
+                       trace=None) -> ExecutionResult:
+        """Run a plan proven empty by static analysis.
+
+        Nothing is translated, generated, or compiled — the result is
+        the plan's schema with zero rows, and the trace carries only an
+        ``execution`` span annotated with the empty proof (the missing
+        ``compile.*``/``translation`` spans are the observable win).
+        """
+        from repro.observability.trace import trace_span
+
+        timings = Timings()
+        with trace_span(trace, "execution", engine=self.name,
+                        folded=plan.reason):
+            pass
+        timings.add("execution", 0.0)
+        result = self.finalize_rows(plan, [])
+        result.engine = self.name
+        result.timings = timings
+        result.profile = profile
+        result.trace = trace
+        return result

@@ -266,6 +266,8 @@ class HyperEngine(QueryEngine):
     def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
                 profile: Profile | None = None,
                 trace=None) -> ExecutionResult:
+        if isinstance(plan, P.EmptyResult):
+            return self.execute_folded(plan, profile, trace)
         timings = Timings()
         with Stopwatch(timings, "translation"), \
                 trace_span(trace, "translation", engine=self.name):

@@ -247,6 +247,8 @@ class VectorizedEngine(QueryEngine):
     def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
                 profile: Profile | None = None,
                 trace=None) -> ExecutionResult:
+        if isinstance(plan, P.EmptyResult):
+            return self.execute_folded(plan, profile, trace)
         timings = Timings()
         evaluator = _Evaluator(profile)
         with Stopwatch(timings, "execution"), \

@@ -353,6 +353,8 @@ class VolcanoEngine(QueryEngine):
     def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
                 profile: Profile | None = None,
                 trace=None) -> ExecutionResult:
+        if isinstance(plan, P.EmptyResult):
+            return self.execute_folded(plan, profile, trace)
         timings = Timings()
         with Stopwatch(timings, "translation"), \
                 trace_span(trace, "translation", engine=self.name):

@@ -180,10 +180,36 @@ class WasmEngine(QueryEngine):
         column_addresses: dict[tuple[str, str], int] = {}
         row_counts: dict[str, int] = {}
         extent_rows: dict[str, int] = {}
+        value_ranges: dict[tuple[str, str], tuple[int, int]] = {}
+        analysis = getattr(plan, "analysis", None)
+        scan_hints = getattr(analysis, "scan_facts", None) or {}
         self._chunked: dict[str, int] = {}  # binding -> window rows
         for scan in _scans_of(plan):
             table = catalog.get(scan.table_name)
             row_counts[scan.binding] = table.row_count
+            hints = scan_hints.get(scan.binding)
+            for name in scan.columns:
+                # host-guaranteed bounds on every stored value (from the
+                # plan analysis when present, else straight from the
+                # catalog statistics) — integer storage domains only,
+                # which is what the Wasm interval analysis can consume
+                if hints is not None and name in hints:
+                    value_ranges[(scan.binding, name)] = hints[name]
+                    continue
+                cstat = table.statistics.column(name)
+                if (isinstance(cstat.minimum, int)
+                        and isinstance(cstat.maximum, int)
+                        and not isinstance(cstat.minimum, bool)):
+                    value_ranges[(scan.binding, name)] = (
+                        cstat.minimum, cstat.maximum
+                    )
+            if isinstance(scan, P.IndexSeek):
+                # the index permutation holds row ids into this table:
+                # provably within [0, row_count)
+                pseudo = f"__index_rowids__{scan.key_column}"
+                value_ranges[(scan.binding, pseudo)] = (
+                    0, max(table.row_count - 1, 0)
+                )
             window = self.table_window_rows
             chunked = (window is not None and table.row_count > window
                        and isinstance(scan, P.SeqScan))
@@ -238,6 +264,7 @@ class WasmEngine(QueryEngine):
             column_addresses=column_addresses,
             row_counts=row_counts,
             extent_rows=extent_rows,
+            value_ranges=value_ranges,
         )
         return space, memory_plan
 
@@ -246,6 +273,8 @@ class WasmEngine(QueryEngine):
     def execute(self, plan: P.PhysicalOperator, catalog: Catalog,
                 profile: Profile | None = None,
                 trace=None) -> ExecutionResult:
+        if isinstance(plan, P.EmptyResult):
+            return self.execute_folded(plan, profile, trace)
         timings = Timings()
         governor = ResourceGovernor(self.timeout_seconds,
                                     self.max_memory_pages,
@@ -269,7 +298,11 @@ class WasmEngine(QueryEngine):
         """Translate, compile, and instantiate — everything up to (but
         not including) running the pipelines.  The returned executable
         can be executed repeatedly via :meth:`execute_prepared`; the plan
-        cache stores exactly this object."""
+        cache stores exactly this object.  Plans folded to
+        :class:`~repro.plan.physical.EmptyResult` have nothing to
+        compile and return ``None`` — the cache stores the plan alone."""
+        if isinstance(plan, P.EmptyResult):
+            return None
         timings = timings if timings is not None else Timings()
         if governor is not None:
             governor.phase = "translation"

@@ -27,7 +27,8 @@ __all__ = [
 
 #: Phase span kinds rendered in the summary line, in lifecycle order.
 _PHASE_KINDS = (
-    "parse", "analyze", "plan", "translation", "validate", "lint",
+    "parse", "analyze", "plan", "plan.analysis", "plan.lint",
+    "translation", "validate", "lint",
     "compile.liftoff", "compile.turbofan", "execution",
 )
 
@@ -109,6 +110,13 @@ def render_explain_analyze(plan, trace, stats: list[PipelineStats],
     if cache is not None:
         lines.append(f"cache: {cache}")
     lines.extend(explain_physical(plan).split("\n"))
+
+    analysis = getattr(plan, "analysis", None)
+    if analysis is not None:
+        derived = analysis.describe()
+        if derived:
+            lines.append("analysis:")
+            lines.extend(f"  {line}" for line in derived)
 
     if stats:
         lines.append("pipelines:")

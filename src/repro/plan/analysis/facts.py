@@ -1,0 +1,145 @@
+"""The fact lattice: per-column value intervals plus relation facts.
+
+A :class:`ColumnFact` is the plan-level analogue of the Wasm analysis'
+:class:`~repro.wasm.analysis.ranges.AVal`: an inclusive ``[lo, hi]``
+interval over the column's *storage* representation (dates as day
+counts, decimals as scaled integers — exactly the domain generated code
+compares in), plus distinctness and key uniqueness.  ``None`` bounds
+mean unknown.  Nullability is structurally absent in this system (the
+analyzer folds ``IS NULL`` to a constant), so ``nullable`` is always
+False for stored columns; it is kept in the lattice so the EXPLAIN
+rendering states the invariant explicitly.
+
+A :class:`RelationFacts` bundles the column facts of one operator's
+output with a row-count upper bound and the empty proof.  ``join`` is
+the lattice join used when the dataflow solver revisits an operator
+(interval union, minimum knowledge wins), mirroring the state join of
+:func:`repro.wasm.analysis.dataflow.solve_forward`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ColumnFact", "RelationFacts"]
+
+
+@dataclass(frozen=True)
+class ColumnFact:
+    """What the analysis knows about one output column."""
+
+    lo: object = None          # inclusive lower bound, storage domain
+    hi: object = None          # inclusive upper bound, storage domain
+    nullable: bool = False     # no NULL storage exists in this system
+    distinct: int = 0          # number of distinct values (0 = unknown)
+    unique: bool = False       # primary-key / provably all-distinct
+
+    @staticmethod
+    def top() -> "ColumnFact":
+        return ColumnFact()
+
+    @property
+    def constant(self) -> bool:
+        """The column provably holds one single value."""
+        return self.lo is not None and self.lo == self.hi
+
+    @property
+    def empty(self) -> bool:
+        """The interval is contradictory: no value can satisfy it."""
+        return self.lo is not None and self.hi is not None and self.lo > self.hi
+
+    def clamp(self, lo=None, hi=None, lo_strict=False,
+              hi_strict=False) -> "ColumnFact":
+        """Intersect with ``[lo, hi]`` (strict flags shrink integer
+        bounds by one; float bounds keep the closed interval, which is
+        sound — it only over-approximates)."""
+        new_lo, new_hi = self.lo, self.hi
+        if lo is not None:
+            if lo_strict and isinstance(lo, int):
+                lo = lo + 1
+            new_lo = lo if new_lo is None else max(new_lo, lo)
+        if hi is not None:
+            if hi_strict and isinstance(hi, int):
+                hi = hi - 1
+            new_hi = hi if new_hi is None else min(new_hi, hi)
+        if new_lo == self.lo and new_hi == self.hi:
+            return self
+        return replace(self, lo=new_lo, hi=new_hi)
+
+    def join(self, other: "ColumnFact") -> "ColumnFact":
+        """Lattice join: keep only what both facts guarantee."""
+        lo = None if self.lo is None or other.lo is None \
+            else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None \
+            else max(self.hi, other.hi)
+        return ColumnFact(
+            lo=lo, hi=hi,
+            nullable=self.nullable or other.nullable,
+            distinct=max(self.distinct, other.distinct),
+            unique=self.unique and other.unique,
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.empty:
+            parts.append("empty")
+        elif self.constant:
+            parts.append(f"={self.lo}")
+        elif self.lo is not None or self.hi is not None:
+            lo = "-inf" if self.lo is None else self.lo
+            hi = "+inf" if self.hi is None else self.hi
+            parts.append(f"[{lo}, {hi}]")
+        if self.unique:
+            parts.append("unique")
+        if self.distinct:
+            parts.append(f"ndv={self.distinct}")
+        if not self.nullable:
+            parts.append("not-null")
+        return " ".join(parts) if parts else "top"
+
+
+@dataclass
+class RelationFacts:
+    """Facts about one operator's output relation."""
+
+    #: OutputColumn.ref -> fact, for every output column.
+    columns: dict[tuple, ColumnFact] = field(default_factory=dict)
+    #: Upper bound on the rows this operator can produce (None unknown).
+    row_bound: int | None = None
+    #: The facts prove this relation is empty on the current data.
+    proven_empty: bool = False
+    #: Human-readable justification of the empty proof.
+    empty_reason: str | None = None
+
+    def fact(self, ref: tuple) -> ColumnFact:
+        return self.columns.get(ref, ColumnFact.top())
+
+    def with_fact(self, ref: tuple, fact: ColumnFact) -> "RelationFacts":
+        columns = dict(self.columns)
+        columns[ref] = fact
+        return RelationFacts(columns, self.row_bound,
+                             self.proven_empty, self.empty_reason)
+
+    def mark_empty(self, reason: str) -> "RelationFacts":
+        if self.proven_empty:
+            return self
+        return RelationFacts(dict(self.columns), 0, True, reason)
+
+    def join(self, other: "RelationFacts") -> "RelationFacts":
+        """Lattice join (solver revisits): both-sides knowledge only."""
+        columns = {
+            ref: fact.join(other.fact(ref))
+            for ref, fact in self.columns.items()
+            if ref in other.columns
+        }
+        row_bound = None if self.row_bound is None or other.row_bound is None \
+            else max(self.row_bound, other.row_bound)
+        empty = self.proven_empty and other.proven_empty
+        return RelationFacts(columns, row_bound, empty,
+                             self.empty_reason if empty else None)
+
+    def __eq__(self, other):
+        return (isinstance(other, RelationFacts)
+                and self.columns == other.columns
+                and self.row_bound == other.row_bound
+                and self.proven_empty == other.proven_empty)

@@ -1,0 +1,229 @@
+"""PlanLinter: structured diagnostics over inter-operator invariants.
+
+The plan-level sibling of :class:`repro.wasm.analysis.lint.ModuleLinter`:
+instead of byte offsets into a function body, diagnostics carry the
+*preorder operator offset* into the logical plan (the root is operator
+0), so a diagnostic pinpoints which operator violated which contract.
+
+Checked invariants — the contracts the physical planner assumes but
+never verifies (violations today surface as KeyErrors deep inside
+codegen or, worse, silently wrong results):
+
+* **resolved-bindings** — every ``ColumnRef`` an operator evaluates is
+  analyzer-resolved, and its referent is actually produced by a child
+  (matched structurally, the same way the physical planner substitutes
+  aggregate outputs — the linter never mutates the AST);
+* **type-agreement** — a reference's type equals the producing child
+  column's type, and filter/join predicates are BOOLEAN;
+* **aggregate-placement** — aggregate calls appear only as
+  ``LogicalAggregate`` outputs (or structurally covered by one below);
+* **sink-arity** — the root produces at least one column, and no
+  operator emits duplicate column refs (duplicates silently collide in
+  the physical planner's slot resolver).
+
+``Database.plan`` runs the linter under the ``plan_lint=off|warn|strict``
+knob: ``warn`` emits a Python warning, ``strict`` raises
+:class:`~repro.errors.LintError` with the structured diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plan import logical as L
+from repro.sql import ast
+from repro.sql.analyzer import _expr_key
+from repro.sql.types import BOOLEAN
+
+__all__ = ["PlanDiagnostic", "PlanLinter"]
+
+
+@dataclass(frozen=True)
+class PlanDiagnostic:
+    """One linter finding, anchored to a plan operator."""
+
+    code: str          # e.g. "unresolved-column", "type-mismatch"
+    operator: str      # operator class name, e.g. "LogicalFilter"
+    offset: int        # preorder index of the operator in the plan
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        return (f"[{self.code}] op#{self.offset} "
+                f"{self.operator}: {self.message}")
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _subexprs(expr: ast.Expr) -> list[ast.Expr]:
+    """Direct sub-expressions of one AST node."""
+    if isinstance(expr, ast.Unary):
+        return [expr.operand]
+    if isinstance(expr, ast.Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.FuncCall):
+        return [a for a in expr.args if not isinstance(a, ast.Star)]
+    if isinstance(expr, ast.Between):
+        return [expr.expr, expr.low, expr.high]
+    if isinstance(expr, ast.Like):
+        return [expr.expr, expr.pattern]
+    if isinstance(expr, ast.InList):
+        return [expr.expr, *expr.items]
+    if isinstance(expr, ast.Cast):
+        return [expr.expr]
+    if isinstance(expr, ast.CaseWhen):
+        out = [] if expr.operand is None else [expr.operand]
+        for cond, result in expr.whens:
+            out.extend([cond, result])
+        if expr.else_ is not None:
+            out.append(expr.else_)
+        return out
+    return []
+
+
+class PlanLinter:
+    """Lint one logical plan; :meth:`lint` returns the diagnostics."""
+
+    def __init__(self, root: L.LogicalOperator):
+        self.root = root
+        self._diags: list[PlanDiagnostic] = []
+
+    def lint(self) -> list[PlanDiagnostic]:
+        self._diags = []
+        order = self._preorder(self.root)
+        self._lint_sink(self.root, 0)
+        for offset, op in enumerate(order):
+            self._lint_operator(op, offset)
+        return sorted(self._diags, key=lambda d: (d.offset, d.code,
+                                                  d.message))
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _preorder(self, root) -> list[L.LogicalOperator]:
+        out = []
+
+        def visit(op):
+            out.append(op)
+            for child in op.children:
+                visit(child)
+
+        visit(root)
+        return out
+
+    def _report(self, code, op, offset, message, severity="error"):
+        self._diags.append(PlanDiagnostic(
+            code=code, operator=type(op).__name__, offset=offset,
+            message=message, severity=severity,
+        ))
+
+    @staticmethod
+    def _operator_exprs(op) -> list[ast.Expr]:
+        if isinstance(op, L.LogicalFilter):
+            return [op.predicate]
+        if isinstance(op, L.LogicalJoin):
+            return [] if op.predicate is None else [op.predicate]
+        if isinstance(op, L.LogicalAggregate):
+            return list(op.keys) + list(op.aggregates)
+        if isinstance(op, L.LogicalProject):
+            return [expr for expr, _ in op.items]
+        if isinstance(op, L.LogicalSort):
+            return [expr for expr, _ in op.order]
+        return []
+
+    # -- rules -------------------------------------------------------------
+
+    def _lint_sink(self, root, offset):
+        if not root.output_columns:
+            self._report("empty-sink", root, offset,
+                         "root operator produces no columns")
+
+    def _lint_operator(self, op, offset):
+        # duplicate output refs silently collide in the physical
+        # planner's {ref: slot} resolver
+        seen: set[tuple] = set()
+        for col in op.output_columns:
+            if col.ref in seen:
+                self._report(
+                    "duplicate-ref", op, offset,
+                    f"output ref {col.ref} produced more than once",
+                )
+            seen.add(col.ref)
+
+        child_cols: dict[tuple, object] = {}
+        child_keys: set[str] = set()
+        for child in op.children:
+            for col in child.output_columns:
+                child_cols.setdefault(col.ref, col.ty)
+                if col.key is not None:
+                    child_keys.add(col.key)
+
+        inside_aggregate = isinstance(op, L.LogicalAggregate)
+        for expr in self._operator_exprs(op):
+            self._check_expr(expr, op, offset, child_cols, child_keys,
+                             allow_aggregate=inside_aggregate)
+
+        if isinstance(op, (L.LogicalFilter, L.LogicalJoin)):
+            predicate = getattr(op, "predicate", None)
+            if predicate is not None and predicate.ty is not None \
+                    and predicate.ty != BOOLEAN:
+                self._report(
+                    "predicate-type", op, offset,
+                    f"predicate has type {predicate.ty.name}, "
+                    f"expected BOOLEAN",
+                )
+
+    def _check_expr(self, expr, op, offset, child_cols, child_keys,
+                    allow_aggregate, depth=0):
+        """Structural coverage walk (never mutates the AST).
+
+        A subtree matched by a child's structural key is produced by
+        that child — its internals reference the *child's* inputs, so
+        the walk stops there (mirroring the physical planner's
+        substitution).
+        """
+        if _expr_key(expr) in child_keys:
+            return
+        if isinstance(expr, ast.ColumnRef):
+            if expr.resolved is None:
+                self._report(
+                    "unresolved-column", op, offset,
+                    f"column {expr.display} was never resolved by the "
+                    f"analyzer",
+                )
+                return
+            if expr.resolved not in child_cols:
+                self._report(
+                    "unknown-column", op, offset,
+                    f"column {expr.display} (ref {expr.resolved}) is not "
+                    f"produced by any child",
+                )
+                return
+            produced = child_cols[expr.resolved]
+            if expr.ty is not None and produced is not None \
+                    and expr.ty != produced:
+                self._report(
+                    "type-mismatch", op, offset,
+                    f"column {expr.display} referenced as "
+                    f"{expr.ty.name} but produced as "
+                    f"{produced.name}",
+                )
+            return
+        if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+            if allow_aggregate and depth == 0:
+                # a LogicalAggregate's own aggregate list: arguments are
+                # plain child expressions, nested aggregates are not
+                for arg in _subexprs(expr):
+                    self._check_expr(arg, op, offset, child_cols,
+                                     child_keys, allow_aggregate=False,
+                                     depth=depth + 1)
+                return
+            self._report(
+                "misplaced-aggregate", op, offset,
+                f"aggregate {expr.name} is not produced by an "
+                f"aggregation below this operator",
+            )
+            return
+        for sub in _subexprs(expr):
+            self._check_expr(sub, op, offset, child_cols, child_keys,
+                             allow_aggregate=False, depth=depth + 1)

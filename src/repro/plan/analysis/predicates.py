@@ -1,0 +1,325 @@
+"""Predicate reasoning over column facts: implication and contradiction.
+
+Mirrors the bound extraction of :func:`repro.plan.physical._extract_bound`
+(storage-domain values, literal-side flipping) but evaluates conjuncts
+against established :class:`~repro.plan.analysis.facts.ColumnFact`
+intervals in three-valued logic:
+
+* ``True``  — the conjunct is *implied* by the facts (safe to drop),
+* ``False`` — the conjunct *contradicts* the facts (the relation is
+  provably empty),
+* ``None``  — unknown (keep it, refine the facts with it).
+
+All comparison reasoning happens in the column's storage domain —
+dates as day counts, decimals as scaled integers — exactly the domain
+generated code compares in, and only when the literal survives a
+to-storage/from-storage round trip (a literal the storage domain cannot
+represent exactly gets no bound, which is conservative and sound).
+Conjuncts containing :class:`~repro.sql.ast.Parameter` placeholders
+never evaluate: their value is unknown until EXECUTE.
+"""
+
+from __future__ import annotations
+
+from repro.plan.analysis.facts import ColumnFact, RelationFacts
+from repro.plan.logical import _render
+from repro.sql import ast
+
+__all__ = ["conjunct_bounds", "evaluate_conjunct", "refine_facts",
+           "render_conjunct"]
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+_CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
+_PY_CMP = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def render_conjunct(conj: ast.Expr) -> str:
+    """A human-readable form of one conjunct (EXPLAIN / diagnostics)."""
+    return _render(conj)
+
+
+def _literal_value(expr: ast.Expr):
+    """The python value of a (possibly negated) literal, else None."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _literal_value(expr.operand)
+        if isinstance(inner, (int, float)) and not isinstance(inner, bool):
+            return -inner
+    return None
+
+
+def _storage_bound(column: ast.ColumnRef, value):
+    """``value`` in the column's storage domain, or None when the
+    storage representation cannot express it exactly."""
+    ty = column.ty
+    if ty is None or ty.is_string:
+        return None
+    try:
+        storage = ty.to_storage(value)
+        if ty.from_storage(storage) != value:
+            return None
+    except (TypeError, ValueError, OverflowError):
+        return None
+    return storage
+
+
+def _column_and_literal(conj: ast.Binary):
+    """Normalize ``col <op> literal`` (either side) or return None."""
+    left, right, op = conj.left, conj.right, conj.op
+    if _literal_value(left) is not None and isinstance(right, ast.ColumnRef):
+        left, right, op = right, left, _FLIP[op]
+    if not (isinstance(left, ast.ColumnRef) and left.resolved is not None):
+        return None
+    value = _literal_value(right)
+    if value is None or isinstance(value, str):
+        return None
+    storage = _storage_bound(left, value)
+    if storage is None:
+        return None
+    return left, op, storage
+
+
+def conjunct_bounds(conj: ast.Expr):
+    """Interval bounds one conjunct imposes when it holds.
+
+    Yields ``(ref, lo, lo_strict, hi, hi_strict)`` tuples in the
+    storage domain; conjuncts that impose no extractable bound yield
+    nothing.
+    """
+    if isinstance(conj, ast.Between) and not conj.negated \
+            and isinstance(conj.expr, ast.ColumnRef) \
+            and conj.expr.resolved is not None:
+        low = _literal_value(conj.low)
+        high = _literal_value(conj.high)
+        if low is not None and high is not None \
+                and not isinstance(low, str) and not isinstance(high, str):
+            lo = _storage_bound(conj.expr, low)
+            hi = _storage_bound(conj.expr, high)
+            if lo is not None and hi is not None:
+                yield (conj.expr.resolved, lo, False, hi, False)
+        return
+    if isinstance(conj, ast.Binary) and conj.op == "AND":
+        yield from conjunct_bounds(conj.left)
+        yield from conjunct_bounds(conj.right)
+        return
+    if not (isinstance(conj, ast.Binary) and conj.op in _CMP_OPS):
+        return
+    normalized = _column_and_literal(conj)
+    if normalized is None:
+        return
+    column, op, value = normalized
+    ref = column.resolved
+    if op == "=":
+        yield (ref, value, False, value, False)
+    elif op == "<":
+        yield (ref, None, False, value, True)
+    elif op == "<=":
+        yield (ref, None, False, value, False)
+    elif op == ">":
+        yield (ref, value, True, None, False)
+    elif op == ">=":
+        yield (ref, value, False, None, False)
+
+
+def _not3(value):
+    return None if value is None else not value
+
+
+def _and3(a, b):
+    if a is False or b is False:
+        return False
+    if a is True and b is True:
+        return True
+    return None
+
+
+def _or3(a, b):
+    if a is True or b is True:
+        return True
+    if a is False and b is False:
+        return False
+    return None
+
+
+def _compare_interval(op: str, fact: ColumnFact, value):
+    """Three-valued ``col <op> value`` against the fact's interval."""
+    lo, hi = fact.lo, fact.hi
+    if op == "<":
+        if hi is not None and hi < value:
+            return True
+        if lo is not None and lo >= value:
+            return False
+    elif op == "<=":
+        if hi is not None and hi <= value:
+            return True
+        if lo is not None and lo > value:
+            return False
+    elif op == ">":
+        if lo is not None and lo > value:
+            return True
+        if hi is not None and hi <= value:
+            return False
+    elif op == ">=":
+        if lo is not None and lo >= value:
+            return True
+        if hi is not None and hi < value:
+            return False
+    elif op == "=":
+        if fact.constant and lo == value:
+            return True
+        if (lo is not None and value < lo) or (hi is not None and value > hi):
+            return False
+    elif op == "<>":
+        if (lo is not None and value < lo) or (hi is not None and value > hi):
+            return True
+        if fact.constant and lo == value:
+            return False
+    return None
+
+
+def _compare_columns(op: str, left: ColumnFact, right: ColumnFact):
+    """Three-valued ``colA <op> colB`` over two disjoint-able intervals."""
+    a_lo, a_hi, b_lo, b_hi = left.lo, left.hi, right.lo, right.hi
+    if op == "<":
+        if a_hi is not None and b_lo is not None and a_hi < b_lo:
+            return True
+        if a_lo is not None and b_hi is not None and a_lo >= b_hi:
+            return False
+    elif op == "<=":
+        if a_hi is not None and b_lo is not None and a_hi <= b_lo:
+            return True
+        if a_lo is not None and b_hi is not None and a_lo > b_hi:
+            return False
+    elif op == ">":
+        if a_lo is not None and b_hi is not None and a_lo > b_hi:
+            return True
+        if a_hi is not None and b_lo is not None and a_hi <= b_lo:
+            return False
+    elif op == ">=":
+        if a_lo is not None and b_hi is not None and a_lo >= b_hi:
+            return True
+        if a_hi is not None and b_lo is not None and a_hi < b_lo:
+            return False
+    elif op == "=":
+        if left.constant and right.constant and a_lo == b_lo:
+            return True
+        disjoint = (a_hi is not None and b_lo is not None and a_hi < b_lo) \
+            or (a_lo is not None and b_hi is not None and a_lo > b_hi)
+        if disjoint:
+            return False
+    elif op == "<>":
+        disjoint = (a_hi is not None and b_lo is not None and a_hi < b_lo) \
+            or (a_lo is not None and b_hi is not None and a_lo > b_hi)
+        if disjoint:
+            return True
+        if left.constant and right.constant and a_lo == b_lo:
+            return False
+    return None
+
+
+def _comparable_types(a: ast.ColumnRef, b: ast.ColumnRef) -> bool:
+    """Cross-column storage comparison is only sound when both columns
+    share one storage representation (same type, same decimal scale)."""
+    return a.ty is not None and b.ty is not None and a.ty == b.ty
+
+
+def evaluate_conjunct(conj: ast.Expr, facts: RelationFacts):
+    """Evaluate one conjunct against the facts: True / False / None."""
+    if isinstance(conj, ast.Literal):
+        if isinstance(conj.value, bool):
+            return conj.value
+        return None
+    if isinstance(conj, ast.Unary) and conj.op == "NOT":
+        return _not3(evaluate_conjunct(conj.operand, facts))
+    if isinstance(conj, ast.Between):
+        low = ast.Binary(">=", conj.expr, conj.low)
+        high = ast.Binary("<=", conj.expr, conj.high)
+        result = _and3(evaluate_conjunct(low, facts),
+                       evaluate_conjunct(high, facts))
+        return _not3(result) if conj.negated else result
+    if isinstance(conj, ast.InList):
+        result = _evaluate_in_list(conj, facts)
+        return _not3(result) if conj.negated else result
+    if not isinstance(conj, ast.Binary):
+        return None
+    if conj.op == "AND":
+        return _and3(evaluate_conjunct(conj.left, facts),
+                     evaluate_conjunct(conj.right, facts))
+    if conj.op == "OR":
+        return _or3(evaluate_conjunct(conj.left, facts),
+                    evaluate_conjunct(conj.right, facts))
+    if conj.op not in _CMP_OPS:
+        return None
+    lv, rv = _literal_value(conj.left), _literal_value(conj.right)
+    if lv is not None and rv is not None:
+        try:
+            return _PY_CMP[conj.op](lv, rv)
+        except TypeError:
+            return None
+    if isinstance(conj.left, ast.ColumnRef) \
+            and isinstance(conj.right, ast.ColumnRef):
+        if conj.left.resolved is None or conj.right.resolved is None \
+                or not _comparable_types(conj.left, conj.right):
+            return None
+        return _compare_columns(conj.op,
+                                facts.fact(conj.left.resolved),
+                                facts.fact(conj.right.resolved))
+    normalized = _column_and_literal(conj)
+    if normalized is None:
+        return None
+    column, op, value = normalized
+    return _compare_interval(op, facts.fact(column.resolved), value)
+
+
+def _evaluate_in_list(conj: ast.InList, facts: RelationFacts):
+    if not (isinstance(conj.expr, ast.ColumnRef)
+            and conj.expr.resolved is not None):
+        return None
+    storages = []
+    for item in conj.items:
+        value = _literal_value(item)
+        if value is None or isinstance(value, str):
+            return None
+        storage = _storage_bound(conj.expr, value)
+        if storage is None:
+            return None
+        storages.append(storage)
+    fact = facts.fact(conj.expr.resolved)
+    if fact.constant and fact.lo in storages:
+        return True
+    memberships = [_compare_interval("=", fact, s) for s in storages]
+    if all(m is False for m in memberships):
+        return False
+    return None
+
+
+def refine_facts(facts: RelationFacts, conj: ast.Expr) -> RelationFacts:
+    """Assume ``conj`` holds and tighten the facts accordingly.
+
+    A conjunct that evaluates to False — or whose bounds empty some
+    column's interval — marks the relation proven empty.
+    """
+    if facts.proven_empty:
+        return facts
+    verdict = evaluate_conjunct(conj, facts)
+    if verdict is False:
+        return facts.mark_empty(
+            f"predicate {render_conjunct(conj)} contradicts column facts"
+        )
+    for ref, lo, lstrict, hi, hstrict in conjunct_bounds(conj):
+        fact = facts.fact(ref).clamp(lo, hi, lstrict, hstrict)
+        facts = facts.with_fact(ref, fact)
+        if fact.empty:
+            return facts.mark_empty(
+                f"predicate {render_conjunct(conj)} empties "
+                f"{ref[0]}.{ref[1]}"
+            )
+    return facts

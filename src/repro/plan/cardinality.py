@@ -43,8 +43,32 @@ class CardinalityEstimator:
     :class:`~repro.catalog.statistics.TableStatistics`.
     """
 
-    def __init__(self, stats_by_binding: dict[str, object]):
+    def __init__(self, stats_by_binding: dict[str, object],
+                 facts_by_binding: dict[str, object] | None = None):
         self.stats = stats_by_binding
+        #: binding -> RelationFacts from the plan analysis; when set,
+        #: predicates the facts decide override the statistical guess
+        #: (a contradicted predicate estimates 0, an implied one 1)
+        self.facts = facts_by_binding or {}
+
+    def _fact_verdict(self, predicate: ast.Expr):
+        """True/False when the derived facts decide the predicate."""
+        if not self.facts:
+            return None
+        from repro.plan.analysis.predicates import evaluate_conjunct
+
+        bindings = {
+            node.resolved[0]
+            for node in ast.walk(predicate)
+            if isinstance(node, ast.ColumnRef) and node.resolved is not None
+        }
+        if len(bindings) != 1:
+            return None
+        binding = next(iter(bindings))
+        facts = self.facts.get(binding)
+        if facts is None:
+            return None
+        return evaluate_conjunct(predicate, facts)
 
     # -- column helpers ---------------------------------------------------
 
@@ -77,6 +101,9 @@ class CardinalityEstimator:
     def selectivity(self, predicate: ast.Expr | None) -> float:
         if predicate is None:
             return 1.0
+        verdict = self._fact_verdict(predicate)
+        if verdict is not None:
+            return 1.0 if verdict else 0.0
         if isinstance(predicate, ast.Binary):
             if predicate.op == "AND":
                 return (self.selectivity(predicate.left)

@@ -19,6 +19,7 @@ __all__ = [
     "OutputColumn",
     "LogicalOperator",
     "LogicalScan",
+    "LogicalEmpty",
     "LogicalFilter",
     "LogicalJoin",
     "LogicalAggregate",
@@ -69,6 +70,25 @@ class LogicalScan(LogicalOperator):
             OutputColumn((self.binding, col.name), col.name, col.ty)
             for col in self.schema
         ]
+
+
+@dataclass
+class LogicalEmpty(LogicalOperator):
+    """A relation proven empty by static analysis.
+
+    Carries the output columns of the subplan it replaced (so parents
+    and result metadata keep their schema) and the analysis' reason
+    string for EXPLAIN.  Substituted at the plan root by
+    ``Database.plan`` when the fact dataflow proves zero rows; the
+    engines short-circuit it without generating or compiling any code.
+    """
+
+    columns: list[OutputColumn]
+    reason: str
+
+    @property
+    def output_columns(self) -> list[OutputColumn]:
+        return self.columns
 
 
 @dataclass
@@ -193,6 +213,8 @@ def explain(op: LogicalOperator, indent: int = 0) -> str:
         detail = f" {op.table_name}" + (
             f" AS {op.binding}" if op.binding != op.table_name else ""
         )
+    elif isinstance(op, LogicalEmpty):
+        detail = f" [{op.reason}]"
     elif isinstance(op, LogicalFilter):
         detail = f" [{_render(op.predicate)}]"
     elif isinstance(op, LogicalJoin) and op.predicate is not None:

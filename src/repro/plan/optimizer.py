@@ -6,11 +6,16 @@ Rewrites the builder's canonical plan:
    conjuncts; each is classified by the set of FROM bindings it touches.
 2. **Predicate pushdown** — single-binding conjuncts become filters
    directly above their scan.
-3. **Join ordering** — a DP over binding subsets (DPsub) enumerates
+3. **Predicate implication** — before join ordering, each pushed-down
+   conjunct is checked against the column facts established so far
+   (catalog statistics refined by the conjuncts already kept, see
+   :mod:`repro.plan.analysis`); conjuncts the facts already imply are
+   dropped, and tautological constant conjuncts vanish with them.
+4. **Join ordering** — a DP over binding subsets (DPsub) enumerates
    bushy join trees connected by join conjuncts, costed as the sum of
    estimated intermediate cardinalities; disconnected subsets are only
    combined when nothing else remains (cross products as a last resort).
-4. Multi-binding non-join conjuncts become a residual filter on top.
+5. Multi-binding non-join conjuncts become a residual filter on top.
 
 Everything above the join tree (aggregation, projection, sort, limit) is
 preserved structurally.
@@ -21,6 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.plan import logical as L
+from repro.plan.analysis.dataflow import seed_scan_facts
+from repro.plan.analysis.facts import RelationFacts
+from repro.plan.analysis.predicates import (
+    evaluate_conjunct,
+    refine_facts,
+    render_conjunct,
+)
 from repro.plan.cardinality import CardinalityEstimator
 from repro.plan.builder import split_conjuncts
 from repro.sql import ast
@@ -59,14 +71,24 @@ class _Candidate:
     cost: float
 
 
-def optimize(plan: L.LogicalOperator, catalog) -> L.LogicalOperator:
-    """Optimize a canonical logical plan (idempotent on optimized plans)."""
-    return _Optimizer(catalog).rewrite(plan)
+def optimize(plan: L.LogicalOperator, catalog,
+             report: list | None = None) -> L.LogicalOperator:
+    """Optimize a canonical logical plan (idempotent on optimized plans).
+
+    ``report``, when given, collects a rendered string for every
+    conjunct the implication pass dropped (surfaced in EXPLAIN).
+    """
+    return _Optimizer(catalog, report).rewrite(plan)
 
 
 class _Optimizer:
-    def __init__(self, catalog):
+    def __init__(self, catalog, report: list | None = None):
         self.catalog = catalog
+        self.report = report
+
+    def _dropped(self, conj: ast.Expr) -> None:
+        if self.report is not None:
+            self.report.append(render_conjunct(conj))
 
     def rewrite(self, op: L.LogicalOperator) -> L.LogicalOperator:
         if isinstance(op, L.LogicalFilter):
@@ -132,6 +154,33 @@ class _Optimizer:
                 multi.append((touched, conj))
             else:
                 residual.append(conj)  # constant predicate
+
+        # implication pass: drop conjuncts the facts already imply,
+        # refining the facts with every conjunct that is kept so chains
+        # like ``x < 5 AND x < 10`` shed their weaker members
+        facts_by_binding = {
+            scan.binding: seed_scan_facts(scan, self.catalog)
+            for scan in scans
+        }
+        # the estimator sees the *seed* facts only: refined facts would
+        # make every kept conjunct self-implied (selectivity 1.0)
+        estimator.facts = dict(facts_by_binding)
+        for scan in scans:
+            facts = facts_by_binding[scan.binding]
+            kept = []
+            for conj in single[scan.binding]:
+                if evaluate_conjunct(conj, facts) is True:
+                    self._dropped(conj)
+                    continue
+                facts = refine_facts(facts, conj)
+                kept.append(conj)
+            single[scan.binding] = kept
+            facts_by_binding[scan.binding] = facts
+        tautologies = [conj for conj in residual
+                       if evaluate_conjunct(conj, RelationFacts()) is True]
+        for conj in tautologies:
+            self._dropped(conj)
+        residual = [conj for conj in residual if conj not in tautologies]
 
         # base candidates: scan (+ pushed-down filter)
         base: dict[frozenset[str], _Candidate] = {}

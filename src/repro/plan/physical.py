@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.catalog.catalog import Catalog
 from repro.errors import PlanError
 from repro.plan import logical as L
+from repro.plan.analysis.dataflow import seed_scan_facts
 from repro.plan.builder import split_conjuncts
 from repro.plan.cardinality import CardinalityEstimator
 from repro.plan.exprs import Aggregate, LExpr, Lowerer
@@ -30,10 +31,10 @@ from repro.sql import types as T
 from repro.sql.analyzer import _expr_key
 
 __all__ = [
-    "PhysicalOperator", "SeqScan", "IndexSeek", "Filter", "Project",
-    "HashJoin", "NestedLoopJoin", "HashGroupBy", "ScalarAggregate", "Sort",
-    "Limit", "create_physical_plan", "explain_physical", "plan_exprs",
-    "collect_params",
+    "PhysicalOperator", "SeqScan", "IndexSeek", "EmptyResult", "Filter",
+    "Project", "HashJoin", "NestedLoopJoin", "HashGroupBy",
+    "ScalarAggregate", "Sort", "Limit", "create_physical_plan",
+    "explain_physical", "plan_exprs", "collect_params",
 ]
 
 
@@ -67,6 +68,23 @@ class SeqScan(PhysicalOperator):
         self.columns = columns
         self.output = output
         self.estimated_rows = rows
+
+
+@dataclass
+class EmptyResult(PhysicalOperator):
+    """A sink for plans proven empty by static analysis.
+
+    Produces the folded subplan's schema and zero rows.  Engines
+    short-circuit it: no translation, no code generation, no tier
+    compilation — the executed query leaves no ``compile.*`` span.
+    """
+
+    reason: str
+
+    def __init__(self, output, reason):
+        self.output = output
+        self.reason = reason
+        self.estimated_rows = 0.0
 
 
 @dataclass
@@ -311,10 +329,12 @@ def create_physical_plan(logical: L.LogicalOperator,
     """Optimized logical plan -> physical plan with lowered expressions."""
     used = _used_columns(logical)
     stats = {}
+    facts = {}
     for op in _walk(logical):
         if isinstance(op, L.LogicalScan):
             stats[op.binding] = catalog.get(op.table_name).statistics
-    estimator = CardinalityEstimator(stats)
+            facts[op.binding] = seed_scan_facts(op, catalog)
+    estimator = CardinalityEstimator(stats, facts)
     return _Planner(catalog, used, estimator).build(logical)
 
 
@@ -390,6 +410,8 @@ class _Planner:
             return Sort(child, order)
         if isinstance(op, L.LogicalLimit):
             return Limit(self.build(op.child), op.limit, op.offset)
+        if isinstance(op, L.LogicalEmpty):
+            return EmptyResult(op.output_columns, op.reason)
         raise PlanError(f"cannot plan {type(op).__name__}")
 
     def _try_index_seek(self, op: L.LogicalFilter):
@@ -682,6 +704,8 @@ def explain_physical(op: PhysicalOperator, indent: int = 0) -> str:
         detail = f" aggs={len(op.aggregates)}"
     elif isinstance(op, Limit):
         detail = f" limit={op.limit}"
+    elif isinstance(op, EmptyResult):
+        detail = f" [{op.reason}]"
     lines = [f"{pad}{name}{detail}  (~{int(op.estimated_rows)} rows)"]
     for child in op.children:
         lines.append(explain_physical(child, indent + 1))

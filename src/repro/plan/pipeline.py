@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.errors import PlanError
 from repro.plan.physical import (
+    EmptyResult,
     Filter,
     HashGroupBy,
     HashJoin,
@@ -85,6 +86,8 @@ def dissect_into_pipelines(root: PhysicalOperator) -> list[Pipeline]:
 
     def stream(op: PhysicalOperator, downstream: list[PhysicalOperator],
                sink: PhysicalOperator | None) -> None:
+        if isinstance(op, EmptyResult):
+            return  # proven empty: nothing streams, no pipeline exists
         if isinstance(op, (SeqScan, IndexSeek)):
             pipelines.append(Pipeline(0, op, downstream, sink))
             return

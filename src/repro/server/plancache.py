@@ -92,6 +92,10 @@ class CacheEntry:
     plan: object
     executable: object = None
     catalog_version: int = 0
+    #: the :class:`~repro.plan.analysis.PlanAnalysis` computed when the
+    #: plan was built; hits reuse it (facts are a function of the plan
+    #: and the catalog version, both of which key the entry)
+    analysis: object = None
     hits: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
     tier_degraded: bool = False

@@ -579,7 +579,7 @@ class QueryService:
             with trace_span(qtrace, "analyze"):
                 analyze(select, self.db.catalog)
         with trace_span(qtrace, "plan"):
-            plan = self.db.plan(select)
+            plan = self.db.plan(select, trace=qtrace)
         executable = None
         engine = copy.copy(self.db.resolve_engine(spec))
         tier_degraded = False
@@ -597,6 +597,7 @@ class QueryService:
             )
         entry = CacheEntry(plan=plan, executable=executable,
                            catalog_version=self.db.catalog.version,
+                           analysis=getattr(plan, "analysis", None),
                            tier_degraded=tier_degraded,
                            breaker_pending=(executable is not None
                                             and not tier_degraded))

@@ -9,6 +9,9 @@ records:
 * ``oob-access`` — a load/store whose interval-analysis address range
   proves the access traps for *every* possible memory size (the
   module's declared maximum, or the 4 GiB ceiling when unbounded);
+* ``dead-arm`` — an ``if``/``br_if`` whose condition the interval
+  analysis proves constant on every reachable path, so one arm (or the
+  branch itself) can never execute;
 * ``dead-store`` — a ``local.set``/``local.tee`` whose value is never
   read on any path;
 * ``write-only-local`` — a local that is written somewhere but never
@@ -80,19 +83,20 @@ class ModuleLinter:
                     f"instruction {instr[0]!r} can never execute",
                 ))
 
-        diags.extend(self._lint_accesses(func, name, cfg))
+        ranges = analyze_ranges(self.module, func, cfg=cfg)
+        diags.extend(self._lint_accesses(name, ranges))
+        diags.extend(self._lint_dead_arms(name, cfg, ranges, reachable))
         diags.extend(self._lint_locals(func, name, cfg, reachable))
         diags.sort(key=lambda d: (d.offset is None, d.offset, d.code))
         return diags
 
-    def _lint_accesses(self, func: Function, name: str, cfg) -> list:
+    def _lint_accesses(self, name: str, result) -> list:
         if not self.module.memories:
             return []
         mem = self.module.memories[0]
         max_pages = mem.maximum if mem.maximum is not None else 65536
         max_bytes = max_pages * WASM_PAGE
         diags = []
-        result = analyze_ranges(self.module, func, cfg=cfg)
         for off in sorted(result.facts):
             fact = result.facts[off]
             addr = fact.addr
@@ -113,6 +117,37 @@ class ModuleLinter:
                     f"{fact.op} wraps past the end of the address space "
                     "on every path",
                 ))
+        return diags
+
+    def _lint_dead_arms(self, name: str, cfg, result,
+                        reachable: set[int]) -> list:
+        """Branch conditions the interval analysis proved constant."""
+        diags = []
+        for block in cfg.blocks:
+            if block.index not in reachable or not block.instrs:
+                continue
+            off, instr = block.instrs[-1]
+            op = instr[0]
+            if op not in ("if", "br_if"):
+                continue
+            cond = result.branch_conds.get(off)
+            if cond is None or cond.bits == 0 or cond.lo != cond.hi:
+                continue
+            if op == "if":
+                dead = "else arm" if cond.lo else "then arm"
+                detail = f"the {dead} can never execute"
+            else:
+                detail = ("the branch is always taken" if cond.lo
+                          else "the branch is never taken")
+            # advisory (severity "info"): generated code legitimately
+            # specializes branches into constants (e.g. the fixed-length
+            # string helpers), so strict mode must not reject it
+            diags.append(Diagnostic(
+                "dead-arm", name, off,
+                f"condition of {op!r} is always {int(bool(cond.lo))}: "
+                f"{detail}",
+                severity="info",
+            ))
         return diags
 
     def _lint_locals(self, func: Function, name: str, cfg,

@@ -31,7 +31,7 @@ for every possible memory size.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.wasm.analysis.cfg import CFG, BasicBlock, build_cfg
 from repro.wasm.analysis.dataflow import solve_forward
@@ -178,6 +178,10 @@ class RangeResult:
     facts: dict[int, MemAccessFact]
     #: block index -> (locals, stack) abstract state at block entry
     in_states: dict
+    #: preorder offset of every reachable ``if``/``br_if`` -> the joined
+    #: abstract value of its condition; a constant interval here means
+    #: one arm is dead (the module linter's dead-arm rule)
+    branch_conds: dict[int, AVal] = field(default_factory=dict)
 
 
 class _State:
@@ -309,6 +313,44 @@ def _constrain(kind: str, a: AVal, b: AVal):
     return None
 
 
+def _decide_cmp(kind: str, a: AVal, b: AVal) -> int | None:
+    """Fold ``a <kind> b`` when the intervals decide it, else ``None``.
+
+    The intervals always bound the true runtime value (inexactness only
+    widens them to the full type range), so a verdict read off disjoint
+    or pinned intervals is sound.  Unsigned kinds fold only when both
+    sides are known non-negative (where they match the signed order).
+    """
+    if not a.bits or a.bits != b.bits:
+        return None
+    if kind.endswith("_u"):
+        if a.lo < 0 or b.lo < 0:
+            return None
+        kind = kind[:-2] + "_s"
+    if kind in ("gt_s", "ge_s"):
+        kind = {"gt_s": "lt_s", "ge_s": "le_s"}[kind]
+        a, b = b, a
+    if kind == "eq" or kind == "ne":
+        flip = 0 if kind == "eq" else 1
+        if a.lo == a.hi == b.lo == b.hi:
+            return 1 ^ flip
+        if a.hi < b.lo or a.lo > b.hi:
+            return 0 ^ flip
+        return None
+    if kind == "lt_s":
+        if a.hi < b.lo:
+            return 1
+        if a.lo >= b.hi:
+            return 0
+        return None
+    if kind == "le_s":
+        if a.hi <= b.lo:
+            return 1
+        if a.lo > b.hi:
+            return 0
+    return None
+
+
 class RangeAnalysis:
     """Runs the interval analysis for one function."""
 
@@ -321,6 +363,7 @@ class RangeAnalysis:
         self.param_types = list(func_type.params)
         self.local_types = self.param_types + list(func.locals_)
         self.facts: dict[int, MemAccessFact] = {}
+        self.branch_conds: dict[int, AVal] = {}
         self._recording = False
 
     # -- entry state -------------------------------------------------------
@@ -356,7 +399,8 @@ class RangeAnalysis:
         for index, state in in_states.items():
             self._transfer_block(self.cfg.blocks[index], state)
         self._recording = False
-        return RangeResult(self.cfg, self.facts, in_states)
+        return RangeResult(self.cfg, self.facts, in_states,
+                           self.branch_conds)
 
     # -- transfer ----------------------------------------------------------
 
@@ -369,6 +413,7 @@ class RangeAnalysis:
             op = instr[0]
             if last and op in ("if", "br_if"):
                 cond = st.stack.pop()
+                self._record_branch(off, cond)
                 for edge in block.edges:
                     branch = self._apply_edge(st, edge, cond)
                     out.append((edge, branch))
@@ -450,7 +495,7 @@ class RangeAnalysis:
         elif op in LOAD_FMT:
             addr = stack.pop()
             self._record(off, op, instr[2], addr)
-            stack.append(self._load_result(op))
+            stack.append(self._load_result(op, off))
         elif op in STORE_FMT:
             stack.pop()  # value
             addr = stack.pop()
@@ -487,12 +532,21 @@ class RangeAnalysis:
         else:
             self._step_numeric(st, op)
 
-    def _load_result(self, op: str) -> AVal:
+    def _load_result(self, op: str, off: int) -> AVal:
         bits = _bits_of(op.split(".", 1)[0])
         special = _LOAD_RESULT_RANGE.get(op)
-        if special is not None:
-            return AVal(bits, special[0], special[1])
-        return AVal.top(bits)
+        result = (AVal(bits, special[0], special[1]) if special is not None
+                  else AVal.top(bits))
+        hint = self.func.value_ranges.get(off) if bits else None
+        if hint is not None:
+            # intersect with the host's value_range contract for this
+            # load, clamped to the type range (like param_ranges)
+            type_lo, type_hi = INT_RANGE[bits]
+            lo = max(result.lo, hint[0], type_lo)
+            hi = min(result.hi, hint[1], type_hi)
+            if lo <= hi:
+                result = AVal(bits, lo, hi)
+        return result
 
     def _record(self, off: int, op: str, imm_offset: int,
                 addr: AVal) -> None:
@@ -503,6 +557,15 @@ class RangeAnalysis:
         if known is not None:
             snapshot = known.addr.join(snapshot)
         self.facts[off] = MemAccessFact(op, imm_offset, snapshot)
+
+    def _record_branch(self, off: int, cond: AVal) -> None:
+        if not self._recording:
+            return
+        snapshot = cond.strip().replace(local=None)
+        known = self.branch_conds.get(off)
+        if known is not None:
+            snapshot = known.join(snapshot)
+        self.branch_conds[off] = snapshot
 
     # -- numeric operators -------------------------------------------------
 
@@ -517,14 +580,19 @@ class RangeAnalysis:
             cmp = None
             if a.bits and a.bits == b.bits:
                 cmp = (kind, a.strip(), b.strip())
-            stack.append(AVal(32, 0, 1, cmp=cmp))
+            verdict = _decide_cmp(kind, a, b)
+            lo, hi = (0, 1) if verdict is None else (verdict, verdict)
+            stack.append(AVal(32, lo, hi, cmp=cmp))
             return
         if kind == "eqz":
             a = stack.pop()
             cmp = None
+            verdict = None
             if a.bits:
                 cmp = ("eq", a.strip(), AVal.const(a.bits, 0))
-            stack.append(AVal(32, 0, 1, cmp=cmp))
+                verdict = _decide_cmp("eq", a, AVal.const(a.bits, 0))
+            lo, hi = (0, 1) if verdict is None else (verdict, verdict)
+            stack.append(AVal(32, lo, hi, cmp=cmp))
             return
         if bits and kind in ("add", "sub", "mul", "shl"):
             b = stack.pop()

@@ -221,9 +221,16 @@ class Engine:
                 lint_diagnostics = ModuleLinter(module).lint()
             if lint_diagnostics:
                 if self.config.lint == "strict":
-                    raise LintError(lint_diagnostics)
-                for diag in lint_diagnostics:
-                    warnings.warn(str(diag), stacklevel=2)
+                    # advisory ("info") diagnostics never fail strict
+                    # mode — they describe intentional specialization,
+                    # not defects
+                    rejected = [d for d in lint_diagnostics
+                                if d.severity != "info"]
+                    if rejected:
+                        raise LintError(rejected)
+                else:
+                    for diag in lint_diagnostics:
+                        warnings.warn(str(diag), stacklevel=2)
 
         if memory is not None and module.memories:
             # The host-provided memory plays the paper's SetModuleMemory()

@@ -1,0 +1,81 @@
+"""Every TPC-H query must plan lint-clean under ``plan_lint=strict``.
+
+The plan-level twin of :mod:`tests.bench.test_lint_strict`: the
+PlanLinter's inter-operator contracts (resolved bindings, type
+agreement, aggregate placement, sink arity) hold for every logical plan
+the builder+optimizer produce over the full TPC-H suite — contract
+violations get fixed in the planner, not suppressed here.
+
+On failure the structured diagnostics are written as JSON to the path
+in ``$PLAN_LINT_OUT`` (when set) so CI can upload them as an artifact.
+"""
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.bench.tpch import QUERIES, generate_tpch
+from repro.db import Database
+from repro.plan.analysis import PlanLinter
+from repro.plan.builder import build_logical_plan
+from repro.plan.optimizer import optimize
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(default_engine="volcano", plan_lint="strict")
+    for table in generate_tpch(scale_factor=0.002, seed=1).values():
+        database.register_table(table)
+    return database
+
+
+def _lint(db, sql):
+    stmt = parse(sql)
+    analyze(stmt, db.catalog)
+    plan = optimize(build_logical_plan(stmt, db.catalog), db.catalog)
+    return PlanLinter(plan).lint()
+
+
+def _dump_artifact(name, diagnostics):
+    out = os.environ.get("PLAN_LINT_OUT")
+    if not out:
+        return
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    existing = json.loads(path.read_text()) if path.exists() else {}
+    existing[name] = [asdict(d) for d in diagnostics]
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_query_plans_pass_strict_lint(db, name):
+    diagnostics = _lint(db, QUERIES[name])
+    if diagnostics:
+        _dump_artifact(name, diagnostics)
+    rendered = "\n".join(d.render() for d in diagnostics)
+    assert not diagnostics, f"plan lint diagnostics for {name}:\n{rendered}"
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_queries_execute_under_strict_database(db, name):
+    """``plan_lint=strict`` sits in the live query path: every TPC-H
+    query still plans and runs (a diagnostic would raise LintError)."""
+    result = db.execute(QUERIES[name])
+    assert result.rows is not None
+
+
+def test_artifact_written_on_diagnostics(db, tmp_path, monkeypatch):
+    """The CI artifact plumbing itself: diagnostics land as JSON."""
+    out = tmp_path / "plan_lint" / "diagnostics.json"
+    monkeypatch.setenv("PLAN_LINT_OUT", str(out))
+    from repro.plan.analysis import PlanDiagnostic
+
+    diag = PlanDiagnostic("synthetic", "LogicalScan", 0, "injected")
+    _dump_artifact("q0", [diag])
+    payload = json.loads(out.read_text())
+    assert payload["q0"][0]["code"] == "synthetic"

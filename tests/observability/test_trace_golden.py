@@ -31,7 +31,8 @@ QUERIES = {
 }
 
 #: Shared lifecycle prefix: SQL front end, then the engine attempt.
-_FRONTEND = ["parse", "analyze", "plan", "engine.attempt"]
+_FRONTEND = ["parse", "analyze", "plan", "plan.analysis",
+             "engine.attempt"]
 
 
 def make_db() -> Database:

@@ -137,10 +137,13 @@ class TestLikeClassification:
 class TestPipelines:
     def test_listing1_dissection_matches_figure3(self, db):
         """The paper's Listing 1 produces exactly Figure 3's pipelines."""
+        # x < 8, not the paper's x < 42: x only spans [0, 9] here and a
+        # threshold above the maximum is provably true, so the plan
+        # analysis would drop the predicate and dissolve the Filter
         plan = plan_for(db, """
             SELECT r.x, MIN(s.v)
             FROM r, s
-            WHERE r.x < 42 AND r.id = s.rid
+            WHERE r.x < 8 AND r.id = s.rid
             GROUP BY r.x
         """)
         pipelines = dissect_into_pipelines(plan)

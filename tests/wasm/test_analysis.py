@@ -321,3 +321,130 @@ class TestBoundsCheckElision:
             instance.invoke("scan", 0, 10)
         assert instance.stats.tier_ups == 1
         assert instance.stats.bounds_checks_elided == 1
+
+
+# ---------------------------------------------------------------------------
+# value_range load contracts
+# ---------------------------------------------------------------------------
+
+def seek_module(hint=True, n_rows=16):
+    """The index-seek shape: a loaded row id addresses a second load.
+
+    Nothing in the code bounds the inner address — only the host's
+    ``value_range`` contract on the row-id load (the permutation array
+    only holds values in ``[0, n_rows)``) makes the second access
+    provable."""
+    mb = ModuleBuilder("m")
+    mb.add_memory(1, 1)
+    fb = mb.function("seek", params=[("i32", "pos")], results=["i32"],
+                     export=True)
+    fb.param_range(0, 0, n_rows - 1)
+    fb.get(0).i32(4).emit("i32.mul")
+    fb.load("i32", 0)                 # rowid = mem[pos*4]
+    if hint:
+        fb.value_range(0, n_rows - 1)
+    fb.i32(4).emit("i32.mul")
+    fb.load("i32", 256)               # value = mem[rowid*4 + 256]
+    rowids = [(i * 7) % n_rows for i in range(n_rows)]
+    mb.add_data(0, struct.pack(f"<{n_rows}i", *rowids))
+    mb.add_data(256, struct.pack(f"<{n_rows}i", *range(0, n_rows * 10, 10)))
+    return mb.finish()
+
+
+class TestValueRangeContracts:
+    def test_builder_converts_to_preorder_offsets(self):
+        module = seek_module()
+        # body: local.get=0 const=1 mul=2 load=3 const=4 mul=5 load=6
+        assert module.functions[0].value_ranges == {3: (0, 15)}
+
+    def test_empty_range_rejected(self):
+        mb = ModuleBuilder("m")
+        fb = mb.function("f", results=["i32"])
+        fb.i32(0).load("i32")
+        with pytest.raises(Exception):
+            fb.value_range(5, 4)
+
+    def test_range_needs_a_preceding_instruction(self):
+        mb = ModuleBuilder("m")
+        fb = mb.function("f")
+        with pytest.raises(Exception):
+            fb.value_range(0, 1)
+
+    def test_hinted_load_bounds_the_dependent_address(self):
+        module = seek_module()
+        result = analyze_ranges(module, module.functions[0])
+        (dep,) = [f for f in result.facts.values() if f.imm_offset == 256]
+        assert (dep.addr.lo, dep.addr.hi) == (0, 60)
+        assert dep.addr.exact
+
+    def test_without_hint_dependent_address_is_unbounded(self):
+        module = seek_module(hint=False)
+        result = analyze_ranges(module, module.functions[0])
+        (dep,) = [f for f in result.facts.values() if f.imm_offset == 256]
+        assert dep.addr.hi + dep.imm_offset + dep.access_size > 65536
+
+    def test_hint_unlocks_elision_of_the_dependent_access(self):
+        hinted = TurboFanCompiler(seek_module()).compile(
+            seek_module().functions[0], 0)
+        bare_module = seek_module(hint=False)
+        bare = TurboFanCompiler(bare_module).compile(
+            bare_module.functions[0], 0)
+        assert hinted.bounds_checks_elided == 2   # rowid + value loads
+        assert bare.bounds_checks_elided == 1     # rowid load only
+
+    def test_hinted_module_agrees_with_checked_tiers(self):
+        module = seek_module()
+        for pos in range(16):
+            outcome = assert_all_modes_agree(module, "seek", (pos,))
+            assert outcome == ("ok", ((pos * 7) % 16) * 10)
+
+
+# ---------------------------------------------------------------------------
+# dead-arm diagnostics
+# ---------------------------------------------------------------------------
+
+def dead_arm_module(op="if"):
+    """A branch whose condition the interval analysis proves constant:
+    the parameter is contracted to [0, 10], so ``x < 20`` is always 1."""
+    mb = ModuleBuilder("m")
+    fb = mb.function("f", params=[("i32", "x")], results=["i32"],
+                     export=True)
+    fb.param_range(0, 0, 10)
+    fb.get(0).i32(20).emit("i32.lt_s")
+    if op == "if":
+        with fb.if_(["i32"]) as branch:
+            fb.i32(1)
+            branch.else_()
+            fb.i32(2)
+    else:
+        with fb.block() as done:
+            fb.br_if(done)
+        fb.i32(3)
+    return mb.finish()
+
+
+class TestDeadArmLint:
+    def test_constant_if_condition_flagged(self):
+        diags = [d for d in ModuleLinter(dead_arm_module()).lint()
+                 if d.code == "dead-arm"]
+        assert len(diags) == 1
+        (diag,) = diags
+        assert diag.severity == "info"
+        assert diag.offset == 3  # the `if` instruction
+        assert "always 1" in diag.message
+        assert "else arm" in diag.message
+
+    def test_constant_br_if_condition_flagged(self):
+        diags = [d for d in ModuleLinter(dead_arm_module("br_if")).lint()
+                 if d.code == "dead-arm"]
+        assert any("always taken" in d.message for d in diags)
+
+    def test_info_severity_passes_strict_lint(self):
+        engine = Engine(EngineConfig(lint="strict"))
+        instance = engine.instantiate(dead_arm_module())
+        assert instance.invoke("f", 5) == 1
+
+    def test_unprovable_condition_not_flagged(self):
+        # the scan loop's guard depends on both parameters: no verdict
+        diags = ModuleLinter(scan_module()).lint()
+        assert not any(d.code == "dead-arm" for d in diags)

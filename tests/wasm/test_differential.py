@@ -229,3 +229,106 @@ class TestAdaptiveTieringProperties:
             assert stats.turbofan_functions == 1
             assert tiers.count("turbofan") == 3
             assert stats.liftoff_functions == 1
+
+
+# ---------------------------------------------------------------------------
+# SQL-level differential: contradiction folding across every tier
+# ---------------------------------------------------------------------------
+
+def _folding_db():
+    """120 deterministic rows; x spans [-8, 8], y spans [0, 28]."""
+    from repro.db import Database
+
+    db = Database(default_engine="wasm")
+    db.execute("CREATE TABLE f (k INT PRIMARY KEY, x INT, y BIGINT)")
+    db.table("f").append_rows(
+        [(i, i % 17 - 8, (i * 3) % 29) for i in range(120)]
+    )
+    return db
+
+
+def _predicate_cases(rng, count):
+    """Seeded grammar of predicates with a *known* analysis verdict.
+
+    Each case is ``(predicate_sql, verdict)`` where the verdict is
+    ``"empty"`` (provably contradictory: the plan folds to an empty
+    relation) or ``"all"`` (provably tautological: the predicate is
+    dropped and every row survives).  The six shapes cover empty
+    interval conjunctions, out-of-domain bounds, inverted BETWEEN,
+    literal-literal comparisons, and their tautological duals.
+    """
+    columns = [("x", -8, 8), ("y", 0, 28)]
+    cases = []
+    for _ in range(count):
+        name, lo, hi = rng.choice(columns)
+        shape = rng.randrange(6)
+        if shape == 0:
+            # x > a AND x < b with b <= a: the interval is empty
+            a = rng.randrange(lo, hi + 1)
+            b = a - rng.randrange(0, 3)
+            cases.append((f"{name} > {a} AND {name} < {b}", "empty"))
+        elif shape == 1:
+            # strictly below the column's minimum
+            c = lo - rng.randrange(1, 5)
+            cases.append((f"{name} < {c}", "empty"))
+        elif shape == 2:
+            # BETWEEN high AND low: lower bound above upper bound
+            a = rng.randrange(lo, hi + 1)
+            b = a + rng.randrange(1, 4)
+            cases.append((f"{name} BETWEEN {b} AND {a}", "empty"))
+        elif shape == 3:
+            c = rng.randrange(0, 9)
+            cases.append((f"{c} = {c + 1}", "empty"))
+        elif shape == 4:
+            # at-or-above a bound below the column's minimum
+            c = lo - rng.randrange(1, 5)
+            cases.append((f"{name} >= {c}", "all"))
+        else:
+            c = rng.randrange(0, 9)
+            cases.append((f"{c} <= {c}", "all"))
+    return cases
+
+
+class TestPredicateFoldingDifferential:
+    """Contradictory/tautological predicates through the whole stack.
+
+    The plan analysis folds contradictions to an empty relation (and
+    drops tautologies) *before* any engine sees the plan, so every tier
+    must agree with the uninstrumented volcano reference — and a folded
+    plan must never reach the Wasm compiler at all.
+    """
+
+    def test_folded_plans_agree_across_tiers(self):
+        rng = random.Random(0xF01D)
+        db = _folding_db()
+        cases = _predicate_cases(rng, 50)
+        assert len(cases) == 50
+        for pred, verdict in cases:
+            sql = f"SELECT k, x, y FROM f WHERE {pred} ORDER BY k"
+            expected = db.execute(sql, engine="volcano").rows
+            if verdict == "empty":
+                assert expected == [], pred
+            else:
+                assert len(expected) == 120, pred
+            for spec in ("wasm", "wasm[interpreter]", "wasm[turbofan]"):
+                got = db.execute(sql, engine=spec).rows
+                assert got == expected, (pred, spec)
+
+    def test_contradictions_skip_wasm_compilation(self):
+        from repro.observability import FakeClock, QueryTrace
+
+        rng = random.Random(0xF01D)
+        db = _folding_db()
+        folded = 0
+        for pred, verdict in _predicate_cases(rng, 50):
+            if verdict != "empty":
+                continue
+            trace = QueryTrace(clock=FakeClock())
+            result = db.execute(f"SELECT k FROM f WHERE {pred}",
+                                engine="wasm", trace=trace)
+            assert result.rows == []
+            kinds = trace.kinds()
+            assert "translation" not in kinds, pred
+            assert not any(k.startswith("compile.") for k in kinds), pred
+            folded += 1
+        assert folded >= 20  # the seed produces a healthy empty share
