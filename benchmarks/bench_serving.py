@@ -14,16 +14,29 @@ compile-time story amortized across repeated executions; the 4/8
 client rows show the fair scheduler keeping tail latency bounded while
 oversubscribed.
 
+The **workers axis** re-runs the warm cells with the query service
+dispatching to 2 and 4 worker processes over shared-memory columns
+(``workers=0`` is the in-process baseline).  On a multi-core machine
+the 8-client warm throughput should scale with workers; on a single
+core the axis honestly reports the dispatch overhead instead.
+
 ``main()`` (also ``python benchmarks/bench_serving.py``) prints the
-table; the ``test_*`` functions benchmark one cell each so the file
-plugs into ``pytest benchmarks/ --benchmark-only``.
+table; ``--json PATH`` additionally writes every cell as JSON (the CI
+artifact).  The ``test_*`` functions benchmark one cell each so the
+file plugs into ``pytest benchmarks/ --benchmark-only``.
 """
 
+import argparse
+import json
+import os
 import random
 import threading
 import time
 
+from repro.db import Database
 from repro.server import QueryService
+
+WORKER_COUNTS = (0, 2, 4)
 
 ROWS = 20_000
 QUERIES_PER_CLIENT = 12
@@ -35,20 +48,23 @@ PREPARE_BODY = (
 ARGS = [250, 500, 750]
 
 
-def build_service(rows: int = ROWS) -> QueryService:
-    service = QueryService(max_concurrent=8, max_queue_depth=64)
-    service.execute(
-        "CREATE TABLE serving (id INT PRIMARY KEY, grp INT, x INT)"
-    )
+def build_database(rows: int = ROWS) -> Database:
+    """The serving table, built once and shared across worker cells."""
+    db = Database()
+    db.execute("CREATE TABLE serving (id INT PRIMARY KEY, grp INT, x INT)")
     rng = random.Random(SEED)
-    batch = 2_000
-    for base in range(0, rows, batch):
-        values = ", ".join(
-            f"({i}, {i % 13}, {rng.randrange(1000)})"
-            for i in range(base, min(base + batch, rows))
-        )
-        service.execute(f"INSERT INTO serving VALUES {values}")
-    return service
+    db.table("serving").append_rows([
+        (i, i % 13, rng.randrange(1000)) for i in range(rows)
+    ])
+    return db
+
+
+def build_service(rows: int = ROWS, workers: int = 0,
+                  database: Database | None = None) -> QueryService:
+    if database is None:
+        database = build_database(rows)
+    return QueryService(database=database, max_concurrent=8,
+                        max_queue_depth=64, workers=workers)
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -92,6 +108,7 @@ def run_cell(service: QueryService, clients: int, warm: bool) -> dict:
     wall = time.perf_counter() - wall_start
     return {
         "clients": clients,
+        "workers": service.db.workers,
         "mode": "warm" if warm else "cold",
         "queries": len(latencies),
         "p50_ms": _percentile(latencies, 0.50) * 1000,
@@ -100,38 +117,67 @@ def run_cell(service: QueryService, clients: int, warm: bool) -> dict:
     }
 
 
-def main() -> str:
-    service = build_service()
+def main(argv: list[str] | None = None) -> str:
+    parser = argparse.ArgumentParser(
+        description="Serving benchmark: plan-cache and worker-pool axes."
+    )
+    parser.add_argument("--rows", type=int, default=ROWS)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write every cell as JSON")
+    args = parser.parse_args(argv)
+
+    database = build_database(args.rows)
     lines = [
-        f"serving: {ROWS} rows, {QUERIES_PER_CLIENT} prepared EXECUTEs "
-        f"per client, group-by query",
+        f"serving: {args.rows} rows, {QUERIES_PER_CLIENT} prepared "
+        f"EXECUTEs per client, group-by query, "
+        f"{os.cpu_count()} CPU core(s)",
         "",
-        f"{'clients':>7}  {'mode':<5} {'p50':>9} {'p95':>9} {'qps':>8}",
+        f"{'clients':>7} {'workers':>8}  {'mode':<5} "
+        f"{'p50':>9} {'p95':>9} {'qps':>8}",
     ]
     cells = []
+    for workers in WORKER_COUNTS:
+        service = build_service(workers=workers, database=database)
+        try:
+            for clients in (1, 4, 8):
+                # the compile-time (cold) story does not change with the
+                # worker count; measure it on the in-process baseline only
+                modes = (False, True) if workers == 0 else (True,)
+                for warm in modes:
+                    cell = run_cell(service, clients, warm)
+                    cells.append(cell)
+                    lines.append(
+                        f"{cell['clients']:>7} {cell['workers']:>8}  "
+                        f"{cell['mode']:<5} {cell['p50_ms']:>7.2f}ms "
+                        f"{cell['p95_ms']:>7.2f}ms {cell['qps']:>8.1f}"
+                    )
+        finally:
+            service.close()
+    by_key = {(c["clients"], c["workers"], c["mode"]): c for c in cells}
     for clients in (1, 4, 8):
-        for warm in (False, True):
-            cell = run_cell(service, clients, warm)
-            cells.append(cell)
-            lines.append(
-                f"{cell['clients']:>7}  {cell['mode']:<5} "
-                f"{cell['p50_ms']:>7.2f}ms {cell['p95_ms']:>7.2f}ms "
-                f"{cell['qps']:>8.1f}"
-            )
-    by_key = {(c["clients"], c["mode"]): c for c in cells}
-    for clients in (1, 4, 8):
-        cold = by_key[(clients, "cold")]["p50_ms"]
-        warm = by_key[(clients, "warm")]["p50_ms"]
+        cold = by_key[(clients, 0, "cold")]["p50_ms"]
+        warm = by_key[(clients, 0, "warm")]["p50_ms"]
         ratio = cold / warm if warm else float("inf")
         lines.append(
             f"warm speedup @ {clients} client(s): {ratio:.1f}x "
             f"(cold {cold:.2f}ms -> warm {warm:.2f}ms p50)"
         )
-    stats = service.cache.stats
-    lines.append(
-        f"plan cache: {stats['hits']} hits / {stats['misses']} misses "
-        f"/ {stats['evictions']} evictions"
-    )
+    base_qps = by_key[(8, 0, "warm")]["qps"]
+    for workers in WORKER_COUNTS[1:]:
+        qps = by_key[(8, workers, "warm")]["qps"]
+        lines.append(
+            f"parallel qps @ 8 clients: workers={workers} "
+            f"{qps:.1f} qps ({qps / base_qps:.2f}x in-process)"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({
+                "rows": args.rows,
+                "queries_per_client": QUERIES_PER_CLIENT,
+                "cpu_count": os.cpu_count(),
+                "cells": cells,
+            }, handle, indent=2)
+        lines.append(f"json written to {args.json}")
     return "\n".join(lines)
 
 

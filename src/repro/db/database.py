@@ -76,13 +76,22 @@ class Database:
             warnings), or ``"strict"`` (diagnostics raise
             :class:`~repro.errors.LintError`), mirroring the Wasm
             engine's ``lint`` knob one layer up.
+        workers: worker *processes* for multi-core execution of Wasm
+            queries (``Database(workers=4)``).  ``0`` (default) keeps
+            everything in-process.  With workers, eligible plans are
+            partitioned over shared-memory columns and merged by
+            :class:`~repro.parallel.ParallelExecutor`; anything the
+            parallel contract rejects — and any pool failure — degrades
+            to the usual in-process path, never to an error.  Call
+            :meth:`close` (or use the database as a context manager) to
+            reap the pool.
     """
 
     PLAN_LINT_MODES = ("off", "warn", "strict")
 
     def __init__(self, default_engine: str = "wasm",
                  fallback=None, max_attempts: int | None = None,
-                 plan_lint: str = "off"):
+                 plan_lint: str = "off", workers: int = 0):
         from repro.engines import ENGINES
 
         if plan_lint not in self.PLAN_LINT_MODES:
@@ -90,11 +99,15 @@ class Database:
                 f"plan_lint must be one of {self.PLAN_LINT_MODES}; "
                 f"got {plan_lint!r}"
             )
+        if workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {workers}")
         self.catalog = Catalog()
         self._engines = {name: cls() for name, cls in ENGINES.items()}
         self.default_engine = default_engine
         self.fallback = self._normalize_fallback(fallback, max_attempts)
         self.plan_lint = plan_lint
+        self.workers = workers
+        self._parallel = None  # lazy ParallelExecutor; see .parallel
 
     @staticmethod
     def _normalize_fallback(fallback, max_attempts: int | None = None):
@@ -110,6 +123,79 @@ class Database:
             f"fallback must be None, 'default', a chain of engine specs, "
             f"or a FallbackPolicy; got {fallback!r}"
         )
+
+    # -- multi-core execution ----------------------------------------------
+
+    @property
+    def parallel(self):
+        """The lazy :class:`~repro.parallel.ParallelExecutor`, or
+        ``None`` when ``workers=0``.  Workers spawn on first dispatch,
+        not here."""
+        if self.workers <= 0:
+            return None
+        if self._parallel is None:
+            from repro.parallel import ParallelExecutor
+
+            self._parallel = ParallelExecutor(self.workers)
+        return self._parallel
+
+    def enable_parallel(self, workers: int, fault_injector=None) -> None:
+        """Turn on (or resize) multi-core execution after construction.
+
+        The query service uses this to thread its fault injector into
+        the pool's ``worker.dispatch``/``worker.result`` chaos sites.
+        """
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        from repro.parallel import ParallelExecutor
+
+        if self._parallel is not None:
+            self._parallel.close()
+        self.workers = workers
+        self._parallel = ParallelExecutor(workers,
+                                          fault_injector=fault_injector)
+
+    def _parallel_eligible(self, spec: str) -> bool:
+        """Only the Wasm engine family has the partition-clamp and
+        raw-rows hooks workers drive."""
+        return self.workers > 0 and parse_engine_spec(spec)[0] == "wasm"
+
+    def _try_parallel(self, plan, spec: str, qtrace, fp: str | None = None):
+        """One parallel attempt; ``None`` means run in-process instead.
+
+        Pool-level failures (:class:`~repro.errors.WorkerError`) degrade
+        silently — the query still runs, on the driver.  Real query
+        errors from a worker propagate with their original types, just
+        like an in-process run.
+        """
+        from repro.errors import WorkerError
+
+        executor = self.parallel
+        if executor is None or not executor.healthy:
+            return None
+        try:
+            return executor.execute(plan, self.catalog, spec, fp=fp,
+                                    trace=qtrace)
+        except WorkerError as err:
+            trace_event(qtrace, "parallel.degraded",
+                        error=type(err).__name__, message=str(err))
+            get_registry().counter(
+                "parallel_degraded_total",
+                "Parallel dispatches degraded to in-process execution",
+            ).inc()
+            return None
+
+    def close(self) -> None:
+        """Reap the worker pool and unlink shared segments (idempotent)."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- schema & data ------------------------------------------------------
 
@@ -246,9 +332,13 @@ class Database:
         def run_one(spec):
             trace_event(qtrace, "engine.attempt", engine=spec)
             try:
-                result = self.resolve_engine(spec).execute(
-                    plan, self.catalog, profile=profile, trace=qtrace
-                )
+                result = None
+                if self._parallel_eligible(spec):
+                    result = self._try_parallel(plan, spec, qtrace)
+                if result is None:
+                    result = self.resolve_engine(spec).execute(
+                        plan, self.catalog, profile=profile, trace=qtrace
+                    )
             except ReproError as err:
                 trace_event(qtrace, "engine.attempt_failed", engine=spec,
                             error=type(err).__name__)
@@ -290,6 +380,17 @@ class Database:
         # describe the engine the user asked about).
         run_trace = qtrace if qtrace is not None else QueryTrace()
         trace_event(run_trace, "engine.attempt", engine=spec)
+        if self._parallel_eligible(spec):
+            executed = self._try_parallel(plan, spec, run_trace)
+            if executed is not None:
+                from repro.parallel.executor import parallel_explain_lines
+
+                lines = (["EXPLAIN ANALYZE"]
+                         + explain_physical(plan).split("\n")
+                         + parallel_explain_lines(executed.parallel))
+                result = self._text_result(lines, trace=run_trace)
+                result.analyzed = executed
+                return result
         executed = self.resolve_engine(spec).execute(
             plan, self.catalog, profile=profile, trace=run_trace
         )

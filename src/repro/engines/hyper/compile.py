@@ -17,13 +17,13 @@ semantic helpers via their exec namespace.
 
 from __future__ import annotations
 
-import ast as _pyast
 from dataclasses import dataclass
 
 from repro.engines.datecalc import civil_from_days
 from repro.engines.eval import like_matches
 from repro.engines.hyper import hir
 from repro.errors import CompilationError
+from repro.pyast import checked_parse
 
 __all__ = ["compile_o0", "compile_o2", "CompiledHir"]
 
@@ -645,7 +645,7 @@ def compile_o2(func: hir.HirFunction, instrumented: bool = False) -> CompiledHir
         hir.HirFunction(func.name, func.n_params, func.n_registers, body)
     )
     compiled = _emit_python(func, body, mapping, "O2", instrumented)
-    _pyast.parse(compiled.source)  # final verification pass
+    checked_parse(compiled.source)  # final verification pass
     return compiled
 
 

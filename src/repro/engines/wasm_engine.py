@@ -149,6 +149,20 @@ class WasmEngine(QueryEngine):
         # window while the pipeline runs (rewire_next_chunk).  None maps
         # every table completely (possible whenever it fits in 4 GiB).
         self.table_window_rows = table_window_rows
+        # Parallel workers (repro.parallel): when set to a
+        # ``(binding, begin, end)`` triple, pipelines scanning that
+        # binding execute only the given row range — the worker's
+        # partition of the table.  All other pipelines are unaffected.
+        self.partition = None
+        # When true, execute_prepared skips the from_storage conversion
+        # and returns storage-representation rows; the parallel driver
+        # merges partition results at the storage level and finalizes
+        # exactly once (empty-partition aggregate sentinels must be
+        # combined away, never converted).
+        self.raw_rows = False
+        # Morsels driven by the most recent execute_prepared, summed
+        # over all pipelines (per-worker EXPLAIN ANALYZE accounting).
+        self.last_morsels_total = 0
 
     # -- compilation -----------------------------------------------------------
 
@@ -386,6 +400,7 @@ class WasmEngine(QueryEngine):
         self.last_tier_stats = instance.stats
 
         self._rewire_count = 0
+        self.last_morsels_total = 0
         compile_before = instance.stats.total_compile_seconds
         with Stopwatch(timings, "execution"), \
                 trace_span(trace, "execution", engine=self.name):
@@ -401,6 +416,7 @@ class WasmEngine(QueryEngine):
                         instance, compiled, info, rows,
                         plan, catalog, governor, pipeline_index, trace
                     )
+                    self.last_morsels_total += morsels
                     if span is not None:
                         if info.is_final:
                             self._drain(instance, compiled, rows)
@@ -425,7 +441,14 @@ class WasmEngine(QueryEngine):
             tier_up_failures=stats.tier_up_failures,
             bounds_checks_elided=stats.bounds_checks_elided,
         )
-        result = self.finalize_rows(plan, rows)
+        if self.raw_rows:
+            result = ExecutionResult(
+                column_names=[c.name for c in plan.output],
+                column_types=plan.output_types,
+                rows=list(rows),
+            )
+        else:
+            result = self.finalize_rows(plan, rows)
         result.engine = self.name
         result.timings = timings
         result.profile = profile
@@ -506,6 +529,13 @@ class WasmEngine(QueryEngine):
             total = self._source_rows(instance, compiled, info)
             begin = 0
 
+        if (self.partition is not None and info.source_kind == "scan"
+                and info.source_name == self.partition[0]):
+            # this worker's slice of the partitioned scan
+            _, part_begin, part_end = self.partition
+            begin = max(begin, min(part_begin, total))
+            total = min(total, part_end)
+
         window = self._chunked.get(info.source_name) \
             if info.source_kind == "scan" else None
         if window is not None:
@@ -517,7 +547,7 @@ class WasmEngine(QueryEngine):
             )
             scan = next(s for s in _scans_of(plan)
                         if s.binding == info.source_name)
-            offset = 0
+            offset = begin
             morsels = 0
             while offset < total:
                 chunk_rows = min(window, total - offset)

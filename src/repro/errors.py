@@ -342,3 +342,37 @@ class QueryError(ReproError):
     @property
     def causes(self) -> list[BaseException]:
         return [err for _, err in self.attempts]
+
+
+class WorkerError(ServiceError):
+    """A morsel-worker task failed for a reason specific to the worker
+    pool — the dispatch channel, the worker process, or the shared-
+    memory attachment — not to the query itself.
+
+    Retryable: the same task on a healthy worker (or the in-process
+    fallback path) is expected to succeed.
+    """
+
+    retryable = True
+
+
+class WorkerCrash(WorkerError):
+    """A worker process died (or stopped responding) mid-task.
+
+    The pool replaces the worker; the interrupted task surfaces as this
+    structured, retryable error so a service-level
+    :class:`~repro.robustness.resilience.RetryPolicy` can resubmit it.
+
+    Attributes:
+        worker_id: the pool slot whose process died.
+        phase: ``"dispatch"`` (send failed), ``"result"`` (reply lost),
+            or ``"timeout"`` (no reply within the task budget).
+    """
+
+    def __init__(self, message: str, *, worker_id: int | None = None,
+                 phase: str = "result"):
+        if worker_id is not None:
+            message = f"{message} (worker {worker_id}, {phase})"
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.phase = phase

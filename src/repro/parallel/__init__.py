@@ -1,0 +1,43 @@
+"""Multi-core morsel execution over shared-memory columns.
+
+The paper's memory-rewiring design (Section 6.1) keeps every column in
+one flat host allocation precisely so an engine can alias it into a
+32-bit address space without copying.  This package pushes the same idea
+across *process* boundaries: columns are published once into
+``multiprocessing.shared_memory`` segments, a pool of persistent worker
+processes maps them zero-copy into their own
+:class:`~repro.storage.rewiring.AddressSpace` (the existing
+``Mapping``/``remap`` machinery, unchanged), and queries execute as
+partitioned morsel-range tasks with a merge/finalize step on the
+driver — sidestepping the GIL that caps the single-process service.
+
+Modules:
+
+* :mod:`repro.parallel.shm` — reference-counted segment registry and
+  the catalog exporter (publish / attach / unlink-once fencing);
+* :mod:`repro.parallel.contract` — the parallel-safety contract: which
+  plans may be partitioned, over which scan, merged how;
+* :mod:`repro.parallel.merge` — storage-level partition merging
+  (concat in partition order; group/scalar aggregate combining with
+  engine-exact i64 wraparound);
+* :mod:`repro.parallel.worker` — the worker process main loop
+  (attach, compile-and-cache, execute morsel ranges);
+* :mod:`repro.parallel.pool` — the persistent, self-healing pool;
+* :mod:`repro.parallel.executor` — the driver-side facade that
+  partitions, dispatches, merges, and degrades to in-process
+  execution when the pool is gone.
+"""
+
+from repro.parallel.contract import ParallelDecision, plan_contract
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import CatalogExporter, SegmentRegistry
+
+__all__ = [
+    "CatalogExporter",
+    "ParallelDecision",
+    "ParallelExecutor",
+    "SegmentRegistry",
+    "WorkerPool",
+    "plan_contract",
+]

@@ -1,0 +1,217 @@
+"""Driver-side parallel execution: partition, dispatch, merge, finalize.
+
+The executor sits between the database/service layer and the
+:class:`~repro.parallel.pool.WorkerPool`:
+
+1. :func:`~repro.parallel.contract.plan_contract` decides the mode
+   (``partitioned`` / ``whole`` / ``local``);
+2. the catalog is published to shared memory (idempotent per catalog
+   version — the attach spec rides on every task as the fence);
+3. the worker plan is pickled once per plan and content-hashed — the
+   hash keys the workers' executable caches, so identical statements
+   hit warm compiled modules in every worker;
+4. partitioned mode splits the contract's scan into even row ranges,
+   one task per worker; whole mode ships one unpartitioned task;
+5. partition results are merged at the storage level
+   (:mod:`repro.parallel.merge`) and finalized exactly once.
+
+The finished :class:`~repro.engines.base.ExecutionResult` carries a
+``parallel`` dict (mode, partitions, per-worker morsel counts, warm
+flags) that EXPLAIN ANALYZE and the tests read.
+
+Anything the executor raises that is pool-related
+(:class:`~repro.errors.WorkerError` and subclasses) is a signal to the
+caller to degrade to in-process execution; task errors re-raised with
+their original types are real query failures and propagate as such.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+from repro.engines.base import QueryEngine, Stopwatch, Timings
+from repro.observability.metrics import get_registry
+from repro.observability.trace import trace_span
+from repro.parallel.contract import ParallelDecision, plan_contract
+from repro.parallel.merge import merge_concat, merge_groups, merge_scalar
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import CatalogExporter
+
+__all__ = ["ParallelExecutor", "parallel_explain_lines"]
+
+
+def parallel_explain_lines(info: dict) -> list[str]:
+    """EXPLAIN ANALYZE's rendering of a result's ``parallel`` dict:
+    one header plus one line per worker task with its scan range,
+    morsel count, and cache temperature."""
+    lines = [
+        f"parallel: mode={info['mode']} merge={info['merge']} "
+        f"tasks={len(info['morsels'])} ({info['reason']})"
+    ]
+    partitions = info["partitions"]
+    for i, morsels in enumerate(info["morsels"]):
+        where = (f"rows [{partitions[i][0]}, {partitions[i][1]})"
+                 if i < len(partitions) else "whole plan")
+        temp = "warm" if info["warm"][i] else "cold"
+        lines.append(
+            f"  worker task {i}: {where}  morsels={morsels}  "
+            f"partial_rows={info['rows_partial'][i]}  {temp}"
+        )
+    return lines
+
+
+def _plan_payload(plan) -> bytes:
+    """Pickle a worker plan; drop the analysis rider if it won't."""
+    try:
+        return pickle.dumps(plan)
+    except Exception:
+        analysis = plan.__dict__.pop("analysis", None)
+        try:
+            return pickle.dumps(plan)
+        finally:
+            if analysis is not None:
+                plan.analysis = analysis
+
+
+class ParallelExecutor:
+    """Partitioned query execution over a pool of worker processes.
+
+    Args:
+        workers: pool size.
+        fault_injector: threaded through to the pool's dispatch/result
+            fault sites.
+        task_timeout: pool-level wall-clock cap per dispatch when the
+            query carries no deadline.
+        min_partition_rows: a scan shorter than this per worker is
+            split into fewer (larger) partitions.
+    """
+
+    def __init__(self, workers: int = 2, fault_injector=None,
+                 task_timeout: float | None = None,
+                 min_partition_rows: int = 1):
+        self.workers = workers
+        self.pool = WorkerPool(workers, fault_injector=fault_injector,
+                               task_timeout=task_timeout)
+        self.exporter = CatalogExporter()
+        self.min_partition_rows = max(1, min_partition_rows)
+        self._queries = get_registry().counter(
+            "parallel_queries_total", "Queries dispatched to the pool"
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        return not self.pool.degraded
+
+    def decide(self, plan) -> ParallelDecision:
+        """Contract decision for ``plan``, with the pickled worker plan
+        and its content hash cached on the decision (cache-friendly:
+        the service stores the decision beside the plan-cache entry)."""
+        decision = plan_contract(plan)
+        if decision.mode != "local":
+            payload = _plan_payload(decision.worker_plan)
+            decision.plan_bytes = payload
+            decision.fingerprint = hashlib.sha256(payload).hexdigest()
+        return decision
+
+    def _partitions(self, decision: ParallelDecision, catalog
+                    ) -> list[tuple[int, int] | None]:
+        if decision.mode == "whole":
+            return [None]
+        rows = catalog.get(decision.table_name).row_count
+        parts = min(self.workers,
+                    max(1, rows // self.min_partition_rows) or 1)
+        return [
+            (rows * i // parts, rows * (i + 1) // parts)
+            for i in range(parts)
+        ]
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, plan, catalog, spec: str,
+                decision: ParallelDecision | None = None,
+                fp: str | None = None,
+                params: list | None = None, deadline=None,
+                cancel_token=None, trace=None, dispatcher=None):
+        """Run ``plan`` on the pool; returns an ExecutionResult.
+
+        ``fp`` is the caller's *stable* statement fingerprint (the plan
+        cache key); it keys the workers' executable caches, so repeated
+        statements hit warm compiled modules.  Without one, the pickled
+        plan's content hash is used — always unique (generated function
+        names embed object ids), i.e. always a cold compile.
+
+        ``dispatcher`` overrides how tasks reach the workers (the
+        service routes through its scheduler's dispatch accounting);
+        defaults to the pool directly.
+
+        Returns ``None`` when the decision is ``local`` — the caller
+        executes in-process.  Raises :class:`WorkerError`/
+        :class:`WorkerCrash` when the pool fails (degrade or retry
+        upstream); task errors re-raise with their original types.
+        """
+        if decision is None:
+            decision = self.decide(plan)
+        if decision.mode == "local":
+            return None
+        catalog_spec = self.exporter.publish(catalog)
+        ranges = self._partitions(decision, catalog)
+        tasks = [
+            {
+                "kind": "execute",
+                "fp": fp if fp is not None else decision.fingerprint,
+                "spec": spec,
+                "plan": decision.plan_bytes,
+                "partition": (None if rng is None
+                              else (decision.binding, rng[0], rng[1])),
+                "params": params,
+                "catalog_spec": catalog_spec,
+            }
+            for rng in ranges
+        ]
+        timings = Timings()
+        with Stopwatch(timings, "execution"), \
+                trace_span(trace, "parallel.dispatch", mode=decision.mode,
+                           partitions=len(tasks), spec=spec):
+            run = dispatcher if dispatcher is not None \
+                else self.pool.run_tasks
+            replies = run(
+                tasks, deadline=deadline, cancel_token=cancel_token,
+                trace=trace,
+            )
+            partials = [reply["rows"] for reply in replies]
+            with trace_span(trace, "parallel.merge",
+                            merge=decision.merge):
+                if decision.merge == "concat":
+                    merged = merge_concat(partials)
+                elif decision.merge == "group":
+                    merged = merge_groups(partials, decision.key_count,
+                                          decision.agg_kinds)
+                else:
+                    merged = merge_scalar(partials, decision.agg_kinds)
+                if decision.projection is not None:
+                    merged = [
+                        tuple(row[i] for i in decision.projection)
+                        for row in merged
+                    ]
+        result = QueryEngine.finalize_rows(plan, merged)
+        result.engine = spec
+        result.timings = timings
+        result.trace = trace
+        result.parallel = {
+            "mode": decision.mode,
+            "merge": decision.merge,
+            "reason": decision.reason,
+            "partitions": [rng for rng in ranges if rng is not None],
+            "morsels": [reply["morsels"] for reply in replies],
+            "warm": [reply["warm"] for reply in replies],
+            "rows_partial": [len(rows) for rows in partials],
+        }
+        self._queries.inc(mode=decision.mode)
+        return result
+
+    def close(self) -> None:
+        self.pool.close()
+        self.exporter.close()

@@ -1,0 +1,306 @@
+"""Shared-memory column segments: publish once, map everywhere.
+
+The driver owns every segment.  :class:`CatalogExporter.publish` copies
+each column's storage array into a ``multiprocessing.shared_memory``
+segment exactly once per catalog version; every worker process then
+maps those segments *zero-copy* into its own
+:class:`~repro.storage.rewiring.AddressSpace` (``np.frombuffer`` over
+``shm.buf`` feeds the existing ``Mapping``/``remap`` machinery
+unchanged) — the paper's rewiring story, extended across process
+boundaries.  The one copy per version happens here, on publish; N
+workers never copy again.
+
+Lifecycle is reference-counted and version-fenced:
+
+* a segment's refcount is the number of published catalog versions
+  whose spec names it (plus a creation reference until first publish);
+* a catalog version bump (DDL / INSERT / index creation) re-publishes:
+  columns whose backing array is unchanged *reuse* their segment
+  (incref), changed columns get a fresh segment, and the previous
+  version's references are dropped — a segment is unlinked exactly
+  once, when its last reference goes;
+* workers never unlink; they attach read-only by name and re-attach
+  when a task carries a newer version than the one they hold.
+
+``SegmentRegistry`` records every create/unlink so the test suite can
+assert the no-leak invariant (and a session fixture can fail loudly on
+leftovers in ``/dev/shm``).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.observability.metrics import get_registry
+
+__all__ = ["SegmentRegistry", "SharedSegment", "CatalogExporter",
+           "attach_catalog", "detach_all", "segment_prefix"]
+
+#: Every segment name this process creates starts with this prefix, so
+#: tests (and operators) can attribute ``/dev/shm`` entries to us.
+_PREFIX = "repro-shm"
+
+#: Segments whose mapping could not be closed because a numpy view was
+#: still exported.  Parking the object here keeps its ``__del__`` from
+#: re-raising at GC time; the pages go back when the process exits.
+_zombies: list = []
+
+
+def segment_prefix() -> str:
+    """The name prefix of every segment created by this process."""
+    return f"{_PREFIX}-{os.getpid()}"
+
+
+@dataclass
+class SharedSegment:
+    """One shared-memory segment plus its reference count."""
+
+    name: str
+    shm: shared_memory.SharedMemory
+    nbytes: int
+    refcount: int = 1
+    unlinked: bool = False
+
+    def incref(self) -> None:
+        if self.unlinked:
+            raise StorageError(f"segment {self.name!r} already unlinked")
+        self.refcount += 1
+
+    def decref(self) -> bool:
+        """Drop one reference; unlink (exactly once) at zero.
+
+        Returns True when this call performed the unlink.
+        """
+        if self.unlinked:
+            raise StorageError(f"segment {self.name!r} already unlinked")
+        self.refcount -= 1
+        if self.refcount > 0:
+            return False
+        self.unlinked = True
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup
+            pass
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - a view is still alive
+            _zombies.append(self.shm)
+        return True
+
+
+class SegmentRegistry:
+    """Creates, tracks, and reference-counts this process's segments."""
+
+    def __init__(self):
+        self._segments: dict[str, SharedSegment] = {}
+        self._created = 0
+        self._unlinked = 0
+        self._gauge = get_registry().gauge(
+            "shm_segments_live", "Shared-memory segments currently linked"
+        )
+
+    # -- creation / attachment --------------------------------------------
+
+    def create(self, payload: memoryview | bytes) -> SharedSegment:
+        """Create a segment holding a copy of ``payload`` (refcount 1)."""
+        nbytes = len(payload) if isinstance(payload, bytes) \
+            else payload.nbytes
+        name = f"{segment_prefix()}-{secrets.token_hex(4)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(nbytes, 1)
+        )
+        if nbytes:
+            shm.buf[:nbytes] = bytes(payload)
+        segment = SharedSegment(name=name, shm=shm, nbytes=nbytes)
+        self._segments[name] = segment
+        self._created += 1
+        self._gauge.set(self.live_count)
+        return segment
+
+    def decref(self, name: str) -> None:
+        segment = self._segments[name]
+        if segment.decref():
+            self._unlinked += 1
+            del self._segments[name]
+            self._gauge.set(self.live_count)
+
+    def incref(self, name: str) -> None:
+        self._segments[name].incref()
+
+    # -- introspection (tests, leak fixture) -------------------------------
+
+    @property
+    def live_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def live_names(self) -> list[str]:
+        return sorted(self._segments)
+
+    @property
+    def stats(self) -> dict:
+        return {"created": self._created, "unlinked": self._unlinked,
+                "live": self.live_count}
+
+    def refcount(self, name: str) -> int:
+        return self._segments[name].refcount
+
+    def close(self) -> None:
+        """Unlink everything still linked (driver shutdown path)."""
+        for name in list(self._segments):
+            segment = self._segments.pop(name)
+            segment.refcount = 1
+            segment.decref()
+            self._unlinked += 1
+        self._gauge.set(0)
+
+
+class CatalogExporter:
+    """Publishes a :class:`~repro.catalog.catalog.Catalog` to shared
+    memory and hands out attachment specs for worker processes.
+
+    One exporter per driver database.  ``publish()`` is idempotent per
+    catalog version; the current spec is a plain picklable dict small
+    enough to ride on every task (workers use it to self-fence: a task
+    carrying a newer version triggers re-attachment).
+    """
+
+    def __init__(self, registry: SegmentRegistry | None = None):
+        self.registry = registry if registry is not None \
+            else SegmentRegistry()
+        self._version: int | None = None
+        self._spec: dict | None = None
+        #: (table, column) -> (array id, segment name) of the current
+        #: version, used to reuse segments for unchanged columns
+        self._published: dict[tuple[str, str], tuple[int, str]] = {}
+
+    @property
+    def version(self) -> int | None:
+        return self._version
+
+    @property
+    def spec(self) -> dict | None:
+        return self._spec
+
+    def publish(self, catalog) -> dict:
+        """Export ``catalog``'s current contents; return the attach spec.
+
+        Unchanged columns (same backing array object) keep their
+        segment; changed or new columns get fresh segments; segments
+        referenced only by the previous version are unlinked here —
+        exactly once, by refcount.
+        """
+        if self._version == catalog.version and self._spec is not None:
+            return self._spec
+        previous = self._published
+        current: dict[tuple[str, str], tuple[int, str]] = {}
+        tables = []
+        for table in catalog:
+            tname = table.schema.name.lower()
+            columns = []
+            for column in table.columns:
+                key = (tname, column.name)
+                array = column.values
+                prev = previous.get(key)
+                if prev is not None and prev[0] == id(array):
+                    name = prev[1]
+                    self.registry.incref(name)
+                else:
+                    segment = self.registry.create(
+                        memoryview(array).cast("B") if array.size
+                        else b""
+                    )
+                    name = segment.name
+                columns.append({
+                    "name": column.name,
+                    "dtype": array.dtype.str,
+                    "rows": int(array.size),
+                    "segment": name,
+                })
+                current[key] = (id(array), name)
+            tables.append({
+                "name": tname,
+                "schema": table.schema,
+                "row_count": table.row_count,
+                "columns": columns,
+                "indexes": sorted(
+                    (cname, index.name)
+                    for cname, index in table.indexes.items()
+                ),
+            })
+        # drop the previous version's references (unlink-once fencing)
+        for key, (_, name) in previous.items():
+            self.registry.decref(name)
+        self._published = current
+        self._version = catalog.version
+        self._spec = {"version": catalog.version, "tables": tables}
+        return self._spec
+
+    def close(self) -> None:
+        """Drop the current version's references and unlink leftovers."""
+        for _, name in self._published.values():
+            try:
+                self.registry.decref(name)
+            except (KeyError, StorageError):  # pragma: no cover
+                pass
+        self._published = {}
+        self._spec = None
+        self._version = None
+        self.registry.close()
+
+
+def attach_catalog(spec: dict, keep: list | None = None):
+    """Build a :class:`~repro.catalog.catalog.Catalog` from an attach
+    spec, mapping every column zero-copy from its shared segment.
+
+    Used by worker processes.  ``keep`` (when given) collects the
+    attached ``SharedMemory`` objects — the caller must hold them alive
+    as long as the catalog is in use and ``close()`` them on re-attach.
+    Indexes are rebuilt locally (``argsort`` is deterministic, so worker
+    indexes are identical to the driver's).
+    """
+    from repro.catalog.catalog import Catalog
+    from repro.storage.table import Table
+
+    catalog = Catalog()
+    for tspec in spec["tables"]:
+        arrays = {}
+        for cspec in tspec["columns"]:
+            dtype = np.dtype(cspec["dtype"])
+            if cspec["rows"] == 0:
+                arrays[cspec["name"]] = np.empty(0, dtype=dtype)
+                continue
+            shm = shared_memory.SharedMemory(name=cspec["segment"])
+            if keep is not None:
+                keep.append(shm)
+            arrays[cspec["name"]] = np.frombuffer(
+                shm.buf, dtype=dtype, count=cspec["rows"]
+            )
+        table = Table.from_arrays(tspec["schema"], arrays)
+        for column_name, index_name in tspec["indexes"]:
+            table.create_index(column_name, index_name)
+        catalog.add(table)
+    catalog.version = spec["version"]
+    return catalog
+
+
+def detach_all(keep: list) -> None:
+    """Best-effort close of attached segments collected by
+    :func:`attach_catalog`.
+
+    A ``BufferError`` (a numpy view over ``shm.buf`` is still alive,
+    e.g. inside a cached executable) leaves the mapping in place — the
+    OS reclaims the pages when the process exits or the view drops.
+    """
+    for shm in keep:
+        try:
+            shm.close()
+        except BufferError:
+            _zombies.append(shm)
+    keep.clear()

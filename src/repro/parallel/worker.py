@@ -1,0 +1,200 @@
+"""Worker process: attach shared columns, compile once, execute morsels.
+
+One worker is one OS process holding one single-threaded event loop
+over a duplex pipe.  It receives *physical plans* (pickled by the
+driver — workers never parse or plan, so driver and worker execute the
+identical QEP), maps the driver's shared-memory column segments
+zero-copy into local numpy arrays, and runs the plan through its own
+:class:`~repro.engines.wasm_engine.WasmEngine` with the scan clamped
+to the task's partition.
+
+State kept across tasks:
+
+* the attached catalog, fenced by version — a task carrying a newer
+  catalog spec triggers detach/re-attach and drops every cached
+  executable (exactly the driver-side plan cache's fencing rule);
+* a small LRU of prepared executables keyed ``(fingerprint, spec)`` —
+  a warm partition task skips translation and compilation entirely and
+  goes through ``_reset_instance``, the same bit-identical reuse path
+  the driver's plan cache exercises.
+
+Results are *storage-level* rows (``raw_rows``); the driver merges
+partitions and finalizes once.  Errors are marshalled by pickling the
+exception when possible (then re-raised driver-side with full type
+fidelity) and degraded to a :class:`~repro.errors.WorkerError` carrying
+class name + message otherwise.
+
+Python's ``resource_tracker`` is patched to *not* track attached
+shared-memory segments: the tracker of a spawned child would otherwise
+unlink segments it merely attached when the child exits (bpo-38119),
+yanking live columns out from under the driver and its siblings.  The
+driver is the sole owner of segment lifetime.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+__all__ = ["worker_main"]
+
+#: Prepared executables kept per worker (LRU).
+CACHE_LIMIT = 32
+
+
+def _untrack_shared_memory() -> None:
+    """Keep the child's resource tracker away from attached segments."""
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name, rtype):
+        if rtype == "shared_memory":
+            return
+        original(name, rtype)
+
+    resource_tracker.register = register
+
+
+class _WorkerState:
+    """Everything one worker process keeps between tasks."""
+
+    def __init__(self, worker_id: int):
+        from repro.db.database import Database
+
+        self.worker_id = worker_id
+        self.db = Database()        # engine registry; catalog replaced
+        self.catalog = None
+        self.version = None
+        self.keep: list = []        # attached SharedMemory objects
+        self.cache: dict = {}       # (fp, spec) -> (engine, executable, plan)
+
+    def fence(self, catalog_spec: dict) -> None:
+        """Re-attach when the task's catalog is newer than ours."""
+        import gc
+
+        from repro.parallel.shm import attach_catalog, detach_all
+
+        if self.version == catalog_spec["version"]:
+            return
+        # drop every reference into the old mapping (cached executables,
+        # the catalog's column arrays) so the segments close cleanly
+        self.cache.clear()
+        self.catalog = None
+        self.db.catalog = None
+        gc.collect()
+        detach_all(self.keep)
+        self.catalog = attach_catalog(catalog_spec, self.keep)
+        self.version = catalog_spec["version"]
+        self.db.catalog = self.catalog
+
+    def detach(self) -> None:
+        """Drop every reference into shared memory, then unmap it.
+
+        Called on clean shutdown so the segments' ``__del__`` does not
+        trip over still-exported numpy views (a noisy, harmless
+        ``BufferError`` otherwise).
+        """
+        import gc
+
+        from repro.parallel.shm import detach_all
+
+        self.cache.clear()
+        self.catalog = None
+        self.db = None
+        gc.collect()
+        detach_all(self.keep)
+        self.keep.clear()
+
+    def executable_for(self, fp: str, spec: str, plan_bytes: bytes):
+        """A cached (engine, executable, plan) entry, preparing on miss.
+
+        The fingerprint is the driver's stable statement key; the
+        catalog-version fence (which clears this cache) makes
+        ``(fp, spec)`` unambiguous within one attached version, so a
+        warm hit skips unpickling *and* compilation entirely.
+        """
+        key = (fp, spec)
+        hit = self.cache.pop(key, None)
+        if hit is not None:
+            self.cache[key] = hit   # move to MRU position
+            return hit, True
+        plan = pickle.loads(plan_bytes)
+        engine = copy.copy(self.db.resolve_engine(spec))
+        engine.raw_rows = True
+        executable = engine.prepare_executable(plan, self.catalog)
+        entry = (engine, executable, plan)
+        self.cache[key] = entry
+        while len(self.cache) > CACHE_LIMIT:
+            self.cache.pop(next(iter(self.cache)))
+        return entry, False
+
+    def run(self, task: dict) -> dict:
+        self.fence(task["catalog_spec"])
+        (engine, executable, cached_plan), warm = self.executable_for(
+            task["fp"], task["spec"], task["plan"]
+        )
+        engine.partition = task.get("partition")
+        try:
+            result = engine.execute_prepared(
+                executable, cached_plan, self.catalog,
+                param_values=task.get("params"),
+            )
+        finally:
+            engine.partition = None
+        return {
+            "kind": "result",
+            "ok": True,
+            "rows": result.rows,
+            "morsels": engine.last_morsels_total,
+            "warm": warm,
+            "timings": dict(result.timings.phases),
+        }
+
+
+def _marshal_error(err: BaseException) -> dict:
+    try:
+        payload = pickle.dumps(err)
+        pickle.loads(payload)   # round-trip: some exceptions pickle
+        return {"kind": "result", "ok": False, "error": payload}
+    except Exception:
+        return {
+            "kind": "result", "ok": False, "error": None,
+            "error_class": type(err).__name__,
+            "error_message": str(err),
+            "retryable": bool(getattr(err, "retryable", False)),
+        }
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """The worker process entry point (spawn target)."""
+    _untrack_shared_memory()
+    state = _WorkerState(worker_id)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = task.get("kind")
+        if kind == "shutdown":
+            state.detach()
+            conn.send({"kind": "bye", "worker_id": worker_id})
+            break
+        if kind == "ping":
+            conn.send({"kind": "pong", "worker_id": worker_id,
+                       "version": state.version})
+            continue
+        if kind == "execute":
+            try:
+                reply = state.run(task)
+            except BaseException as err:  # marshalled, never fatal here
+                reply = _marshal_error(err)
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        conn.send(_marshal_error(
+            ValueError(f"unknown task kind {kind!r}")
+        ))
+    conn.close()

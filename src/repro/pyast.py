@@ -1,0 +1,28 @@
+"""Serialized access to CPython's ``ast.parse``.
+
+The ``_ast`` module tracks its constructor recursion depth in
+per-interpreter state, not per-thread state.  If a garbage-collection
+pause inside the C-to-Python AST conversion lets another thread enter
+``ast.parse`` concurrently, the shared counter is corrupted and CPython
+raises ``SystemError: AST constructor recursion depth mismatch``.
+
+Both generated-code verification passes (the TurboFan tier and the
+HyPer-style compiler) re-parse their emitted sources, and concurrent
+sessions reach them from service threads — so every ``ast.parse`` in
+the codebase must go through this choke point.
+"""
+
+from __future__ import annotations
+
+import ast
+import threading
+
+__all__ = ["checked_parse"]
+
+_PARSE_LOCK = threading.Lock()
+
+
+def checked_parse(source: str) -> ast.Module:
+    """``ast.parse(source)``, safe to call from concurrent threads."""
+    with _PARSE_LOCK:
+        return ast.parse(source)

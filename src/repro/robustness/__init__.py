@@ -22,6 +22,7 @@ from repro.robustness.fallback import (
 from repro.robustness.faults import (
     ENGINE_FAULT_SITES,
     FAULT_SITES,
+    PARALLEL_FAULT_SITES,
     SERVICE_FAULT_SITES,
     FaultInjector,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "FaultInjector",
     "ResourceGovernor",
     "RetryPolicy",
+    "PARALLEL_FAULT_SITES",
     "SERVICE_FAULT_SITES",
     "TierBreakerBoard",
     "execute_with_fallback",

@@ -27,6 +27,12 @@ Sites (see :data:`FAULT_SITES`):
                           raises ``EngineError`` (retryable)
 ``socket.write``          the TCP front end's reply write fails —
                           raises ``BrokenPipeError`` (connection drop)
+``worker.dispatch``       sending a task to a pool worker fails (the
+                          worker died between queries) — raises
+                          ``WorkerCrash(phase="dispatch")``
+``worker.result``         a pool worker is lost after its result was
+                          read off the pipe — raises
+                          ``WorkerCrash(phase="result")``
 ========================  ====================================================
 
 Determinism: decisions depend only on ``(seed, site, per-site trial
@@ -47,12 +53,13 @@ from repro.errors import (
     ResourceExhausted,
     RewiringError,
     Trap,
+    WorkerCrash,
 )
 from repro.observability.metrics import get_registry
 from repro.observability.trace import trace_event
 
-__all__ = ["ENGINE_FAULT_SITES", "FAULT_SITES", "SERVICE_FAULT_SITES",
-           "FaultInjector"]
+__all__ = ["ENGINE_FAULT_SITES", "FAULT_SITES", "PARALLEL_FAULT_SITES",
+           "SERVICE_FAULT_SITES", "FaultInjector"]
 
 
 def _compile_fault(site: str) -> CompilationError:
@@ -87,6 +94,12 @@ def _socket_fault(site: str) -> BrokenPipeError:
     return BrokenPipeError("injected fault: socket write failed")
 
 
+def _worker_fault(site: str) -> WorkerCrash:
+    phase = site.split(".")[1]
+    return WorkerCrash(f"injected fault: worker lost at {phase}",
+                       phase=phase)
+
+
 #: Sites instrumented inside the execution engine (reachable from
 #: ``Database.execute``); the engine-level chaos sweep iterates these.
 ENGINE_FAULT_SITES = {
@@ -106,8 +119,17 @@ SERVICE_FAULT_SITES = {
     "socket.write": _socket_fault,
 }
 
+#: Sites instrumented around the worker-process pool's pipe protocol
+#: (reachable when a query is dispatched in parallel); the worker-fault
+#: chaos suite exercises these.
+PARALLEL_FAULT_SITES = {
+    "worker.dispatch": _worker_fault,
+    "worker.result": _worker_fault,
+}
+
 #: site name -> factory building the exception that site raises when hit.
-FAULT_SITES = {**ENGINE_FAULT_SITES, **SERVICE_FAULT_SITES}
+FAULT_SITES = {**ENGINE_FAULT_SITES, **SERVICE_FAULT_SITES,
+               **PARALLEL_FAULT_SITES}
 
 
 class FaultInjector:

@@ -33,6 +33,8 @@ Options::
     --host HOST      bind address (default 127.0.0.1)
     --port PORT      TCP port (default 5499; 0 picks a free port)
     --engine SPEC    default engine (default: the database's default)
+    --workers N      worker processes for multi-core Wasm execution
+                     (default 0: in-process only)
     --demo           pre-create a small demo table
 """
 
@@ -199,30 +201,37 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=5499)
     parser.add_argument("--engine", default=None)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for multi-core Wasm "
+                             "execution (0: in-process only)")
     parser.add_argument("--demo", action="store_true")
     parser.add_argument("--repl", action="store_true",
                         help="serve stdin/stdout instead of TCP")
     args = parser.parse_args(argv)
 
-    service = QueryService(default_engine=args.engine)
+    service = QueryService(default_engine=args.engine,
+                           workers=args.workers)
     if args.demo:
         _demo_setup(service)
 
-    if args.repl:
-        run_client_loop(
-            service, sys.stdin.readline, _write_stdout, prompt=True
-        )
-        return 0
+    try:
+        if args.repl:
+            run_client_loop(
+                service, sys.stdin.readline, _write_stdout, prompt=True
+            )
+            return 0
 
-    with serve(service, args.host, args.port) as server:
-        host, port = server.server_address[:2]
-        print(f"repro query service listening on {host}:{port}",
-              flush=True)
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            pass
-    return 0
+        with serve(service, args.host, args.port) as server:
+            host, port = server.server_address[:2]
+            print(f"repro query service listening on {host}:{port}",
+                  flush=True)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+        return 0
+    finally:
+        service.close()
 
 
 def _write_stdout(text: str) -> None:

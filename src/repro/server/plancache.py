@@ -101,6 +101,11 @@ class CacheEntry:
     tier_degraded: bool = False
     breaker_pending: bool = False
     bailouts_recorded: int = 0
+    #: the :class:`~repro.parallel.ParallelDecision` for this plan when
+    #: the service runs with a worker pool (``None`` otherwise) — it
+    #: carries the pickled worker plan, so dispatching a hit re-pickles
+    #: nothing
+    parallel_decision: object = None
 
 
 class PlanCache:

@@ -288,6 +288,33 @@ class MorselScheduler:
         ticket.max_wait_seconds = max(ticket.max_wait_seconds, waited)
         self._wait_hist.observe(waited, stage="morsel")
 
+    def dispatch(self, ticket: Ticket, run_tasks, tasks: list,
+                 deadline=None, cancel_token=None, trace=None) -> list:
+        """Ship one parallel query's task batch through the turnstile.
+
+        This is how the scheduler acts as the *dispatcher* for
+        multi-process execution: the driver thread passes the same
+        morsel gate as in-process queries (fairness and cancellation
+        are checked before anything reaches a worker pipe), then hands
+        the batch to ``run_tasks`` — the pool, or whatever the tests
+        inject.  The workers burn their morsels off-GIL; the driver
+        thread holds only its ticket while it waits.
+        """
+        self.gate(ticket)
+        start = time.perf_counter()
+        trace_event(trace, "scheduler.dispatch", ticket=ticket.id,
+                    tasks=len(tasks))
+        try:
+            return run_tasks(tasks,
+                             deadline=deadline or ticket.deadline,
+                             cancel_token=cancel_token
+                             or ticket.cancel_token,
+                             trace=trace)
+        finally:
+            waited = time.perf_counter() - start
+            ticket.max_wait_seconds = max(ticket.max_wait_seconds, waited)
+            self._wait_hist.observe(waited, stage="dispatch")
+
     def release(self, ticket: Ticket) -> None:
         """Return ``ticket``'s slot; wakes waiting admissions and gates."""
         with self._cond:

@@ -51,6 +51,7 @@ from repro.errors import (
     QueryCancelled,
     ServiceError,
     SessionError,
+    WorkerError,
 )
 from repro.observability.explain import (
     pipeline_stats_from_trace,
@@ -165,8 +166,16 @@ class QueryService:
         breaker_clock: injectable clock for the breakers (tests).
         fault_injector: a :class:`~repro.robustness.FaultInjector`
             checked at the service's own sites (``admission``,
-            ``cache.lookup``; the TCP front end adds
-            ``socket.write``).
+            ``cache.lookup``; the TCP front end adds ``socket.write``;
+            with workers, the pool adds ``worker.dispatch`` /
+            ``worker.result``).
+        workers: worker processes for multi-core execution of Wasm
+            queries (``QueryService(workers=4)``); ``0`` keeps
+            everything in-process.  Eligible SELECTs are partitioned
+            across the pool (dispatch goes through the scheduler's
+            turnstile, so parallel queries stay inside the fair
+            rotation); a dead or degraded pool silently falls back to
+            the in-process path.  Call :meth:`close` to reap the pool.
     """
 
     def __init__(self, database: Database | None = None,
@@ -179,10 +188,13 @@ class QueryService:
                  breaker_threshold: int | None = 2,
                  breaker_cooldown: float = 30.0,
                  breaker_clock=None,
-                 fault_injector=None):
+                 fault_injector=None,
+                 workers: int = 0):
         if statement_timeout is not None and statement_timeout <= 0:
             raise ConfigError("statement_timeout must be positive")
         self.db = database if database is not None else Database()
+        if workers:
+            self.db.enable_parallel(workers, fault_injector=fault_injector)
         self.default_engine = default_engine or self.db.default_engine
         self.cache = PlanCache(cache_capacity)
         self.scheduler = MorselScheduler(
@@ -212,6 +224,12 @@ class QueryService:
             "queries_cancelled_total",
             "Queries aborted by cooperative cancellation",
         )
+
+    def close(self) -> None:
+        """Release service resources: the worker pool and its shared
+        segments (idempotent; the service object stays usable for
+        in-process execution)."""
+        self.db.close()
 
     # -- sessions ----------------------------------------------------------
 
@@ -526,7 +544,25 @@ class QueryService:
                         engine.deadline = deadline
                         engine.cancel_token = token
                     with entry.lock:
-                        if entry.executable is not None:
+                        result = self._dispatch_parallel(
+                            entry, fp, spec, ticket, qtrace,
+                            deadline=deadline, token=token,
+                            param_values=param_values,
+                        )
+                        if result is None and entry.executable is None \
+                                and entry.parallel_decision is not None \
+                                and hasattr(engine, "prepare_executable"):
+                            # the parallel route skipped compilation;
+                            # upgrade lazily now that the entry runs
+                            # in-process (pool degraded or contract
+                            # says local)
+                            entry.executable = engine.prepare_executable(
+                                entry.plan, self.db.catalog, trace=qtrace,
+                                timings=Timings(),
+                            )
+                        if result is not None:
+                            pass
+                        elif entry.executable is not None:
                             result = engine.execute_prepared(
                                 entry.executable, entry.plan,
                                 self.db.catalog, trace=qtrace,
@@ -556,6 +592,47 @@ class QueryService:
             trace=qtrace,
         )
 
+    def _dispatch_parallel(self, entry: CacheEntry, fp: str, spec: str,
+                           ticket, qtrace, deadline=None, token=None,
+                           param_values=None):
+        """Run this entry's plan on the worker pool, or return ``None``
+        to run in-process.
+
+        Dispatch goes through :meth:`MorselScheduler.dispatch`, so a
+        parallel query passes the same fair turnstile (and cancellation
+        check) as everyone else.  The plan-cache fingerprint keys the
+        workers' executable caches — a repeated statement compiles once
+        *per worker*, then every partition is a warm
+        ``_reset_instance`` run.  Pool-level failures degrade to the
+        in-process path (``parallel.degraded`` trace event); real query
+        errors propagate with their original types.
+        """
+        decision = entry.parallel_decision
+        executor = self.db.parallel
+        if (decision is None or decision.mode == "local"
+                or executor is None or not executor.healthy):
+            return None
+
+        def dispatch(tasks, **kwargs):
+            return self.scheduler.dispatch(ticket, executor.pool.run_tasks,
+                                           tasks, **kwargs)
+
+        try:
+            return executor.execute(
+                entry.plan, self.db.catalog, spec,
+                decision=decision, fp=fp, params=param_values,
+                deadline=deadline, cancel_token=token, trace=qtrace,
+                dispatcher=dispatch,
+            )
+        except WorkerError as err:
+            trace_event(qtrace, "parallel.degraded",
+                        error=type(err).__name__, message=str(err))
+            get_registry().counter(
+                "parallel_degraded_total",
+                "Parallel dispatches degraded to in-process execution",
+            ).inc()
+            return None
+
     def _cached_entry(self, fp: str, select: ast.Select, spec: str, qtrace,
                       analyzed: bool = True):
         """Look up — or compile and insert — the entry for this query.
@@ -582,6 +659,11 @@ class QueryService:
             plan = self.db.plan(select, trace=qtrace)
         executable = None
         engine = copy.copy(self.db.resolve_engine(spec))
+        decision = None
+        if self.db._parallel_eligible(spec):
+            decision = self.db.parallel.decide(plan)
+        dispatchable = (decision is not None and decision.mode != "local"
+                        and self.db.parallel.healthy)
         tier_degraded = False
         if (self.breakers is not None
                 and getattr(engine, "mode", None) in ("adaptive", "turbofan")
@@ -591,7 +673,10 @@ class QueryService:
                 engine.mode = "liftoff"
                 trace_event(qtrace, "breaker.degraded", engine=spec,
                             state=self.breakers.state(fp))
-        if hasattr(engine, "prepare_executable"):
+        if hasattr(engine, "prepare_executable") and not dispatchable:
+            # a dispatchable plan compiles in the *workers* (keyed by
+            # this entry's fingerprint); the driver-side executable is
+            # built lazily only if the pool degrades
             executable = engine.prepare_executable(
                 plan, self.db.catalog, trace=qtrace, timings=Timings()
             )
@@ -600,7 +685,8 @@ class QueryService:
                            analysis=getattr(plan, "analysis", None),
                            tier_degraded=tier_degraded,
                            breaker_pending=(executable is not None
-                                            and not tier_degraded))
+                                            and not tier_degraded),
+                           parallel_decision=decision)
         return self.cache.insert(key, entry), "miss"
 
     def _note_tier_outcome(self, fp: str, entry: CacheEntry,
@@ -676,6 +762,10 @@ class QueryService:
             entry.plan, run_trace, stats, spec,
             total_rows=len(result.rows), cache=disposition,
         )
+        if getattr(result, "parallel", None) is not None:
+            from repro.parallel.executor import parallel_explain_lines
+
+            lines = lines + parallel_explain_lines(result.parallel)
         text = Database._text_result(lines, trace=run_trace)
         text.pipeline_stats = stats
         text.analyzed = result

@@ -835,10 +835,10 @@ class TurboFanCompiler:
     def _verify(self, source: str, name: str) -> None:
         """Re-parse the emitted code: an IR sanity check between passes,
         as optimizing compilers run after each transformation."""
-        import ast as _pyast
+        from repro.pyast import checked_parse
 
         try:
-            _pyast.parse(source)
+            checked_parse(source)
         except SyntaxError as exc:  # pragma: no cover - compiler bug guard
             raise CompilationError(
                 f"turbofan pass broke function {name}: {exc}"

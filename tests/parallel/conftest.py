@@ -1,0 +1,54 @@
+"""Fixtures for the parallel suite: the shared-memory leak checks.
+
+The no-leak invariant of :mod:`repro.parallel.shm` is asserted by the
+*filesystem*, not by the registry's own bookkeeping:
+
+* a session-wide autouse fixture snapshots this process's ``/dev/shm``
+  entries before the suite and fails loudly on anything left behind
+  after every module fixture (and its exporter) has been torn down;
+* the stricter per-test variant (``no_segment_leaks``) is opted into by
+  modules whose tests each own their segments outright, e.g. the
+  lifecycle property tests.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.parallel.shm import segment_prefix
+
+_SHM_DIR = "/dev/shm"
+
+
+def _our_segments() -> set[str]:
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return set()
+    return set(glob.glob(os.path.join(_SHM_DIR, segment_prefix() + "*")))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_segment_leaks_at_session_end():
+    """Fail the session on segments outliving every fixture teardown."""
+    before = _our_segments()
+    yield
+    leaked = _our_segments() - before
+    assert not leaked, (
+        f"parallel suite leaked shared-memory segments: "
+        f"{sorted(os.path.basename(p) for p in leaked)}"
+    )
+
+
+@pytest.fixture
+def no_segment_leaks():
+    """Fail a single test that leaves segments in /dev/shm (strict
+    per-test variant for tests that own their segments outright)."""
+    before = _our_segments()
+    yield
+    leaked = _our_segments() - before
+    assert not leaked, (
+        f"test leaked shared-memory segments: "
+        f"{sorted(os.path.basename(p) for p in leaked)}"
+    )

@@ -1,0 +1,131 @@
+"""Unit tests of the parallel-safety contract (no processes spawned).
+
+Each case plans real SQL through the real optimizer and asserts the
+mode, merge strategy, and recorded reason the contract hands back —
+the reasons are part of the interface (EXPLAIN prints them).
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.db import Database
+from repro.parallel.contract import plan_contract
+from repro.plan import physical as P
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+
+pytestmark = pytest.mark.parallel
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(default_engine="wasm")
+    database.execute(
+        "CREATE TABLE r (id INT PRIMARY KEY, g INT, x INT, f DOUBLE,"
+        " d DATE, name CHAR(8))"
+    )
+    database.execute("CREATE TABLE s (rid INT, v INT)")
+    database.table("r").append_rows([
+        (i, i % 5, i - 10, i * 0.25,
+         dt.date(2001, 1, 1) + dt.timedelta(days=i), f"n{i % 3}")
+        for i in range(50)
+    ])
+    database.table("s").append_rows([(i % 50, i) for i in range(30)])
+    return database
+
+
+def decide(db, sql):
+    stmt = parse(sql)
+    analyze(stmt, db.catalog)
+    plan = db.plan(stmt)
+    return plan, plan_contract(plan)
+
+
+class TestPartitioned:
+    def test_streaming_scan_is_concat(self, db):
+        plan, d = decide(db, "SELECT x FROM r WHERE x > 0")
+        assert d.mode == "partitioned"
+        assert d.merge == "concat"
+        assert d.table_name == "r"
+        assert d.binding is not None
+        assert d.worker_plan is plan  # concat ships the root untouched
+
+    def test_probed_join_partitions_the_probe_side(self, db):
+        _, d = decide(
+            db, "SELECT r.x, s.v FROM r JOIN s ON r.id = s.rid"
+        )
+        assert d.mode == "partitioned"
+        assert d.merge == "concat"
+        # the build side runs redundantly; only the probe scan is split
+        assert d.table_name in ("r", "s")
+
+    def test_group_by_merges_groups(self, db):
+        plan, d = decide(db, "SELECT g, SUM(x) FROM r GROUP BY g")
+        assert d.mode == "partitioned"
+        assert d.merge == "group"
+        assert d.key_count == 1
+        assert d.agg_kinds == ["SUM"]
+        assert d.agg_float == [False]
+
+    def test_pure_projection_is_stripped_from_worker_plan(self, db):
+        plan, d = decide(db, "SELECT g, SUM(x) FROM r GROUP BY g")
+        if d.projection is not None:
+            # workers run the breaker itself: driver merges full
+            # key+aggregate rows, applies the slots afterwards
+            assert isinstance(d.worker_plan, P.HashGroupBy)
+            assert d.worker_plan is not plan
+
+    def test_projected_away_keys_still_merge_on_full_rows(self, db):
+        _, d = decide(db, "SELECT COUNT(*) FROM r GROUP BY g")
+        assert d.mode == "partitioned"
+        assert d.merge == "group"
+        assert d.key_count == 1
+        # the key is projected away in the result but must survive to
+        # the merge: the projection picks only the aggregate slot
+        assert d.projection is not None
+        assert all(i >= d.key_count for i in d.projection)
+
+    def test_scalar_aggregates_merge_scalar(self, db):
+        _, d = decide(db, "SELECT COUNT(*), MAX(x), MIN(d) FROM r")
+        assert d.mode == "partitioned"
+        assert d.merge == "scalar"
+        assert d.key_count == 0
+        assert d.agg_kinds == ["COUNT", "MAX", "MIN"]
+
+    def test_float_min_max_is_mergeable(self, db):
+        _, d = decide(db, "SELECT g, MIN(f), MAX(f) FROM r GROUP BY g")
+        assert d.mode == "partitioned"
+        assert d.agg_float == [True, True]
+
+
+class TestWhole:
+    """Everything the contract cannot prove safe ships untouched to a
+    single worker — and the decision records why."""
+
+    CASES = [
+        ("SELECT x FROM r ORDER BY x", "Sort"),
+        ("SELECT x FROM r LIMIT 5", "Limit"),
+        ("SELECT AVG(x) FROM r", "AVG"),
+        ("SELECT SUM(f) FROM r", "float SUM"),
+        ("SELECT g, SUM(x) FROM r GROUP BY g HAVING SUM(x) > 0",
+         "between aggregation and result"),
+        ("SELECT g, SUM(x) FROM r GROUP BY g ORDER BY g", "Sort"),
+    ]
+
+    @pytest.mark.parametrize("sql,why", CASES,
+                             ids=[why for _, why in CASES])
+    def test_unprovable_shapes_degrade_to_whole(self, db, sql, why):
+        plan, d = decide(db, sql)
+        assert d.mode == "whole", sql
+        assert why in d.reason, (sql, d.reason)
+        # whole mode must ship the *untouched* root
+        assert d.worker_plan is plan
+
+
+class TestLocal:
+    def test_folded_empty_plan_stays_local(self, db):
+        _, d = decide(db, "SELECT x FROM r WHERE 1 = 2")
+        assert d.mode == "local"
+        assert "empty" in d.reason
+        assert d.worker_plan is None

@@ -1,0 +1,241 @@
+"""End-to-end dispatch: ParallelExecutor and Database over a live pool.
+
+One module-scoped ``Database(workers=2)`` carries every test here (the
+pool heals itself after the deadline/cancel aborts, which is itself
+part of what's being asserted).  The in-process volcano engine on the
+same database is the oracle.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.db import Database
+from repro.errors import (
+    ConfigError,
+    QueryCancelled,
+    ReproError,
+    ResourceExhausted,
+)
+from repro.parallel.contract import plan_contract
+from repro.parallel.executor import ParallelExecutor, parallel_explain_lines
+from repro.robustness.resilience import CancelToken, Deadline
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+
+pytestmark = pytest.mark.parallel
+
+ROWS = 300
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(default_engine="wasm", workers=2)
+    database.execute(
+        "CREATE TABLE r (id INT PRIMARY KEY, g INT, x INT, f DOUBLE,"
+        " d DATE)"
+    )
+    database.execute("CREATE TABLE s (rid INT, v INT)")
+    database.table("r").append_rows([
+        (i, i % 7, i - ROWS // 2, i * 0.125,
+         dt.date(2002, 1, 1) + dt.timedelta(days=i % 900))
+        for i in range(ROWS)
+    ])
+    database.table("s").append_rows([(i % ROWS, i * 3) for i in range(150)])
+    yield database
+    database.close()
+
+
+def oracle(db, sql):
+    return db.execute(sql, engine="volcano").rows
+
+
+def plan_for(db, sql):
+    stmt = parse(sql)
+    analyze(stmt, db.catalog)
+    return db.plan(stmt)
+
+
+class TestExecutorModes:
+    def test_concat_partitions_cover_the_scan_in_order(self, db):
+        sql = f"SELECT id, x FROM r WHERE x > {-ROWS}"
+        result = db.parallel.execute(plan_for(db, sql), db.catalog, "wasm")
+        assert result.rows == oracle(db, sql)
+        info = result.parallel
+        assert info["mode"] == "partitioned"
+        assert info["merge"] == "concat"
+        # partitions are contiguous, disjoint, and cover [0, rows)
+        flat = [b for rng in info["partitions"] for b in rng]
+        assert flat[0] == 0 and flat[-1] == ROWS
+        assert flat == sorted(flat)
+
+    def test_group_merge_matches_oracle(self, db):
+        sql = "SELECT g, COUNT(*), SUM(x), MIN(d) FROM r GROUP BY g"
+        result = db.parallel.execute(plan_for(db, sql), db.catalog, "wasm")
+        assert sorted(result.rows) == sorted(oracle(db, sql))
+        assert result.parallel["merge"] == "group"
+
+    def test_scalar_merge_with_an_all_empty_partition(self, db):
+        # only rows with id < 10 qualify: the second partition
+        # contributes pure fold identities, which must vanish in the
+        # merge (MIN(d)'s INT32_MAX sentinel would crash finalize)
+        sql = "SELECT COUNT(*), MIN(d), MAX(x) FROM r WHERE id < 10"
+        result = db.parallel.execute(plan_for(db, sql), db.catalog, "wasm")
+        assert result.rows == oracle(db, sql)
+        assert result.parallel["merge"] == "scalar"
+        assert 0 in result.parallel["rows_partial"] or \
+            all(n == 1 for n in result.parallel["rows_partial"])
+
+    def test_whole_mode_ships_one_untouched_task(self, db):
+        sql = "SELECT x FROM r ORDER BY x LIMIT 7"
+        result = db.parallel.execute(plan_for(db, sql), db.catalog, "wasm")
+        assert result.rows == oracle(db, sql)  # exact global order
+        info = result.parallel
+        assert info["mode"] == "whole"
+        assert info["partitions"] == []
+        assert len(info["morsels"]) == 1
+
+    def test_local_mode_returns_none(self, db):
+        plan = plan_for(db, "SELECT x FROM r WHERE 1 = 2")
+        assert db.parallel.execute(plan, db.catalog, "wasm") is None
+
+    def test_stable_fingerprint_warms_every_worker(self, db):
+        sql = "SELECT g, SUM(x) FROM r GROUP BY g"
+        fp = "stable-fp-for-warmth"
+        first = db.parallel.execute(plan_for(db, sql), db.catalog,
+                                    "wasm", fp=fp)
+        second = db.parallel.execute(plan_for(db, sql), db.catalog,
+                                     "wasm", fp=fp)
+        assert first.rows == second.rows
+        assert all(second.parallel["warm"])
+
+    def test_task_error_keeps_its_original_type(self, db):
+        # a runtime trap (division by zero) inside a worker must
+        # re-raise driver-side as the same exception type the
+        # in-process engine raises — not as a WorkerError wrapper
+        sql = "SELECT 100 / x FROM r WHERE x >= 0"
+        with pytest.raises(ReproError) as inproc:
+            db.execute(sql, engine="wasm[interpreter]")
+        with pytest.raises(type(inproc.value)):
+            db.parallel.execute(plan_for(db, sql), db.catalog, "wasm")
+
+
+class TestPartitioning:
+    def test_min_partition_rows_collapses_small_scans(self, db):
+        # pool is never started: _partitions is pure arithmetic
+        executor = ParallelExecutor(workers=4, min_partition_rows=10_000)
+        decision = plan_contract(plan_for(db, "SELECT x FROM r"))
+        assert executor._partitions(decision, db.catalog) == [(0, ROWS)]
+        executor.close()
+
+    def test_partition_count_tracks_rows_and_workers(self, db):
+        executor = ParallelExecutor(workers=4, min_partition_rows=10)
+        decision = plan_contract(plan_for(db, "SELECT x FROM r"))
+        parts = executor._partitions(decision, db.catalog)
+        assert len(parts) == 4
+        assert parts[0][0] == 0 and parts[-1][1] == ROWS
+        executor.close()
+
+
+class TestAborts:
+    """Deadline/cancel fire inside the acquisition wait (every idle
+    worker is withheld, so the dispatch observably blocks), and the
+    pool keeps serving afterwards."""
+
+    @staticmethod
+    def _withhold_workers(pool):
+        pool.start()
+        with pool._cond:
+            stolen = list(pool._idle)
+            pool._idle.clear()
+        return stolen
+
+    @staticmethod
+    def _return_workers(pool, stolen):
+        with pool._cond:
+            pool._idle.extend(stolen)
+            pool._cond.notify_all()
+
+    def test_expired_deadline_is_resource_exhausted(self, db):
+        plan = plan_for(db, "SELECT x FROM r WHERE x > -9999")
+        stolen = self._withhold_workers(db.parallel.pool)
+        try:
+            with pytest.raises(ResourceExhausted) as info:
+                db.parallel.execute(plan, db.catalog, "wasm",
+                                    deadline=Deadline(0.001))
+        finally:
+            self._return_workers(db.parallel.pool, stolen)
+        assert info.value.phase == "parallel"
+        assert db.parallel.healthy
+
+    def test_cancelled_token_cancels_the_dispatch(self, db):
+        plan = plan_for(db, "SELECT x FROM r WHERE x > -9999")
+        token = CancelToken(query_id=1)
+        token.cancel("user abort")
+        stolen = self._withhold_workers(db.parallel.pool)
+        try:
+            with pytest.raises(QueryCancelled):
+                db.parallel.execute(plan, db.catalog, "wasm",
+                                    cancel_token=token)
+        finally:
+            self._return_workers(db.parallel.pool, stolen)
+        assert db.parallel.healthy
+
+    def test_pool_serves_after_the_aborts(self, db):
+        sql = "SELECT COUNT(*) FROM r"
+        result = db.parallel.execute(plan_for(db, sql), db.catalog, "wasm")
+        assert result.rows == oracle(db, sql)
+
+
+class TestDatabaseIntegration:
+    def test_execute_routes_wasm_through_the_pool(self, db):
+        sql = "SELECT g, COUNT(*) FROM r GROUP BY g"
+        result = db.execute(sql, engine="wasm")
+        assert sorted(result.rows) == sorted(oracle(db, sql))
+        assert getattr(result, "parallel", None) is not None
+
+    def test_volcano_is_never_dispatched(self, db):
+        result = db.execute("SELECT COUNT(*) FROM r", engine="volcano")
+        assert getattr(result, "parallel", None) is None
+
+    def test_explain_analyze_prints_worker_tasks(self, db):
+        result = db.execute(
+            "EXPLAIN ANALYZE SELECT g, SUM(x) FROM r GROUP BY g",
+            engine="wasm",
+        )
+        text = "\n".join(line for (line,) in result.rows)
+        assert "parallel: mode=partitioned merge=group" in text
+        assert "worker task 0:" in text
+        assert "morsels=" in text
+
+    def test_degraded_pool_falls_back_in_process(self, db):
+        sql = "SELECT MIN(x), MAX(x) FROM r"
+        db.parallel.pool.degraded = True
+        try:
+            result = db.execute(sql, engine="wasm")
+            assert result.rows == oracle(db, sql)
+            assert getattr(result, "parallel", None) is None
+        finally:
+            db.parallel.pool.degraded = False
+
+    def test_ddl_fences_the_workers(self, db):
+        sql = "SELECT COUNT(*), SUM(v) FROM s"
+        before = db.execute(sql, engine="wasm")
+        db.execute("INSERT INTO s VALUES (0, 1000000)")
+        after = db.execute(sql, engine="wasm")
+        assert after.rows[0][0] == before.rows[0][0] + 1
+        assert after.rows == oracle(db, sql)
+
+    def test_negative_workers_is_a_config_error(self):
+        with pytest.raises(ConfigError):
+            Database(workers=-1)
+
+    def test_explain_lines_render_both_shapes(self):
+        info = {
+            "mode": "partitioned", "merge": "concat", "reason": "why",
+            "partitions": [(0, 5)], "morsels": [2, 1],
+            "warm": [True, False], "rows_partial": [5, 0],
+        }
+        lines = parallel_explain_lines(info)
+        assert "rows [0, 5)" in lines[1] and "warm" in lines[1]
+        assert "whole plan" in lines[2] and "cold" in lines[2]

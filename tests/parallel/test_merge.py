@@ -1,0 +1,150 @@
+"""Property tests of the storage-level partition merge.
+
+The merge must reproduce *engine* arithmetic, not Python arithmetic:
+i64 wraparound sums, bit-equal float keys, identity rows from empty
+partitions vanishing, and a deterministic output order regardless of
+how rows were split across partitions.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EngineError
+from repro.parallel.merge import (
+    merge_concat,
+    merge_groups,
+    merge_scalar,
+    pack_key,
+)
+
+pytestmark = pytest.mark.parallel
+
+I64_MIN, I64_MAX = -(1 << 63), (1 << 63) - 1
+i64 = st.integers(I64_MIN, I64_MAX)
+
+
+def wrap(value: int) -> int:
+    """Reference i64 wraparound."""
+    return (value + (1 << 63)) % (1 << 64) - (1 << 63)
+
+
+class TestPackKey:
+    def test_negative_zero_groups_like_the_engine(self):
+        # the engine's hash table keys on bits: -0.0 and 0.0 differ
+        assert pack_key((0.0,)) != pack_key((-0.0,))
+
+    def test_int_and_float_of_same_value_do_not_collide(self):
+        assert pack_key((1,)) != pack_key((1.0,))
+
+    def test_bool_and_int_do_not_collide(self):
+        assert pack_key((True,)) != pack_key((1,))
+
+    def test_strings_pack_length_prefixed(self):
+        # length prefixes keep ("ab","c") distinct from ("a","bc")
+        assert pack_key((b"ab", b"c")) != pack_key((b"a", b"bc"))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.one_of(i64, st.floats(allow_nan=False),
+                              st.binary(max_size=8)),
+                    max_size=4))
+    def test_pack_is_injective_on_equal_tuples(self, values):
+        assert pack_key(tuple(values)) == pack_key(tuple(values))
+
+
+class TestWraparound:
+    @settings(max_examples=200, deadline=None)
+    @given(a=i64, b=i64)
+    def test_sum_matches_the_i64_adder(self, a, b):
+        (merged,) = merge_scalar([[(a,)], [(b,)]], ["SUM"])
+        assert merged[0] == wrap(a + b)
+        assert I64_MIN <= merged[0] <= I64_MAX
+
+    def test_two_maxed_partials_wrap_exactly(self):
+        (merged,) = merge_scalar([[(I64_MAX,)], [(I64_MAX,)]], ["SUM"])
+        assert merged == (-2,)
+
+
+class TestMergeGroups:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-100, 100)),
+            max_size=40,
+        ),
+        cuts=st.lists(st.integers(0, 40), max_size=3),
+    )
+    def test_partitioning_is_invisible(self, rows, cuts):
+        """Splitting the per-group partials across any partition
+        boundaries merges to the same result as one partition."""
+        # build per-group partial rows as (key, sum, count)
+        def partial(chunk):
+            acc = {}
+            for key, value in chunk:
+                s, c = acc.get(key, (0, 0))
+                acc[key] = (wrap(s + value), wrap(c + 1))
+            return [(k, s, c) for k, (s, c) in acc.items()]
+
+        bounds = sorted(min(c, len(rows)) for c in cuts)
+        chunks, start = [], 0
+        for b in bounds + [len(rows)]:
+            chunks.append(rows[start:b])
+            start = b
+        split = merge_groups([partial(c) for c in chunks], 1,
+                             ["SUM", "COUNT"])
+        whole = merge_groups([partial(rows)], 1, ["SUM", "COUNT"])
+        assert split == whole
+
+    def test_identity_rows_from_empty_partitions_vanish(self):
+        # an empty partition's scalar row carries fold identities;
+        # groups never materialize for empty inputs, but identity
+        # *values* must still be neutral under combination
+        rows = merge_groups(
+            [[(1, 0, 0, (1 << 31) - 1)],     # identity contribution
+             [(1, 5, 2, 37)]],
+            1, ["SUM", "COUNT", "MIN"],
+        )
+        assert rows == [(1, 5, 2, 37)]
+
+    def test_output_order_is_deterministic_sorted_packed_keys(self):
+        partials = [[(3, 1)], [(1, 1)], [(2, 1)], [(1, 2)]]
+        merged = merge_groups(partials, 1, ["COUNT"])
+        keys = [row[0] for row in merged]
+        assert keys == sorted(keys, key=lambda k: pack_key((k,)))
+        assert merged == merge_groups(list(reversed(partials)), 1,
+                                      ["COUNT"])
+
+    def test_min_max_compare_floats_as_floats(self):
+        merged = merge_groups(
+            [[(0, -1.5, 2.0)], [(0, -2.5, 0.25)]], 1, ["MIN", "MAX"]
+        )
+        assert merged == [(0, -2.5, 2.0)]
+
+
+class TestMergeScalar:
+    def test_min_of_identity_and_real_partition(self):
+        # MIN over an empty partition reports the type max sentinel;
+        # merging must pick the real value, never convert the sentinel
+        (merged,) = merge_scalar(
+            [[((1 << 31) - 1,)], [(7305,)]], ["MIN"]
+        )
+        assert merged == (7305,)
+
+    def test_wrong_row_count_is_an_engine_error(self):
+        with pytest.raises(EngineError, match="expected 1"):
+            merge_scalar([[(1,), (2,)]], ["COUNT"])
+
+    def test_unknown_aggregate_kind_is_an_engine_error(self):
+        with pytest.raises(EngineError, match="cannot merge"):
+            merge_scalar([[(1.0,)], [(2.0,)]], ["AVG"])
+
+
+class TestMergeConcat:
+    def test_partition_order_is_scan_order(self):
+        assert merge_concat([[(1,), (2,)], [], [(3,)]]) == \
+            [(1,), (2,), (3,)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.lists(st.tuples(i64), max_size=10), max_size=6))
+    def test_concat_preserves_every_row(self, partials):
+        merged = merge_concat(partials)
+        assert merged == [row for rows in partials for row in rows]

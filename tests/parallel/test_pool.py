@@ -1,0 +1,85 @@
+"""Worker-pool lifecycle: spawn, dispatch protocol, crash healing.
+
+These tests spawn real (spawned, not forked) worker processes; they
+assert the pool's failure policy — kill + respawn + structured error —
+at the protocol level, without involving SQL at all.
+"""
+
+import pytest
+
+from repro.errors import WorkerCrash, WorkerError
+from repro.parallel.pool import WorkerPool
+
+pytestmark = pytest.mark.parallel
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(workers=2)
+    yield p
+    p.close()
+
+
+class TestLifecycle:
+    def test_start_ping_close(self, pool):
+        pool.start()
+        assert pool.ping() == 2
+        assert pool.healthy
+        pool.close()
+        assert not pool.healthy
+        pool.close()  # idempotent
+
+    def test_run_tasks_after_close_is_a_worker_error(self, pool):
+        pool.start()
+        pool.close()
+        with pytest.raises(WorkerError, match="not available"):
+            pool.run_tasks([{"kind": "ping"}])
+
+    def test_empty_task_list_is_a_no_op(self, pool):
+        assert pool.run_tasks([]) == []
+
+
+class TestProtocol:
+    def test_unknown_task_kind_raises_with_type_fidelity(self, pool):
+        # the worker marshals the ValueError by pickling it; the driver
+        # re-raises the *original type*, not a wrapper
+        with pytest.raises(ValueError, match="unknown task kind"):
+            pool.run_tasks([{"kind": "bogus"}])
+        # the worker survives a bad task: it answered, so it was
+        # released clean and still serves
+        assert pool.ping() == 2
+
+
+class TestCrashHealing:
+    def test_killed_worker_becomes_retryable_crash_and_pool_heals(self):
+        pool = WorkerPool(workers=2)
+        try:
+            pool.start()
+            assert pool.ping() == 2
+            # murder one idle worker out from under the pool
+            victim = pool._idle[0]
+            victim.process.kill()
+            victim.process.join(timeout=5)
+            with pytest.raises(WorkerCrash) as info:
+                pool.run_tasks([{"kind": "bogus"}, {"kind": "bogus"}])
+            # structured, retryable, and attributed to a protocol edge
+            assert info.value.retryable
+            assert info.value.phase in ("dispatch", "result")
+            # self-healed: the dead worker was replaced synchronously
+            assert pool.ping() == 2
+            assert pool.healthy
+            # and the healed pool actually serves tasks again
+            with pytest.raises(ValueError, match="unknown task kind"):
+                pool.run_tasks([{"kind": "bogus"}])
+        finally:
+            pool.close()
+
+    def test_close_kills_workers_that_ignore_shutdown(self):
+        pool = WorkerPool(workers=1)
+        pool.start()
+        handle = pool._idle[0]
+        process = handle.process
+        assert process.is_alive()
+        pool.close()
+        process.join(timeout=5)
+        assert not process.is_alive()

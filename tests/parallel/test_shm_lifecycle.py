@@ -1,0 +1,268 @@
+"""Property tests of the shared-memory segment lifecycle.
+
+The invariants under test, straight from the module contract:
+
+* a segment's refcount models incref/decref exactly, and the unlink
+  happens **exactly once**, at the transition to zero — never before,
+  never twice;
+* ``CatalogExporter.publish`` is idempotent per catalog version, reuses
+  segments for columns whose backing array did not change across a
+  version bump, and never strands the previous version's segments;
+* ``attach_catalog`` round-trips the catalog bit-exactly (same-process
+  attach maps the very same pages);
+* nothing leaks: the autouse ``no_segment_leaks`` fixture in
+  ``conftest.py`` checks ``/dev/shm`` itself after every test here.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.db import Database
+from repro.errors import StorageError
+from repro.parallel.shm import (
+    CatalogExporter,
+    SegmentRegistry,
+    attach_catalog,
+    detach_all,
+    segment_prefix,
+)
+
+pytestmark = [pytest.mark.parallel,
+              pytest.mark.usefixtures("no_segment_leaks")]
+
+
+class TestSegmentRegistry:
+    def test_create_copies_payload_and_prefixes_name(self):
+        registry = SegmentRegistry()
+        payload = bytes(range(64))
+        segment = registry.create(payload)
+        assert segment.name.startswith(segment_prefix())
+        assert bytes(segment.shm.buf[:64]) == payload
+        assert registry.refcount(segment.name) == 1
+        registry.decref(segment.name)
+        assert segment.unlinked
+        assert registry.live_count == 0
+
+    def test_empty_payload_still_gets_a_segment(self):
+        registry = SegmentRegistry()
+        segment = registry.create(b"")
+        assert segment.nbytes == 0
+        registry.decref(segment.name)
+
+    def test_unlink_happens_exactly_at_zero(self):
+        registry = SegmentRegistry()
+        segment = registry.create(b"x" * 8)
+        registry.incref(segment.name)
+        registry.incref(segment.name)
+        registry.decref(segment.name)
+        registry.decref(segment.name)
+        assert not segment.unlinked
+        registry.decref(segment.name)
+        assert segment.unlinked
+        assert registry.stats == {"created": 1, "unlinked": 1, "live": 0}
+
+    def test_use_after_unlink_is_an_error(self):
+        registry = SegmentRegistry()
+        segment = registry.create(b"x")
+        registry.decref(segment.name)
+        # the registry forgot the name entirely...
+        with pytest.raises(KeyError):
+            registry.incref(segment.name)
+        with pytest.raises(KeyError):
+            registry.decref(segment.name)
+        # ...and the segment object itself refuses double lifecycle ops
+        with pytest.raises(StorageError, match="already unlinked"):
+            segment.incref()
+        with pytest.raises(StorageError, match="already unlinked"):
+            segment.decref()
+
+    def test_close_unlinks_everything_regardless_of_refcount(self):
+        registry = SegmentRegistry()
+        a = registry.create(b"a")
+        b = registry.create(b"b")
+        registry.incref(a.name)  # refcount 2: close must still unlink
+        registry.close()
+        assert a.unlinked and b.unlinked
+        assert registry.live_count == 0
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(ops=st.lists(st.sampled_from(["incref", "decref"]),
+                        max_size=24))
+    def test_refcount_model(self, ops):
+        """Any incref/decref interleaving matches the integer model:
+        unlinked iff the model count hit zero, exactly once, and the
+        registry forgets the name at that instant."""
+        registry = SegmentRegistry()
+        segment = registry.create(b"model")
+        count = 1
+        for op in ops:
+            if count == 0:
+                break
+            if op == "incref":
+                registry.incref(segment.name)
+                count += 1
+            else:
+                registry.decref(segment.name)
+                count -= 1
+            assert segment.unlinked == (count == 0)
+            assert registry.live_count == (0 if count == 0 else 1)
+        if count:
+            assert registry.refcount(segment.name) == count
+            registry.close()
+        assert segment.unlinked
+        assert registry.stats["unlinked"] == 1
+
+
+def _make_db():
+    db = Database(default_engine="wasm")
+    db.execute(
+        "CREATE TABLE r (id INT PRIMARY KEY, x INT, y DOUBLE, d DATE,"
+        " name CHAR(8))"
+    )
+    db.execute("CREATE TABLE s (rid INT, v INT)")
+    db.table("r").append_rows([
+        (i, i % 7 - 3, i * 0.5, dt.date(2000, 1, 1) + dt.timedelta(days=i),
+         f"n{i % 5}")
+        for i in range(40)
+    ])
+    db.table("s").append_rows([(i % 40, i * 2) for i in range(25)])
+    return db
+
+
+def _segment_names(spec, table=None):
+    return sorted(
+        c["segment"]
+        for t in spec["tables"] if table is None or t["name"] == table
+        for c in t["columns"] if c["rows"]
+    )
+
+
+class TestCatalogExporter:
+    def test_publish_is_idempotent_per_version(self):
+        db = _make_db()
+        exporter = CatalogExporter()
+        try:
+            spec1 = exporter.publish(db.catalog)
+            created = exporter.registry.stats["created"]
+            spec2 = exporter.publish(db.catalog)
+            assert spec2 is spec1
+            assert exporter.registry.stats["created"] == created
+        finally:
+            exporter.close()
+        assert exporter.registry.live_count == 0
+
+    def test_version_bump_reuses_unchanged_columns(self):
+        db = _make_db()
+        exporter = CatalogExporter()
+        try:
+            spec1 = exporter.publish(db.catalog)
+            r_before = _segment_names(spec1, "r")
+            s_before = _segment_names(spec1, "s")
+            db.execute("INSERT INTO s VALUES (1, 999)")  # bumps version
+            spec2 = exporter.publish(db.catalog)
+            assert spec2["version"] == db.catalog.version != spec1["version"]
+            # r's arrays are untouched: same segments, no re-copy
+            assert _segment_names(spec2, "r") == r_before
+            # s was rebuilt: fresh segments, old ones unlinked
+            s_after = _segment_names(spec2, "s")
+            assert not set(s_after) & set(s_before)
+            live = set(exporter.registry.live_names)
+            assert live == set(_segment_names(spec2))
+        finally:
+            exporter.close()
+        assert exporter.registry.live_count == 0
+
+    def test_every_create_is_eventually_unlinked(self):
+        """Across several version bumps, created == unlinked at close."""
+        db = _make_db()
+        exporter = CatalogExporter()
+        for i in range(4):
+            exporter.publish(db.catalog)
+            db.execute(f"INSERT INTO s VALUES ({i}, {i})")
+        exporter.publish(db.catalog)
+        exporter.close()
+        stats = exporter.registry.stats
+        assert stats["live"] == 0
+        assert stats["created"] == stats["unlinked"]
+
+    def test_close_is_idempotent(self):
+        db = _make_db()
+        exporter = CatalogExporter()
+        exporter.publish(db.catalog)
+        exporter.close()
+        exporter.close()
+        assert exporter.spec is None and exporter.version is None
+
+
+class TestAttachRoundTrip:
+    def test_attached_catalog_is_bit_identical(self):
+        db = _make_db()
+        exporter = CatalogExporter()
+        keep: list = []
+        try:
+            spec = exporter.publish(db.catalog)
+            attached = attach_catalog(spec, keep)
+            assert attached.version == db.catalog.version
+            for table in db.catalog:
+                name = table.schema.name.lower()
+                twin = attached.get(name)
+                assert twin.row_count == table.row_count
+                for col, tcol in zip(table.columns, twin.columns):
+                    assert tcol.values.dtype == col.values.dtype
+                    assert np.array_equal(tcol.values, col.values)
+                assert sorted(twin.indexes) == sorted(table.indexes)
+        finally:
+            detach_all(keep)
+            exporter.close()
+        assert keep == []
+
+    def test_attach_is_zero_copy(self):
+        """The attached arrays view the shared pages: a byte poked into
+        the segment shows up through the attached column."""
+        db = _make_db()
+        exporter = CatalogExporter()
+        keep: list = []
+        try:
+            spec = exporter.publish(db.catalog)
+            attached = attach_catalog(spec, keep)
+            column = attached.get("s").column("v")
+            original = int(column.values[0])
+            # find v's segment and poke its first element directly
+            sspec = next(t for t in spec["tables"] if t["name"] == "s")
+            cspec = next(c for c in sspec["columns"] if c["name"] == "v")
+            seg = exporter.registry._segments[cspec["segment"]]
+            np.frombuffer(seg.shm.buf,
+                          dtype=cspec["dtype"])[0] = original + 17
+            assert int(column.values[0]) == original + 17
+        finally:
+            detach_all(keep)
+            exporter.close()
+
+    def test_empty_table_attaches(self):
+        db = Database(default_engine="wasm")
+        db.execute("CREATE TABLE empty (a INT, b DOUBLE)")
+        exporter = CatalogExporter()
+        keep: list = []
+        try:
+            attached = attach_catalog(exporter.publish(db.catalog), keep)
+            assert attached.get("empty").row_count == 0
+        finally:
+            detach_all(keep)
+            exporter.close()
+
+    def test_detach_all_clears_keep_list(self):
+        db = _make_db()
+        exporter = CatalogExporter()
+        keep: list = []
+        try:
+            attach_catalog(exporter.publish(db.catalog), keep)
+            assert keep  # something was actually mapped
+            detach_all(keep)
+            assert keep == []
+        finally:
+            detach_all(keep)
+            exporter.close()

@@ -1,0 +1,201 @@
+"""Chaos: worker processes die and the stack keeps answering correctly.
+
+Three layers of the failure policy under test:
+
+* **pool** — a worker killed mid-task surfaces as a retryable
+  :class:`WorkerCrash` and is respawned (covered in ``test_pool.py``);
+* **database** — any :class:`WorkerError` out of the pool degrades the
+  query to in-process execution, with the *same rows* the pool would
+  have produced, and the pool heals for the next query;
+* **service** — under seeded random ``worker.dispatch``/``worker.result``
+  faults, every concurrent session's every query completes with correct
+  results and zero sessions hang.
+
+Select with ``pytest -m chaos`` (these also carry ``-m parallel``).
+"""
+
+import datetime as dt
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.db import Database
+from repro.observability import QueryTrace
+from repro.robustness import FaultInjector
+from repro.server.service import QueryService
+
+pytestmark = [pytest.mark.parallel, pytest.mark.chaos]
+
+ROWS = 400
+
+
+def _fill(database):
+    database.execute(
+        "CREATE TABLE c (id INT PRIMARY KEY, g INT, x INT, d DATE)"
+    )
+    database.table("c").append_rows([
+        (i, i % 9, (i * 13) % 101 - 50,
+         dt.date(2003, 1, 1) + dt.timedelta(days=i % 700))
+        for i in range(ROWS)
+    ])
+
+
+def wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
+
+
+class TestInjectedWorkerFaults:
+    @pytest.mark.parametrize("site", ["worker.dispatch", "worker.result"])
+    def test_transient_fault_degrades_then_heals(self, site):
+        database = Database(default_engine="wasm")
+        _fill(database)
+        oracle = database.execute("SELECT g, SUM(x) FROM c GROUP BY g",
+                                  engine="volcano").rows
+        database.enable_parallel(
+            2, fault_injector=FaultInjector.always(site, max_fires=1)
+        )
+        try:
+            # fault fires: the query degrades in-process, same answer
+            trace = QueryTrace()
+            degraded = database.execute(
+                "SELECT g, SUM(x) FROM c GROUP BY g", engine="wasm",
+                trace=trace,
+            )
+            assert sorted(degraded.rows) == sorted(oracle)
+            assert getattr(degraded, "parallel", None) is None
+            assert "parallel.degraded" in trace.kinds()
+            # injector exhausted: the healed pool serves the next one
+            healed = database.execute(
+                "SELECT g, SUM(x) FROM c GROUP BY g", engine="wasm"
+            )
+            assert sorted(healed.rows) == sorted(oracle)
+            assert getattr(healed, "parallel", None) is not None
+        finally:
+            database.close()
+
+
+class TestKillMidTask:
+    def test_killed_worker_never_hangs_the_query(self):
+        """Murder a busy worker with SIGKILL; the query must still
+        answer correctly (parallel if the reply beat the kill, degraded
+        in-process otherwise), and the pool must heal."""
+        database = Database(default_engine="wasm", workers=2)
+        _fill(database)
+        oracle = database.execute(
+            "SELECT g, COUNT(*), SUM(x) FROM c GROUP BY g",
+            engine="volcano").rows
+        pool = database.parallel.pool
+        pool.start()
+        outcome: dict = {}
+
+        def run():
+            try:
+                # the fresh literal forces a cold compile, keeping the
+                # workers busy long enough to be shot mid-task
+                outcome["result"] = database.execute(
+                    "SELECT g, COUNT(*), SUM(x) FROM c"
+                    " WHERE x > -777 GROUP BY g",
+                    engine="wasm",
+                )
+            except BaseException as err:  # pragma: no cover - fail below
+                outcome["error"] = err
+
+        thread = threading.Thread(target=run)
+        try:
+            thread.start()
+            # a worker is observably *grabbed* (busy) ...
+            assert wait_until(lambda: len(pool._idle) < pool.size)
+            idle_pids = {h.process.pid for h in pool._idle}
+            busy = [p for p in multiprocessing.active_children()
+                    if p.name.startswith("repro-worker-")
+                    and p.pid not in idle_pids]
+            assert busy
+            busy[0].kill()  # ... and is shot mid-task
+            thread.join(timeout=60)
+            assert not thread.is_alive(), "query hung after worker kill"
+            assert "error" not in outcome, outcome.get("error")
+            assert sorted(outcome["result"].rows) == sorted(oracle)
+            # the pool replaced the corpse and serves parallel again
+            assert wait_until(lambda: pool.ping() == pool.size)
+            again = database.execute(
+                "SELECT g, COUNT(*), SUM(x) FROM c GROUP BY g",
+                engine="wasm",
+            )
+            assert sorted(again.rows) == sorted(oracle)
+            assert getattr(again, "parallel", None) is not None
+        finally:
+            thread.join(timeout=5)
+            database.close()
+
+
+class TestServiceUnderWorkerChaos:
+    def test_zero_hung_sessions_under_random_worker_faults(self):
+        """Concurrent sessions × seeded random pipe faults: every query
+        answers correctly, nothing hangs, the service closes clean."""
+        injector = FaultInjector(seed=0xC405, rates={
+            "worker.dispatch": 0.25,
+            "worker.result": 0.25,
+        })
+        service = QueryService(default_engine="wasm", workers=2,
+                               max_concurrent=8,
+                               fault_injector=injector)
+        _fill(service.db)
+        expected = {
+            "SELECT g, SUM(x) FROM c GROUP BY g":
+                sorted(service.db.execute(
+                    "SELECT g, SUM(x) FROM c GROUP BY g",
+                    engine="volcano").rows),
+            "SELECT COUNT(*), MIN(d) FROM c":
+                sorted(service.db.execute(
+                    "SELECT COUNT(*), MIN(d) FROM c",
+                    engine="volcano").rows),
+            "SELECT id, x FROM c WHERE x > 25":
+                sorted(service.db.execute(
+                    "SELECT id, x FROM c WHERE x > 25",
+                    engine="volcano").rows),
+        }
+        queries = list(expected)
+        errors: list = []
+        done = [0]
+        lock = threading.Lock()
+
+        def client(worker_index: int):
+            session = service.create_session()
+            try:
+                for i in range(6):
+                    sql = queries[(worker_index + i) % len(queries)]
+                    result = service.execute(sql, session=session)
+                    if sorted(result.rows) != expected[sql]:
+                        raise AssertionError(f"wrong rows for {sql!r}")
+                    with lock:
+                        done[0] += 1
+            except BaseException as err:
+                with lock:
+                    errors.append((worker_index, err))
+            finally:
+                service.close_session(session)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(4)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            hung = [t for t in threads if t.is_alive()]
+            assert not hung, f"{len(hung)} session(s) hung under chaos"
+            assert not errors, errors[:3]
+            assert done[0] == 24
+            # the chaos actually happened
+            assert injector.total_fired > 0
+            # and the pool is still (or again) serving
+            assert service.db.parallel.pool.ping() >= 1
+        finally:
+            service.close()

@@ -10,10 +10,12 @@ from repro.errors import (
     ResourceExhausted,
     RewiringError,
     Trap,
+    WorkerCrash,
 )
 from repro.robustness import (
     ENGINE_FAULT_SITES,
     FAULT_SITES,
+    PARALLEL_FAULT_SITES,
     SERVICE_FAULT_SITES,
     FaultInjector,
 )
@@ -32,16 +34,24 @@ EXPECTED_SERVICE_TYPES = {
     "socket.write": BrokenPipeError,
 }
 
+EXPECTED_PARALLEL_TYPES = {
+    "worker.dispatch": WorkerCrash,
+    "worker.result": WorkerCrash,
+}
+
 
 class TestRegistry:
     def test_sites_cover_the_issue_contract(self):
         assert set(ENGINE_FAULT_SITES) == set(EXPECTED_ENGINE_TYPES)
         assert set(SERVICE_FAULT_SITES) == set(EXPECTED_SERVICE_TYPES)
+        assert set(PARALLEL_FAULT_SITES) == set(EXPECTED_PARALLEL_TYPES)
         assert set(FAULT_SITES) == (set(EXPECTED_ENGINE_TYPES)
-                                    | set(EXPECTED_SERVICE_TYPES))
+                                    | set(EXPECTED_SERVICE_TYPES)
+                                    | set(EXPECTED_PARALLEL_TYPES))
 
     def test_each_site_raises_its_declared_type(self):
-        expected = {**EXPECTED_ENGINE_TYPES, **EXPECTED_SERVICE_TYPES}
+        expected = {**EXPECTED_ENGINE_TYPES, **EXPECTED_SERVICE_TYPES,
+                    **EXPECTED_PARALLEL_TYPES}
         for site, exc_type in expected.items():
             injector = FaultInjector.always(site)
             with pytest.raises(exc_type):

@@ -9,6 +9,18 @@ from repro.errors import AdmissionError
 from repro.server import MorselScheduler
 
 
+def wait_until(predicate, timeout: float = 5.0) -> bool:
+    """Poll ``predicate`` until true; event-driven tests use this to
+    wait for observable scheduler state instead of sleeping a fixed
+    wall-clock amount and hoping the race resolved."""
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.0005)
+    return predicate()
+
+
 class TestAdmission:
     def test_admits_up_to_limit(self):
         sched = MorselScheduler(max_concurrent=2, max_queue_depth=0)
@@ -58,7 +70,9 @@ class TestAdmission:
 
         thread = threading.Thread(target=waiter)
         thread.start()
-        time.sleep(0.05)
+        # the waiter is observably *queued* (not admitted) — no timing
+        # assumption about how fast the thread reaches the scheduler
+        assert wait_until(lambda: sched.queued == 1)
         assert not admitted.is_set()
         sched.release(first)
         thread.join(timeout=5)
@@ -131,7 +145,8 @@ class TestFairness:
 
         thread = threading.Thread(target=other)
         thread.start()
-        time.sleep(0.05)
+        # t2 is observably enrolled mid-rotation before t1 leaves
+        assert wait_until(lambda: t2.in_rotation)
         sched.release(t1)    # leave without gating again
         thread.join(timeout=5)
         assert done.is_set()

@@ -17,8 +17,11 @@ Over 200 (module, arguments) cases run per test session; seeds are
 fixed, so failures reproduce.
 """
 
+import datetime as dt
 import random
 import struct
+
+import pytest
 
 from repro.wasm import ModuleBuilder
 
@@ -332,3 +335,184 @@ class TestPredicateFoldingDifferential:
             assert not any(k.startswith("compile.") for k in kinds), pred
             folded += 1
         assert folded >= 20  # the seed produces a healthy empty share
+
+
+# ---------------------------------------------------------------------------
+# SQL-level differential: multi-process execution vs the in-process oracle
+# ---------------------------------------------------------------------------
+
+#: Every wasm tier the parallel contract covers: partitions are planned,
+#: compiled, and merged identically whichever tier runs the morsels.
+_PAR_TIERS = ("wasm", "wasm[interpreter]", "wasm[turbofan]")
+
+_PAR_ROWS = 600
+
+
+def _parallel_pair():
+    """Two databases with bit-identical seeded data: ``workers=4`` under
+    test, ``workers=0`` as the single-process oracle."""
+    from repro.db import Database
+
+    rng = random.Random(0xD1FF)
+    rows = [
+        (
+            i,
+            i % 7,                        # g: dense small group key
+            rng.randrange(4),             # h: second group key
+            (i * 7) % 201 - 100,          # x: every value in [-100, 100]
+            rng.randrange(-(10**11), 10**11),
+            rng.uniform(-50.0, 50.0),
+            dt.date(1995, 1, 1) + dt.timedelta(days=rng.randrange(3000)),
+            rng.choice(["aaaa", "bb", "c", ""]),
+        )
+        for i in range(_PAR_ROWS)
+    ]
+    jrows = [(rng.randrange(_PAR_ROWS + 40), rng.randrange(-500, 500))
+             for _ in range(300)]
+    pair = []
+    for workers in (4, 0):
+        db = Database(default_engine="wasm", workers=workers)
+        db.execute(
+            "CREATE TABLE pr (id INT PRIMARY KEY, g INT, h INT, x INT,"
+            " b BIGINT, f DOUBLE, d DATE, s CHAR(4))"
+        )
+        db.execute("CREATE TABLE jr (rid INT, v INT)")
+        db.table("pr").append_rows(rows)
+        db.table("jr").append_rows(jrows)
+        pair.append(db)
+    return pair
+
+
+@pytest.fixture(scope="module")
+def par_pair():
+    par, oracle = _parallel_pair()
+    yield par, oracle
+    par.close()
+
+
+def _predicate(rng):
+    """A seeded predicate guaranteed non-empty over pr (x is dense in
+    [-100, 100]), so scalar MIN/MAX never finalize a fold identity."""
+    shape = rng.randrange(3)
+    if shape == 0:
+        return f"x > {rng.randrange(-100, 41)}"
+    if shape == 1:
+        return f"g <> {rng.randrange(7)}"
+    lo = rng.randrange(-80, 41)
+    return f"x BETWEEN {lo} AND {lo + rng.randrange(10, 60)}"
+
+
+#: Aggregates the contract proves partition-mergeable (AVG and float
+#: SUM are deliberately absent: those degrade to whole mode).
+_MERGEABLE_AGGS = [
+    "COUNT(*)", "SUM(x)", "SUM(b)", "MIN(x)", "MAX(x)", "MIN(b)",
+    "MAX(b)", "MIN(d)", "MAX(d)", "MIN(f)", "MAX(f)",
+]
+
+
+def _run_differential(par, oracle, sql, *, ordered, mode, merge=None):
+    """One case through every tier: the 4-worker rows must be value-
+    identical to the oracle's (after order normalization for merged
+    shapes), and the dispatch must have used the expected mode."""
+    for spec in _PAR_TIERS:
+        expected = oracle.execute(sql, engine=spec).rows
+        result = par.execute(sql, engine=spec)
+        info = getattr(result, "parallel", None)
+        assert info is not None, f"not dispatched: {sql!r} [{spec}]"
+        assert info["mode"] == mode, (sql, spec, info)
+        if merge is not None:
+            assert info["merge"] == merge, (sql, spec, info)
+        got = result.rows
+        if not ordered:
+            expected = sorted(expected, key=repr)
+            got = sorted(got, key=repr)
+        assert got == expected, (
+            f"parallel differs from oracle on {sql!r} [{spec}]\n"
+            f"expected {expected[:4]}\ngot      {got[:4]}"
+        )
+    return len(_PAR_TIERS)
+
+
+class TestParallelDifferential:
+    """workers=4 vs the single-process oracle, all three wasm tiers.
+
+    Over 100 (statement, tier) cases per session; seeds are fixed, so
+    failures reproduce.  Result-order normalization: concat and whole
+    cases compare exactly (partition order *is* scan order; whole mode
+    is one worker running the untouched plan), merged group/scalar
+    shapes compare as sorted multisets on both sides.
+    """
+
+    def test_concat_partitions_reproduce_scan_order(self, par_pair):
+        par, oracle = par_pair
+        rng = random.Random(0xC0CA7)
+        cases = 0
+        for _ in range(8):
+            sql = (f"SELECT id, x, s FROM pr WHERE {_predicate(rng)}")
+            cases += _run_differential(par, oracle, sql, ordered=True,
+                                       mode="partitioned", merge="concat")
+        for _ in range(2):
+            sql = (f"SELECT pr.id, pr.x, jr.v FROM pr"
+                   f" JOIN jr ON pr.id = jr.rid"
+                   f" WHERE {_predicate(rng)}")
+            cases += _run_differential(par, oracle, sql, ordered=True,
+                                       mode="partitioned", merge="concat")
+        assert cases == 30
+
+    def test_partitioned_group_merge(self, par_pair):
+        par, oracle = par_pair
+        rng = random.Random(0x6E0B7)
+        cases = 0
+        for _ in range(7):
+            keys = rng.choice(["g", "g, h", "s", "h"])
+            aggs = ", ".join(rng.sample(_MERGEABLE_AGGS,
+                                        rng.randrange(1, 4)))
+            sql = (f"SELECT {keys}, {aggs} FROM pr"
+                   f" WHERE {_predicate(rng)} GROUP BY {keys}")
+            cases += _run_differential(par, oracle, sql, ordered=False,
+                                       mode="partitioned", merge="group")
+        for _ in range(3):
+            # keys projected away: the merge still runs on full rows
+            sql = (f"SELECT COUNT(*), SUM(x) FROM pr"
+                   f" WHERE {_predicate(rng)} GROUP BY g")
+            cases += _run_differential(par, oracle, sql, ordered=False,
+                                       mode="partitioned", merge="group")
+        for _ in range(2):
+            sql = (f"SELECT pr.g, COUNT(*), SUM(jr.v) FROM pr"
+                   f" JOIN jr ON pr.id = jr.rid"
+                   f" WHERE {_predicate(rng)} GROUP BY pr.g")
+            cases += _run_differential(par, oracle, sql, ordered=False,
+                                       mode="partitioned", merge="group")
+        assert cases == 36
+
+    def test_partitioned_scalar_merge(self, par_pair):
+        par, oracle = par_pair
+        rng = random.Random(0x5CA1A)
+        cases = 0
+        for _ in range(8):
+            aggs = ", ".join(rng.sample(_MERGEABLE_AGGS,
+                                        rng.randrange(2, 5)))
+            sql = f"SELECT {aggs} FROM pr WHERE {_predicate(rng)}"
+            cases += _run_differential(par, oracle, sql, ordered=False,
+                                       mode="partitioned", merge="scalar")
+        assert cases == 24
+
+    def test_whole_mode_is_bit_identical(self, par_pair):
+        par, oracle = par_pair
+        rng = random.Random(0x607E)
+        cases = 0
+        for _ in range(2):
+            sql = f"SELECT AVG(x), AVG(f) FROM pr WHERE {_predicate(rng)}"
+            cases += _run_differential(par, oracle, sql, ordered=False,
+                                       mode="whole")
+        for _ in range(2):
+            sql = (f"SELECT id, x FROM pr WHERE {_predicate(rng)}"
+                   f" ORDER BY x, id LIMIT {rng.randrange(5, 40)}")
+            cases += _run_differential(par, oracle, sql, ordered=True,
+                                       mode="whole")
+        for _ in range(2):
+            sql = (f"SELECT g, SUM(f) FROM pr WHERE {_predicate(rng)}"
+                   f" GROUP BY g")
+            cases += _run_differential(par, oracle, sql, ordered=False,
+                                       mode="whole")
+        assert cases == 18
