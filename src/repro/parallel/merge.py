@@ -14,7 +14,9 @@ over the unpartitioned input:
 * SUM / COUNT add with i64 wraparound — two partials of ``2**63 - 1``
   merge to ``-2`` exactly as the Wasm i64 adder would;
 * MIN / MAX compare storage values (ints compare as ints, f64 partials
-  as floats — both total orders match the engine's);
+  as floats) with the engine's own strict-comparison select, so a NaN
+  partial is never selected — exactly as the engine's branch-free
+  fold skips NaN candidates;
 * group identity is the tuple of *packed* key bytes, so ``-0.0`` and
   ``0.0`` group exactly like the engine's hash table (bit equality);
 * merged groups are emitted in sorted packed-key order — the
@@ -86,10 +88,22 @@ def _combine(kind: str, a, b):
         if isinstance(a, float):  # pragma: no cover - contract blocks it
             raise EngineError("float SUM reached the merge step")
         return _wrap64(a, b)
+    # MIN / MAX mirror the engine's branch-free select, which folds a
+    # candidate v into the accumulator via a *strict* comparison
+    # (acc = v if v < acc else acc): a NaN candidate is never selected
+    # because every comparison with NaN is false.  Engine partials are
+    # therefore never NaN (the fold seeds from a non-NaN identity); if
+    # a raw NaN partial seeds the accumulator anyway, replace it, so
+    # the merge stays partition-count and -order invariant: the result
+    # is the min/max over non-NaN partials, NaN only if all are.
     if kind == "MIN":
-        return a if a <= b else b
+        if a != a:
+            return b
+        return b if b < a else a
     if kind == "MAX":
-        return a if a >= b else b
+        if a != a:
+            return b
+        return b if b > a else a
     raise EngineError(f"cannot merge {kind} aggregate")
 
 

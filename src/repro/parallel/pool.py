@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import select
 import threading
 
 from repro.errors import ResourceExhausted, WorkerCrash, WorkerError
@@ -165,19 +166,33 @@ class WorkerPool:
         return self._started and not self._closed and not self.degraded
 
     def ping(self, timeout: float = 10.0) -> int:
-        """Round-trip every idle worker; returns how many answered."""
+        """Round-trip every currently idle worker; returns how many
+        answered.
+
+        The pinged workers are *acquired* (removed from the idle set)
+        for the duration, so a concurrent ``run_tasks`` can never
+        interleave task frames with ping/pong on the same pipe.  A
+        worker that fails its ping is replaced rather than released —
+        its pipe may still owe a pong.
+        """
         self.start()
         answered = 0
         with self._cond:
             handles = list(self._idle)
+            self._idle.clear()
         for handle in handles:
+            ok = False
             try:
                 handle.conn.send({"kind": "ping"})
                 if handle.conn.poll(timeout):
-                    reply = handle.conn.recv()
-                    answered += reply.get("kind") == "pong"
+                    ok = handle.conn.recv().get("kind") == "pong"
             except (OSError, EOFError, BrokenPipeError):
-                pass
+                ok = False
+            if ok:
+                answered += 1
+                self._release(handle)
+            else:
+                self._replace(handle, "ping")
         return answered
 
     def close(self) -> None:
@@ -288,13 +303,8 @@ class WorkerPool:
                 for index in share[slot]:
                     if injector is not None:
                         injector.check("worker.dispatch")
-                    try:
-                        handle.conn.send(tasks[index])
-                    except (OSError, BrokenPipeError, ValueError) as err:
-                        raise WorkerCrash(
-                            f"dispatch failed: {err}",
-                            worker_id=handle.worker_id, phase="dispatch",
-                        ) from err
+                    self._send(handle, tasks[index], deadline,
+                               cancel_token)
                     self._tasks_total.inc()
             for slot, handle in enumerate(handles):
                 for index in share[slot]:
@@ -324,6 +334,51 @@ class WorkerPool:
         if error is not None:
             raise error
         return replies
+
+    def _send(self, handle: _WorkerHandle, task: dict, deadline,
+              cancel_token) -> None:
+        """One task frame onto one worker, in cancel-aware slices.
+
+        ``conn.send`` blocks when the worker has wedged with a full
+        pipe buffer, so wait for writability first — the same deadline
+        and cancellation checks the recv path makes.  (Writability
+        means room for *some* bytes, not necessarily the whole frame;
+        a pathological worker can still stall a huge payload, but a
+        wedged-from-the-start worker now surfaces as a structured
+        error instead of a hang.)
+        """
+        while True:
+            try:
+                _, writable, _ = select.select(
+                    [], [handle.conn], [], _POLL_SLICE
+                )
+            except (OSError, ValueError) as err:
+                raise WorkerCrash(
+                    f"dispatch failed: {err}",
+                    worker_id=handle.worker_id, phase="dispatch",
+                ) from err
+            if writable:
+                try:
+                    handle.conn.send(task)
+                except (OSError, BrokenPipeError, ValueError) as err:
+                    raise WorkerCrash(
+                        f"dispatch failed: {err}",
+                        worker_id=handle.worker_id, phase="dispatch",
+                    ) from err
+                return
+            if not handle.alive:
+                raise WorkerCrash(
+                    "worker process exited before dispatch",
+                    worker_id=handle.worker_id, phase="dispatch",
+                )
+            if cancel_token is not None:
+                cancel_token.raise_if_cancelled(phase="parallel")
+            if deadline is not None and deadline.expired:
+                raise ResourceExhausted(
+                    "wall_clock",
+                    "deadline expired dispatching to a worker",
+                    phase="parallel",
+                )
 
     def _recv(self, handle: _WorkerHandle, deadline, cancel_token) -> dict:
         """One reply off one worker, in cancel-aware slices."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import secrets
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -95,9 +96,15 @@ class SharedSegment:
 
 
 class SegmentRegistry:
-    """Creates, tracks, and reference-counts this process's segments."""
+    """Creates, tracks, and reference-counts this process's segments.
+
+    Thread-safe: the multi-threaded service publishes catalogs from
+    concurrent query threads, so every mutation of the segment table
+    (and the refcounts inside it) happens under one lock.
+    """
 
     def __init__(self):
+        self._lock = threading.RLock()
         self._segments: dict[str, SharedSegment] = {}
         self._created = 0
         self._unlinked = 0
@@ -118,47 +125,55 @@ class SegmentRegistry:
         if nbytes:
             shm.buf[:nbytes] = bytes(payload)
         segment = SharedSegment(name=name, shm=shm, nbytes=nbytes)
-        self._segments[name] = segment
-        self._created += 1
-        self._gauge.set(self.live_count)
+        with self._lock:
+            self._segments[name] = segment
+            self._created += 1
+            self._gauge.set(len(self._segments))
         return segment
 
     def decref(self, name: str) -> None:
-        segment = self._segments[name]
-        if segment.decref():
-            self._unlinked += 1
-            del self._segments[name]
-            self._gauge.set(self.live_count)
+        with self._lock:
+            segment = self._segments[name]
+            if segment.decref():
+                self._unlinked += 1
+                del self._segments[name]
+                self._gauge.set(len(self._segments))
 
     def incref(self, name: str) -> None:
-        self._segments[name].incref()
+        with self._lock:
+            self._segments[name].incref()
 
     # -- introspection (tests, leak fixture) -------------------------------
 
     @property
     def live_count(self) -> int:
-        return len(self._segments)
+        with self._lock:
+            return len(self._segments)
 
     @property
     def live_names(self) -> list[str]:
-        return sorted(self._segments)
+        with self._lock:
+            return sorted(self._segments)
 
     @property
     def stats(self) -> dict:
-        return {"created": self._created, "unlinked": self._unlinked,
-                "live": self.live_count}
+        with self._lock:
+            return {"created": self._created, "unlinked": self._unlinked,
+                    "live": len(self._segments)}
 
     def refcount(self, name: str) -> int:
-        return self._segments[name].refcount
+        with self._lock:
+            return self._segments[name].refcount
 
     def close(self) -> None:
         """Unlink everything still linked (driver shutdown path)."""
-        for name in list(self._segments):
-            segment = self._segments.pop(name)
-            segment.refcount = 1
-            segment.decref()
-            self._unlinked += 1
-        self._gauge.set(0)
+        with self._lock:
+            for name in list(self._segments):
+                segment = self._segments.pop(name)
+                segment.refcount = 1
+                segment.decref()
+                self._unlinked += 1
+            self._gauge.set(0)
 
 
 class CatalogExporter:
@@ -168,17 +183,25 @@ class CatalogExporter:
     One exporter per driver database.  ``publish()`` is idempotent per
     catalog version; the current spec is a plain picklable dict small
     enough to ride on every task (workers use it to self-fence: a task
-    carrying a newer version triggers re-attachment).
+    carrying a newer version triggers re-attachment).  Concurrent query
+    threads all call ``publish()``; a lock serializes them so exactly
+    one thread exports each new version and the rest return its spec.
     """
 
     def __init__(self, registry: SegmentRegistry | None = None):
         self.registry = registry if registry is not None \
             else SegmentRegistry()
+        self._lock = threading.Lock()
         self._version: int | None = None
         self._spec: dict | None = None
-        #: (table, column) -> (array id, segment name) of the current
-        #: version, used to reuse segments for unchanged columns
-        self._published: dict[tuple[str, str], tuple[int, str]] = {}
+        #: (table, column) -> (backing array, segment name) of the
+        #: current version, used to reuse segments for unchanged
+        #: columns.  Holds the array object itself (a strong
+        #: reference): identity is compared with ``is``, and keeping
+        #: the array alive guarantees a freed array's address can never
+        #: be recycled into a false "unchanged" match serving stale
+        #: segment data.
+        self._published: dict[tuple[str, str], tuple[np.ndarray, str]] = {}
 
     @property
     def version(self) -> int | None:
@@ -196,63 +219,65 @@ class CatalogExporter:
         referenced only by the previous version are unlinked here —
         exactly once, by refcount.
         """
-        if self._version == catalog.version and self._spec is not None:
-            return self._spec
-        previous = self._published
-        current: dict[tuple[str, str], tuple[int, str]] = {}
-        tables = []
-        for table in catalog:
-            tname = table.schema.name.lower()
-            columns = []
-            for column in table.columns:
-                key = (tname, column.name)
-                array = column.values
-                prev = previous.get(key)
-                if prev is not None and prev[0] == id(array):
-                    name = prev[1]
-                    self.registry.incref(name)
-                else:
-                    segment = self.registry.create(
-                        memoryview(array).cast("B") if array.size
-                        else b""
-                    )
-                    name = segment.name
-                columns.append({
-                    "name": column.name,
-                    "dtype": array.dtype.str,
-                    "rows": int(array.size),
-                    "segment": name,
+        with self._lock:
+            if self._version == catalog.version and self._spec is not None:
+                return self._spec
+            previous = self._published
+            current: dict[tuple[str, str], tuple[np.ndarray, str]] = {}
+            tables = []
+            for table in catalog:
+                tname = table.schema.name.lower()
+                columns = []
+                for column in table.columns:
+                    key = (tname, column.name)
+                    array = column.values
+                    prev = previous.get(key)
+                    if prev is not None and prev[0] is array:
+                        name = prev[1]
+                        self.registry.incref(name)
+                    else:
+                        segment = self.registry.create(
+                            memoryview(array).cast("B") if array.size
+                            else b""
+                        )
+                        name = segment.name
+                    columns.append({
+                        "name": column.name,
+                        "dtype": array.dtype.str,
+                        "rows": int(array.size),
+                        "segment": name,
+                    })
+                    current[key] = (array, name)
+                tables.append({
+                    "name": tname,
+                    "schema": table.schema,
+                    "row_count": table.row_count,
+                    "columns": columns,
+                    "indexes": sorted(
+                        (cname, index.name)
+                        for cname, index in table.indexes.items()
+                    ),
                 })
-                current[key] = (id(array), name)
-            tables.append({
-                "name": tname,
-                "schema": table.schema,
-                "row_count": table.row_count,
-                "columns": columns,
-                "indexes": sorted(
-                    (cname, index.name)
-                    for cname, index in table.indexes.items()
-                ),
-            })
-        # drop the previous version's references (unlink-once fencing)
-        for key, (_, name) in previous.items():
-            self.registry.decref(name)
-        self._published = current
-        self._version = catalog.version
-        self._spec = {"version": catalog.version, "tables": tables}
-        return self._spec
+            # drop the previous version's references (unlink-once fencing)
+            for key, (_, name) in previous.items():
+                self.registry.decref(name)
+            self._published = current
+            self._version = catalog.version
+            self._spec = {"version": catalog.version, "tables": tables}
+            return self._spec
 
     def close(self) -> None:
         """Drop the current version's references and unlink leftovers."""
-        for _, name in self._published.values():
-            try:
-                self.registry.decref(name)
-            except (KeyError, StorageError):  # pragma: no cover
-                pass
-        self._published = {}
-        self._spec = None
-        self._version = None
-        self.registry.close()
+        with self._lock:
+            for _, name in self._published.values():
+                try:
+                    self.registry.decref(name)
+                except (KeyError, StorageError):  # pragma: no cover
+                    pass
+            self._published = {}
+            self._spec = None
+            self._version = None
+            self.registry.close()
 
 
 def attach_catalog(spec: dict, keep: list | None = None):

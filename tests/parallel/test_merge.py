@@ -119,6 +119,16 @@ class TestMergeGroups:
         )
         assert merged == [(0, -2.5, 2.0)]
 
+    def test_nan_merge_is_partition_order_invariant(self):
+        # the engine's strict select never picks NaN; the merge must
+        # not let a NaN partial win or lose by encounter order
+        nan = float("nan")
+        partials = [[(0, nan, nan)], [(0, 3.5, 3.5)], [(0, -1.0, 7.0)]]
+        merged = merge_groups(partials, 1, ["MIN", "MAX"])
+        assert merged == [(0, -1.0, 7.0)]
+        assert merged == merge_groups(list(reversed(partials)), 1,
+                                      ["MIN", "MAX"])
+
 
 class TestMergeScalar:
     def test_min_of_identity_and_real_partition(self):
@@ -128,6 +138,18 @@ class TestMergeScalar:
             [[((1 << 31) - 1,)], [(7305,)]], ["MIN"]
         )
         assert merged == (7305,)
+
+    def test_nan_partials_never_win_min_max(self):
+        nan = float("nan")
+        for partials in ([[(nan, nan)], [(1.5, -2.0)]],
+                         [[(1.5, -2.0)], [(nan, nan)]]):
+            (merged,) = merge_scalar(partials, ["MIN", "MAX"])
+            assert merged == (1.5, -2.0)
+
+    def test_all_nan_partials_stay_nan(self):
+        nan = float("nan")
+        (merged,) = merge_scalar([[(nan,)], [(nan,)]], ["MIN"])
+        assert merged[0] != merged[0]
 
     def test_wrong_row_count_is_an_engine_error(self):
         with pytest.raises(EngineError, match="expected 1"):

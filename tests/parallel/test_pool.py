@@ -5,10 +5,13 @@ assert the pool's failure policy — kill + respawn + structured error —
 at the protocol level, without involving SQL at all.
 """
 
+import multiprocessing
+
 import pytest
 
-from repro.errors import WorkerCrash, WorkerError
-from repro.parallel.pool import WorkerPool
+from repro.errors import ResourceExhausted, WorkerCrash, WorkerError
+from repro.parallel.pool import WorkerPool, _WorkerHandle
+from repro.robustness.resilience import Deadline
 
 pytestmark = pytest.mark.parallel
 
@@ -73,6 +76,48 @@ class TestCrashHealing:
                 pool.run_tasks([{"kind": "bogus"}])
         finally:
             pool.close()
+
+    def test_ping_replaces_failed_workers_instead_of_releasing(self):
+        """A worker that fails its ping may still owe a pong on its
+        pipe; ping must replace it (kill + respawn), never hand the
+        dirty pipe back to the idle set for the next query."""
+        pool = WorkerPool(workers=2)
+        try:
+            pool.start()
+            victim = pool._idle[0]
+            victim.process.kill()
+            victim.process.join(timeout=5)
+            assert pool.ping() == 1
+            # the failure was healed synchronously: whole pool answers
+            assert pool.ping() == 2
+            assert pool.healthy
+        finally:
+            pool.close()
+
+    def test_send_respects_deadline_on_a_full_pipe(self):
+        """A wedged worker that never drains its pipe must surface as
+        a structured deadline error on the *send* path, not a hang."""
+
+        class _WedgedProcess:
+            def is_alive(self):
+                return True
+
+        parent, child = multiprocessing.get_context("spawn").Pipe(
+            duplex=True
+        )
+        pool = WorkerPool(workers=1)
+        handle = _WorkerHandle(_WedgedProcess(), parent, 0)
+        try:
+            deadline = Deadline(0.3)
+            with pytest.raises(ResourceExhausted, match="deadline"):
+                # small frames fill the pipe buffer; once full, the
+                # writability slices hit the deadline
+                for _ in range(10_000):
+                    pool._send(handle, {"pad": "x" * 1024},
+                               deadline, None)
+        finally:
+            parent.close()
+            child.close()
 
     def test_close_kills_workers_that_ignore_shutdown(self):
         pool = WorkerPool(workers=1)

@@ -15,6 +15,7 @@ The invariants under test, straight from the module contract:
 """
 
 import datetime as dt
+import threading
 
 import numpy as np
 import pytest
@@ -188,6 +189,58 @@ class TestCatalogExporter:
         stats = exporter.registry.stats
         assert stats["live"] == 0
         assert stats["created"] == stats["unlinked"]
+
+    def test_concurrent_publish_is_serialized(self):
+        """Threads racing to publish the same new catalog version must
+        yield one export: one winner builds the spec, every loser
+        returns it, no segment is double-decref'd, nothing leaks."""
+        db = _make_db()
+        exporter = CatalogExporter()
+        try:
+            exporter.publish(db.catalog)
+            for i in range(3):
+                db.execute(f"INSERT INTO s VALUES ({i}, {i})")
+                barrier = threading.Barrier(8)
+                specs: list = []
+                errors: list = []
+
+                def race():
+                    barrier.wait()
+                    try:
+                        specs.append(exporter.publish(db.catalog))
+                    except Exception as err:  # noqa: BLE001 - recorded
+                        errors.append(err)
+
+                threads = [threading.Thread(target=race)
+                           for _ in range(8)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert errors == []
+                assert all(s is specs[0] for s in specs)
+                live = set(exporter.registry.live_names)
+                assert live == set(_segment_names(specs[0]))
+        finally:
+            exporter.close()
+        stats = exporter.registry.stats
+        assert stats["live"] == 0
+        assert stats["created"] == stats["unlinked"]
+
+    def test_published_arrays_are_strongly_referenced(self):
+        """Segment reuse is decided by array object identity, which is
+        only sound while the exporter pins the published arrays alive —
+        a freed array's address could otherwise be recycled into a
+        stale "unchanged" match serving old column data."""
+        db = _make_db()
+        exporter = CatalogExporter()
+        try:
+            exporter.publish(db.catalog)
+            for (tname, cname), (array, _) in \
+                    exporter._published.items():
+                assert array is db.catalog.get(tname).column(cname).values
+        finally:
+            exporter.close()
 
     def test_close_is_idempotent(self):
         db = _make_db()
