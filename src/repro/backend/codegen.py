@@ -50,6 +50,40 @@ def _slot_indices(*exprs) -> set[int]:
     return used
 
 
+def pipeline_shape(pipe: Pipeline, memory) -> str:
+    """The backend-level *operator shape* of one pipeline.
+
+    Operator kind x column types x layout, as a stable string: what the
+    generated code is a function of, independent of the data it runs
+    over (literals, row counts, addresses).  Two queries with equal
+    pipeline shapes compile to structurally identical Wasm, which is
+    why the tier-0 stencil cache — keyed by a digest of that code —
+    hits across them.  This descriptor is the human-readable face of
+    that sharing, surfaced per pipeline in ``EXPLAIN ANALYZE``.
+    """
+    def one(op, role):
+        kind = type(op).__name__
+        if isinstance(op, P.SeqScan):
+            cols = ",".join(
+                f"{name}:{col.ty}"
+                for name, col in zip(op.columns, op.output)
+            )
+            chunked = "chunked" if memory is not None and \
+                memory.extent_rows.get(op.binding, 0) < \
+                memory.row_counts.get(op.binding, 0) else "whole"
+            return f"{kind}({cols};{chunked})"
+        if isinstance(op, P.IndexSeek):
+            return f"{kind}({op.key_column})"
+        types = ",".join(str(c.ty) for c in getattr(op, "output", ()) or ())
+        return f"{kind}[{types}]" if types and role != "sink" else kind
+
+    stages = [one(pipe.source, "source")]
+    stages += [one(op, "stream") for op in pipe.operators]
+    stages.append(one(pipe.sink, "sink") if pipe.sink is not None
+                  else "Result")
+    return " -> ".join(stages)
+
+
 @dataclass
 class PipelineInfo:
     """What the host driver needs to run one pipeline."""
@@ -71,6 +105,8 @@ class PipelineInfo:
     # index-seek bounds for the host's position lookup:
     # (key_column, low, high, low_strict, high_strict)
     seek: tuple | None = None
+    #: The operator-shape descriptor (see :func:`pipeline_shape`).
+    shape: str = ""
 
 
 @dataclass
@@ -269,6 +305,7 @@ class QueryCompiler:
             source_kind="scan",
             source_name="",
             is_final=pipe.sink is None,
+            shape=pipeline_shape(pipe, self.memory),
         )
         sink = pipe.sink
         if sink is not None:

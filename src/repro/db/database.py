@@ -391,12 +391,16 @@ class Database:
                 result = self._text_result(lines, trace=run_trace)
                 result.analyzed = executed
                 return result
-        executed = self.resolve_engine(spec).execute(
+        eng = self.resolve_engine(spec)
+        executed = eng.execute(
             plan, self.catalog, profile=profile, trace=run_trace
         )
         stats = pipeline_stats_from_trace(
             run_trace, dissect_into_pipelines(plan)
         )
+        shapes = getattr(eng, "last_pipeline_shapes", None) or {}
+        for stat in stats:
+            stat.shape = shapes.get(stat.index, "")
         lines = render_explain_analyze(
             plan, run_trace, stats, spec, total_rows=len(executed.rows)
         )

@@ -132,6 +132,9 @@ class WasmEngine(QueryEngine):
         self.elide_bounds_checks = elide_bounds_checks
         self.fault_injector = fault_injector
         self.last_tier_stats = None  # TierStats of the most recent execute()
+        # pipeline index -> backend operator-shape descriptor of the most
+        # recently prepared query (EXPLAIN ANALYZE surfaces these)
+        self.last_pipeline_shapes: dict[int, str] = {}
         # Optional cooperative-scheduling callback, invoked once per
         # morsel before the pipeline function runs.  The query service's
         # fair scheduler parks threads here so concurrent queries
@@ -322,6 +325,9 @@ class WasmEngine(QueryEngine):
             governor.phase = "translation"
         compiled, space = self.compile_query(plan, catalog, timings,
                                              governor, trace)
+        self.last_pipeline_shapes = {
+            info.index: info.shape for info in compiled.pipelines
+        }
         if governor is not None:
             governor.check()
             governor.phase = "compile"
@@ -358,7 +364,8 @@ class WasmEngine(QueryEngine):
         )
         executable.instance = instance
         self.last_tier_stats = instance.stats
-        # instantiation time counts as compilation (Liftoff/TurboFan)
+        # instantiation time counts as compilation (stencil/Liftoff/TurboFan)
+        timings.add("compile_stencil", instance.stats.stencil_seconds)
         timings.add("compile_liftoff", instance.stats.liftoff_seconds)
         timings.add("compile_turbofan", instance.stats.turbofan_seconds)
         if governor is not None:
@@ -401,7 +408,9 @@ class WasmEngine(QueryEngine):
 
         self._rewire_count = 0
         self.last_morsels_total = 0
-        compile_before = instance.stats.total_compile_seconds
+        compile_before = (instance.stats.stencil_seconds,
+                          instance.stats.liftoff_seconds,
+                          instance.stats.turbofan_seconds)
         with Stopwatch(timings, "execution"), \
                 trace_span(trace, "execution", engine=self.name):
             instance.invoke("init")
@@ -426,21 +435,38 @@ class WasmEngine(QueryEngine):
                         )
             self._drain(instance, compiled, rows)
         # tier-up compilation that happened during execution is reported
-        # as compile time, not execution time (in V8 it runs concurrently)
-        tier_up = instance.stats.total_compile_seconds - compile_before
-        if tier_up > 0:
-            timings.phases["execution"] -= tier_up
-            timings.add("compile_turbofan", tier_up)
-
+        # as compile time, not execution time (in V8 it runs concurrently),
+        # attributed to the tier that did the compiling: a stencil->Liftoff
+        # promotion spends Liftoff seconds, a Liftoff->TurboFan one
+        # TurboFan seconds
         stats = instance.stats
-        trace_event(
-            trace, "tier_stats",
+        for phase, before, after in (
+            ("compile_stencil", compile_before[0], stats.stencil_seconds),
+            ("compile_liftoff", compile_before[1], stats.liftoff_seconds),
+            ("compile_turbofan", compile_before[2], stats.turbofan_seconds),
+        ):
+            delta = after - before
+            if delta > 0:
+                timings.phases["execution"] -= delta
+                timings.add(phase, delta)
+
+        tier_attrs = dict(
             liftoff_functions=stats.liftoff_functions,
             turbofan_functions=stats.turbofan_functions,
             tier_ups=stats.tier_ups,
             tier_up_failures=stats.tier_up_failures,
             bounds_checks_elided=stats.bounds_checks_elided,
         )
+        if stats.stencil_functions or stats.stencil_fallbacks:
+            # only when tier-0 was involved, keeping non-stencil traces
+            # byte-identical to the pre-stencil engine
+            tier_attrs.update(
+                stencil_functions=stats.stencil_functions,
+                stencil_cache_hits=stats.stencil_cache_hits,
+                stencil_cache_misses=stats.stencil_cache_misses,
+                stencil_fallbacks=stats.stencil_fallbacks,
+            )
+        trace_event(trace, "tier_stats", **tier_attrs)
         if self.raw_rows:
             result = ExecutionResult(
                 column_names=[c.name for c in plan.output],
@@ -590,8 +616,16 @@ class WasmEngine(QueryEngine):
             "wasm_morsels_total", "Morsels executed, by tier"
         )
         while begin < total:
-            end = min(begin + self.morsel_size, total)
             tier = instance.tier_of(info.function)
+            if tier == "stencil":
+                # warmup morsels: stencil code starts instantly but runs
+                # slower than compiled code, so bound the work done per
+                # call — first rows surface sooner AND the call counter
+                # reaches the promotion threshold after little work
+                size = max(self.morsel_size // 16, 256)
+            else:
+                size = self.morsel_size
+            end = min(begin + size, total)
             try:
                 if self.cancel_token is not None:
                     self.cancel_token.raise_if_cancelled(

@@ -180,6 +180,17 @@ class CompilationError(WasmError):
     retryable = True
 
 
+class StencilError(CompilationError):
+    """Raised when the tier-0 stencil assembler cannot assemble a function.
+
+    Retryable like every compilation failure: the engine falls back to
+    the Liftoff path for the affected function, so a query never fails
+    because the cheapest tier declined it.
+    """
+
+    retryable = True
+
+
 # --------------------------------------------------------------------------
 # Engines
 # --------------------------------------------------------------------------

@@ -29,8 +29,14 @@ __all__ = [
 _PHASE_KINDS = (
     "parse", "analyze", "plan", "plan.analysis", "plan.lint",
     "translation", "validate", "lint",
-    "compile.liftoff", "compile.turbofan", "execution",
+    "compile.stencil", "compile.liftoff", "compile.turbofan", "execution",
 )
+
+#: Execution tiers in ladder order; the ``tiers:`` line is data-driven
+#: over whichever ``<tier>_functions`` attributes the trace's
+#: ``tier_stats`` event actually carries, so a new tier shows up by
+#: being listed here rather than by editing the renderer.
+_TIER_ORDER = ("stencil", "liftoff", "turbofan")
 
 
 @dataclass
@@ -48,6 +54,9 @@ class PipelineStats:
     tier_morsels: dict[str, int] = field(default_factory=dict)
     tier_seconds: dict[str, float] = field(default_factory=dict)
     rewires: int = 0
+    #: Backend operator-shape descriptor (the stencil-cache key's
+    #: plan-level counterpart); empty when the engine doesn't report one.
+    shape: str = ""
 
 
 def pipeline_stats_from_trace(trace, pipelines=None) -> list[PipelineStats]:
@@ -134,18 +143,27 @@ def render_explain_analyze(plan, trace, stats: list[PipelineStats],
                     f"/{_ms(stat.tier_seconds.get(tier, 0.0))}"
                 )
             lines.append("    " + "  ".join(detail))
+            if stat.shape:
+                lines.append(f"    shape: {stat.shape}")
 
     tier_events = trace.find("tier_stats")
     if tier_events:
         attrs = tier_events[-1].attrs
-        lines.append(
-            "tiers: "
-            f"liftoff={attrs.get('liftoff_functions', 0)} fn "
-            f"turbofan={attrs.get('turbofan_functions', 0)} fn "
+        parts = [
+            f"{tier}={attrs[f'{tier}_functions']} fn"
+            for tier in _TIER_ORDER if f"{tier}_functions" in attrs
+        ]
+        parts.append(
             f"tier-ups={attrs.get('tier_ups', 0)} "
             f"(failures={attrs.get('tier_up_failures', 0)}) "
             f"bounds-checks-elided={attrs.get('bounds_checks_elided', 0)}"
         )
+        if "stencil_cache_hits" in attrs:
+            parts.append(
+                f"stencil-cache={attrs['stencil_cache_hits']} hit(s)"
+                f"/{attrs.get('stencil_cache_misses', 0)} miss(es)"
+            )
+        lines.append("tiers: " + " ".join(parts))
 
     phases = [
         f"{kind}={_ms(trace.total_seconds(kind))}"

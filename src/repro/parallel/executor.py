@@ -208,6 +208,7 @@ class ParallelExecutor:
             "morsels": [reply["morsels"] for reply in replies],
             "warm": [reply["warm"] for reply in replies],
             "rows_partial": [len(rows) for rows in partials],
+            "stencil_cache": [reply.get("stencil_cache") for reply in replies],
         }
         self._queries.inc(mode=decision.mode)
         return result

@@ -142,6 +142,8 @@ class _WorkerState:
             )
         finally:
             engine.partition = None
+        from repro.wasm.stencil.cache import get_stencil_cache
+
         return {
             "kind": "result",
             "ok": True,
@@ -149,6 +151,9 @@ class _WorkerState:
             "morsels": engine.last_morsels_total,
             "warm": warm,
             "timings": dict(result.timings.phases),
+            # this worker process's shape-keyed stencil cache: a cold
+            # executable for a familiar shape still reports cache hits
+            "stencil_cache": get_stencil_cache().stats,
         }
 
 

@@ -15,6 +15,9 @@ Sites (see :data:`FAULT_SITES`):
                           compilation) — raises ``CompilationError``
 ``liftoff.compile``       the baseline tier fails at instantiation —
                           raises ``CompilationError``
+``stencil.assemble``      the tier-0 stencil assembly declines — raises
+                          ``CompilationError`` (the engine falls back
+                          to the Liftoff path)
 ``memory.grow``           the module's ``memory.grow`` is denied — raises
                           ``ResourceExhausted("memory_pages")``
 ``rewire.chunk``          re-wiring the next chunk of a windowed table
@@ -105,6 +108,7 @@ def _worker_fault(site: str) -> WorkerCrash:
 ENGINE_FAULT_SITES = {
     "turbofan.compile": _compile_fault,
     "liftoff.compile": _compile_fault,
+    "stencil.assemble": _compile_fault,
     "memory.grow": _grow_fault,
     "rewire.chunk": _rewire_fault,
     "trap.morsel": _trap_fault,

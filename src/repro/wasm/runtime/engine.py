@@ -39,15 +39,30 @@ from repro.wasm.runtime.interpreter import Interpreter
 from repro.wasm.runtime.liftoff import LiftoffCompiler
 from repro.wasm.runtime.memory import LinearMemory
 from repro.wasm.runtime.turbofan import TurboFanCompiler
+from repro.wasm.stencil.cache import get_stencil_cache
 from repro.wasm.validator import validate_module
 
-__all__ = ["ENGINE_MODES", "Engine", "EngineConfig", "Instance", "TierStats"]
+__all__ = ["ENGINE_MODES", "TIER_LADDERS", "Engine", "EngineConfig",
+           "Instance", "TierStats"]
 
 _GLOBAL_DEFAULTS = {"i32": 0, "i64": 0, "f32": 0.0, "f64": 0.0}
 
 
 #: The valid tiering modes, in decreasing order of sophistication.
-ENGINE_MODES = ("adaptive", "turbofan", "liftoff", "interpreter")
+ENGINE_MODES = ("adaptive_stencil", "adaptive", "turbofan", "liftoff",
+                "stencil", "interpreter")
+
+#: The tier-up ladder per adaptive mode: functions start on the first
+#: tier and are promoted one rung at a time at call-count thresholds.
+#: Non-adaptive modes pin every function to their single tier.
+TIER_LADDERS = {
+    "adaptive": ("liftoff", "turbofan"),
+    "adaptive_stencil": ("stencil", "liftoff", "turbofan"),
+    "turbofan": ("turbofan",),
+    "liftoff": ("liftoff",),
+    "stencil": ("stencil",),
+    "interpreter": ("interp",),
+}
 
 #: The valid linter modes of :attr:`EngineConfig.lint`.
 LINT_MODES = ("off", "warn", "strict")
@@ -63,7 +78,7 @@ class EngineConfig:
     ``ValueError`` deep in ``_compile_all``.
     """
 
-    mode: str = "adaptive"          # adaptive | liftoff | turbofan | interpreter
+    mode: str = "adaptive"          # one of ENGINE_MODES
     tier_up_threshold: int = 16     # calls of one function before tier-up
     validate: bool = True
     #: Static-analysis linter over every instantiated module:
@@ -99,6 +114,11 @@ class EngineConfig:
                 f"got {self.elide_bounds_checks!r}"
             )
 
+    @property
+    def tier_ladder(self) -> tuple[str, ...]:
+        """The tiers this mode runs through, lowest first."""
+        return TIER_LADDERS[self.mode]
+
 
 @dataclass
 class TierStats:
@@ -115,10 +135,22 @@ class TierStats:
     #: Per-access bounds checks TurboFan statically proved away using the
     #: interval analysis (summed over its compiled functions).
     bounds_checks_elided: int = 0
+    #: Tier-0 accounting: time spent assembling (or fetching) stencil
+    #: code, functions bound to it, and whether this instance's module
+    #: shape was served from the process-wide stencil cache.
+    stencil_seconds: float = 0.0
+    stencil_functions: int = 0
+    stencil_cache_hits: int = 0
+    stencil_cache_misses: int = 0
+    #: Whole-module stencil assemblies that declined (unsupported op,
+    #: instrumented run, injected fault); the instance fell back to the
+    #: Liftoff path — queries never fail because tier-0 declined.
+    stencil_fallbacks: int = 0
 
     @property
     def total_compile_seconds(self) -> float:
-        return self.liftoff_seconds + self.turbofan_seconds
+        return (self.stencil_seconds + self.liftoff_seconds
+                + self.turbofan_seconds)
 
 
 class Instance:
@@ -339,7 +371,19 @@ class Engine:
             instance.stats.turbofan_seconds += time.perf_counter() - start
             return
 
-        # liftoff and adaptive both start from Liftoff code
+        if mode in ("stencil", "adaptive_stencil"):
+            if self._compile_stencil(instance):
+                if mode == "adaptive_stencil":
+                    for i in range(len(module.functions)):
+                        self._install_stencil_tier_up_trigger(
+                            instance, n_imports + i
+                        )
+                return
+            # assembly declined (unsupported op, instrumented run,
+            # injected fault): fall through to the Liftoff path below —
+            # the retryable StencilError never escapes the engine
+
+        # liftoff and the adaptive ladders start (or land) on Liftoff code
         compiler = LiftoffCompiler(module)
         start = time.perf_counter()
         with trace_span(trace, "compile.liftoff",
@@ -357,9 +401,137 @@ class Engine:
         instance.stats.liftoff_seconds += time.perf_counter() - start
         instance.stats.liftoff_functions += len(module.functions)
 
-        if mode == "adaptive":
+        if mode == "adaptive" or mode == "adaptive_stencil":
             for i in range(len(module.functions)):
                 self._install_tier_up_trigger(instance, n_imports + i)
+
+    def _compile_stencil(self, instance: Instance) -> bool:
+        """Bind tier-0 stencil code to every function; False to decline.
+
+        Assembly is served from the process-wide shape-keyed cache
+        (:mod:`repro.wasm.stencil.cache`), so a structurally familiar
+        module skips even the (cheap) assembly pass.  Any failure —
+        an op without a stencil, an injected ``stencil.assemble`` fault
+        — declines the whole module and the caller falls back to the
+        Liftoff path: tier-0 is an optimization, never a failure mode.
+        """
+        module = instance.module
+        n_imports = len(module.imports)
+        trace = self.config.trace
+        stats = instance.stats
+        if instance.profile is not None:
+            # stencils carry no profiling hooks; instrumented runs take
+            # the Liftoff tier, which instruments
+            stats.stencil_fallbacks += 1
+            trace_event(trace, "stencil.fallback", reason="instrumented")
+            get_registry().counter(
+                "engine_stencil_fallbacks_total",
+                "Stencil assemblies that fell back to Liftoff",
+            ).inc()
+            return False
+        injector = self.config.fault_injector
+        start = time.perf_counter()
+        hit = False
+        try:
+            with trace_span(trace, "compile.stencil",
+                            functions=len(module.functions)) as span:
+                if injector is not None:
+                    injector.check("stencil.assemble")
+                artifacts, hit = get_stencil_cache().get(module)
+                for i, artifact in enumerate(artifacts):
+                    instance.funcs[n_imports + i] = artifact.bind(instance)
+                if span is not None:
+                    span.attrs["cache"] = "hit" if hit else "miss"
+        except CompilationError as exc:
+            stats.stencil_seconds += time.perf_counter() - start
+            stats.stencil_fallbacks += 1
+            trace_event(trace, "stencil.fallback", reason=str(exc))
+            get_registry().counter(
+                "engine_stencil_fallbacks_total",
+                "Stencil assemblies that fell back to Liftoff",
+            ).inc()
+            return False
+        stats.stencil_seconds += time.perf_counter() - start
+        stats.stencil_functions += len(module.functions)
+        if hit:
+            stats.stencil_cache_hits += 1
+        else:
+            stats.stencil_cache_misses += 1
+        return True
+
+    def _install_stencil_tier_up_trigger(self, instance: Instance,
+                                         func_index: int) -> None:
+        """Wrap a stencil function with a call counter that promotes it
+        to Liftoff once hot — the first rung of the stencil ladder.
+
+        Same shape as :meth:`_install_tier_up_trigger`; the promoted
+        Liftoff function then gets its own trigger toward TurboFan, so
+        one hot function climbs stencil -> Liftoff -> TurboFan.
+        """
+        stencil_fn = instance.funcs[func_index]
+        threshold = self.config.tier_up_threshold
+        engine = self
+
+        count = 0
+
+        def tiering(*args):
+            nonlocal count
+            count += 1
+            if count >= threshold:
+                engine.tier_up_stencil(instance, func_index)
+                return instance.funcs[func_index](*args)
+            return stencil_fn(*args)
+
+        tiering.tier = "stencil"
+        tiering.stencil = stencil_fn  # kept for pinning on tier-up failure
+        instance.funcs[func_index] = tiering
+
+    def tier_up_stencil(self, instance: Instance, func_index: int) -> None:
+        """Promote one function from stencil code to Liftoff code.
+
+        Mirrors :meth:`tier_up` one rung down the ladder: a failed
+        Liftoff compile pins the function to its stencil code (the
+        query keeps running tier-0), otherwise the function-table entry
+        is swapped for the Liftoff callable wrapped with the TurboFan
+        trigger, continuing the climb.
+        """
+        module = instance.module
+        func = module.functions[func_index - len(module.imports)]
+        trace = self.config.trace
+        start = time.perf_counter()
+        try:
+            injector = self.config.fault_injector
+            if injector is not None:
+                injector.check("liftoff.compile")
+            with trace_span(trace, "compile.liftoff", function=func_index):
+                compiled = LiftoffCompiler(module).compile(
+                    func, func_index, instrumented=False
+                )
+            baseline = compiled.bind(instance, instance.profile)
+        except CompilationError:
+            instance.stats.liftoff_seconds += time.perf_counter() - start
+            instance.stats.tier_up_failures += 1
+            current = instance.funcs[func_index]
+            instance.funcs[func_index] = getattr(
+                current, "stencil", current
+            )
+            trace_event(trace, "tier_up.failure", function=func_index)
+            get_registry().counter(
+                "engine_tier_up_failures_total",
+                "TurboFan compilations that bailed out",
+            ).inc()
+            return
+        instance.stats.liftoff_seconds += time.perf_counter() - start
+        instance.stats.liftoff_functions += 1
+        instance.stats.tier_ups += 1
+        instance.funcs[func_index] = baseline
+        self._install_tier_up_trigger(instance, func_index)
+        trace_event(trace, "tier_up", function=func_index,
+                    from_tier="stencil", to_tier="liftoff")
+        get_registry().counter(
+            "engine_tier_ups_total",
+            "Functions promoted from Liftoff to TurboFan",
+        ).inc()
 
     def _install_tier_up_trigger(self, instance: Instance,
                                  func_index: int) -> None:

@@ -1,0 +1,42 @@
+"""Tier-0 stencil execution: copy-and-patch assembly below Liftoff.
+
+The tier the adaptive ladder starts on when compile latency matters
+most — a cold query's very first morsel.  Instead of a per-query
+compile pass (Liftoff generates and ``compile()``s Python source), this
+tier *assembles* runnable code from a library of pre-compiled,
+parameterized per-operation stencils by concatenation plus
+constant/offset patching (Copy-and-Patch, Xu & Kjolstad; TPDE).
+
+* :mod:`~repro.wasm.stencil.library` — the stencils themselves,
+* :mod:`~repro.wasm.stencil.assemble` — flattening + patching,
+* :mod:`~repro.wasm.stencil.shape` — code-shape keys (what may share),
+* :mod:`~repro.wasm.stencil.cache` — the process-wide shape-keyed LRU
+  that lands cross-query code sharing by construction.
+
+Engine integration lives in :mod:`repro.wasm.runtime.engine`: modes
+``"stencil"`` (pure tier-0) and ``"adaptive_stencil"`` (the full
+stencil -> Liftoff -> TurboFan ladder).
+"""
+
+from repro.wasm.stencil.assemble import (
+    StencilFunction,
+    assemble_function,
+    assemble_module,
+)
+from repro.wasm.stencil.cache import (
+    StencilCache,
+    get_stencil_cache,
+    reset_stencil_cache,
+)
+from repro.wasm.stencil.shape import function_shape_key, module_shape_key
+
+__all__ = [
+    "StencilCache",
+    "StencilFunction",
+    "assemble_function",
+    "assemble_module",
+    "function_shape_key",
+    "get_stencil_cache",
+    "module_shape_key",
+    "reset_stencil_cache",
+]

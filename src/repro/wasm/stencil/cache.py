@@ -1,0 +1,127 @@
+"""The process-wide, shape-keyed stencil artifact cache.
+
+Stencil artifacts are instance-independent (see
+:mod:`repro.wasm.stencil.shape`), so one assembly serves every query
+whose module has the same code shape — across fingerprints, plan-cache
+entries, database instances, and worker tasks within one process.  This
+is the "cross-query Wasm code sharing" the plan cache cannot provide on
+its own: the plan cache is keyed by statement fingerprint, this cache
+by what the code *is*.
+
+The plan cache consults it indirectly: a plan-cache **miss** still runs
+through :meth:`repro.wasm.runtime.engine.Engine._compile_all`, whose
+tier-0 path calls :meth:`StencilCache.get` — so a structurally familiar
+but textually new statement starts its first morsel on already-
+assembled code.
+
+Thread-safe bounded LRU; hit/miss/assembly counts are published as
+``stencil_*`` Prometheus counters and mirrored per instance in
+:class:`~repro.wasm.runtime.engine.TierStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.observability.metrics import get_registry
+from repro.wasm.module import Module
+from repro.wasm.stencil.assemble import StencilFunction, assemble_module
+from repro.wasm.stencil.shape import module_shape_key
+
+__all__ = ["StencilCache", "get_stencil_cache", "reset_stencil_cache"]
+
+
+class StencilCache:
+    """Bounded LRU: code-shape key -> assembled module artifacts."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("stencil cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, tuple[StencilFunction, ...]] = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self._counts = {"hits": 0, "misses": 0, "evictions": 0}
+        registry = get_registry()
+        self._hits = registry.counter(
+            "stencil_cache_hits_total",
+            "Module assemblies served from the shape-keyed cache",
+        )
+        self._misses = registry.counter(
+            "stencil_cache_misses_total",
+            "Module shapes that had to be assembled",
+        )
+        self._assembles = registry.counter(
+            "stencil_assembles_total",
+            "Functions assembled into stencil code",
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, module: Module) -> tuple[tuple[StencilFunction, ...], bool]:
+        """``(artifacts, was_hit)`` for a module, assembling on miss.
+
+        Assembly runs outside the lock (it allocates closures, never
+        blocks); a racing assembly of the same shape is harmless — the
+        first insert wins and both callers hold equivalent artifacts.
+        """
+        key = module_shape_key(module)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._counts["hits"] += 1
+                self._hits.inc()
+                return entry, True
+        artifacts = assemble_module(module)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                self._counts["hits"] += 1
+                self._hits.inc()
+                return existing, True
+            self._entries[key] = artifacts
+            self._counts["misses"] += 1
+            self._misses.inc()
+            self._assembles.inc(len(artifacts))
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._counts["evictions"] += 1
+            return artifacts, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                **self._counts,
+            }
+
+
+_cache_lock = threading.Lock()
+_cache: StencilCache | None = None
+
+
+def get_stencil_cache() -> StencilCache:
+    """The process-wide cache (created on first use)."""
+    global _cache
+    with _cache_lock:
+        if _cache is None:
+            _cache = StencilCache()
+        return _cache
+
+
+def reset_stencil_cache() -> None:
+    """Drop the process-wide cache (test isolation)."""
+    global _cache
+    with _cache_lock:
+        _cache = None

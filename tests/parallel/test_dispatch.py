@@ -109,6 +109,25 @@ class TestExecutorModes:
         assert first.rows == second.rows
         assert all(second.parallel["warm"])
 
+    def test_stencil_artifacts_shared_across_fingerprints(self, db):
+        # two different fingerprints = two cold executables per worker,
+        # but the second assembly is served from the worker's process-
+        # wide shape-keyed stencil cache: compile work is shared across
+        # plan-cache entries, not just within one
+        sql = "SELECT g, SUM(x) FROM r GROUP BY g"
+        first = db.parallel.execute(plan_for(db, sql), db.catalog,
+                                    "wasm[adaptive_stencil]",
+                                    fp="stencil-fp-a")
+        second = db.parallel.execute(plan_for(db, sql), db.catalog,
+                                     "wasm[adaptive_stencil]",
+                                     fp="stencil-fp-b")
+        assert sorted(first.rows) == sorted(second.rows)
+        assert not any(second.parallel["warm"])  # executable cache: cold
+        for before, after in zip(first.parallel["stencil_cache"],
+                                 second.parallel["stencil_cache"]):
+            assert after["hits"] > before["hits"]     # stencil cache: hot
+            assert after["misses"] == before["misses"]
+
     def test_task_error_keeps_its_original_type(self, db):
         # a runtime trap (division by zero) inside a worker must
         # re-raise driver-side as the same exception type the

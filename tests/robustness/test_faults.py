@@ -23,6 +23,7 @@ from repro.robustness import (
 EXPECTED_ENGINE_TYPES = {
     "turbofan.compile": CompilationError,
     "liftoff.compile": CompilationError,
+    "stencil.assemble": CompilationError,
     "memory.grow": ResourceExhausted,
     "rewire.chunk": RewiringError,
     "trap.morsel": Trap,

@@ -8,7 +8,7 @@ from repro.errors import Trap
 from repro.wasm import ModuleBuilder
 from repro.wasm.runtime import Engine, EngineConfig, LinearMemory
 
-ALL_MODES = ["interpreter", "liftoff", "turbofan"]
+ALL_MODES = ["interpreter", "stencil", "liftoff", "turbofan"]
 
 
 def run_in_mode(module, mode, export, args, imports=None, memory_pages=0):

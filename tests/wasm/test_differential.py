@@ -235,6 +235,89 @@ class TestAdaptiveTieringProperties:
 
 
 # ---------------------------------------------------------------------------
+# Tier 0: the stencil rung of the ladder
+# ---------------------------------------------------------------------------
+
+class TestStencilLadderProperties:
+    """Property tests of the three-rung ``adaptive_stencil`` ladder.
+
+    ``conftest.ALL_MODES`` already runs every differential case above
+    through the stencil tier, so four *pinned* paths (interpreter,
+    stencil, Liftoff, TurboFan) are known to agree byte-for-byte.  This
+    class checks the *dynamic* properties: over seeded scan modules the
+    per-call tier climbs stencil -> Liftoff -> TurboFan monotonically,
+    each rung holds for exactly ``threshold`` calls, results never
+    change across a promotion, and the trace records each rung.
+    """
+
+    _ORDER = {"stencil": 0, "liftoff": 1, "turbofan": 2}
+
+    def _drive(self, module, n_rows, threshold, trace=None):
+        from repro.wasm.runtime import Engine, EngineConfig
+
+        engine = Engine(EngineConfig(mode="adaptive_stencil",
+                                     tier_up_threshold=threshold,
+                                     trace=trace))
+        instance = engine.instantiate(module)
+        tiers, values = [], []
+        for call in range(2 * threshold + 3):
+            tiers.append(instance.tier_of("main"))
+            values.append(instance.invoke("main", 0, n_rows))
+        return instance, tiers, values
+
+    def test_tier_never_decreases(self):
+        rng = random.Random(0x57E9C1)
+        for _ in range(10):
+            module, n_rows = _scan_module(rng)
+            threshold = rng.randrange(1, 6)
+            _, tiers, _ = self._drive(module, n_rows, threshold)
+            ranks = [self._ORDER[t] for t in tiers]
+            assert ranks == sorted(ranks), (
+                f"tier regressed under threshold {threshold}: {tiers}"
+            )
+
+    def test_each_rung_holds_its_threshold(self):
+        rng = random.Random(0x57E9C2)
+        for _ in range(10):
+            module, n_rows = _scan_module(rng)
+            threshold = rng.randrange(1, 6)
+            _, tiers, _ = self._drive(module, n_rows, threshold)
+            # the promoting call re-dispatches through the freshly
+            # installed Liftoff wrapper and counts as its first call,
+            # so the middle rung is *visible* for threshold - 1 calls
+            assert tiers[:threshold] == ["stencil"] * threshold
+            assert tiers[threshold:2 * threshold - 1] == \
+                ["liftoff"] * (threshold - 1)
+            assert all(t == "turbofan"
+                       for t in tiers[2 * threshold - 1:])
+
+    def test_results_survive_both_promotions(self):
+        rng = random.Random(0x57E9C3)
+        for _ in range(10):
+            module, n_rows = _scan_module(rng)
+            _, _, values = self._drive(module, n_rows,
+                                       rng.randrange(1, 6))
+            assert len(set(values)) == 1, values
+
+    def test_both_rungs_are_traced(self):
+        from repro.observability import FakeClock, QueryTrace
+
+        rng = random.Random(0x57E9C4)
+        for _ in range(5):
+            module, n_rows = _scan_module(rng)
+            trace = QueryTrace(clock=FakeClock())
+            instance, _, _ = self._drive(module, n_rows, 2, trace=trace)
+            events = trace.find("tier_up")
+            assert len(events) == instance.stats.tier_ups == 2
+            assert events[0].attrs["from_tier"] == "stencil"
+            assert events[0].attrs["to_tier"] == "liftoff"
+            stats = instance.stats
+            assert stats.stencil_functions == 1
+            assert stats.turbofan_functions == 1
+            assert stats.tier_up_failures == 0
+
+
+# ---------------------------------------------------------------------------
 # SQL-level differential: contradiction folding across every tier
 # ---------------------------------------------------------------------------
 
