@@ -63,10 +63,15 @@ class Database:
     Args:
         default_engine: engine spec queries run on when ``execute`` is
             called without one (e.g. ``"wasm"``, ``"wasm[interpreter]"``).
+            Defaults to ``"wasm[adaptive_stencil]"`` — the stencil
+            ladder (stencil -> Liftoff -> TurboFan), whose tier-0 entry
+            makes cold first results cheapest while hot pipelines still
+            climb to optimized code.
         fallback: the degradation policy.  ``None`` (default) disables
             fallback — errors surface exactly as the failing engine
             raised them.  ``"default"`` (or ``True``) enables the chain
-            ``wasm → wasm[interpreter] → volcano``; a list/tuple of
+            ``wasm[adaptive_stencil] → wasm[interpreter] → volcano``; a
+            list/tuple of
             engine specs or a :class:`~repro.robustness.FallbackPolicy`
             customizes it.
         max_attempts: retry budget per query (primary attempt included);
@@ -89,7 +94,7 @@ class Database:
 
     PLAN_LINT_MODES = ("off", "warn", "strict")
 
-    def __init__(self, default_engine: str = "wasm",
+    def __init__(self, default_engine: str = "wasm[adaptive_stencil]",
                  fallback=None, max_attempts: int | None = None,
                  plan_lint: str = "off", workers: int = 0):
         from repro.engines import ENGINES
@@ -423,7 +428,7 @@ class Database:
         result.trace = trace
         return result
 
-    def plan(self, stmt: ast.Select, trace=None):
+    def plan(self, stmt: ast.Select, trace=None, observed=None):
         """Analyzed SELECT -> optimized physical plan.
 
         Runs the column-fact dataflow (:mod:`repro.plan.analysis`) over
@@ -433,12 +438,20 @@ class Database:
         root as ``plan.analysis`` for engines, EXPLAIN, and the plan
         cache.  Under ``plan_lint="warn"``/``"strict"`` the PlanLinter
         checks inter-operator invariants inside a ``plan.lint`` span.
+
+        ``observed`` (an :class:`~repro.plan.cardinality.
+        ObservedCardinalities` from the feedback store) re-plans with
+        measured cardinalities: join ordering is costed with truth, the
+        analysis row bounds tighten, and the physical estimates — which
+        size breaker heaps — follow the measurements.
         """
         logical = build_logical_plan(stmt, self.catalog)
         dropped: list[str] = []
-        optimized = optimize(logical, self.catalog, report=dropped)
+        optimized = optimize(logical, self.catalog, report=dropped,
+                             observed=observed)
         with trace_span(trace, "plan.analysis"):
-            analysis = analyze_plan(optimized, self.catalog)
+            analysis = analyze_plan(optimized, self.catalog,
+                                    observed=observed)
             analysis.dropped_conjuncts = dropped
         if self.plan_lint != "off":
             with trace_span(trace, "plan.lint"):
@@ -452,6 +465,10 @@ class Database:
             optimized = LogicalEmpty(optimized.output_columns,
                                      analysis.empty_reason)
         physical = create_physical_plan(optimized, self.catalog)
+        if observed:
+            from repro.plan.physical import reestimate_with_observed
+
+            reestimate_with_observed(physical, observed)
         physical.analysis = analysis
         return physical
 

@@ -22,6 +22,7 @@ and inside the ``flush_results`` callback (Section 6.2).
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass, field
 
 from repro.backend.codegen import CompiledQuery, QueryCompiler
@@ -166,6 +167,17 @@ class WasmEngine(QueryEngine):
         # Morsels driven by the most recent execute_prepared, summed
         # over all pipelines (per-worker EXPLAIN ANALYZE accounting).
         self.last_morsels_total = 0
+        # Per-pipeline measurements of the most recent execute_prepared
+        # — dicts of {index, function, rows_in, rows_out, morsels,
+        # seconds}.  Populated unconditionally (no trace required): the
+        # feedback store harvests these to compute Q-Errors and route
+        # future executions.
+        self.last_pipeline_stats: list[dict] = []
+        # Per-pipeline-function tier ladders chosen by the feedback
+        # router (export name -> ladder tuple), forwarded into
+        # EngineConfig.tier_plan at prepare time.  None keeps the
+        # mode's uniform ladder.
+        self.tier_plan: dict | None = None
 
     # -- compilation -----------------------------------------------------------
 
@@ -337,6 +349,7 @@ class WasmEngine(QueryEngine):
             mode=self.mode, tier_up_threshold=self.tier_up_threshold,
             lint=self.lint, elide_bounds_checks=self.elide_bounds_checks,
             fault_injector=self.fault_injector,
+            tier_plan=self.tier_plan,
             trace=trace,
         ))
         memory = LinearMemory(space)
@@ -408,6 +421,7 @@ class WasmEngine(QueryEngine):
 
         self._rewire_count = 0
         self.last_morsels_total = 0
+        self.last_pipeline_stats = []
         compile_before = (instance.stats.stencil_seconds,
                           instance.stats.liftoff_seconds,
                           instance.stats.turbofan_seconds)
@@ -421,18 +435,30 @@ class WasmEngine(QueryEngine):
                     source=f"{info.source_kind}:{info.source_name}",
                 ) as span:
                     rows_before = len(rows)
+                    self._last_rows_in = 0
+                    pipeline_start = time.perf_counter()
                     morsels = self._run_pipeline(
                         instance, compiled, info, rows,
                         plan, catalog, governor, pipeline_index, trace
                     )
+                    pipeline_seconds = time.perf_counter() - pipeline_start
                     self.last_morsels_total += morsels
+                    if info.is_final:
+                        self._drain(instance, compiled, rows)
+                    rows_out = self._pipeline_rows_out(
+                        instance, info, rows, rows_before
+                    )
+                    self.last_pipeline_stats.append({
+                        "index": pipeline_index,
+                        "function": info.function,
+                        "rows_in": self._last_rows_in,
+                        "rows_out": rows_out,
+                        "morsels": morsels,
+                        "seconds": pipeline_seconds,
+                    })
                     if span is not None:
-                        if info.is_final:
-                            self._drain(instance, compiled, rows)
                         span.attrs["morsels"] = morsels
-                        span.attrs["rows_out"] = self._pipeline_rows_out(
-                            instance, info, rows, rows_before
-                        )
+                        span.attrs["rows_out"] = rows_out
             self._drain(instance, compiled, rows)
         # tier-up compilation that happened during execution is reported
         # as compile time, not execution time (in V8 it runs concurrently),
@@ -561,6 +587,9 @@ class WasmEngine(QueryEngine):
             _, part_begin, part_end = self.partition
             begin = max(begin, min(part_begin, total))
             total = min(total, part_end)
+
+        # input cardinality actually driven (feedback harvesting)
+        self._last_rows_in = max(total - begin, 0)
 
         window = self._chunked.get(info.source_name) \
             if info.source_kind == "scan" else None

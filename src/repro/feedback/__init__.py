@@ -1,0 +1,30 @@
+"""Feedback-driven adaptivity: measure, remember, re-plan, re-route.
+
+The paper's engine adapts *within* one execution (morsel-wise tier-up).
+This package closes the loop *across* executions: a
+:class:`FeedbackStore` records what each run of a cached statement
+actually measured, detects misestimates by Q-Error, and drives two
+mechanisms the next compilation consumes — re-planning with observed
+cardinalities (:class:`~repro.plan.cardinality.ObservedCardinalities`)
+and per-pipeline hybrid engine routing (``EngineConfig.tier_plan``).
+"""
+
+from repro.feedback.harvest import observation_from_engine
+from repro.feedback.store import (
+    FeedbackConfig,
+    FeedbackDecision,
+    FeedbackStore,
+    PipelineObservation,
+    QueryObservation,
+    q_error,
+)
+
+__all__ = [
+    "FeedbackConfig",
+    "FeedbackDecision",
+    "FeedbackStore",
+    "PipelineObservation",
+    "QueryObservation",
+    "observation_from_engine",
+    "q_error",
+]

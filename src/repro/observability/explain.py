@@ -51,6 +51,10 @@ class PipelineStats:
     #: Rows this pipeline handed to its sink (hash-table entries, sort
     #: rows) or, for the final pipeline, rows delivered to the result.
     rows_out: int | None = None
+    #: The planner's estimate of ``rows_out`` (set when the plan
+    #: dissection is available) — rendered as ``est=`` next to the
+    #: measured rows, so misestimates are visible per pipeline.
+    est: float | None = None
     tier_morsels: dict[str, int] = field(default_factory=dict)
     tier_seconds: dict[str, float] = field(default_factory=dict)
     rewires: int = 0
@@ -93,9 +97,12 @@ def pipeline_stats_from_trace(trace, pipelines=None) -> list[PipelineStats]:
             stat.rewires += 1
 
     if pipelines is not None:
+        from repro.plan.pipeline import estimated_rows_out
+
         for pipeline in pipelines:
             if pipeline.index in stats:
                 stats[pipeline.index].description = pipeline.describe()
+                stats[pipeline.index].est = estimated_rows_out(pipeline)
     return [stats[index] for index in sorted(stats)]
 
 
@@ -106,12 +113,17 @@ def _ms(seconds: float) -> str:
 def render_explain_analyze(plan, trace, stats: list[PipelineStats],
                            engine_spec: str,
                            total_rows: int | None = None,
-                           cache: str | None = None) -> list[str]:
+                           cache: str | None = None,
+                           feedback_lines: list[str] | None = None,
+                           ) -> list[str]:
     """The annotated plan as text lines (one per output row).
 
     ``cache`` is the plan-cache disposition of this execution —
     ``"hit"`` or ``"miss"`` — when the query ran through the query
     service; ``None`` (standalone execution) omits the line.
+    ``feedback_lines`` are the feedback store's ``feedback:`` lines for
+    this statement (observation count, worst Q-Error, re-plan and
+    routing decisions in force), rendered after the tier summary.
     """
     from repro.plan.physical import explain_physical
 
@@ -135,6 +147,8 @@ def render_explain_analyze(plan, trace, stats: list[PipelineStats],
             detail = [f"morsels={stat.morsels}"]
             if stat.rows_out is not None:
                 detail.append(f"rows={stat.rows_out}")
+                if stat.est is not None:
+                    detail.append(f"est={stat.est:g}")
             if stat.rewires:
                 detail.append(f"rewires={stat.rewires}")
             for tier in sorted(stat.tier_morsels):
@@ -164,6 +178,9 @@ def render_explain_analyze(plan, trace, stats: list[PipelineStats],
                 f"/{attrs.get('stencil_cache_misses', 0)} miss(es)"
             )
         lines.append("tiers: " + " ".join(parts))
+
+    if feedback_lines:
+        lines.extend(feedback_lines)
 
     phases = [
         f"{kind}={_ms(trace.total_seconds(kind))}"

@@ -77,8 +77,29 @@ class PlanAnalysis:
 
 
 def analyze_plan(root: L.LogicalOperator, catalog,
-                 max_visits_per_op: int = 16) -> PlanAnalysis:
-    """Run the fact dataflow over ``root`` and return its analysis."""
+                 max_visits_per_op: int = 16,
+                 observed=None) -> PlanAnalysis:
+    """Run the fact dataflow over ``root`` and return its analysis.
+
+    ``observed`` is an optional
+    :class:`~repro.plan.cardinality.ObservedCardinalities` (feedback
+    re-plan): measured post-filter row counts tighten the per-binding
+    row *bounds* the dataflow derives.  Measured counts come from one
+    execution, so they are estimate seeds, not proofs: they are clamped
+    to ``>= 1`` and can therefore never set ``proven_empty`` (which
+    folds plans to an empty relation — a correctness decision that must
+    rest on catalog truth alone), and parameterized statements —
+    whose counts vary per ``$n`` binding — contribute nothing here.
+    """
+    observed_rows: dict[str, int] = {}
+    observed_root: int | None = None
+    if observed is not None and not observed.parameterized:
+        observed_rows = {
+            binding: max(int(rows), 1)
+            for binding, rows in observed.bindings.items()
+        }
+        if observed.root_rows is not None:
+            observed_root = max(int(observed.root_rows), 1)
     order = _postorder(root)
     index = {id(op): i for i, op in enumerate(order)}
     states: list[RelationFacts | None] = [None] * len(order)
@@ -101,7 +122,7 @@ def analyze_plan(root: L.LogicalOperator, catalog,
         children = [states[index[id(c)]] for c in op.children]
         if any(c is None for c in children):
             continue  # scheduled again when the child first resolves
-        new = _transfer(op, children, catalog)
+        new = _transfer(op, children, catalog, observed_rows)
         if states[i] is not None:
             new = states[i].join(new)
         if new == states[i]:
@@ -112,6 +133,13 @@ def analyze_plan(root: L.LogicalOperator, catalog,
             worklist.append(parent)
 
     root_facts = states[index[id(root)]]
+    if observed_root is not None and not root_facts.proven_empty:
+        if root_facts.row_bound is None \
+                or observed_root < root_facts.row_bound:
+            root_facts = RelationFacts(
+                dict(root_facts.columns), observed_root,
+                root_facts.proven_empty, root_facts.empty_reason,
+            )
     column_facts = [
         (col.name, root_facts.fact(col.ref))
         for col in root.output_columns
@@ -159,14 +187,26 @@ def seed_scan_facts(scan: L.LogicalScan, catalog) -> RelationFacts:
     return facts
 
 
-def _transfer(op, children, catalog) -> RelationFacts:
+def _transfer(op, children, catalog,
+              observed_rows: dict | None = None) -> RelationFacts:
     if isinstance(op, L.LogicalScan):
         return seed_scan_facts(op, catalog)
     if isinstance(op, L.LogicalFilter):
         child = children[0]
         if child.proven_empty:
             return child
-        return refine_facts(child, op.predicate)
+        facts = refine_facts(child, op.predicate)
+        # measured post-filter cardinality of a base-table filter
+        # (feedback seed): tightens the bound, never proves emptiness
+        if observed_rows and isinstance(op.child, L.LogicalScan) \
+                and op.child.binding in observed_rows \
+                and not facts.proven_empty:
+            seen = observed_rows[op.child.binding]
+            if facts.row_bound is None or seen < facts.row_bound:
+                facts = RelationFacts(dict(facts.columns), seen,
+                                      facts.proven_empty,
+                                      facts.empty_reason)
+        return facts
     if isinstance(op, L.LogicalJoin):
         left, right = children
         columns = dict(left.columns)

@@ -14,16 +14,68 @@ to rank alternatives sensibly, not be precise.
 from __future__ import annotations
 
 import datetime as _dt
+from dataclasses import dataclass, field
 
 from repro.catalog.statistics import ColumnStatistics
 from repro.sql import ast
 from repro.sql import types as T
 
-__all__ = ["CardinalityEstimator", "DEFAULT_SELECTIVITY"]
+__all__ = ["CardinalityEstimator", "DEFAULT_SELECTIVITY",
+           "ObservedCardinalities"]
 
 DEFAULT_SELECTIVITY = 0.25
 EQ_FALLBACK = 0.05
 LIKE_SELECTIVITY = 0.1
+
+
+@dataclass
+class ObservedCardinalities:
+    """Measured row counts harvested from prior executions of one query.
+
+    The feedback subsystem (:mod:`repro.feedback`) fills these from
+    per-pipeline ``rows_out`` measurements and injects them into
+    re-planning; everything here is an *estimate seed*, never a
+    correctness proof — observed counts come from one execution (one
+    parameter binding, one point in time within a catalog version) and
+    are clamped to ``>= 1`` so they can never prove a relation empty.
+
+    ``bindings`` maps a FROM binding to its measured post-filter row
+    count; ``joins`` maps a frozenset of bindings to the measured output
+    cardinality of the join covering exactly that subset (with every
+    pushed-down and spanning predicate applied); ``root_rows`` is the
+    measured final result cardinality.  ``parameterized`` marks a
+    statement with ``$n`` parameters, whose measured counts vary per
+    binding — consumers that surface bounds to users (the plan
+    analysis) skip those.
+    """
+
+    bindings: dict[str, float] = field(default_factory=dict)
+    joins: dict[frozenset, float] = field(default_factory=dict)
+    root_rows: float | None = None
+    parameterized: bool = False
+
+    def __post_init__(self):
+        self.bindings = {b: max(float(r), 1.0)
+                         for b, r in self.bindings.items()}
+        self.joins = {frozenset(s): max(float(r), 1.0)
+                      for s, r in self.joins.items()}
+        if self.root_rows is not None:
+            self.root_rows = max(float(self.root_rows), 1.0)
+
+    def __bool__(self) -> bool:
+        return bool(self.bindings or self.joins
+                    or self.root_rows is not None)
+
+    def describe(self) -> str:
+        parts = [f"{b}={int(r)}" for b, r in sorted(self.bindings.items())]
+        parts += [
+            "(" + "*".join(sorted(s)) + f")={int(r)}"
+            for s, r in sorted(self.joins.items(),
+                               key=lambda kv: sorted(kv[0]))
+        ]
+        if self.root_rows is not None:
+            parts.append(f"result={int(self.root_rows)}")
+        return " ".join(parts)
 
 
 def _as_number(value) -> float | None:

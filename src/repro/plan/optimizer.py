@@ -72,19 +72,29 @@ class _Candidate:
 
 
 def optimize(plan: L.LogicalOperator, catalog,
-             report: list | None = None) -> L.LogicalOperator:
+             report: list | None = None,
+             observed=None) -> L.LogicalOperator:
     """Optimize a canonical logical plan (idempotent on optimized plans).
 
     ``report``, when given, collects a rendered string for every
     conjunct the implication pass dropped (surfaced in EXPLAIN).
+
+    ``observed`` is an optional
+    :class:`~repro.plan.cardinality.ObservedCardinalities` from the
+    feedback subsystem: measured per-binding post-filter row counts (and
+    join-subset cardinalities) override the statistical estimates the
+    DP join ordering costs with, so a re-plan after a large Q-Error
+    orders joins by truth instead of the independence assumption.
+    Purely an estimation seed — plan *correctness* never depends on it.
     """
-    return _Optimizer(catalog, report).rewrite(plan)
+    return _Optimizer(catalog, report, observed).rewrite(plan)
 
 
 class _Optimizer:
-    def __init__(self, catalog, report: list | None = None):
+    def __init__(self, catalog, report: list | None = None, observed=None):
         self.catalog = catalog
         self.report = report
+        self.observed = observed
 
     def _dropped(self, conj: ast.Expr) -> None:
         if self.report is not None:
@@ -182,7 +192,10 @@ class _Optimizer:
             self._dropped(conj)
         residual = [conj for conj in residual if conj not in tautologies]
 
-        # base candidates: scan (+ pushed-down filter)
+        # base candidates: scan (+ pushed-down filter); a measured
+        # post-filter count from the feedback store overrides the
+        # statistical estimate outright
+        observed = self.observed
         base: dict[frozenset[str], _Candidate] = {}
         for scan in scans:
             pred = _and_all(single[scan.binding])
@@ -191,6 +204,9 @@ class _Optimizer:
             if pred is not None:
                 plan = L.LogicalFilter(plan, pred)
                 rows *= estimator.selectivity(pred)
+            if observed is not None \
+                    and scan.binding in observed.bindings:
+                rows = observed.bindings[scan.binding]
             base[frozenset((scan.binding,))] = _Candidate(plan, max(rows, 1.0), 0.0)
 
         if len(base) == 1:
@@ -226,6 +242,14 @@ class _Optimizer:
         conj_masks = [
             (mask_of(touched), touched, conj) for touched, conj in multi
         ]
+        # measured join-subset cardinalities (feedback re-plan): a DP
+        # candidate covering exactly an observed binding subset is
+        # costed with the measured row count, not the estimate
+        observed_joins: dict[int, float] = {}
+        if self.observed is not None:
+            for subset, rows_seen in self.observed.joins.items():
+                if all(b in index for b in subset):
+                    observed_joins[mask_of(subset)] = rows_seen
 
         def join_candidates(left: _Candidate, right: _Candidate,
                             mask: int) -> _Candidate | None:
@@ -239,6 +263,7 @@ class _Optimizer:
             if not usable:
                 return None
             rows = max(left.rows * right.rows * sel, 1.0)
+            rows = observed_joins.get(mask, rows)
             # smaller side becomes the build (left) input
             lo, hi = (left, right) if left.rows <= right.rows else (right, left)
             plan = L.LogicalJoin(lo.plan, hi.plan, _and_all(usable))

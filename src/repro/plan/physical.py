@@ -687,6 +687,46 @@ def collect_params(op: PhysicalOperator):
     return found
 
 
+def reestimate_with_observed(root: PhysicalOperator, observed) -> None:
+    """Fold measured cardinalities onto a physical plan's estimates.
+
+    One bottom-up pass over the operator tree: filters directly above a
+    scan whose binding the feedback store measured take the measured
+    post-filter count, joins covering an observed binding subset take
+    the measured join cardinality, and derived operators re-propagate.
+    ``estimated_rows`` feeds the Wasm engine's heap sizing (breaker
+    hash tables and sort arrays) and the ``(~N rows)`` EXPLAIN
+    annotations — estimation state only, never correctness.
+    """
+    def visit(op: PhysicalOperator) -> None:
+        for child in op.children:
+            visit(child)
+        if isinstance(op, Filter):
+            child = op.child
+            if isinstance(child, (SeqScan, IndexSeek)) \
+                    and child.binding in observed.bindings:
+                op.estimated_rows = observed.bindings[child.binding]
+            else:
+                op.estimated_rows = min(op.estimated_rows,
+                                        child.estimated_rows)
+        elif isinstance(op, (HashJoin, NestedLoopJoin)):
+            subset = frozenset(col.ref[0] for col in op.output)
+            if subset in observed.joins:
+                op.estimated_rows = observed.joins[subset]
+        elif isinstance(op, (Project, Sort)):
+            op.estimated_rows = op.child.estimated_rows
+        elif isinstance(op, HashGroupBy):
+            op.estimated_rows = min(op.estimated_rows,
+                                    max(op.child.estimated_rows, 1.0))
+        elif isinstance(op, Limit):
+            op.estimated_rows = min(
+                op.child.estimated_rows,
+                op.limit if op.limit is not None else 1 << 60,
+            )
+
+    visit(root)
+
+
 def explain_physical(op: PhysicalOperator, indent: int = 0) -> str:
     pad = "  " * indent
     name = type(op).__name__

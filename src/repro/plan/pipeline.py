@@ -35,7 +35,8 @@ from repro.plan.physical import (
     Sort,
 )
 
-__all__ = ["Pipeline", "dissect_into_pipelines", "is_pipeline_breaker"]
+__all__ = ["Pipeline", "dissect_into_pipelines", "estimated_rows_out",
+           "is_pipeline_breaker"]
 
 _BREAKERS = (HashGroupBy, ScalarAggregate, Sort)
 
@@ -78,6 +79,26 @@ class Pipeline:
         stages = [short(self.source)] + [short(op) for op in self.operators]
         target = short(self.sink) if self.sink is not None else "Result"
         return f"P{self.index}: " + " -> ".join(stages) + f" => {target}"
+
+
+def estimated_rows_out(pipeline: Pipeline) -> float:
+    """The planner's estimate of the rows this pipeline hands to its
+    sink (or the result) — the number EXPLAIN ANALYZE's measured
+    ``rows_out`` is compared against (Q-Error).
+
+    The estimate of the last streaming operator is the estimate of what
+    reaches the sink; a pipeline with no streaming operators hands its
+    source through unchanged.  One special case: a pipeline sinking
+    into a :class:`HashGroupBy` is measured by the *entries* the group
+    hash table ends up with, so its estimate is the group count the
+    planner put on the breaker, not the input rows.
+    """
+    if isinstance(pipeline.sink, HashGroupBy):
+        return float(pipeline.sink.estimated_rows)
+    if isinstance(pipeline.sink, ScalarAggregate):
+        return 1.0  # one state row, matching the measurement semantics
+    tail = pipeline.operators[-1] if pipeline.operators else pipeline.source
+    return float(tail.estimated_rows)
 
 
 def dissect_into_pipelines(root: PhysicalOperator) -> list[Pipeline]:

@@ -42,7 +42,7 @@ __all__ = [
 ]
 
 #: The default degradation ladder of the paper's architecture.
-DEFAULT_CHAIN = ("wasm", "wasm[interpreter]", "volcano")
+DEFAULT_CHAIN = ("wasm[adaptive_stencil]", "wasm[interpreter]", "volcano")
 
 _SPEC_RE = re.compile(r"^(?P<name>[a-z_][a-z0-9_]*)"
                       r"(\[(?P<option>[a-z0-9_]+)\])?$")

@@ -45,6 +45,11 @@ from itertools import count
 
 from repro.db.database import Database
 from repro.engines.base import Timings
+from repro.feedback import (
+    FeedbackConfig,
+    FeedbackStore,
+    observation_from_engine,
+)
 from repro.errors import (
     AnalysisError,
     ConfigError,
@@ -169,6 +174,14 @@ class QueryService:
             ``cache.lookup``; the TCP front end adds ``socket.write``;
             with workers, the pool adds ``worker.dispatch`` /
             ``worker.result``).
+        feedback: the feedback-driven adaptivity loop
+            (:mod:`repro.feedback`) — every in-process Wasm execution
+            is recorded; misestimated plans (Q-Error past the
+            threshold) are invalidated and re-planned with measured
+            cardinalities, and pipelines are re-routed between the
+            interpretive tier and the Wasm ladder.  ``True`` (default)
+            uses :class:`~repro.feedback.FeedbackConfig` defaults; pass
+            a config to tune thresholds or ``False`` to disable.
         workers: worker processes for multi-core execution of Wasm
             queries (``QueryService(workers=4)``); ``0`` keeps
             everything in-process.  Eligible SELECTs are partitioned
@@ -189,7 +202,8 @@ class QueryService:
                  breaker_cooldown: float = 30.0,
                  breaker_clock=None,
                  fault_injector=None,
-                 workers: int = 0):
+                 workers: int = 0,
+                 feedback: bool | FeedbackConfig = True):
         if statement_timeout is not None and statement_timeout <= 0:
             raise ConfigError("statement_timeout must be positive")
         self.db = database if database is not None else Database()
@@ -210,6 +224,14 @@ class QueryService:
             if breaker_threshold is not None else None
         )
         self.fault_injector = fault_injector
+        if feedback is True:
+            self.feedback = FeedbackStore()
+        elif isinstance(feedback, FeedbackConfig):
+            self.feedback = FeedbackStore(feedback)
+        elif isinstance(feedback, FeedbackStore):
+            self.feedback = feedback
+        else:
+            self.feedback = None
         self._state_lock = _ReadWriteLock()
         self._sessions: dict[int, Session] = {}
         self._sessions_lock = threading.Lock()
@@ -337,6 +359,9 @@ class QueryService:
             with self._state_lock.write():
                 self.db.execute(sql)
                 self.cache.invalidate(self.db.catalog.version)
+                if self.feedback is not None:
+                    # superseded versions can never be looked up again
+                    self.feedback.prune(self.db.catalog.version)
             return None
         if isinstance(stmt, ast.Prepare):
             self._queries.inc(kind="prepare")
@@ -560,6 +585,7 @@ class QueryService:
                                 entry.plan, self.db.catalog, trace=qtrace,
                                 timings=Timings(),
                             )
+                        ran_in_process = False
                         if result is not None:
                             pass
                         elif entry.executable is not None:
@@ -568,6 +594,7 @@ class QueryService:
                                 self.db.catalog, trace=qtrace,
                                 param_values=param_values,
                             )
+                            ran_in_process = True
                         else:
                             if param_values is not None:
                                 bind_params(collect_params(entry.plan),
@@ -576,6 +603,13 @@ class QueryService:
                                 entry.plan, self.db.catalog, trace=qtrace
                             )
                         self._note_tier_outcome(fp, entry, qtrace)
+                        if self.feedback is not None and ran_in_process:
+                            # on a hit this thread's AST skipped analysis
+                            self._note_feedback(
+                                fp, select, entry, engine, spec, qtrace,
+                                analyzed=(analyzed_now
+                                          or disposition == "miss"),
+                            )
                     result.engine = spec
                     result.trace = qtrace
                     result.plan_cache = disposition
@@ -655,8 +689,28 @@ class QueryService:
         if not analyzed:
             with trace_span(qtrace, "analyze"):
                 analyze(select, self.db.catalog)
+        entry = self._compile_entry(fp, select, spec, qtrace)
+        return self.cache.insert(key, entry), "miss"
+
+    def _compile_entry(self, fp: str, select: ast.Select, spec: str,
+                       qtrace) -> CacheEntry:
+        """Plan (and for Wasm specs compile) one fresh cache entry.
+
+        ``select`` must already be analyzed.  Consults the feedback
+        store: measured cardinalities of earlier executions seed the
+        optimizer/analysis, and a rerouted statement compiles under its
+        per-pipeline tier plan.  Caller holds the state read lock.
+        """
+        seeds = None
+        if self.feedback is not None:
+            seeds = self.feedback.observed_seeds(
+                fp, self.db.catalog.version
+            )
+            if seeds is not None:
+                trace_event(qtrace, "feedback.seeded",
+                            seeds=seeds.describe())
         with trace_span(qtrace, "plan"):
-            plan = self.db.plan(select, trace=qtrace)
+            plan = self.db.plan(select, trace=qtrace, observed=seeds)
         executable = None
         engine = copy.copy(self.db.resolve_engine(spec))
         decision = None
@@ -666,13 +720,28 @@ class QueryService:
                         and self.db.parallel.healthy)
         tier_degraded = False
         if (self.breakers is not None
-                and getattr(engine, "mode", None) in ("adaptive", "turbofan")
+                and getattr(engine, "mode", None) in (
+                    "adaptive", "adaptive_stencil", "turbofan")
                 and hasattr(engine, "prepare_executable")):
             if not self.breakers.allow_tier_up(fp):
                 tier_degraded = True
                 engine.mode = "liftoff"
                 trace_event(qtrace, "breaker.degraded", engine=spec,
                             state=self.breakers.state(fp))
+        route = None
+        if (self.feedback is not None and not tier_degraded
+                and hasattr(engine, "prepare_executable")):
+            # hybrid routing: the feedback router's per-pipeline tier
+            # ladders (a breaker-degraded compile is pinned to Liftoff
+            # wholesale and takes precedence)
+            route = self.feedback.tier_plan(
+                fp, self.db.catalog.version, getattr(engine, "mode", None)
+            )
+            if route:
+                engine.tier_plan = route
+                trace_event(qtrace, "feedback.routed", engine=spec,
+                            route={f: "/".join(ladder)
+                                   for f, ladder in sorted(route.items())})
         if hasattr(engine, "prepare_executable") and not dispatchable:
             # a dispatchable plan compiles in the *workers* (keyed by
             # this entry's fingerprint); the driver-side executable is
@@ -680,14 +749,16 @@ class QueryService:
             executable = engine.prepare_executable(
                 plan, self.db.catalog, trace=qtrace, timings=Timings()
             )
-        entry = CacheEntry(plan=plan, executable=executable,
-                           catalog_version=self.db.catalog.version,
-                           analysis=getattr(plan, "analysis", None),
-                           tier_degraded=tier_degraded,
-                           breaker_pending=(executable is not None
-                                            and not tier_degraded),
-                           parallel_decision=decision)
-        return self.cache.insert(key, entry), "miss"
+        return CacheEntry(plan=plan, executable=executable,
+                          catalog_version=self.db.catalog.version,
+                          analysis=getattr(plan, "analysis", None),
+                          tier_degraded=tier_degraded,
+                          breaker_pending=(executable is not None
+                                           and not tier_degraded),
+                          parallel_decision=decision,
+                          feedback_seeded=seeds is not None,
+                          feedback_route=route,
+                          parameterized=bool(collect_params(plan)))
 
     def _note_tier_outcome(self, fp: str, entry: CacheEntry,
                            qtrace) -> None:
@@ -713,6 +784,53 @@ class QueryService:
                         state=self.breakers.state(fp))
         entry.breaker_pending = False
 
+    def _note_feedback(self, fp: str, select: ast.Select,
+                       entry: CacheEntry, engine, spec: str,
+                       qtrace, analyzed: bool = True) -> None:
+        """Record this execution's measurements in the feedback store.
+
+        When the store decides the plan is misestimated (Q-Error past
+        the threshold) or should be re-routed, the entry is *rebuilt in
+        place* under the entry lock it already holds: re-planned with
+        the observed cardinality seeds and recompiled under the
+        per-pipeline tier plan.  The very next lookup is still a cache
+        hit — it just runs the re-optimized executable.  (Threads
+        already waiting on the entry lock pick up the new executable
+        when they acquire it.)
+        """
+        observation = observation_from_engine(
+            engine, entry.plan, fp, entry.catalog_version, spec,
+            parameterized=entry.parameterized,
+        )
+        if observation is None:
+            return
+        decision = self.feedback.record(observation)
+        trace_event(qtrace, "feedback.observed",
+                    q_error=round(decision.q_error, 3),
+                    pipelines=len(observation.pipelines))
+        if not decision.invalidate:
+            return
+        if decision.replan:
+            trace_event(qtrace, "feedback.reoptimize",
+                        q_error=round(decision.q_error, 3),
+                        pipeline=decision.pipeline)
+        if decision.reroute:
+            trace_event(qtrace, "feedback.reroute")
+        if not analyzed:
+            with trace_span(qtrace, "analyze"):
+                analyze(select, self.db.catalog)
+        fresh = self._compile_entry(fp, select, spec, qtrace)
+        entry.plan = fresh.plan
+        entry.executable = fresh.executable
+        entry.analysis = fresh.analysis
+        entry.parallel_decision = fresh.parallel_decision
+        entry.tier_degraded = fresh.tier_degraded
+        entry.breaker_pending = fresh.breaker_pending
+        entry.bailouts_recorded = 0
+        entry.feedback_seeded = fresh.feedback_seeded
+        entry.feedback_route = fresh.feedback_route
+        entry.parameterized = fresh.parameterized
+
     # -- EXPLAIN -----------------------------------------------------------
 
     def _do_explain(self, stmt: ast.Explain, sql: str,
@@ -733,8 +851,9 @@ class QueryService:
                 return Database._text_result(lines, trace=qtrace)
             run_trace = qtrace if qtrace is not None else QueryTrace()
             prepared.executions += 1
+            fp = prepared.fingerprint
             result, entry, disposition = self._run_select(
-                prepared.select, prepared.fingerprint, spec, run_trace,
+                prepared.select, fp, spec, run_trace,
                 param_values=self._argument_values(inner, prepared),
                 session=session, deadline=deadline, token=token,
                 query_id=query_id,
@@ -758,9 +877,15 @@ class QueryService:
         stats = pipeline_stats_from_trace(
             run_trace, dissect_into_pipelines(entry.plan)
         )
+        feedback_lines = None
+        if self.feedback is not None:
+            feedback_lines = self.feedback.explain_lines(
+                fp, entry.catalog_version
+            )
         lines = render_explain_analyze(
             entry.plan, run_trace, stats, spec,
             total_rows=len(result.rows), cache=disposition,
+            feedback_lines=feedback_lines,
         )
         if getattr(result, "parallel", None) is not None:
             from repro.parallel.executor import parallel_explain_lines

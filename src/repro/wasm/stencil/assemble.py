@@ -69,7 +69,14 @@ class StencilFunction:
     n_instrs: int = 0
 
     def bind(self, instance, profile=None):
-        """Attach to one instance; returns the callable for ``funcs``."""
+        """Attach to one instance; returns the callable for ``funcs``.
+
+        With a ``profile`` the dispatch loop counts the stencils it
+        executes into ``profile.instructions`` — each stencil covers
+        one source instruction, so instrumented runs account tier-0
+        work on the same scale as the interpreter and the compiled
+        tiers.
+        """
         memory = instance.memory
         ctx = (
             instance.funcs,
@@ -86,22 +93,44 @@ class StencilFunction:
         has_result = self.has_result
         name = self.name
 
-        def fn(*args):
-            if len(args) != n_params:
-                raise Trap("call argument count mismatch", name)
-            locals_ = list(args)
-            if defaults:
-                locals_.extend(defaults)
-            st = []
-            ip = 0
-            try:
-                while ip < n:
-                    ip = code[ip](st, locals_, ctx)
-            except (TypeError, IndexError, _StructError) as e:
-                raise Trap("out of bounds memory access", repr(e))
-            except RecursionError:
-                raise Trap("call stack exhausted")
-            return st[-1] if has_result else None
+        if profile is None:
+            def fn(*args):
+                if len(args) != n_params:
+                    raise Trap("call argument count mismatch", name)
+                locals_ = list(args)
+                if defaults:
+                    locals_.extend(defaults)
+                st = []
+                ip = 0
+                try:
+                    while ip < n:
+                        ip = code[ip](st, locals_, ctx)
+                except (TypeError, IndexError, _StructError) as e:
+                    raise Trap("out of bounds memory access", repr(e))
+                except RecursionError:
+                    raise Trap("call stack exhausted")
+                return st[-1] if has_result else None
+        else:
+            def fn(*args):
+                if len(args) != n_params:
+                    raise Trap("call argument count mismatch", name)
+                locals_ = list(args)
+                if defaults:
+                    locals_.extend(defaults)
+                st = []
+                ip = 0
+                dispatched = 0
+                try:
+                    while ip < n:
+                        dispatched += 1
+                        ip = code[ip](st, locals_, ctx)
+                except (TypeError, IndexError, _StructError) as e:
+                    raise Trap("out of bounds memory access", repr(e))
+                except RecursionError:
+                    raise Trap("call stack exhausted")
+                finally:
+                    profile.instructions += dispatched
+                return st[-1] if has_result else None
 
         fn.tier = self.tier
         fn.compiled = self

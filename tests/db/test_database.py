@@ -49,7 +49,7 @@ class TestDdlDml:
 class TestExecution:
     def test_default_engine_is_wasm(self, db):
         result = db.execute("SELECT x FROM t ORDER BY x")
-        assert result.engine == "wasm"
+        assert result.engine == "wasm[adaptive_stencil]"
         assert result.rows == [(10,), (20,)]
 
     def test_engine_selection(self, db):

@@ -1,0 +1,180 @@
+"""End-to-end feedback loop through the QueryService: Q-Error
+re-optimization rebuilds the cached plan in place, hybrid routing pins
+pipelines to tiers, and both stay byte-identical to feedback-off."""
+
+import pytest
+
+from repro.feedback import FeedbackConfig, FeedbackStore
+from repro.observability.metrics import get_registry
+from repro.observability.trace import QueryTrace
+from repro.server import QueryService
+
+# one flagged customer out of 50; the planner's NDV-based equality
+# selectivity predicts half the table, so the first execution measures
+# a Q-Error far above the default threshold of 4
+MISESTIMATED_JOIN = (
+    "SELECT c_id, o_id FROM customers, orders "
+    "WHERE c_id = o_cust AND flag = 1"
+)
+
+
+def populate(service):
+    service.execute("CREATE TABLE customers (c_id INT PRIMARY KEY, flag INT)")
+    service.execute("CREATE TABLE orders "
+                    "(o_id INT PRIMARY KEY, o_cust INT)")
+    customers = ", ".join(
+        f"({i}, {1 if i == 7 else 0})" for i in range(50)
+    )
+    service.execute(f"INSERT INTO customers VALUES {customers}")
+    orders = ", ".join(f"({i}, {i % 50})" for i in range(400))
+    service.execute(f"INSERT INTO orders VALUES {orders}")
+
+
+@pytest.fixture()
+def service():
+    svc = QueryService()
+    populate(svc)
+    return svc
+
+
+class TestReoptimization:
+    def test_first_execution_triggers_an_in_place_replan(self, service):
+        trace = QueryTrace()
+        first = service.execute(MISESTIMATED_JOIN, trace=trace)
+        kinds = [event.kind for event in trace.events]
+        assert "feedback.observed" in kinds
+        assert "feedback.reoptimize" in kinds
+        observed = next(e for e in trace.events
+                        if e.kind == "feedback.observed")
+        assert observed.attrs["q_error"] >= 4.0
+        assert first.plan_cache == "miss"
+        assert len(first.rows) == 8  # customer 7 appears in 400/50 orders
+
+    def test_second_execution_hits_the_rebuilt_entry(self, service):
+        first = service.execute(MISESTIMATED_JOIN)
+        trace = QueryTrace()
+        second = service.execute(MISESTIMATED_JOIN, trace=trace)
+        assert second.plan_cache == "hit"
+        assert sorted(second.rows) == sorted(first.rows)
+        # the rebuilt entry is already re-optimized: no second replan
+        kinds = [event.kind for event in trace.events]
+        assert "feedback.reoptimize" not in kinds
+
+    def test_rebuild_planned_with_observed_seeds(self, service):
+        trace = QueryTrace()
+        service.execute(MISESTIMATED_JOIN, trace=trace)
+        seeded = [e for e in trace.events if e.kind == "feedback.seeded"]
+        assert seeded, "the in-place rebuild should plan with seeds"
+        assert "customers" in seeded[-1].attrs["seeds"]
+
+    def test_results_identical_to_feedback_off(self, service):
+        oracle = QueryService(feedback=False)
+        populate(oracle)
+        expected = sorted(oracle.execute(MISESTIMATED_JOIN).rows)
+        for _ in range(3):
+            rows = sorted(service.execute(MISESTIMATED_JOIN).rows)
+            assert rows == expected
+
+    def test_feedback_off_records_nothing(self):
+        svc = QueryService(feedback=False)
+        populate(svc)
+        trace = QueryTrace()
+        svc.execute(MISESTIMATED_JOIN, trace=trace)
+        assert svc.feedback is None
+        kinds = [event.kind for event in trace.events]
+        assert not any(kind.startswith("feedback.") for kind in kinds)
+
+    def test_insert_invalidates_the_observations(self, service):
+        service.execute(MISESTIMATED_JOIN)
+        assert service.feedback.stats()["tracked"] >= 1
+        service.execute("INSERT INTO orders VALUES (400, 7)")
+        assert service.feedback.stats()["tracked"] == 0
+
+    def test_metrics_move(self, service):
+        registry = get_registry()
+        observations = registry.counter("feedback_observations_total")
+        replans = registry.counter("feedback_replans_total")
+        obs_before, replans_before = observations.total, replans.total
+        service.execute(MISESTIMATED_JOIN)
+        assert observations.total > obs_before
+        assert replans.total > replans_before
+
+    def test_parameterized_statements_feed_back_safely(self, service):
+        session = service.create_session()
+        service.execute(
+            "PREPARE q AS SELECT c_id FROM customers WHERE flag = $1",
+            session=session,
+        )
+        for arg, expected in ((1, 1), (0, 49), (1, 1)):
+            rows = service.execute(f"EXECUTE q({arg})",
+                                   session=session).rows
+            assert len(rows) == expected
+
+
+class TestHybridRouting:
+    def test_small_scan_reroutes_to_interp(self, service):
+        sql = "SELECT c_id FROM customers WHERE flag >= 0"
+        trace = QueryTrace()
+        service.execute(sql, trace=trace)
+        assert "feedback.reroute" in [e.kind for e in trace.events]
+        routed = [e for e in trace.events if e.kind == "feedback.routed"]
+        assert routed and "interp" in str(routed[-1].attrs["route"])
+        stats = service.feedback.stats()["fingerprints"]
+        entry = next(iter(stats.values()))
+        assert entry["rerouted"]
+        assert set(entry["route"].values()) == {"interp"}
+
+    def test_rerouted_entry_still_answers_correctly(self, service):
+        sql = "SELECT c_id FROM customers WHERE flag >= 0"
+        first = sorted(service.execute(sql, trace=None).rows)
+        second = service.execute(sql)
+        assert second.plan_cache == "hit"
+        assert sorted(second.rows) == first == [(i,) for i in range(50)]
+
+    def test_custom_config_is_honored(self):
+        svc = QueryService(feedback=FeedbackConfig(
+            q_error_threshold=None, interp_rows_max=0,
+            liftoff_entry_rows=None,
+        ))
+        populate(svc)
+        trace = QueryTrace()
+        svc.execute(MISESTIMATED_JOIN, trace=trace)
+        kinds = [event.kind for event in trace.events]
+        assert "feedback.observed" in kinds
+        assert "feedback.reoptimize" not in kinds
+        assert "feedback.reroute" not in kinds
+
+    def test_store_instance_can_be_shared(self):
+        store = FeedbackStore()
+        svc = QueryService(feedback=store)
+        populate(svc)
+        svc.execute(MISESTIMATED_JOIN)
+        assert svc.feedback is store
+        assert store.stats()["tracked"] >= 1
+
+
+class TestExplainIntegration:
+    def test_explain_analyze_shows_feedback_lines(self, service):
+        service.execute(MISESTIMATED_JOIN)
+        result = service.execute("EXPLAIN ANALYZE " + MISESTIMATED_JOIN)
+        lines = [row[0] for row in result.rows]
+        feedback = [l for l in lines if l.startswith("feedback:")]
+        assert any("observations=" in l for l in feedback)
+        assert any("re-planned with observed cardinalities" in l
+                   for l in feedback)
+
+    def test_pipeline_lines_carry_estimates(self, service):
+        service.execute(MISESTIMATED_JOIN)
+        result = service.execute("EXPLAIN ANALYZE " + MISESTIMATED_JOIN)
+        pipeline_lines = [row[0] for row in result.rows
+                          if "rows=" in row[0]]
+        assert pipeline_lines
+        assert all("est=" in line for line in pipeline_lines)
+
+    def test_feedback_off_explain_has_no_feedback_lines(self):
+        svc = QueryService(feedback=False)
+        populate(svc)
+        svc.execute(MISESTIMATED_JOIN)
+        result = svc.execute("EXPLAIN ANALYZE " + MISESTIMATED_JOIN)
+        assert not [row[0] for row in result.rows
+                    if row[0].startswith("feedback:")]

@@ -1,0 +1,318 @@
+"""FeedbackStore unit and property tests: Q-Error math, threshold
+exactness, once-per-version hysteresis, catalog-bump invalidation,
+routing policy, LRU bound, and thread safety."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.feedback import (
+    FeedbackConfig,
+    FeedbackStore,
+    PipelineObservation,
+    QueryObservation,
+    q_error,
+)
+
+
+def make_observation(fp="q1", version=1, *, estimated=10.0, measured=10,
+                     rows_in=1000, mode="adaptive_stencil", binding="t",
+                     function="pipeline_0", parameterized=False,
+                     root_rows=None):
+    """One single-pipeline observation with a controllable Q-Error."""
+    pipeline = PipelineObservation(
+        index=0, function=function, estimated_rows=estimated,
+        rows_in=rows_in, rows_out=measured, morsels=1, seconds=0.001,
+        binding=binding,
+    )
+    return QueryObservation(
+        fingerprint=fp, catalog_version=version,
+        engine_spec="wasm[adaptive_stencil]", mode=mode,
+        pipelines=[pipeline], root_rows=root_rows,
+        parameterized=parameterized,
+    )
+
+
+class TestQErrorMath:
+    def test_perfect_estimate_is_one(self):
+        assert q_error(10, 10) == 1.0
+
+    def test_symmetric_in_over_and_under(self):
+        assert q_error(1, 100) == q_error(100, 1) == 100.0
+
+    def test_clamped_at_one_no_division_by_zero(self):
+        assert q_error(0, 0) == 1.0
+        assert q_error(0.3, 0) == 1.0
+        assert q_error(0, 50) == 50.0
+
+    def test_never_below_one(self):
+        assert q_error(0.2, 0.9) == 1.0
+
+
+class TestConfigValidation:
+    def test_threshold_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            FeedbackConfig(q_error_threshold=0.5)
+
+    def test_threshold_none_allowed(self):
+        assert FeedbackConfig(q_error_threshold=None).q_error_threshold is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"history": 0},
+        {"min_observations": 0},
+        {"max_fingerprints": 0},
+    ])
+    def test_counts_must_be_positive(self, kwargs):
+        with pytest.raises(ConfigError):
+            FeedbackConfig(**kwargs)
+
+
+class TestReplanThreshold:
+    def store(self, threshold=4.0):
+        return FeedbackStore(FeedbackConfig(
+            q_error_threshold=threshold, interp_rows_max=0,
+            liftoff_entry_rows=None,
+        ))
+
+    def test_exactly_at_threshold_replans(self):
+        store = self.store(threshold=4.0)
+        decision = store.record(make_observation(estimated=40.0, measured=10))
+        assert decision.q_error == 4.0
+        assert decision.replan and decision.invalidate
+
+    def test_just_below_threshold_does_not(self):
+        store = self.store(threshold=4.0)
+        decision = store.record(make_observation(estimated=39.9, measured=10))
+        assert decision.q_error == pytest.approx(3.99)
+        assert not decision.replan and not decision.invalidate
+
+    def test_threshold_none_disables_replanning(self):
+        store = self.store(threshold=None)
+        decision = store.record(make_observation(estimated=1.0, measured=10**6))
+        assert not decision.replan
+
+    def test_replan_fires_once_per_fingerprint_version(self):
+        store = self.store()
+        first = store.record(make_observation(estimated=1000.0, measured=1))
+        again = store.record(make_observation(estimated=1000.0, measured=1))
+        assert first.replan and not again.replan
+
+    def test_fresh_catalog_version_replans_again(self):
+        store = self.store()
+        store.record(make_observation(version=1, estimated=1000.0, measured=1))
+        bumped = store.record(
+            make_observation(version=2, estimated=1000.0, measured=1)
+        )
+        assert bumped.replan
+
+    def test_no_seeds_means_no_replan(self):
+        # a measurement the classifier could not attribute to any scan,
+        # join, or the root is not actionable however wrong the estimate
+        store = self.store()
+        decision = store.record(
+            make_observation(estimated=1000.0, measured=1, binding=None)
+        )
+        assert decision.q_error == 1000.0
+        assert not decision.replan
+
+    def test_decision_names_the_worst_pipeline(self):
+        store = self.store()
+        decision = store.record(make_observation(estimated=1000.0, measured=1))
+        assert decision.pipeline == "pipeline_0"
+
+
+class TestSeeds:
+    def test_observed_seeds_round_trip(self):
+        store = FeedbackStore()
+        store.record(make_observation(estimated=100.0, measured=7))
+        seeds = store.observed_seeds("q1", 1)
+        assert seeds is not None
+        assert seeds.bindings == {"t": 7.0}
+
+    def test_unknown_fingerprint_returns_none(self):
+        assert FeedbackStore().observed_seeds("nope", 1) is None
+
+    def test_seeds_withheld_until_replan_decided(self):
+        # a reroute-only rebuild must recompile the *same* plan: seeds
+        # appear only once the Q-Error verdict said to re-plan
+        store = FeedbackStore()
+        store.record(make_observation(estimated=10.0, measured=10))
+        assert store.observed_seeds("q1", 1) is None
+
+    def test_measured_zero_clamps_to_one(self):
+        # observed counts may seed estimates but never prove emptiness
+        store = FeedbackStore()
+        store.record(make_observation(estimated=100.0, measured=0))
+        assert store.observed_seeds("q1", 1).bindings == {"t": 1.0}
+
+    def test_parameterized_flag_travels_with_the_seeds(self):
+        store = FeedbackStore()
+        store.record(make_observation(estimated=100.0, measured=7,
+                                      parameterized=True))
+        assert store.observed_seeds("q1", 1).parameterized
+
+
+class TestCatalogInvalidation:
+    def test_prune_drops_superseded_versions(self):
+        store = FeedbackStore()
+        store.record(make_observation(fp="a", version=1, estimated=100.0))
+        store.record(make_observation(fp="b", version=1, estimated=100.0))
+        store.record(make_observation(fp="c", version=2, estimated=100.0))
+        assert store.prune(current_version=2) == 2
+        assert store.observed_seeds("a", 1) is None
+        assert store.observed_seeds("c", 2) is not None
+
+    def test_versions_are_tracked_independently(self):
+        store = FeedbackStore()
+        store.record(make_observation(version=1, estimated=100.0, measured=5))
+        store.record(make_observation(version=2, estimated=100.0, measured=9))
+        assert store.observed_seeds("q1", 1).bindings == {"t": 5.0}
+        assert store.observed_seeds("q1", 2).bindings == {"t": 9.0}
+
+
+class TestRoutingPolicy:
+    def store(self, **kwargs):
+        defaults = dict(q_error_threshold=None, interp_rows_max=512,
+                        liftoff_entry_rows=65536)
+        defaults.update(kwargs)
+        return FeedbackStore(FeedbackConfig(**defaults))
+
+    def test_tiny_pipeline_routes_to_interp(self):
+        store = self.store()
+        decision = store.record(make_observation(rows_in=100))
+        assert decision.reroute
+        assert store.tier_plan("q1", 1, "adaptive_stencil") == {
+            "pipeline_0": ("interp",)
+        }
+
+    def test_hot_pipeline_enters_at_liftoff(self):
+        store = self.store()
+        store.record(make_observation(rows_in=100_000))
+        assert store.tier_plan("q1", 1, "adaptive_stencil") == {
+            "pipeline_0": ("liftoff", "turbofan")
+        }
+
+    def test_middle_ground_keeps_the_default_ladder(self):
+        store = self.store()
+        decision = store.record(make_observation(rows_in=10_000))
+        assert not decision.reroute
+        assert store.tier_plan("q1", 1, "adaptive_stencil") is None
+
+    def test_liftoff_entry_only_on_the_stencil_ladder(self):
+        # "adaptive" already starts at Liftoff; skipping warmup is a no-op
+        store = self.store()
+        decision = store.record(
+            make_observation(rows_in=100_000, mode="adaptive")
+        )
+        assert not decision.reroute
+
+    def test_non_routable_mode_never_reroutes(self):
+        store = self.store()
+        decision = store.record(make_observation(rows_in=10, mode="liftoff"))
+        assert not decision.reroute
+        assert store.tier_plan("q1", 1, "liftoff") is None
+
+    def test_interp_routing_disabled_by_zero(self):
+        store = self.store(interp_rows_max=0)
+        assert not store.record(make_observation(rows_in=10)).reroute
+
+    def test_min_observations_gates_routing(self):
+        store = self.store(min_observations=2)
+        first = store.record(make_observation(rows_in=10))
+        second = store.record(make_observation(rows_in=10))
+        assert not first.reroute and second.reroute
+
+    def test_route_averages_the_history(self):
+        # one cold and one hot run straddling the interp cutoff: the
+        # mean (600) is above it, so nothing routes
+        store = self.store(min_observations=2)
+        store.record(make_observation(rows_in=100))
+        decision = store.record(make_observation(rows_in=1100))
+        assert not decision.reroute
+
+    def test_reroute_fires_once(self):
+        store = self.store()
+        first = store.record(make_observation(rows_in=10))
+        again = store.record(make_observation(rows_in=10))
+        assert first.reroute and not again.reroute
+        # ...but the plan stays queryable for later compilations
+        assert store.tier_plan("q1", 1, "adaptive_stencil") is not None
+
+
+class TestBookkeeping:
+    def test_lru_bound_on_tracked_fingerprints(self):
+        store = FeedbackStore(FeedbackConfig(max_fingerprints=2))
+        for fp in ("a", "b", "c"):
+            store.record(make_observation(fp=fp))
+        stats = store.stats()
+        assert stats["tracked"] == 2
+        assert "a @v1" not in stats["fingerprints"]
+        assert "c @v1" in stats["fingerprints"]
+
+    def test_history_is_trimmed(self):
+        store = FeedbackStore(FeedbackConfig(history=3))
+        for measured in (1, 2, 3, 4, 5):
+            store.record(make_observation(measured=measured))
+        # the newest observation's measurement wins the seed slot
+        assert store.observed_seeds("q1", 1).bindings == {"t": 5.0}
+        assert store.stats()["fingerprints"]["q1 @v1"]["executions"] == 5
+
+    def test_explain_lines(self):
+        store = FeedbackStore(FeedbackConfig(q_error_threshold=4.0))
+        store.record(make_observation(estimated=80.0, measured=10,
+                                      rows_in=10))
+        lines = store.explain_lines("q1", 1)
+        assert lines[0] == "feedback: observations=1 q_error=8.00"
+        assert any(l.startswith("feedback: re-planned") for l in lines)
+        # the replan reset the routing samples; a measurement of the
+        # corrected plan routes on the next execution
+        assert not any(l.startswith("feedback: route") for l in lines)
+        store.record(make_observation(estimated=10.0, measured=10,
+                                      rows_in=10))
+        assert ("feedback: route pipeline_0 -> interp"
+                in store.explain_lines("q1", 1))
+
+    def test_replan_and_reroute_never_fire_together(self):
+        # both verdicts on one observation would apply a route keyed by
+        # the dying plan's pipeline numbering to its replacement
+        store = FeedbackStore(FeedbackConfig(q_error_threshold=4.0))
+        decision = store.record(
+            make_observation(estimated=80.0, measured=10, rows_in=10)
+        )
+        assert decision.replan and not decision.reroute
+
+    def test_explain_lines_empty_without_history(self):
+        assert FeedbackStore().explain_lines("q1", 1) == []
+
+
+class TestThreadSafety:
+    def test_concurrent_records_are_all_counted(self):
+        store = FeedbackStore(FeedbackConfig(max_fingerprints=1024))
+        threads, errors = [], []
+
+        def worker(index):
+            try:
+                for i in range(50):
+                    store.record(make_observation(
+                        fp=f"q{i % 4}", estimated=float(1 + i),
+                        measured=1 + (index + i) % 7,
+                        rows_in=(index * 50 + i) % 2000,
+                    ))
+                    store.observed_seeds(f"q{i % 4}", 1)
+                    store.tier_plan(f"q{i % 4}", 1, "adaptive_stencil")
+                    store.explain_lines(f"q{i % 4}", 1)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        for index in range(8):
+            threads.append(threading.Thread(target=worker, args=(index,)))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = store.stats()
+        total = sum(entry["executions"]
+                    for entry in stats["fingerprints"].values())
+        assert total == 8 * 50

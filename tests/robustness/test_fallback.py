@@ -41,16 +41,18 @@ class TestPolicy:
 
     def test_attempts_start_with_primary_and_dedupe(self):
         policy = FallbackPolicy()
-        assert policy.attempts_for("wasm") == [
-            "wasm", "wasm[interpreter]", "volcano"
+        assert policy.attempts_for("wasm[adaptive_stencil]") == [
+            "wasm[adaptive_stencil]", "wasm[interpreter]", "volcano"
         ]
         assert policy.attempts_for("volcano") == [
-            "volcano", "wasm", "wasm[interpreter]"
+            "volcano", "wasm[adaptive_stencil]", "wasm[interpreter]"
         ]
 
     def test_max_attempts_truncates(self):
         policy = FallbackPolicy(max_attempts=2)
-        assert policy.attempts_for("wasm") == ["wasm", "wasm[interpreter]"]
+        assert policy.attempts_for("wasm[adaptive_stencil]") == [
+            "wasm[adaptive_stencil]", "wasm[interpreter]"
+        ]
 
     def test_validation(self):
         with pytest.raises(ConfigError):
@@ -142,7 +144,7 @@ class TestDatabaseFallback:
         assert result.degraded
         assert result.engine == "volcano"
         specs = [s for s, _ in result.fallback_attempts]
-        assert specs == ["wasm", "wasm[interpreter]"]
+        assert specs == ["wasm[adaptive_stencil]", "wasm[interpreter]"]
 
     def test_no_fallback_surfaces_the_trap(self, db):
         with pytest.raises(Trap) as err:
@@ -157,17 +159,23 @@ class TestDatabaseFallback:
         with pytest.raises(QueryError) as err:
             db.execute("SELECT x / y FROM t")
         assert [s for s, _ in err.value.attempts] == [
-            "wasm", "wasm[interpreter]", "volcano"
+            "wasm[adaptive_stencil]", "wasm[interpreter]", "volcano"
         ]
 
     def test_liftoff_failure_degrades_to_interpreter(self, db):
+        # stencil assembly declines too, so the primary's tier-0 entry
+        # can't absorb the Liftoff failure — the compile genuinely dies
         engine = db.engine("wasm")
-        engine.fault_injector = FaultInjector.always("liftoff.compile")
+        engine.fault_injector = FaultInjector.always(
+            "stencil.assemble", "liftoff.compile"
+        )
         try:
             result = db.execute("SELECT SUM(x) FROM t")
             assert result.rows == [(60,)]
             assert result.engine == "wasm[interpreter]"
-            assert [s for s, _ in result.fallback_attempts] == ["wasm"]
+            assert [s for s, _ in result.fallback_attempts] == [
+                "wasm[adaptive_stencil]"
+            ]
         finally:
             engine.fault_injector = None
 

@@ -236,7 +236,8 @@ class TestTierBreaker:
         # attempted, the query still answers correctly
         trace = QueryTrace()
         result = svc.execute(self.SQL, trace=trace)
-        assert ("breaker.degraded", {"engine": "wasm", "state": "open"}) \
+        assert ("breaker.degraded",
+                {"engine": "wasm[adaptive_stencil]", "state": "open"}) \
             in breaker_events(trace)
         assert len(result) == sum(1 for i in range(1, ROWS + 1)
                                   if i % 97 < 90)

@@ -251,13 +251,19 @@ class TestFallback:
         assert instance.stats.stencil_functions == 0
         assert instance.stats.liftoff_functions == 1
 
-    def test_instrumented_run_declines_tier0(self):
+    def test_instrumented_run_assembles_tier0(self):
+        # profiling runs no longer decline to Liftoff: the bound
+        # dispatch loop counts executed stencils into the profile
         from repro.costmodel import Profile
 
+        profile = Profile()
         engine = Engine(EngineConfig(mode="stencil"))
-        instance = engine.instantiate(_sum_module(), profile=Profile())
-        assert instance.tier_of("main") == "liftoff"
-        assert instance.stats.stencil_fallbacks == 1
+        instance = engine.instantiate(_sum_module(), profile=profile)
+        assert instance.tier_of("main") == "stencil"
+        assert instance.stats.stencil_fallbacks == 0
+        assert instance.stats.stencil_functions == 1
+        assert instance.invoke("main", 10) == 45
+        assert profile.instructions > 0
 
     def test_fallback_is_traced(self):
         from repro.observability.trace import FakeClock, QueryTrace
